@@ -1,0 +1,401 @@
+package repro
+
+// The benchmark harness: one benchmark (or benchmark family) per
+// experiment row of DESIGN.md / EXPERIMENTS.md. Where the paper's
+// artefact is a theorem or a worked example rather than a timing, the
+// benchmark measures the cost of regenerating/checking it, and the
+// correctness assertions live in the package test suites.
+//
+// The headline comparison (experiment E16) is operational enumeration
+// with on-the-fly read validation versus the axiomatic two-step
+// generate-and-test procedure on the same programs: the operational
+// route prunes invalid reads as it goes and wins by a growing factor.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/axiomatic"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/proof"
+)
+
+// --- E1/E2: the command language (Figures 1 and 2) ---
+
+func BenchmarkE1_ExpressionEvaluation(b *testing.B) {
+	guard := lang.And(lang.Eq(lang.XA("flag2"), lang.B(true)),
+		lang.Eq(lang.X("turn"), lang.V(2)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := guard
+		for !lang.Closed(e) {
+			x, _, _ := lang.EvalTarget(e)
+			e = lang.Subst(e, x, 1)
+		}
+		if lang.Eval(e) == 99 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkE2_UninterpretedProgramSteps(b *testing.B) {
+	p, _ := litmus.Peterson()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(lang.ProgSteps(p)) == 0 {
+			b.Fatal("no steps")
+		}
+	}
+}
+
+// --- E3/E4: the event semantics (Figure 3, Examples 3.2-3.5) ---
+
+func BenchmarkE3_EventSemanticsSteps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0})
+		ix, _ := s.InitialFor("x")
+		iy, _ := s.InitialFor("y")
+		s, w1, _ := s.StepWrite(1, true, "x", 1, ix)
+		s, _, _ = s.StepRead(2, true, "x", w1.Tag)
+		s, u, _ := s.StepRMW(2, "y", 7, iy)
+		if _, _, err := s.StepRMW(1, "y", 8, u.Tag); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4_ObservabilitySets(b *testing.B) {
+	// Build the Example 3.2 state once, then measure EW/OW/CW.
+	s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0, "z": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	iz, _ := s.InitialFor("z")
+	s, w2, _ := s.StepWrite(2, true, "x", 2, ix)
+	s, _, _ = s.StepWrite(2, false, "y", 1, iy)
+	s, _, _ = s.StepRead(3, true, "x", w2.Tag)
+	s, wz, _ := s.StepWrite(3, false, "z", 3, iz)
+	s, _, _ = s.StepRMW(1, "x", 4, w2.Tag)
+	s, _, _ = s.StepRMW(4, "y", 5, iy)
+	s, _, _ = s.StepRead(4, false, "z", wz.Tag)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for t := event.Thread(1); t <= 4; t++ {
+			if s.ObservableWrites(t).Count() == 0 {
+				b.Fatal("no observable writes")
+			}
+		}
+		_ = s.CoveredWrites()
+	}
+}
+
+// --- E7/E8: axiom checking and soundness (Definition 4.2, Thm 4.4) ---
+
+func BenchmarkE7_AxiomCheck(b *testing.B) {
+	p, vars := litmus.Peterson()
+	cfg := core.NewConfig(p, vars)
+	for i := 0; i < 10; i++ {
+		succ := cfg.Successors()
+		cfg = succ[len(succ)-1].C
+	}
+	x := axiomatic.FromState(cfg.S)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := x.Check(); v != nil {
+			b.Fatal(v)
+		}
+	}
+}
+
+func BenchmarkE8_SoundnessRandomWalk(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0})
+		for j := 0; j < 8; j++ {
+			th := event.Thread(1 + rng.Intn(2))
+			x := []event.Var{"x", "y"}[rng.Intn(2)]
+			pts := s.InsertionPointsFor(th, x)
+			if len(pts) == 0 {
+				continue
+			}
+			ns, _, err := s.StepWrite(th, rng.Intn(2) == 0, x, event.Val(j), pts[rng.Intn(len(pts))])
+			if err != nil {
+				b.Fatal(err)
+			}
+			s = ns
+		}
+		if v := axiomatic.FromState(s).Check(); v != nil {
+			b.Fatal(v)
+		}
+	}
+}
+
+// --- E9: completeness replay (Theorem 4.8) ---
+
+func BenchmarkE9_CompletenessReplayMP(b *testing.B) {
+	p := lang.Prog{
+		lang.SeqC(lang.AssignC("d", lang.V(5)), lang.AssignRelC("f", lang.V(1))),
+		lang.SeqC(lang.AssignC("a", lang.XA("f")), lang.AssignC("b", lang.X("d"))),
+	}
+	vars := map[event.Var]event.Val{"d": 0, "f": 0, "a": 0, "b": 0}
+	execs := axiomatic.ValidExecutions(p, vars, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, x := range execs {
+			if _, err := x.ReplayFull(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- E10: rule soundness checking (Figure 4) ---
+
+func BenchmarkE10_RuleChecks(b *testing.B) {
+	s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	s, _, _ = s.StepWrite(1, false, "x", 2, ix)
+	s, wy, _ := s.StepWrite(1, true, "y", 1, iy)
+	after, e, _ := s.StepRead(2, true, "y", wy.Tag)
+	tr := proof.Transition{Before: s, M: wy.Tag, E: e, After: after}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if prem, concl := proof.RuleTransfer(tr, 1, "x", 2); !prem || !concl {
+			b.Fatal("Transfer failed")
+		}
+		if prem, concl := proof.RuleAcqRd(tr, "y"); !prem || !concl {
+			b.Fatal("AcqRd failed")
+		}
+	}
+}
+
+// --- E13: Peterson verification (Algorithm 1, Theorem 5.8) ---
+
+func benchPeterson(b *testing.B, bound, workers int) {
+	p, vars := litmus.Peterson()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := explore.Run(core.NewConfig(p, vars), explore.Options{
+			MaxEvents: bound,
+			Workers:   workers,
+			Property: func(c core.Config) bool {
+				return len(proof.CheckPetersonInvariants(c)) == 0
+			},
+		})
+		if res.Violation != nil {
+			b.Fatal("invariant violated")
+		}
+	}
+}
+
+func BenchmarkE13_PetersonVerify(b *testing.B) {
+	for _, bound := range []int{7, 8, 9, 10} {
+		b.Run(fmt.Sprintf("bound=%d/serial", bound), func(b *testing.B) {
+			benchPeterson(b, bound, 1)
+		})
+		b.Run(fmt.Sprintf("bound=%d/parallel", bound), func(b *testing.B) {
+			benchPeterson(b, bound, 0)
+		})
+	}
+}
+
+func BenchmarkE13_PetersonWeakTurnWitness(b *testing.B) {
+	p, vars := litmus.PetersonWeakTurn()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, found := explore.FindTrace(core.NewConfig(p, vars), explore.Options{
+			MaxEvents: 12,
+		}, func(c core.Config) bool { return !litmus.MutualExclusion(c) })
+		if !found {
+			b.Fatal("no witness")
+		}
+	}
+}
+
+// --- E14/E15: model equivalence (Theorem C.5, the Memalloy bound) ---
+
+func BenchmarkE14_TheoremC5Exhaustive(b *testing.B) {
+	for _, events := range []int{2, 3} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			params := enumerate.Params{
+				Threads: 2, Vars: []event.Var{"x"}, Events: events,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				enumerate.Candidates(params, func(x axiomatic.Exec) bool {
+					if x.CoherentDef42() != x.WeakCanonicalConsistent() {
+						b.Fatal("mismatch")
+					}
+					return true
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkE15_TheoremC5RandomSize7(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	params := enumerate.Params{Threads: 3, Vars: []event.Var{"x", "y"}, Events: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := enumerate.Random(rng, params)
+		if x.CoherentDef42() != x.WeakCanonicalConsistent() {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+// --- E16: operational vs axiomatic enumeration (the intro's claim) ---
+
+func litmusProgs() map[string]struct {
+	p    lang.Prog
+	vars map[event.Var]event.Val
+} {
+	out := map[string]struct {
+		p    lang.Prog
+		vars map[event.Var]event.Val
+	}{}
+	for _, tc := range litmus.Suite() {
+		switch tc.Name {
+		case "MP+rel+acq", "SB+rel+acq", "LB+rlx+rlx", "2+2W":
+			out[tc.Name] = struct {
+				p    lang.Prog
+				vars map[event.Var]event.Val
+			}{tc.Prog, tc.Init}
+		}
+	}
+	return out
+}
+
+func BenchmarkE16_Operational(b *testing.B) {
+	for name, pc := range litmusProgs() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(axiomatic.OperationalExecutions(pc.p, pc.vars)) == 0 {
+					b.Fatal("no executions")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE16_AxiomaticBaseline(b *testing.B) {
+	for name, pc := range litmusProgs() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(axiomatic.ValidExecutions(pc.p, pc.vars, 40)) == 0 {
+					b.Fatal("no executions")
+				}
+			}
+		})
+	}
+}
+
+// scalingProg returns a program with n writer threads storing distinct
+// values to x and one reader thread reading x twice. The axiomatic
+// baseline must enumerate all n! modification orders and (n+1)²
+// reads-from choices per pre-execution and filter post hoc, while the
+// operational semantics validates reads on the fly — the paper's
+// motivation for an operational model, measured.
+func scalingProg(n int) (lang.Prog, map[event.Var]event.Val) {
+	p := make(lang.Prog, 0, n+1)
+	for i := 1; i <= n; i++ {
+		p = append(p, lang.AssignC("x", lang.V(event.Val(i))))
+	}
+	p = append(p, lang.SeqC(
+		lang.AssignC("r1", lang.X("x")),
+		lang.AssignC("r2", lang.X("x")),
+	))
+	return p, map[event.Var]event.Val{"x": 0, "r1": 0, "r2": 0}
+}
+
+func BenchmarkE16_ScalingOperational(b *testing.B) {
+	for n := 2; n <= 4; n++ {
+		b.Run(fmt.Sprintf("writers=%d", n), func(b *testing.B) {
+			p, vars := scalingProg(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(axiomatic.OperationalExecutions(p, vars)) == 0 {
+					b.Fatal("no executions")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE16_ScalingAxiomatic(b *testing.B) {
+	for n := 2; n <= 4; n++ {
+		b.Run(fmt.Sprintf("writers=%d", n), func(b *testing.B) {
+			p, vars := scalingProg(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(axiomatic.ValidExecutions(p, vars, 40)) == 0 {
+					b.Fatal("no executions")
+				}
+			}
+		})
+	}
+}
+
+// loopingMP is message passing with a genuine await loop — the shape
+// verification cares about. The axiomatic baseline must enumerate
+// pre-executions whose guard reads range over the whole value domain
+// (most of them unjustifiable, discovered only post hoc), while the
+// operational semantics only ever produces readable values.
+func loopingMP() (lang.Prog, map[event.Var]event.Val) {
+	p := lang.Prog{
+		lang.SeqC(lang.AssignC("d", lang.V(5)), lang.AssignRelC("f", lang.V(1))),
+		lang.SeqC(
+			lang.WhileC(lang.Eq(lang.XA("f"), lang.V(0)), lang.SkipC()),
+			lang.AssignC("r", lang.X("d")),
+		),
+	}
+	return p, map[event.Var]event.Val{"d": 0, "f": 0, "r": 0}
+}
+
+func BenchmarkE16_LoopingMPOperational(b *testing.B) {
+	p, vars := loopingMP()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := explore.Run(core.NewConfig(p, vars), explore.Options{
+			MaxEvents: 10, Workers: 1,
+		})
+		if res.Explored == 0 {
+			b.Fatal("nothing explored")
+		}
+	}
+}
+
+func BenchmarkE16_LoopingMPAxiomatic(b *testing.B) {
+	p, vars := loopingMP()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(axiomatic.ValidExecutions(p, vars, 10)) == 0 {
+			b.Fatal("no executions")
+		}
+	}
+}
+
+// --- Litmus suite end to end (E16 verdict costs) ---
+
+func BenchmarkLitmusSuiteVerdicts(b *testing.B) {
+	suite := litmus.Suite()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, tc := range suite {
+			if rep := tc.Run(explore.Options{MaxEvents: 20}); !rep.Pass() {
+				b.Fatalf("%s failed", tc.Name)
+			}
+		}
+	}
+}

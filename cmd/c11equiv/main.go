@@ -1,0 +1,94 @@
+// Command c11equiv is the bounded model-comparison tool — this
+// repository's stand-in for the paper's Memalloy mechanisation
+// (Appendix E). It enumerates candidate executions up to the given
+// size (exhaustively, then randomly at larger sizes) and checks that
+// Definition 4.2's eco-based coherence and the weak canonical RAR
+// consistency of Definition C.3 classify every candidate identically
+// (Theorem C.5).
+//
+// Usage:
+//
+//	c11equiv                         # default sweep
+//	c11equiv -events 4 -vars 2      # exhaustive at 4 events, 2 variables
+//	c11equiv -random 100000 -size 7 # randomized at the Alloy bound
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/axiomatic"
+	"repro/internal/enumerate"
+	"repro/internal/event"
+)
+
+func main() {
+	var (
+		events  = flag.Int("events", 3, "non-initial events for the exhaustive sweep")
+		nvars   = flag.Int("vars", 1, "variables for the exhaustive sweep")
+		threads = flag.Int("threads", 2, "threads for the exhaustive sweep")
+		random  = flag.Int("random", 20000, "number of randomized candidates")
+		size    = flag.Int("size", 7, "events for the randomized sweep (Alloy used bound 7)")
+		seed    = flag.Int64("seed", 0, "random seed (0 = time-based)")
+	)
+	flag.Parse()
+
+	vars := make([]event.Var, *nvars)
+	for i := range vars {
+		vars[i] = event.Var(fmt.Sprintf("v%d", i))
+	}
+
+	// Exhaustive phase.
+	start := time.Now()
+	consistent, total := 0, 0
+	mismatches := 0
+	enumerate.Candidates(enumerate.Params{
+		Threads: *threads, Vars: vars, Events: *events,
+	}, func(x axiomatic.Exec) bool {
+		total++
+		a, b := x.CoherentDef42(), x.WeakCanonicalConsistent()
+		if a != b {
+			mismatches++
+			fmt.Printf("MISMATCH (def42=%v canonical=%v):\n%s\n", a, b, x)
+		}
+		if a {
+			consistent++
+		}
+		return true
+	})
+	fmt.Printf("exhaustive: threads=%d vars=%d events=%d → %d candidates, %d consistent, %d mismatches (%.2fs)\n",
+		*threads, *nvars, *events, total, consistent, mismatches, time.Since(start).Seconds())
+
+	// Randomized phase at the Alloy bound.
+	s := *seed
+	if s == 0 {
+		s = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(s))
+	start = time.Now()
+	rconsistent, rmismatch := 0, 0
+	for i := 0; i < *random; i++ {
+		x := enumerate.Random(rng, enumerate.Params{
+			Threads: 3, Vars: []event.Var{"x", "y"}, Events: *size,
+		})
+		a, b := x.CoherentDef42(), x.WeakCanonicalConsistent()
+		if a != b {
+			rmismatch++
+			fmt.Printf("MISMATCH (def42=%v canonical=%v):\n%s\n", a, b, x)
+		}
+		if a {
+			rconsistent++
+		}
+	}
+	fmt.Printf("randomized: size=%d n=%d seed=%d → %d consistent, %d mismatches (%.2fs)\n",
+		*size, *random, s, rconsistent, rmismatch, time.Since(start).Seconds())
+
+	if mismatches+rmismatch > 0 {
+		fmt.Println("Theorem C.5 FALSIFIED at these bounds")
+		os.Exit(1)
+	}
+	fmt.Println("Theorem C.5 holds on every candidate checked")
+}

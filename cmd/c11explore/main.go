@@ -1,0 +1,161 @@
+// Command c11explore explores the bounded state space of a program
+// under the RA operational semantics and reports reachable terminal
+// executions, optionally rendering one execution as Graphviz dot or
+// an ASCII diagram.
+//
+// Usage:
+//
+//	c11explore -f prog.lit            # explore, print statistics
+//	c11explore -f prog.lit -dot       # dot graph of one terminal state
+//	c11explore -f prog.lit -ascii     # ASCII diagram instead
+//	c11explore -example 3.2           # rebuild the paper's Example 3.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/axiomatic"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/parser"
+	"repro/internal/vis"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "program file to explore")
+		example = flag.String("example", "", "rebuild a paper example (3.2)")
+		maxEv   = flag.Int("max", 20, "maximum non-initial events per state")
+		dot     = flag.Bool("dot", false, "print a dot graph of one terminal execution")
+		ascii   = flag.Bool("ascii", false, "print an ASCII diagram of one terminal execution")
+		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *example != "" {
+		runExample(*example, *dot)
+		return
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "c11explore: need -f FILE or -example N")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := parser.Parse(*file, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := f.Prog()
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.NewConfig(prog, f.Init)
+	var sample *core.State
+	res := explore.Run(cfg, explore.Options{
+		MaxEvents: *maxEv,
+		Workers:   *workers,
+		Property: func(c core.Config) bool {
+			if c.Terminated() && sample == nil {
+				sample = c.S
+			}
+			return true
+		},
+	})
+	fmt.Printf("explored %d configurations, %d terminated, depth %d, truncated=%v\n",
+		res.Explored, res.Terminated, res.Depth, res.Truncated)
+
+	if sample != nil && (*dot || *ascii) {
+		x := axiomatic.FromState(sample)
+		if *dot {
+			fmt.Print(vis.Dot(x, vis.Default()))
+		}
+		if *ascii {
+			fmt.Print(vis.ASCII(x))
+		}
+	}
+}
+
+// runExample rebuilds Example 3.2 through the event semantics and
+// renders it.
+func runExample(name string, asDot bool) {
+	if name != "3.2" {
+		fmt.Fprintf(os.Stderr, "c11explore: unknown example %q (have: 3.2)\n", name)
+		os.Exit(2)
+	}
+	s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0, "z": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	iz, _ := s.InitialFor("z")
+	step := func(f func() (*core.State, event.Event, error)) event.Tag {
+		ns, e, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		s = ns
+		return e.Tag
+	}
+	wrR2 := step(func() (*core.State, event.Event, error) { return s.StepWrite(2, true, "x", 2, ix) })
+	step(func() (*core.State, event.Event, error) { return s.StepWrite(2, false, "y", 1, iy) })
+	step(func() (*core.State, event.Event, error) { return s.StepRead(3, true, "x", wrR2) })
+	wz := step(func() (*core.State, event.Event, error) { return s.StepWrite(3, false, "z", 3, iz) })
+	step(func() (*core.State, event.Event, error) { return s.StepRMW(1, "x", 4, wrR2) })
+	step(func() (*core.State, event.Event, error) { return s.StepRMW(4, "y", 5, iy) })
+	step(func() (*core.State, event.Event, error) { return s.StepRead(4, false, "z", wz) })
+
+	x := axiomatic.FromState(s)
+	if asDot {
+		o := vis.Default()
+		o.FR = true
+		o.Title = "Example 3.2"
+		fmt.Print(vis.Dot(x, o))
+	} else {
+		fmt.Print(vis.ASCII(x))
+		fmt.Println()
+		for t := event.Thread(1); t <= 4; t++ {
+			fmt.Printf("EW(%d): ", t)
+			first := true
+			s.EncounteredWrites(t).ForEach(func(i int) {
+				if !first {
+					fmt.Print(", ")
+				}
+				first = false
+				fmt.Print(s.Event(event.Tag(i)).Act)
+			})
+			fmt.Println()
+		}
+		for t := event.Thread(1); t <= 4; t++ {
+			fmt.Printf("OW(%d): ", t)
+			first := true
+			s.ObservableWrites(t).ForEach(func(i int) {
+				if !first {
+					fmt.Print(", ")
+				}
+				first = false
+				fmt.Print(s.Event(event.Tag(i)).Act)
+			})
+			fmt.Println()
+		}
+		fmt.Print("CW: ")
+		first := true
+		s.CoveredWrites().ForEach(func(i int) {
+			if !first {
+				fmt.Print(", ")
+			}
+			first = false
+			fmt.Print(s.Event(event.Tag(i)).Act)
+		})
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "c11explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command c11litmus runs weak-memory litmus tests against the RA
+// operational semantics: the built-in catalog by default, or a litmus
+// file given with -f. With -x it additionally cross-checks the
+// operational outcome set against the axiomatic generate-and-test
+// baseline (loop-free tests only).
+//
+// Usage:
+//
+//	c11litmus                 # run the built-in suite
+//	c11litmus -run MP         # tests whose name contains "MP"
+//	c11litmus -f test.lit     # run one litmus file
+//	c11litmus -x              # cross-check against the axiomatic model
+//	c11litmus -max 24 -v      # deeper bound, verbose outcomes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/axiomatic"
+	"repro/internal/explore"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "run a single litmus file instead of the built-in suite")
+		runPat  = flag.String("run", "", "only run tests whose name contains this substring")
+		maxEv   = flag.Int("max", 20, "maximum non-initial events per state")
+		cross   = flag.Bool("x", false, "cross-check outcomes against the axiomatic semantics")
+		verbose = flag.Bool("v", false, "print the full outcome set per test")
+		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var tests []*litmus.Test
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := parser.Parse(*file, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		tc, err := f.Test()
+		if err != nil {
+			fatal(err)
+		}
+		tests = []*litmus.Test{tc}
+	} else {
+		tests = litmus.Suite()
+	}
+
+	failures := 0
+	for _, tc := range tests {
+		if *runPat != "" && !strings.Contains(tc.Name, *runPat) {
+			continue
+		}
+		rep := tc.Run(explore.Options{MaxEvents: *maxEv, Workers: *workers})
+		fmt.Println(rep.Summary())
+		if *verbose {
+			keys := make([]string, 0, len(rep.Outcomes))
+			for k := range rep.Outcomes {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("    %s\n", k)
+			}
+		}
+		if !rep.Pass() {
+			failures++
+			for _, m := range rep.MissingAllowed {
+				fmt.Printf("    missing allowed outcome: %s\n", m)
+			}
+			for _, r := range rep.ReachedForbidden {
+				fmt.Printf("    reached forbidden outcome: %s\n", r)
+			}
+		}
+		if *cross {
+			ax := axiomatic.ValidExecutions(tc.Prog, tc.Init, 2**maxEv)
+			op := axiomatic.OperationalExecutions(tc.Prog, tc.Init)
+			status := "AGREE"
+			if len(ax) != len(op) {
+				status, failures = "DISAGREE", failures+1
+			} else {
+				for sig := range op {
+					if _, ok := ax[sig]; !ok {
+						status, failures = "DISAGREE", failures+1
+						break
+					}
+				}
+			}
+			fmt.Printf("    cross-check: operational=%d axiomatic=%d %s\n",
+				len(op), len(ax), status)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d failure(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "c11litmus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,182 @@
+package axiomatic
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+// This file implements Definition 4.2: a C11 execution ((D,sb),rf,mo)
+// is valid iff SBTotal, MOValid, RFComplete, NoThinAir and Coherence
+// all hold, plus the canonical (Appendix C) consistency conditions.
+
+// Axiom identifies one of the validity axioms.
+type Axiom string
+
+// The five axioms of Definition 4.2.
+const (
+	SBTotal    Axiom = "SB-Total"
+	MOValid    Axiom = "MO-Valid"
+	RFComplete Axiom = "RF-Complete"
+	NoThinAir  Axiom = "No-Thin-Air"
+	Coherence  Axiom = "Coherence"
+)
+
+// Violation describes a failed axiom.
+type Violation struct {
+	Axiom  Axiom
+	Detail string
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("axiom %s violated: %s", v.Axiom, v.Detail)
+}
+
+// CheckSBTotal verifies the SB-Total axiom: sequenced-before is a
+// strict total order over the events of each non-initialising thread
+// and orders all initialising writes before all other events.
+func (x Exec) CheckSBTotal() *Violation {
+	n := x.N()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			ea, eb := x.Events[a], x.Events[b]
+			if x.SB.Has(a, b) {
+				if ea.TID != event.InitThread && ea.TID != eb.TID {
+					return &Violation{SBTotal, fmt.Sprintf("cross-thread sb (%s,%s)", ea, eb)}
+				}
+			}
+			if ea.TID == event.InitThread && eb.TID != event.InitThread && !x.SB.Has(a, b) {
+				return &Violation{SBTotal, fmt.Sprintf("init %s not sb-before %s", ea, eb)}
+			}
+			if ea.TID != event.InitThread && ea.TID == eb.TID && a != b &&
+				!x.SB.Has(a, b) && !x.SB.Has(b, a) {
+				return &Violation{SBTotal, fmt.Sprintf("incomparable same-thread events %s, %s", ea, eb)}
+			}
+		}
+	}
+	// Strictness: sb restricted to each thread must be a strict order.
+	if !x.SB.Irreflexive() {
+		return &Violation{SBTotal, "sb reflexive"}
+	}
+	if !x.SB.Acyclic() {
+		return &Violation{SBTotal, "sb cyclic"}
+	}
+	return nil
+}
+
+// CheckMOValid verifies the MO-Valid axiom: mo is a disjoint union of
+// strict total orders per variable over the writes, with initialising
+// writes mo-first.
+func (x Exec) CheckMOValid() *Violation {
+	n := x.N()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			ea, eb := x.Events[a], x.Events[b]
+			if x.MO.Has(a, b) {
+				if !ea.IsWrite() || !eb.IsWrite() {
+					return &Violation{MOValid, fmt.Sprintf("mo on non-write (%s,%s)", ea, eb)}
+				}
+				if ea.Var() != eb.Var() {
+					return &Violation{MOValid, fmt.Sprintf("mo across variables (%s,%s)", ea, eb)}
+				}
+			}
+			if !ea.IsWrite() || !eb.IsWrite() || ea.Var() != eb.Var() {
+				continue
+			}
+			if ea.TID == event.InitThread && eb.TID != event.InitThread && !x.MO.Has(a, b) {
+				return &Violation{MOValid, fmt.Sprintf("init %s not mo-before %s", ea, eb)}
+			}
+			if ea.TID != event.InitThread && eb.TID != event.InitThread && a != b &&
+				!x.MO.Has(a, b) && !x.MO.Has(b, a) {
+				return &Violation{MOValid, fmt.Sprintf("incomparable writes %s, %s", ea, eb)}
+			}
+		}
+	}
+	if !x.MO.Irreflexive() {
+		return &Violation{MOValid, "mo reflexive"}
+	}
+	if !x.MO.Transitive() {
+		return &Violation{MOValid, "mo not transitive"}
+	}
+	return nil
+}
+
+// CheckRFComplete verifies the RF-Complete axiom: every read reads
+// from exactly one write of the same variable and value.
+func (x Exec) CheckRFComplete() *Violation {
+	n := x.N()
+	incoming := make([]int, n)
+	for a := 0; a < n; a++ {
+		row := x.RF.Row(a)
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			ea, eb := x.Events[a], x.Events[b]
+			if !ea.IsWrite() {
+				return &Violation{RFComplete, fmt.Sprintf("rf from non-write %s", ea)}
+			}
+			if !eb.IsRead() {
+				return &Violation{RFComplete, fmt.Sprintf("rf to non-read %s", eb)}
+			}
+			if ea.Var() != eb.Var() {
+				return &Violation{RFComplete, fmt.Sprintf("rf across variables (%s,%s)", ea, eb)}
+			}
+			if ea.WrVal() != eb.RdVal() {
+				return &Violation{RFComplete, fmt.Sprintf("rf value mismatch (%s,%s)", ea, eb)}
+			}
+			incoming[b]++
+		}
+	}
+	for i, e := range x.Events {
+		if e.IsRead() && incoming[i] != 1 {
+			return &Violation{RFComplete, fmt.Sprintf("read %s has %d rf sources", e, incoming[i])}
+		}
+	}
+	return nil
+}
+
+// CheckNoThinAir verifies the No-Thin-Air axiom: sb ∪ rf is acyclic.
+func (x Exec) CheckNoThinAir() *Violation {
+	if !relation.UnionOf(x.SB, x.RF).Acyclic() {
+		return &Violation{NoThinAir, "sb ∪ rf cyclic"}
+	}
+	return nil
+}
+
+// CheckCoherence verifies the Coherence axiom: hb;eco? and eco are
+// irreflexive.
+func (x Exec) CheckCoherence() *Violation {
+	eco := x.ECO()
+	if !eco.Irreflexive() {
+		return &Violation{Coherence, "eco reflexive"}
+	}
+	hbEcoOpt := relation.Compose(x.HB(), eco.ReflexiveClosure())
+	if !hbEcoOpt.Irreflexive() {
+		return &Violation{Coherence, "hb;eco? reflexive"}
+	}
+	return nil
+}
+
+// Check returns the first violated axiom of Definition 4.2, or nil
+// when the execution is valid.
+func (x Exec) Check() *Violation {
+	for _, f := range []func() *Violation{
+		x.CheckSBTotal, x.CheckMOValid, x.CheckRFComplete,
+		x.CheckNoThinAir, x.CheckCoherence,
+	} {
+		if v := f(); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// Valid reports whether the execution satisfies Definition 4.2.
+func (x Exec) Valid() bool { return x.Check() == nil }
+
+// IsCandidate reports whether the execution is a candidate execution
+// in the sense of Definition C.1: it satisfies RF-Complete, MO-Valid
+// and SB-Total (the well-formedness conditions), irrespective of
+// coherence.
+func (x Exec) IsCandidate() bool {
+	return x.CheckSBTotal() == nil && x.CheckMOValid() == nil && x.CheckRFComplete() == nil
+}

@@ -1,0 +1,66 @@
+package axiomatic
+
+import (
+	"repro/internal/relation"
+)
+
+// This file implements Appendix C: the weak canonical RAR consistency
+// conditions (Definition C.3) and the equivalence with the eco-based
+// Coherence axiom (Theorem C.5). The "canonical" semantics is the RAR
+// projection of Batty et al.'s model; "weak" replaces hbC (which
+// includes release sequences) with our hb — release sequences are
+// outside the fragment.
+
+// WeakCanonicalConsistent reports whether the candidate execution
+// satisfies Definition C.3:
+//
+//	HB:  irrefl(hb)
+//	COH: irrefl((rf⁻¹)? ; mo ; rf? ; hb)
+//	RF:  irrefl(rf ; hb)
+//	RFI: irrefl(rf)
+//	UPD: irrefl((mo ; mo ; rf⁻¹) ∪ (mo ; rf))
+func (x Exec) WeakCanonicalConsistent() bool {
+	hb := x.HB()
+	if !hb.Irreflexive() { // HB
+		return false
+	}
+	rfInvOpt := x.RF.Converse().ReflexiveClosure()
+	rfOpt := x.RF.ReflexiveClosure()
+	coh := relation.Compose(relation.Compose(relation.Compose(rfInvOpt, x.MO), rfOpt), hb)
+	if !coh.Irreflexive() { // COH
+		return false
+	}
+	if !relation.Compose(x.RF, hb).Irreflexive() { // RF
+		return false
+	}
+	if !x.RF.Irreflexive() { // RFI
+		return false
+	}
+	upd := relation.UnionOf(
+		relation.Compose(relation.Compose(x.MO, x.MO), x.RF.Converse()),
+		relation.Compose(x.MO, x.RF),
+	)
+	return upd.Irreflexive() // UPD
+}
+
+// CoherentDef42 reports the Coherence axiom of Definition 4.2 alone:
+// irrefl(eco) ∧ irrefl(hb ; eco?). Theorem C.5 states that on
+// candidate executions this is equivalent to weak canonical
+// consistency; the test suite checks the equivalence on enumerated
+// candidates (the Memalloy substitution of Appendix E).
+func (x Exec) CoherentDef42() bool {
+	eco := x.ECO()
+	if !eco.Irreflexive() {
+		return false
+	}
+	return relation.Compose(x.HB(), eco.ReflexiveClosure()).Irreflexive()
+}
+
+// UpdateAtomic reports the UPD condition in the reformulation of
+// Lemma C.6: irrefl(fr ; mo) ∧ irrefl(rf ; mo).
+func (x Exec) UpdateAtomic() bool {
+	if !relation.Compose(x.FR(), x.MO).Irreflexive() {
+		return false
+	}
+	return relation.Compose(x.RF, x.MO).Irreflexive()
+}

@@ -1,0 +1,177 @@
+package axiomatic
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+// This file implements Definition 4.3: a pre-execution state (D, sb)
+// is justifiable iff there exist rf and mo making ((D,sb),rf,mo)
+// valid. The search is the "post-hoc" two-step procedure the paper
+// describes in its introduction — generate candidate rf/mo and filter
+// by the axioms — and doubles as the baseline the operational
+// semantics is compared against (generate-and-test vs. on-the-fly
+// validation).
+//
+// Two sound prunings keep the product space manageable:
+//
+//   - reads-from is assigned first, and any assignment making sb ∪ rf
+//     cyclic is cut immediately (No-Thin-Air is monotone in rf);
+//   - modification order is built one variable at a time, and a branch
+//     is cut as soon as eco acquires a cycle — fr and eco only grow
+//     as mo grows, so a cycle in a partial mo persists in every
+//     completion.
+
+// Justifications enumerates every (rf, mo) pair making the
+// pre-execution valid, invoking yield with the completed execution.
+// Enumeration stops early when yield returns false. The input's RF
+// and MO are ignored.
+func (x Exec) Justifications(yield func(Exec) bool) {
+	reads := x.Reads()
+
+	// Candidate rf sources per read: same-variable writes with
+	// matching value.
+	sources := make([][]event.Tag, len(reads))
+	for i, r := range reads {
+		re := x.Events[int(r)]
+		for j, w := range x.Events {
+			if w.IsWrite() && w.Var() == re.Var() && w.WrVal() == re.RdVal() && event.Tag(j) != r {
+				sources[i] = append(sources[i], event.Tag(j))
+			}
+		}
+		if len(sources[i]) == 0 {
+			return // some read can never be justified
+		}
+	}
+
+	// Writes per variable, initialising writes first.
+	perVar := map[event.Var][]event.Tag{}
+	var vars []event.Var
+	for j, w := range x.Events {
+		if !w.IsWrite() {
+			continue
+		}
+		if _, seen := perVar[w.Var()]; !seen {
+			vars = append(vars, w.Var())
+		}
+		perVar[w.Var()] = append(perVar[w.Var()], event.Tag(j))
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+
+	cand := x.Clone()
+	stopped := false
+
+	var moVar func(vi int)
+	moVar = func(vi int) {
+		if stopped {
+			return
+		}
+		// Prune: eco only grows with mo, so a cycle now is a cycle in
+		// every completion.
+		if !cand.ECO().Irreflexive() {
+			return
+		}
+		if vi == len(vars) {
+			if cand.Valid() {
+				if !yield(cand.Clone()) {
+					stopped = true
+				}
+			}
+			return
+		}
+		ws := perVar[vars[vi]]
+		var inits, rest []event.Tag
+		for _, w := range ws {
+			if x.Events[int(w)].IsInit() {
+				inits = append(inits, w)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		permute(rest, func(order []event.Tag) bool {
+			full := append(append([]event.Tag{}, inits...), order...)
+			for i := 0; i < len(full); i++ {
+				for j := i + 1; j < len(full); j++ {
+					cand.MO.Add(int(full[i]), int(full[j]))
+				}
+			}
+			moVar(vi + 1)
+			for i := 0; i < len(full); i++ {
+				for j := i + 1; j < len(full); j++ {
+					cand.MO.Remove(int(full[i]), int(full[j]))
+				}
+			}
+			return !stopped
+		})
+	}
+
+	var rfRead func(ri int)
+	rfRead = func(ri int) {
+		if stopped {
+			return
+		}
+		if ri == len(reads) {
+			moVar(0)
+			return
+		}
+		r := reads[ri]
+		for _, w := range sources[ri] {
+			cand.RF.Add(int(w), int(r))
+			// Prune: No-Thin-Air is monotone in rf.
+			if relation.UnionOf(cand.SB, cand.RF).Acyclic() {
+				rfRead(ri + 1)
+			}
+			cand.RF.Remove(int(w), int(r))
+			if stopped {
+				return
+			}
+		}
+	}
+
+	rfRead(0)
+}
+
+// Justify returns one justification of the pre-execution, or ok=false
+// when none exists.
+func (x Exec) Justify() (Exec, bool) {
+	var out Exec
+	found := false
+	x.Justifications(func(e Exec) bool {
+		out, found = e, true
+		return false
+	})
+	return out, found
+}
+
+// Justifiable reports Definition 4.3: some valid completion exists.
+func (x Exec) Justifiable() bool {
+	_, ok := x.Justify()
+	return ok
+}
+
+// permute enumerates permutations of xs, calling f with each; f
+// returning false stops enumeration. Returns false when stopped.
+func permute(xs []event.Tag, f func([]event.Tag) bool) bool {
+	n := len(xs)
+	if n == 0 {
+		return f(nil)
+	}
+	perm := append([]event.Tag(nil), xs...)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return f(perm)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if !rec(k + 1) {
+				return false
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return true
+	}
+	return rec(0)
+}

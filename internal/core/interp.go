@@ -1,0 +1,120 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/lang"
+)
+
+// This file implements the interpreted semantics of §3.3: the
+// uninterpreted program semantics (internal/lang) coupled with the RA
+// event semantics. A configuration is a pair (P, σ); the memory model
+// constrains which read values are possible.
+
+// Config is a configuration (P, σ).
+type Config struct {
+	P lang.Prog
+	S *State
+}
+
+// NewConfig pairs a program with an initial state for the given
+// variable initialisation.
+func NewConfig(p lang.Prog, vars map[event.Var]event.Val) Config {
+	return Config{P: p, S: Init(vars)}
+}
+
+// Succ is one interpreted transition (P, σ) ==(w,e)==>_RA (P', σ').
+type Succ struct {
+	C Config
+	// Silent reports a τ step (no event generated; W and E are unset).
+	Silent bool
+	// W is the write observed by the transition (⊥ never occurs here:
+	// silent steps carry no observation).
+	W event.Tag
+	// E is the event generated.
+	E event.Event
+	// T is the thread that moved.
+	T event.Thread
+}
+
+// Successors returns every interpreted transition enabled in c,
+// combining each uninterpreted program step with each memory-model
+// choice of observed write.
+func (c Config) Successors() []Succ {
+	var out []Succ
+	for _, ps := range lang.ProgSteps(c.P) {
+		t, s := ps.T, ps.S
+		switch s.Kind {
+		case lang.StepSilent:
+			out = append(out, Succ{
+				C:      Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S},
+				Silent: true,
+				T:      t,
+			})
+
+		case lang.StepRead:
+			k := event.RdX
+			switch {
+			case s.Acq:
+				k = event.RdAcq
+			case s.NA:
+				k = event.RdNA
+			}
+			for _, w := range c.S.ObservableFor(t, s.Loc) {
+				v := c.S.Event(w).WrVal()
+				ns, e, err := c.S.StepReadKind(t, k, s.Loc, w)
+				if err != nil {
+					continue // unreachable: w drawn from OW
+				}
+				out = append(out, Succ{
+					C: Config{P: c.P.WithThread(t, s.Apply(v)), S: ns},
+					W: w, E: e, T: t,
+				})
+			}
+
+		case lang.StepWrite:
+			k := event.WrX
+			switch {
+			case s.Rel:
+				k = event.WrRel
+			case s.NA:
+				k = event.WrNA
+			}
+			for _, w := range c.S.InsertionPointsFor(t, s.Loc) {
+				ns, e, err := c.S.StepWriteKind(t, k, s.Loc, s.WVal, w)
+				if err != nil {
+					continue
+				}
+				out = append(out, Succ{
+					C: Config{P: c.P.WithThread(t, s.Apply(0)), S: ns},
+					W: w, E: e, T: t,
+				})
+			}
+
+		case lang.StepUpdate:
+			for _, w := range c.S.InsertionPointsFor(t, s.Loc) {
+				ns, e, err := c.S.StepRMW(t, s.Loc, s.WVal, w)
+				if err != nil {
+					continue
+				}
+				out = append(out, Succ{
+					C: Config{P: c.P.WithThread(t, s.Apply(c.S.Event(w).WrVal())), S: ns},
+					W: w, E: e, T: t,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Key returns a canonical identity for the configuration, used for
+// state-space deduplication. It identifies configurations up to the
+// interleaving that produced them (see State.CanonicalSignature):
+// same per-thread residual programs + isomorphic C11 state ⇒ same
+// futures, so exploring one representative suffices.
+func (c Config) Key() string {
+	return c.P.String() + "\x00" + c.S.CanonicalSignature()
+}
+
+// Terminated reports whether every thread of the configuration has
+// terminated.
+func (c Config) Terminated() bool { return c.P.Terminated() }

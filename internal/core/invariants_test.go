@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// Structural invariants of the event semantics, checked along random
+// reachable transition sequences. These back several claims the paper
+// makes in passing: the last write is never covered and always
+// observable (§5.1), updates are rf/mo-adjacent to their predecessor,
+// encountered writes only grow, and new events are sb-maximal.
+
+type walkStep struct {
+	before *State
+	m      event.Tag
+	e      event.Event
+	after  *State
+}
+
+func randomWalkCore(t *testing.T, rng *rand.Rand, steps int, visit func(walkStep)) {
+	t.Helper()
+	vars := []event.Var{"x", "y"}
+	s := Init(map[event.Var]event.Val{"x": 0, "y": 0})
+	for i := 0; i < steps; i++ {
+		th := event.Thread(1 + rng.Intn(3))
+		x := vars[rng.Intn(len(vars))]
+		var (
+			ns  *State
+			e   event.Event
+			m   event.Tag
+			err error
+		)
+		switch rng.Intn(4) {
+		case 0:
+			obs := s.ObservableFor(th, x)
+			if len(obs) == 0 {
+				continue
+			}
+			m = obs[rng.Intn(len(obs))]
+			kinds := []event.Kind{event.RdX, event.RdAcq, event.RdNA}
+			ns, e, err = s.StepReadKind(th, kinds[rng.Intn(3)], x, m)
+		case 1, 2:
+			pts := s.InsertionPointsFor(th, x)
+			if len(pts) == 0 {
+				continue
+			}
+			m = pts[rng.Intn(len(pts))]
+			kinds := []event.Kind{event.WrX, event.WrRel, event.WrNA}
+			ns, e, err = s.StepWriteKind(th, kinds[rng.Intn(3)], x, event.Val(rng.Intn(4)), m)
+		case 3:
+			pts := s.InsertionPointsFor(th, x)
+			if len(pts) == 0 {
+				continue
+			}
+			m = pts[rng.Intn(len(pts))]
+			ns, e, err = s.StepRMW(th, x, event.Val(rng.Intn(4)), m)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		visit(walkStep{before: s, m: m, e: e, after: ns})
+		s = ns
+	}
+}
+
+func TestInvariantLastObservableUncovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		randomWalkCore(t, rng, 10, func(w walkStep) {
+			s := w.after
+			for _, x := range s.Vars() {
+				last, ok := s.Last(x)
+				if !ok {
+					t.Fatalf("no last write for %s", x)
+				}
+				if s.CoveredWrites().Test(int(last)) {
+					t.Fatalf("last write %v covered", s.Event(last))
+				}
+				for th := event.Thread(1); th <= 3; th++ {
+					if !s.ObservableWrites(th).Test(int(last)) {
+						t.Fatalf("last write %v not observable by %d", s.Event(last), th)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantObservableAreWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		randomWalkCore(t, rng, 10, func(w walkStep) {
+			s := w.after
+			wr := s.Writes()
+			for th := event.Thread(1); th <= 3; th++ {
+				if !s.ObservableWrites(th).IsSubsetOf(wr) {
+					t.Fatal("OW ⊄ Wr")
+				}
+				if !s.EncounteredWrites(th).IsSubsetOf(wr) {
+					t.Fatal("EW ⊄ Wr")
+				}
+			}
+			if !s.CoveredWrites().IsSubsetOf(wr) {
+				t.Fatal("CW ⊄ Wr")
+			}
+		})
+	}
+}
+
+func TestInvariantEncounteredMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		randomWalkCore(t, rng, 10, func(w walkStep) {
+			for th := event.Thread(1); th <= 3; th++ {
+				before := w.before.EncounteredWrites(th).Grow(w.after.NumEvents())
+				after := w.after.EncounteredWrites(th)
+				if !before.IsSubsetOf(after) {
+					t.Fatalf("EW(%d) shrank across %v", th, w.e)
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantNewEventSBMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		randomWalkCore(t, rng, 10, func(w walkStep) {
+			s := w.after
+			g := int(w.e.Tag)
+			// No outgoing sb edge from the fresh event.
+			if !s.SB().Row(g).Empty() {
+				t.Fatalf("fresh event %v has sb successors", w.e)
+			}
+			// All earlier same-thread events and initials precede it.
+			for i := 0; i < g; i++ {
+				pe := s.Event(event.Tag(i))
+				want := pe.TID == w.e.TID || pe.TID == event.InitThread
+				if s.SBHas(event.Tag(i), w.e.Tag) != want {
+					t.Fatalf("sb edge (%v, %v) = %v, want %v", pe, w.e, !want, want)
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantUpdateAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		randomWalkCore(t, rng, 12, func(w walkStep) {
+			s := w.after
+			// Every update reads its immediate mo predecessor: no write
+			// strictly between them in mo.
+			for _, e := range s.Events() {
+				if !e.IsUpdate() {
+					continue
+				}
+				var src event.Tag = -1
+				for _, p := range s.RF().Pairs() {
+					if p[1] == int(e.Tag) {
+						src = event.Tag(p[0])
+					}
+				}
+				if src < 0 {
+					t.Fatalf("update %v has no rf source", e)
+				}
+				for _, o := range s.Events() {
+					if o.IsWrite() && s.MOHas(src, o.Tag) && s.MOHas(o.Tag, e.Tag) {
+						t.Fatalf("write %v between update %v and its source", o, e)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantReadsPreserveMO(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		randomWalkCore(t, rng, 10, func(w walkStep) {
+			if !w.e.IsRead() || w.e.IsWrite() {
+				return
+			}
+			if w.before.MO().Count() != w.after.MO().Count() {
+				t.Fatalf("read %v changed mo", w.e)
+			}
+			if !w.after.RFHas(w.m, w.e.Tag) {
+				t.Fatalf("read %v missing rf from observation", w.e)
+			}
+			if w.e.RdVal() != w.before.Event(w.m).WrVal() {
+				t.Fatalf("read %v value mismatch", w.e)
+			}
+		})
+	}
+}
+
+func TestInvariantRFFunctional(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		randomWalkCore(t, rng, 12, func(w walkStep) {
+			s := w.after
+			incoming := map[int]int{}
+			for _, p := range s.RF().Pairs() {
+				incoming[p[1]]++
+			}
+			for _, e := range s.Events() {
+				if e.IsRead() {
+					if incoming[int(e.Tag)] != 1 {
+						t.Fatalf("read %v has %d rf sources", e, incoming[int(e.Tag)])
+					}
+				} else if incoming[int(e.Tag)] != 0 {
+					t.Fatalf("non-read %v has rf source", e)
+				}
+			}
+		})
+	}
+}
+
+func TestInvariantCanonicalSignatureStable(t *testing.T) {
+	// Interleaving invariance: executing two independent writes in
+	// either order gives the same canonical signature when the mo
+	// placement matches.
+	s := Init(map[event.Var]event.Val{"x": 0, "y": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+
+	a1, _, _ := s.StepWrite(1, false, "x", 1, ix)
+	a2, _, _ := a1.StepWrite(2, false, "y", 2, iy)
+
+	b1, _, _ := s.StepWrite(2, false, "y", 2, iy)
+	b2, _, _ := b1.StepWrite(1, false, "x", 1, ix)
+
+	if a2.CanonicalSignature() != b2.CanonicalSignature() {
+		t.Fatal("canonical signatures differ across commuting steps")
+	}
+	if a2.Signature() == b2.Signature() {
+		t.Fatal("plain signatures should expose the interleaving")
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"repro/internal/bits"
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+// This file derives the orders of §3.1–§3.2 from a state:
+//
+//	sw  = rf ∩ (WrR × RdA)
+//	hb  = (sb ∪ sw)⁺
+//	fr  = (rf⁻¹ ; mo) \ Id
+//	eco = (fr ∪ mo ∪ rf)⁺
+//
+// and the three write sets of §3.2: encountered writes EW_σ(t),
+// observable writes OW_σ(t) and covered writes CW_σ.
+
+// SW returns the synchronises-with relation sw = rf ∩ (WrR × RdA).
+// Update events are both releasing and acquiring, so rf edges into or
+// out of updates synchronise when the other side is annotated.
+func (s *State) SW() relation.Rel {
+	return s.rf.FilterPairs(func(a, b int) bool {
+		return s.events[a].Releasing() && s.events[b].Acquiring()
+	})
+}
+
+// HB returns happens-before hb = (sb ∪ sw)⁺.
+func (s *State) HB() relation.Rel {
+	if s.memo.hb == nil {
+		u := relation.UnionOf(s.sb, s.SW())
+		hb := u.TransitiveClosure()
+		s.memo.hb = &hb
+	}
+	return s.memo.hb.Clone()
+}
+
+// FR returns the from-read relation fr = (rf⁻¹ ; mo) \ Id. The
+// identity is subtracted to cope with update events, which read from
+// their immediate mo-predecessor and would otherwise be fr-related to
+// themselves (§3.1).
+func (s *State) FR() relation.Rel {
+	return relation.Compose(s.rf.Converse(), s.mo).WithoutIdentity()
+}
+
+// ECO returns the extended coherence order eco = (fr ∪ mo ∪ rf)⁺ [19].
+func (s *State) ECO() relation.Rel {
+	if s.memo.eco == nil {
+		u := relation.UnionOf(s.FR(), s.mo, s.rf)
+		eco := u.TransitiveClosure()
+		s.memo.eco = &eco
+	}
+	return s.memo.eco.Clone()
+}
+
+// EncounteredWrites returns EW_σ(t): the writes w ∈ Wr ∩ D such that
+// some event e of thread t has (w, e) ∈ eco? ; hb? (§3.2). The set is
+// empty when t has executed no action.
+func (s *State) EncounteredWrites(t event.Thread) bits.Set {
+	n := len(s.events)
+	out := bits.New(n)
+
+	// Collect thread t's events.
+	tEvents := bits.New(n)
+	for i, e := range s.events {
+		if e.TID == t {
+			tEvents.Set(i)
+		}
+	}
+	if tEvents.Empty() {
+		return out
+	}
+
+	// eco? ; hb? = Id ∪ eco ∪ hb ∪ eco;hb.
+	eco := s.ECO()
+	hb := s.HB()
+	comb := relation.UnionOf(eco, hb, relation.Compose(eco, hb)).ReflexiveClosure()
+
+	for i, e := range s.events {
+		if !e.IsWrite() {
+			continue
+		}
+		// w encountered iff comb row of w intersects t's events.
+		if comb.Row(i).Intersects(tEvents) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// ObservableWrites returns OW_σ(t): writes not succeeded in mo by any
+// encountered write of t (§3.2) — the writes t may read next.
+func (s *State) ObservableWrites(t event.Thread) bits.Set {
+	ew := s.EncounteredWrites(t)
+	out := bits.New(len(s.events))
+	for i, e := range s.events {
+		if !e.IsWrite() {
+			continue
+		}
+		if !s.mo.Row(i).Intersects(ew) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// CoveredWrites returns CW_σ: writes immediately followed in rf by an
+// update (§3.2). Inserting after a covered write would break update
+// atomicity, so writes and updates may not be placed there.
+func (s *State) CoveredWrites() bits.Set {
+	if s.memo.covered == nil {
+		out := bits.New(len(s.events))
+		for i, e := range s.events {
+			if !e.IsWrite() {
+				continue
+			}
+			row := s.rf.Row(i)
+			for j := row.Next(0); j >= 0; j = row.Next(j + 1) {
+				if s.events[j].IsUpdate() {
+					out.Set(i)
+					break
+				}
+			}
+		}
+		s.memo.covered = &out
+	}
+	return s.memo.covered.Clone()
+}
+
+// ObservableFor returns the writes to x observable by thread t,
+// i.e. OW_σ(t)|ₓ, as sorted tags. These are the legal reads-from
+// choices for a read of x by t (rule READ).
+func (s *State) ObservableFor(t event.Thread, x event.Var) []event.Tag {
+	ow := s.ObservableWrites(t)
+	var out []event.Tag
+	ow.ForEach(func(i int) {
+		if s.events[i].Var() == x {
+			out = append(out, event.Tag(i))
+		}
+	})
+	return out
+}
+
+// InsertionPointsFor returns (OW_σ(t) \ CW_σ)|ₓ: the writes after
+// which thread t may insert a new write or update to x in mo (rules
+// WRITE and RMW).
+func (s *State) InsertionPointsFor(t event.Thread, x event.Var) []event.Tag {
+	ow := s.ObservableWrites(t)
+	cw := s.CoveredWrites()
+	ow.AndNot(cw)
+	var out []event.Tag
+	ow.ForEach(func(i int) {
+		if s.events[i].Var() == x {
+			out = append(out, event.Tag(i))
+		}
+	})
+	return out
+}
+
+// Last returns σ.last(x): the mo-maximal write to x (well-defined in
+// any valid state; §5.1).
+func (s *State) Last(x event.Var) (event.Tag, bool) {
+	var found bool
+	var last event.Tag
+	for i, e := range s.events {
+		if !e.IsWrite() || e.Var() != x {
+			continue
+		}
+		g := event.Tag(i)
+		if !found {
+			found, last = true, g
+			continue
+		}
+		if s.mo.Has(int(last), int(g)) {
+			last = g
+		}
+	}
+	return last, found
+}
+
+// UpdateOnly reports whether x is an update-only variable in σ: every
+// modification of x is an update or an initialising write (§5.1).
+// Update-only variables admit the last-modification lemma (Lemma 5.6).
+func (s *State) UpdateOnly(x event.Var) bool {
+	for _, e := range s.events {
+		if e.IsWrite() && e.Var() == x && !e.IsUpdate() && !e.IsInit() {
+			return false
+		}
+	}
+	return true
+}
+
+// HBCone returns σ.hbc(t) = I_σ ∪ {e | ∃e'. tid(e') = t ∧ (e, e') ∈
+// hb?} — the happens-before cone of t (Appendix B). Determinate-value
+// assertions require the last write to lie in this cone.
+func (s *State) HBCone(t event.Thread) bits.Set {
+	n := len(s.events)
+	out := bits.New(n)
+	tEvents := bits.New(n)
+	for i, e := range s.events {
+		if e.IsInit() {
+			out.Set(i)
+		}
+		if e.TID == t {
+			tEvents.Set(i)
+			out.Set(i) // (e,e) ∈ hb? with tid(e)=t
+		}
+	}
+	hb := s.HB()
+	for i := 0; i < n; i++ {
+		if hb.Row(i).Intersects(tEvents) {
+			out.Set(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package core implements the paper's primary contribution: the
+// operational semantics for the RAR fragment of C11 (§3).
+//
+// A C11 state is a triple ((D, sb), rf, mo) of an event set with
+// sequenced-before, reads-from and modification-order relations
+// (Definition 3.1). The event semantics (Figure 3) adds one event per
+// step, validating reads on the fly against the per-thread observable
+// writes derived from the encountered-write set — the paper's central
+// notion of observability (§3.2). The interpreted semantics (§3.3)
+// couples this with the uninterpreted command semantics of
+// internal/lang.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+// State is a C11 state ((D, sb), rf, mo). States are immutable once
+// built: the transition functions return new states. Derived orders
+// (sw, hb, fr, eco) are memoised on first use.
+type State struct {
+	events []event.Event // D; index is the event's Tag
+	sb     relation.Rel  // sequenced-before
+	rf     relation.Rel  // reads-from (Wr × Rd)
+	mo     relation.Rel  // modification order (Wr × Wr)
+
+	memo struct {
+		hb, eco *relation.Rel
+		wr      *bits.Set // all writes
+		covered *bits.Set // CW
+	}
+}
+
+// Init returns an initial state σ₀ = ((I, ∅), ∅, ∅) with one
+// initialising write per variable (§3.1). Variables are sorted so that
+// equal initialisations produce identical tag assignments.
+func Init(vars map[event.Var]event.Val) *State {
+	names := make([]event.Var, 0, len(vars))
+	for x := range vars {
+		names = append(names, x)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+
+	n := len(names)
+	s := &State{
+		events: make([]event.Event, 0, n),
+		sb:     relation.New(n),
+		rf:     relation.New(n),
+		mo:     relation.New(n),
+	}
+	for i, x := range names {
+		s.events = append(s.events, event.Event{
+			Tag: event.Tag(i),
+			Act: event.Wr(x, vars[x]),
+			TID: event.InitThread,
+		})
+	}
+	return s
+}
+
+// NumEvents returns |D|.
+func (s *State) NumEvents() int { return len(s.events) }
+
+// Event returns the event with the given tag.
+func (s *State) Event(g event.Tag) event.Event { return s.events[int(g)] }
+
+// Events returns a copy of D in tag order.
+func (s *State) Events() []event.Event {
+	out := make([]event.Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// SB returns a copy of the sequenced-before relation.
+func (s *State) SB() relation.Rel { return s.sb.Clone() }
+
+// RF returns a copy of the reads-from relation.
+func (s *State) RF() relation.Rel { return s.rf.Clone() }
+
+// MO returns a copy of the modification order.
+func (s *State) MO() relation.Rel { return s.mo.Clone() }
+
+// sbHas etc. give cheap read access without cloning.
+
+// SBHas reports (a, b) ∈ sb.
+func (s *State) SBHas(a, b event.Tag) bool { return s.sb.Has(int(a), int(b)) }
+
+// RFHas reports (a, b) ∈ rf.
+func (s *State) RFHas(a, b event.Tag) bool { return s.rf.Has(int(a), int(b)) }
+
+// MOHas reports (a, b) ∈ mo.
+func (s *State) MOHas(a, b event.Tag) bool { return s.mo.Has(int(a), int(b)) }
+
+// Writes returns the set of write events Wr ∩ D (includes updates and
+// initialising writes) as tags.
+func (s *State) Writes() bits.Set {
+	if s.memo.wr == nil {
+		w := bits.New(len(s.events))
+		for i, e := range s.events {
+			if e.IsWrite() {
+				w.Set(i)
+			}
+		}
+		s.memo.wr = &w
+	}
+	return s.memo.wr.Clone()
+}
+
+// WritesTo returns the tags of writes to variable x in mo-respecting
+// tag order (unsorted by mo; use Last or MO for ordering).
+func (s *State) WritesTo(x event.Var) []event.Tag {
+	var out []event.Tag
+	for i, e := range s.events {
+		if e.IsWrite() && e.Var() == x {
+			out = append(out, event.Tag(i))
+		}
+	}
+	return out
+}
+
+// Initials returns I_σ = D ∩ IWr.
+func (s *State) Initials() []event.Tag {
+	var out []event.Tag
+	for i, e := range s.events {
+		if e.IsInit() {
+			out = append(out, event.Tag(i))
+		}
+	}
+	return out
+}
+
+// InitialFor returns the initialising write to x.
+func (s *State) InitialFor(x event.Var) (event.Tag, bool) {
+	for i, e := range s.events {
+		if e.IsInit() && e.Var() == x {
+			return event.Tag(i), true
+		}
+	}
+	return 0, false
+}
+
+// Vars returns the variables written anywhere in the state, sorted.
+func (s *State) Vars() []event.Var {
+	seen := map[event.Var]bool{}
+	for _, e := range s.events {
+		if e.IsWrite() {
+			seen[e.Var()] = true
+		}
+	}
+	out := make([]event.Var, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ThreadEvents returns the tags of thread t's events in sb order
+// (which coincides with tag order since events are appended).
+func (s *State) ThreadEvents(t event.Thread) []event.Tag {
+	var out []event.Tag
+	for i, e := range s.events {
+		if e.TID == t {
+			out = append(out, event.Tag(i))
+		}
+	}
+	return out
+}
+
+// clone returns a deep copy of s with relation carriers grown to
+// accommodate one more event, and memoised orders dropped.
+func (s *State) cloneGrow() *State {
+	n := len(s.events) + 1
+	out := &State{
+		events: make([]event.Event, len(s.events), n),
+		sb:     s.sb.Grow(n),
+		rf:     s.rf.Grow(n),
+		mo:     s.mo.Grow(n),
+	}
+	copy(out.events, s.events)
+	return out
+}
+
+// addEvent implements (D, sb) + e: e is appended and sb gains
+// {e' | tid(e') ∈ {tid(e), 0}} × {e} (Figure 3).
+func (s *State) addEvent(a event.Action, t event.Thread) event.Tag {
+	g := event.Tag(len(s.events))
+	s.events = append(s.events, event.Event{Tag: g, Act: a, TID: t})
+	for i, e := range s.events[:int(g)] {
+		if e.TID == t || e.TID == event.InitThread {
+			s.sb.Add(i, int(g))
+		}
+	}
+	return g
+}
+
+// Signature returns a canonical string identifying the state up to
+// event identity: the event list plus the rf and mo relations (sb is
+// determined by the event order and thread structure). Tag order —
+// i.e. the interleaving that built the state — is visible in this
+// signature; use CanonicalSignature to identify states up to
+// interleaving.
+func (s *State) Signature() string {
+	var b strings.Builder
+	for _, e := range s.events {
+		fmt.Fprintf(&b, "%d:%s|", e.TID, e.Act)
+	}
+	b.WriteString("rf")
+	b.WriteString(s.rf.String())
+	b.WriteString("mo")
+	b.WriteString(s.mo.String())
+	return b.String()
+}
+
+// CanonicalSignature identifies the state up to the interleaving that
+// built it: events are renamed to (thread, position-in-thread) — with
+// initialising writes ordered by variable — and rf/mo are printed over
+// the renamed events. Two interleavings of the same per-thread event
+// sequences producing the same relations share a canonical signature;
+// by Propositions 2.3/4.1 such states also have identical futures, so
+// the explorer uses this as its deduplication key (a symmetry
+// reduction the operational semantics enables: a state is a C11
+// state, not an interleaving).
+func (s *State) CanonicalSignature() string {
+	n := len(s.events)
+	type keyed struct {
+		tid  event.Thread
+		pos  int
+		name event.Var
+		tag  int
+	}
+	ks := make([]keyed, n)
+	perThread := map[event.Thread]int{}
+	for i, e := range s.events {
+		ks[i] = keyed{tid: e.TID, pos: perThread[e.TID], name: e.Var(), tag: i}
+		perThread[e.TID]++
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].tid != ks[j].tid {
+			return ks[i].tid < ks[j].tid
+		}
+		if ks[i].tid == event.InitThread && ks[i].name != ks[j].name {
+			return ks[i].name < ks[j].name
+		}
+		return ks[i].pos < ks[j].pos
+	})
+	canon := make([]int, n)
+	var b strings.Builder
+	for i, k := range ks {
+		canon[k.tag] = i
+		fmt.Fprintf(&b, "%d:%s|", k.tid, s.events[k.tag].Act)
+	}
+	appendRel := func(label string, r relation.Rel) {
+		pairs := r.Pairs()
+		renamed := make([][2]int, 0, len(pairs))
+		for _, p := range pairs {
+			renamed = append(renamed, [2]int{canon[p[0]], canon[p[1]]})
+		}
+		sort.Slice(renamed, func(i, j int) bool {
+			if renamed[i][0] != renamed[j][0] {
+				return renamed[i][0] < renamed[j][0]
+			}
+			return renamed[i][1] < renamed[j][1]
+		})
+		b.WriteString(label)
+		for _, p := range renamed {
+			fmt.Fprintf(&b, "(%d,%d)", p[0], p[1])
+		}
+	}
+	appendRel("rf", s.rf)
+	appendRel("mo", s.mo)
+	return b.String()
+}
+
+// String renders a readable summary of the state.
+func (s *State) String() string {
+	var b strings.Builder
+	b.WriteString("events:\n")
+	for _, e := range s.events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	fmt.Fprintf(&b, "sb: %s\nrf: %s\nmo: %s\n", s.sb, s.rf, s.mo)
+	return b.String()
+}

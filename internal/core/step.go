@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// This file implements the event semantics of Figure 3: the transition
+// relation σ --(w,e)-->_RA σ', where w is the write observed by the
+// new event e. Each rule validates its premises and returns an error
+// when the transition is not enabled, so every constructed state is a
+// valid C11 state (Theorem 4.4 is checked in the test suite).
+
+// Transition errors.
+var (
+	// ErrNotObservable: the chosen write is not in OW_σ(t).
+	ErrNotObservable = errors.New("core: write not observable by thread")
+	// ErrCovered: the chosen write is covered by an update (CW_σ).
+	ErrCovered = errors.New("core: write covered by an update")
+	// ErrVarMismatch: the chosen write is to a different variable.
+	ErrVarMismatch = errors.New("core: variable mismatch")
+	// ErrNotWrite: the chosen event is not a write.
+	ErrNotWrite = errors.New("core: observed event is not a write")
+)
+
+// StepRead implements rule READ: thread t reads variable x from the
+// observable write w, adding event e with action rd(x, wrval(w)) (or
+// rdA when acq). It returns the successor state and the new event.
+func (s *State) StepRead(t event.Thread, acq bool, x event.Var, w event.Tag) (*State, event.Event, error) {
+	k := event.RdX
+	if acq {
+		k = event.RdAcq
+	}
+	return s.StepReadKind(t, k, x, w)
+}
+
+// StepReadKind is StepRead generalised over the read kind (RdX, RdAcq
+// or the extended RdNA). Non-atomic reads follow the same READ rule —
+// they behave like relaxed reads in the model; racing on them is
+// flagged by internal/races.
+func (s *State) StepReadKind(t event.Thread, k event.Kind, x event.Var, w event.Tag) (*State, event.Event, error) {
+	if !k.IsRead() || k.IsUpdate() {
+		return nil, event.Event{}, fmt.Errorf("core: StepReadKind with kind %v", k)
+	}
+	if err := s.checkObserved(t, x, w, false); err != nil {
+		return nil, event.Event{}, err
+	}
+	v := s.events[int(w)].WrVal()
+	a := event.Action{Kind: k, Loc: x, RVal: v}
+	out := s.cloneGrow()
+	g := out.addEvent(a, t)
+	out.rf.Add(int(w), int(g)) // rf' = rf ∪ {(w, e)}
+	return out, out.events[int(g)], nil
+}
+
+// StepWrite implements rule WRITE: thread t writes value v to x,
+// inserting the new event immediately after w in mo (mo' = mo[w, e]).
+// w must be observable and not covered.
+func (s *State) StepWrite(t event.Thread, rel bool, x event.Var, v event.Val, w event.Tag) (*State, event.Event, error) {
+	k := event.WrX
+	if rel {
+		k = event.WrRel
+	}
+	return s.StepWriteKind(t, k, x, v, w)
+}
+
+// StepWriteKind is StepWrite generalised over the write kind (WrX,
+// WrRel or the extended WrNA).
+func (s *State) StepWriteKind(t event.Thread, k event.Kind, x event.Var, v event.Val, w event.Tag) (*State, event.Event, error) {
+	if !k.IsWrite() || k.IsUpdate() {
+		return nil, event.Event{}, fmt.Errorf("core: StepWriteKind with kind %v", k)
+	}
+	if err := s.checkObserved(t, x, w, true); err != nil {
+		return nil, event.Event{}, err
+	}
+	a := event.Action{Kind: k, Loc: x, WVal: v}
+	out := s.cloneGrow()
+	g := out.addEvent(a, t)
+	out.insertMO(w, g)
+	return out, out.events[int(g)], nil
+}
+
+// StepRMW implements rule RMW: thread t atomically reads wrval(w) from
+// x and writes v, with rf' = rf ∪ {(w, e)} and mo' = mo[w, e]. w must
+// be observable and not covered.
+func (s *State) StepRMW(t event.Thread, x event.Var, v event.Val, w event.Tag) (*State, event.Event, error) {
+	if err := s.checkObserved(t, x, w, true); err != nil {
+		return nil, event.Event{}, err
+	}
+	m := s.events[int(w)].WrVal()
+	a := event.Upd(x, m, v)
+	out := s.cloneGrow()
+	g := out.addEvent(a, t)
+	out.rf.Add(int(w), int(g))
+	out.insertMO(w, g)
+	return out, out.events[int(g)], nil
+}
+
+// checkObserved validates the common premises of the Figure 3 rules.
+func (s *State) checkObserved(t event.Thread, x event.Var, w event.Tag, excludeCovered bool) error {
+	if int(w) < 0 || int(w) >= len(s.events) {
+		return fmt.Errorf("%w: tag %d out of range", ErrNotWrite, w)
+	}
+	we := s.events[int(w)]
+	if !we.IsWrite() {
+		return ErrNotWrite
+	}
+	if we.Var() != x {
+		return fmt.Errorf("%w: %s writes %s, not %s", ErrVarMismatch, we, we.Var(), x)
+	}
+	if !s.ObservableWrites(t).Test(int(w)) {
+		return fmt.Errorf("%w: %s by thread %d", ErrNotObservable, we, t)
+	}
+	if excludeCovered && s.CoveredWrites().Test(int(w)) {
+		return fmt.Errorf("%w: %s", ErrCovered, we)
+	}
+	return nil
+}
+
+// insertMO performs mo := mo[w, e] = mo ∪ (mo⁺w × {e}) ∪ ({e} × mo[w])
+// where mo⁺w = {w} ∪ mo⁻¹[w] (§3.2): e is placed immediately after w.
+func (s *State) insertMO(w, e event.Tag) {
+	wi, ei := int(w), int(e)
+	// {e' | (e', w) ∈ mo} ∪ {w} all precede e.
+	for i := range s.events {
+		if i == wi || s.mo.Has(i, wi) {
+			s.mo.Add(i, ei)
+		}
+	}
+	// e precedes everything w preceded.
+	row := s.mo.Row(wi).Clone()
+	for j := row.Next(0); j >= 0; j = row.Next(j + 1) {
+		if j != ei {
+			s.mo.Add(ei, j)
+		}
+	}
+}

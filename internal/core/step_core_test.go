@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestStepReadBasics(t *testing.T) {
+	s := Init(map[event.Var]event.Val{"x": 7})
+	w, _ := s.Last("x")
+	ns, e, err := s.StepRead(1, false, "x", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Act != event.Rd("x", 7) {
+		t.Fatalf("event = %v", e)
+	}
+	if !ns.RFHas(w, e.Tag) {
+		t.Fatal("rf edge missing")
+	}
+	if !ns.MO().Empty() {
+		t.Fatal("read must not change mo")
+	}
+	// Acquire flavour.
+	ns2, e2, err := s.StepRead(1, true, "x", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Act != event.RdA("x", 7) {
+		t.Fatalf("event = %v", e2)
+	}
+	_ = ns2
+}
+
+func TestStepReadErrors(t *testing.T) {
+	s := Init(map[event.Var]event.Val{"x": 0, "y": 0})
+	wx, _ := s.Last("x")
+	// Variable mismatch.
+	if _, _, err := s.StepRead(1, false, "y", wx); !errors.Is(err, ErrVarMismatch) {
+		t.Fatalf("err = %v, want ErrVarMismatch", err)
+	}
+	// Tag out of range.
+	if _, _, err := s.StepRead(1, false, "x", 99); !errors.Is(err, ErrNotWrite) {
+		t.Fatalf("err = %v, want ErrNotWrite", err)
+	}
+	// Observed event not a write.
+	s1, re, _ := s.StepRead(1, false, "x", wx)
+	if _, _, err := s1.StepRead(1, false, "x", re.Tag); !errors.Is(err, ErrNotWrite) {
+		t.Fatalf("err = %v, want ErrNotWrite", err)
+	}
+	// Not observable: thread 1 writes x twice; the first write is then
+	// hidden from thread 1 itself.
+	s2, e1, _ := s.StepWrite(1, false, "x", 1, wx)
+	s3, _, _ := s2.StepWrite(1, false, "x", 2, e1.Tag)
+	if _, _, err := s3.StepRead(1, false, "x", e1.Tag); !errors.Is(err, ErrNotObservable) {
+		t.Fatalf("err = %v, want ErrNotObservable", err)
+	}
+	// The init write is doubly hidden.
+	if _, _, err := s3.StepRead(1, false, "x", wx); !errors.Is(err, ErrNotObservable) {
+		t.Fatalf("err = %v, want ErrNotObservable", err)
+	}
+}
+
+func TestStepWriteMOInsertion(t *testing.T) {
+	s := Init(map[event.Var]event.Val{"x": 0})
+	w0, _ := s.Last("x")
+	s1, a, _ := s.StepWrite(1, false, "x", 1, w0)
+	s2, b, _ := s1.StepWrite(1, false, "x", 2, a.Tag)
+	// Thread 2 inserts between init and a: mo must become w0 < c < a < b.
+	s3, c, err := s2.StepWrite(2, false, "x", 9, w0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := [][2]event.Tag{
+		{w0, c.Tag}, {w0, a.Tag}, {w0, b.Tag},
+		{c.Tag, a.Tag}, {c.Tag, b.Tag}, {a.Tag, b.Tag},
+	}
+	for _, p := range wantPairs {
+		if !s3.MOHas(p[0], p[1]) {
+			t.Errorf("mo missing (%v,%v)", s3.Event(p[0]), s3.Event(p[1]))
+		}
+		if s3.MOHas(p[1], p[0]) {
+			t.Errorf("mo has converse (%v,%v)", s3.Event(p[1]), s3.Event(p[0]))
+		}
+	}
+	if got := s3.MO().Count(); got != len(wantPairs) {
+		t.Fatalf("mo count = %d, want %d", got, len(wantPairs))
+	}
+}
+
+func TestStepWriteObservabilityConstraint(t *testing.T) {
+	// Thread 2 reads thread 1's second write; it may then not insert
+	// its own write before that write in mo.
+	s := Init(map[event.Var]event.Val{"x": 0})
+	w0, _ := s.Last("x")
+	s1, a, _ := s.StepWrite(1, false, "x", 1, w0)
+	s2, b, _ := s1.StepWrite(1, false, "x", 2, a.Tag)
+	s3, _, err := s2.StepRead(2, false, "x", b.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s3.StepWrite(2, false, "x", 5, a.Tag); !errors.Is(err, ErrNotObservable) {
+		t.Fatalf("insert after encountered-overwritten write: err = %v", err)
+	}
+	if _, _, err := s3.StepWrite(2, false, "x", 5, b.Tag); err != nil {
+		t.Fatalf("insert after last write should succeed: %v", err)
+	}
+}
+
+func TestStepRMWBasics(t *testing.T) {
+	s := Init(map[event.Var]event.Val{"t": 1})
+	w0, _ := s.Last("t")
+	s1, u, err := s.StepRMW(1, "t", 2, w0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Act != event.Upd("t", 1, 2) {
+		t.Fatalf("event = %v", u)
+	}
+	if !s1.RFHas(w0, u.Tag) || !s1.MOHas(w0, u.Tag) {
+		t.Fatal("update must be rf- and mo-adjacent to its predecessor")
+	}
+	// The predecessor is now covered: a second RMW must target u.
+	if _, _, err := s1.StepRMW(2, "t", 3, w0); !errors.Is(err, ErrCovered) {
+		t.Fatalf("err = %v, want ErrCovered", err)
+	}
+	s2, u2, err := s1.StepRMW(2, "t", 3, u.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.RdVal() != 2 {
+		t.Fatalf("second update read %d, want 2", u2.RdVal())
+	}
+	if s2.CoveredWrites().Count() != 2 {
+		t.Fatal("both non-final writes should be covered")
+	}
+}
+
+func TestWriteAfterCoveredFails(t *testing.T) {
+	s := Init(map[event.Var]event.Val{"t": 0})
+	w0, _ := s.Last("t")
+	s1, _, _ := s.StepRMW(1, "t", 1, w0)
+	// Plain write insertion directly after the covered w0 is illegal;
+	// reading w0 is still fine.
+	if _, _, err := s1.StepWrite(2, false, "t", 9, w0); !errors.Is(err, ErrCovered) {
+		t.Fatalf("err = %v, want ErrCovered", err)
+	}
+	if _, _, err := s1.StepRead(2, false, "t", w0); err != nil {
+		t.Fatalf("reading a covered write must be allowed: %v", err)
+	}
+}
+
+func TestUpdateChainStaysAtomic(t *testing.T) {
+	// A chain of updates on an update-only variable: every write but
+	// the last is covered, so new updates always read the last.
+	s := Init(map[event.Var]event.Val{"t": 0})
+	last, _ := s.Last("t")
+	for i := 1; i <= 5; i++ {
+		th := event.Thread(i%2 + 1)
+		var u event.Event
+		var err error
+		s, u, err = s.StepRMW(th, "t", event.Val(i), last)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if u.RdVal() != event.Val(i-1) {
+			t.Fatalf("update %d read %d", i, u.RdVal())
+		}
+		last = u.Tag
+	}
+	cw := s.CoveredWrites()
+	if cw.Count() != 5 { // all but the final update
+		t.Fatalf("covered count = %d, want 5", cw.Count())
+	}
+	if cw.Test(int(last)) {
+		t.Fatal("final update must not be covered")
+	}
+}
+
+func TestHBConeAndSW(t *testing.T) {
+	// Message passing: d := 5; f :=R 1 || rdA(f,1). After the acquire
+	// read, thread 1's writes are in thread 2's hb cone.
+	s := Init(map[event.Var]event.Val{"d": 0, "f": 0})
+	id, _ := s.InitialFor("d")
+	iff, _ := s.InitialFor("f")
+	s, wd, _ := s.StepWrite(1, false, "d", 5, id)
+	s, wf, _ := s.StepWrite(1, true, "f", 1, iff)
+	s2, rf2, err := s.StepRead(2, true, "f", wf.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cone := s2.HBCone(2)
+	if !cone.Test(int(wd.Tag)) || !cone.Test(int(wf.Tag)) {
+		t.Fatal("release-acquire sync must pull writer events into the cone")
+	}
+	if !cone.Test(int(rf2.Tag)) {
+		t.Fatal("own events must be in the cone")
+	}
+	// Relaxed read would not synchronise: rebuild with relaxed read.
+	s3, _, _ := s.StepRead(2, false, "f", wf.Tag)
+	cone3 := s3.HBCone(2)
+	if cone3.Test(int(wd.Tag)) {
+		t.Fatal("relaxed read must not create hb")
+	}
+	// After the acquire read, thread 2 must read d = 5.
+	obs := s2.ObservableFor(2, "d")
+	if len(obs) != 1 || s2.Event(obs[0]).WrVal() != 5 {
+		t.Fatalf("thread 2 observes d = %v", obs)
+	}
+	// After the relaxed read, thread 2 may still read d = 0 or 5.
+	if len(s3.ObservableFor(2, "d")) != 2 {
+		t.Fatal("relaxed read must leave both d writes observable")
+	}
+}

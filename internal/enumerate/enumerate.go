@@ -1,0 +1,346 @@
+// Package enumerate generates candidate executions (Definition C.1)
+// up to a bounded size — this repository's substitution for the
+// paper's Memalloy/Alloy mechanisation (Appendix E). Where the paper
+// compares .cat models symbolically for all executions up to size 7,
+// we enumerate candidates explicitly (exhaustively at small bounds,
+// randomly at larger ones) and evaluate both consistency predicates on
+// each: the eco-based Coherence of Definition 4.2 and the weak
+// canonical RAR consistency of Definition C.3. Theorem C.5 asserts
+// they agree on every candidate.
+//
+// Symmetry reduction keeps the space tractable: write values are fixed
+// to the event's global index (value symmetry), read values are forced
+// by the rf source (RF-Complete holds by construction), and initial
+// writes always carry value 0.
+package enumerate
+
+import (
+	"math/rand"
+
+	"repro/internal/axiomatic"
+	"repro/internal/event"
+)
+
+// Params bounds the candidate space.
+type Params struct {
+	// Threads is the number of non-initialising threads (≥ 1).
+	Threads int
+	// Vars is the set of variables; one initialising write per
+	// variable is always present.
+	Vars []event.Var
+	// Events is the total number of non-initialising events.
+	Events int
+	// Kinds restricts the action kinds generated; nil means all five.
+	Kinds []event.Kind
+}
+
+func (p Params) kinds() []event.Kind {
+	if p.Kinds != nil {
+		return p.Kinds
+	}
+	return []event.Kind{event.RdX, event.RdAcq, event.WrX, event.WrRel, event.UpdRA}
+}
+
+// Candidates enumerates every candidate execution within the bounds,
+// calling yield for each. Enumeration stops early if yield returns
+// false. The number of candidates yielded is returned.
+//
+// Candidates satisfy SB-Total, MO-Valid and RF-Complete by
+// construction (Definition C.1); coherence is deliberately left open —
+// that is the property under comparison.
+func Candidates(p Params, yield func(axiomatic.Exec) bool) int {
+	count := 0
+	stopped := false
+
+	// 1. Distribute Events over Threads (composition with zeros).
+	sizes := make([]int, p.Threads)
+	var compose func(i, left int)
+
+	// 2. For a fixed distribution, choose kind and var per event.
+	type slot struct {
+		tid  event.Thread
+		kind event.Kind
+		loc  event.Var
+	}
+	slots := make([]slot, p.Events)
+
+	var fill func(i int)
+	var assignRF func(x axiomatic.Exec, reads []event.Tag, ri int)
+	var assignMO func(x axiomatic.Exec, vars []event.Var, vi int)
+
+	buildBase := func() axiomatic.Exec {
+		events := make([]event.Event, 0, len(p.Vars)+p.Events)
+		for _, v := range p.Vars {
+			events = append(events, event.Event{
+				Tag: event.Tag(len(events)), Act: event.Wr(v, 0), TID: event.InitThread,
+			})
+		}
+		nInit := len(events)
+		for i, s := range slots {
+			val := event.Val(i + 1) // canonical distinct write values
+			var a event.Action
+			switch s.kind {
+			case event.RdX:
+				a = event.Rd(s.loc, 0) // patched by rf assignment
+			case event.RdAcq:
+				a = event.RdA(s.loc, 0)
+			case event.WrX:
+				a = event.Wr(s.loc, val)
+			case event.WrRel:
+				a = event.WrR(s.loc, val)
+			case event.UpdRA:
+				a = event.Upd(s.loc, 0, val)
+			}
+			events = append(events, event.Event{
+				Tag: event.Tag(len(events)), Act: a, TID: s.tid,
+			})
+		}
+		x := axiomatic.NewExec(events)
+		// sb: initials before everything; per-thread slot order.
+		for i := 0; i < nInit; i++ {
+			for j := nInit; j < len(events); j++ {
+				x.SB.Add(i, j)
+			}
+		}
+		for i := nInit; i < len(events); i++ {
+			for j := i + 1; j < len(events); j++ {
+				if events[i].TID == events[j].TID {
+					x.SB.Add(i, j)
+				}
+			}
+		}
+		return x
+	}
+
+	assignMO = func(x axiomatic.Exec, vars []event.Var, vi int) {
+		if stopped {
+			return
+		}
+		if vi == len(vars) {
+			count++
+			if !yield(x.Clone()) {
+				stopped = true
+			}
+			return
+		}
+		v := vars[vi]
+		var init event.Tag
+		var rest []event.Tag
+		for _, e := range x.Events {
+			if e.IsWrite() && e.Var() == v {
+				if e.IsInit() {
+					init = e.Tag
+				} else {
+					rest = append(rest, e.Tag)
+				}
+			}
+		}
+		permuteTags(rest, func(order []event.Tag) bool {
+			chain := append([]event.Tag{init}, order...)
+			for i := 0; i < len(chain); i++ {
+				for j := i + 1; j < len(chain); j++ {
+					x.MO.Add(int(chain[i]), int(chain[j]))
+				}
+			}
+			assignMO(x, vars, vi+1)
+			for i := 0; i < len(chain); i++ {
+				for j := i + 1; j < len(chain); j++ {
+					x.MO.Remove(int(chain[i]), int(chain[j]))
+				}
+			}
+			return !stopped
+		})
+	}
+
+	assignRF = func(x axiomatic.Exec, reads []event.Tag, ri int) {
+		if stopped {
+			return
+		}
+		if ri == len(reads) {
+			assignMO(x, p.Vars, 0)
+			return
+		}
+		r := reads[ri]
+		re := x.Events[int(r)]
+		for wi, w := range x.Events {
+			if !w.IsWrite() || w.Var() != re.Var() || event.Tag(wi) == r {
+				continue
+			}
+			// Patch the read's value to match the source.
+			old := x.Events[int(r)]
+			patched := old
+			patched.Act.RVal = w.WrVal()
+			x.Events[int(r)] = patched
+			x.RF.Add(wi, int(r))
+			assignRF(x, reads, ri+1)
+			x.RF.Remove(wi, int(r))
+			x.Events[int(r)] = old
+			if stopped {
+				return
+			}
+		}
+	}
+
+	fill = func(i int) {
+		if stopped {
+			return
+		}
+		if i == p.Events {
+			x := buildBase()
+			assignRF(x, x.Reads(), 0)
+			return
+		}
+		// Thread for slot i follows the distribution.
+		tid, idx := event.Thread(1), i
+		for t := 0; t < p.Threads; t++ {
+			if idx < sizes[t] {
+				tid = event.Thread(t + 1)
+				break
+			}
+			idx -= sizes[t]
+		}
+		for _, k := range p.kinds() {
+			for _, v := range p.Vars {
+				slots[i] = slot{tid: tid, kind: k, loc: v}
+				fill(i + 1)
+				if stopped {
+					return
+				}
+			}
+		}
+	}
+
+	compose = func(i, left int) {
+		if stopped {
+			return
+		}
+		if i == p.Threads-1 {
+			sizes[i] = left
+			// Symmetry: thread sizes non-increasing (threads are
+			// interchangeable up to renaming).
+			for j := 1; j < p.Threads; j++ {
+				if sizes[j] > sizes[j-1] {
+					return
+				}
+			}
+			fill(0)
+			return
+		}
+		for k := left; k >= 0; k-- {
+			sizes[i] = k
+			compose(i+1, left-k)
+		}
+	}
+
+	compose(0, p.Events)
+	return count
+}
+
+// Random returns a uniformly-ish random candidate execution within the
+// bounds, for randomized sweeps beyond exhaustive sizes.
+func Random(rng *rand.Rand, p Params) axiomatic.Exec {
+	kinds := p.kinds()
+	events := make([]event.Event, 0, len(p.Vars)+p.Events)
+	for _, v := range p.Vars {
+		events = append(events, event.Event{
+			Tag: event.Tag(len(events)), Act: event.Wr(v, 0), TID: event.InitThread,
+		})
+	}
+	nInit := len(events)
+	for i := 0; i < p.Events; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		v := p.Vars[rng.Intn(len(p.Vars))]
+		val := event.Val(i + 1)
+		var a event.Action
+		switch k {
+		case event.RdX:
+			a = event.Rd(v, 0)
+		case event.RdAcq:
+			a = event.RdA(v, 0)
+		case event.WrX:
+			a = event.Wr(v, val)
+		case event.WrRel:
+			a = event.WrR(v, val)
+		case event.UpdRA:
+			a = event.Upd(v, 0, val)
+		}
+		events = append(events, event.Event{
+			Tag: event.Tag(len(events)),
+			Act: a,
+			TID: event.Thread(1 + rng.Intn(p.Threads)),
+		})
+	}
+	x := axiomatic.NewExec(events)
+	for i := 0; i < nInit; i++ {
+		for j := nInit; j < len(events); j++ {
+			x.SB.Add(i, j)
+		}
+	}
+	for i := nInit; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			if events[i].TID == events[j].TID {
+				x.SB.Add(i, j)
+			}
+		}
+	}
+	// rf: each read picks a random same-variable write.
+	for _, r := range x.Reads() {
+		re := x.Events[int(r)]
+		var cands []int
+		for wi, w := range x.Events {
+			if w.IsWrite() && w.Var() == re.Var() && event.Tag(wi) != r {
+				cands = append(cands, wi)
+			}
+		}
+		w := cands[rng.Intn(len(cands))]
+		patched := re
+		patched.Act.RVal = x.Events[w].WrVal()
+		x.Events[int(r)] = patched
+		x.RF.Add(w, int(r))
+	}
+	// mo: random permutation per variable, init first.
+	for _, v := range p.Vars {
+		var init event.Tag
+		var rest []event.Tag
+		for _, e := range x.Events {
+			if e.IsWrite() && e.Var() == v {
+				if e.IsInit() {
+					init = e.Tag
+				} else {
+					rest = append(rest, e.Tag)
+				}
+			}
+		}
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		chain := append([]event.Tag{init}, rest...)
+		for i := 0; i < len(chain); i++ {
+			for j := i + 1; j < len(chain); j++ {
+				x.MO.Add(int(chain[i]), int(chain[j]))
+			}
+		}
+	}
+	return x
+}
+
+func permuteTags(xs []event.Tag, f func([]event.Tag) bool) bool {
+	n := len(xs)
+	if n == 0 {
+		return f(nil)
+	}
+	perm := append([]event.Tag(nil), xs...)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return f(perm)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if !rec(k + 1) {
+				return false
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return true
+	}
+	return rec(0)
+}

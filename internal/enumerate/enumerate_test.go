@@ -1,0 +1,185 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/axiomatic"
+	"repro/internal/event"
+)
+
+func TestCandidatesAreWellFormed(t *testing.T) {
+	p := Params{Threads: 2, Vars: []event.Var{"x"}, Events: 2}
+	n := Candidates(p, func(x axiomatic.Exec) bool {
+		if !x.IsCandidate() {
+			t.Fatalf("ill-formed candidate:\n%s", x)
+		}
+		return true
+	})
+	if n == 0 {
+		t.Fatal("no candidates generated")
+	}
+}
+
+func TestCandidatesEarlyStop(t *testing.T) {
+	p := Params{Threads: 2, Vars: []event.Var{"x"}, Events: 2}
+	n := Candidates(p, func(x axiomatic.Exec) bool { return false })
+	if n != 1 {
+		t.Fatalf("early stop yielded %d candidates", n)
+	}
+}
+
+func TestCandidateCountSmall(t *testing.T) {
+	// 1 thread, 1 var, 1 event: 5 kinds; reads/updates have exactly
+	// one rf source (the init write); single write mo position.
+	p := Params{Threads: 1, Vars: []event.Var{"x"}, Events: 1}
+	n := Candidates(p, func(x axiomatic.Exec) bool {
+		if x.N() != 2 {
+			t.Fatalf("candidate size = %d", x.N())
+		}
+		return true
+	})
+	if n != 5 {
+		t.Fatalf("count = %d, want 5", n)
+	}
+}
+
+func TestCandidatesKindRestriction(t *testing.T) {
+	p := Params{
+		Threads: 1, Vars: []event.Var{"x"}, Events: 2,
+		Kinds: []event.Kind{event.WrX},
+	}
+	n := Candidates(p, func(x axiomatic.Exec) bool {
+		for _, e := range x.Events {
+			if !e.IsInit() && e.Act.Kind != event.WrX {
+				t.Fatalf("unexpected kind %v", e)
+			}
+		}
+		return true
+	})
+	// Two plain writes: 1 kind-var combo, mo: 2 orders of the two
+	// writes. One composition ([2] — [1,1] pruned by symmetry? threads=1).
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+func TestThreadSizeSymmetryReduction(t *testing.T) {
+	// With 2 threads and 1 event, only the [1,0] distribution is kept
+	// ([0,1] is a thread renaming).
+	p := Params{Threads: 2, Vars: []event.Var{"x"}, Events: 1,
+		Kinds: []event.Kind{event.WrX}}
+	n := Candidates(p, func(x axiomatic.Exec) bool {
+		for _, e := range x.Events {
+			if !e.IsInit() && e.TID != 1 {
+				t.Fatalf("event on thread %d, want 1", e.TID)
+			}
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+}
+
+// Theorem C.5 exhaustively at small bounds: Definition 4.2 coherence
+// coincides with weak canonical RAR consistency on every candidate.
+func TestTheoremC5Exhaustive(t *testing.T) {
+	cases := []Params{
+		{Threads: 2, Vars: []event.Var{"x"}, Events: 3},
+		{Threads: 2, Vars: []event.Var{"x", "y"}, Events: 2},
+		{Threads: 3, Vars: []event.Var{"x"}, Events: 3,
+			Kinds: []event.Kind{event.WrX, event.RdX, event.UpdRA}},
+	}
+	for _, p := range cases {
+		consistent, total := 0, 0
+		Candidates(p, func(x axiomatic.Exec) bool {
+			total++
+			a := x.CoherentDef42()
+			b := x.WeakCanonicalConsistent()
+			if a != b {
+				t.Fatalf("Theorem C.5 counterexample (def42=%v canonical=%v):\n%s", a, b, x)
+			}
+			if a {
+				consistent++
+			}
+			return true
+		})
+		if total == 0 || consistent == 0 || consistent == total {
+			t.Fatalf("degenerate comparison: %d/%d consistent", consistent, total)
+		}
+		t.Logf("params %+v: %d/%d consistent", p, consistent, total)
+	}
+}
+
+// Theorem C.5 randomized at larger bounds (the Alloy bound-7 regime).
+func TestTheoremC5Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Params{Threads: 3, Vars: []event.Var{"x", "y"}, Events: 7}
+	for i := 0; i < 3000; i++ {
+		x := Random(rng, p)
+		if !x.IsCandidate() {
+			t.Fatalf("random candidate ill-formed:\n%s", x)
+		}
+		if x.CoherentDef42() != x.WeakCanonicalConsistent() {
+			t.Fatalf("Theorem C.5 counterexample:\n%s", x)
+		}
+	}
+}
+
+// Lemma C.9: on consistent executions, the closed form of eco equals
+// the transitive closure.
+func TestLemmaC9ClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := Params{Threads: 2, Vars: []event.Var{"x", "y"}, Events: 6}
+	checked := 0
+	for i := 0; i < 4000 && checked < 300; i++ {
+		x := Random(rng, p)
+		if !x.UpdateAtomic() {
+			continue
+		}
+		checked++
+		if !x.ECO().Equal(x.ECOClosedForm()) {
+			t.Fatalf("Lemma C.9 counterexample:\n%s", x)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("too few update-atomic candidates: %d", checked)
+	}
+}
+
+// Lemma C.10 direction: weak canonical consistency implies eco
+// irreflexivity — spot-check on random candidates.
+func TestLemmaC10(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := Params{Threads: 2, Vars: []event.Var{"x"}, Events: 5}
+	for i := 0; i < 2000; i++ {
+		x := Random(rng, p)
+		if x.WeakCanonicalConsistent() && !x.ECO().Irreflexive() {
+			t.Fatalf("Lemma C.10 counterexample:\n%s", x)
+		}
+	}
+}
+
+func BenchmarkCandidates(b *testing.B) {
+	p := Params{Threads: 2, Vars: []event.Var{"x"}, Events: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Candidates(p, func(x axiomatic.Exec) bool {
+			_ = x.CoherentDef42()
+			return true
+		})
+	}
+}
+
+func BenchmarkTheoremC5Random(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := Params{Threads: 3, Vars: []event.Var{"x", "y"}, Events: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := Random(rng, p)
+		if x.CoherentDef42() != x.WeakCanonicalConsistent() {
+			b.Fatal("mismatch")
+		}
+	}
+}

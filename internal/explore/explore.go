@@ -1,0 +1,323 @@
+// Package explore is a bounded explicit-state model checker for the
+// interpreted RA semantics (internal/core). It enumerates the
+// configurations reachable from an initial (P, σ) pair, deduplicating
+// by canonical configuration keys, and checks safety properties at
+// every state. Programs with loops have unbounded executions (each
+// loop iteration appends read events), so exploration is bounded by a
+// maximum number of non-initialising events per state; within that
+// bound the search is exhaustive.
+//
+// The frontier can be expanded in parallel: successor computation is
+// by far the dominant cost (each successor clones the relation
+// matrices), and successors of distinct configurations are
+// independent, so a worker pool over the frontier scales with
+// GOMAXPROCS.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Options bounds and configures an exploration.
+type Options struct {
+	// MaxEvents bounds the number of non-initialising events per
+	// state; configurations at the bound are not expanded further.
+	// Zero means 24.
+	MaxEvents int
+	// MaxConfigs aborts the search after this many distinct
+	// configurations. Zero means 1 << 20.
+	MaxConfigs int
+	// Workers sets the parallelism; 0 means GOMAXPROCS, 1 is serial.
+	Workers int
+	// Property, when non-nil, is evaluated at every reachable
+	// configuration; the first configuration where it returns false
+	// is reported as a violation and stops the search.
+	Property func(core.Config) bool
+}
+
+func (o Options) maxEvents() int {
+	if o.MaxEvents <= 0 {
+		return 24
+	}
+	return o.MaxEvents
+}
+
+func (o Options) maxConfigs() int {
+	if o.MaxConfigs <= 0 {
+		return 1 << 20
+	}
+	return o.MaxConfigs
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result summarises an exploration.
+type Result struct {
+	// Explored counts distinct configurations visited.
+	Explored int
+	// Terminated counts configurations where every thread has
+	// terminated.
+	Terminated int
+	// Truncated reports whether the event or configuration bound cut
+	// the search (so absence of a violation is relative to the bound).
+	Truncated bool
+	// Violation is a configuration falsifying the property, nil if
+	// none was found.
+	Violation *core.Config
+	// Depth is the maximum number of transitions along any explored
+	// path.
+	Depth int
+}
+
+// Run explores the state space of c under the given options.
+func Run(c core.Config, opts Options) Result {
+	if opts.workers() <= 1 {
+		return runSerial(c, opts)
+	}
+	return runParallel(c, opts)
+}
+
+type item struct {
+	cfg   core.Config
+	depth int
+}
+
+func runSerial(c core.Config, opts Options) Result {
+	var res Result
+	nInit := c.S.NumEvents()
+	maxEv := opts.maxEvents()
+	maxCfg := opts.maxConfigs()
+
+	seen := map[string]bool{c.Key(): true}
+	frontier := []item{{cfg: c}}
+
+	for len(frontier) > 0 {
+		it := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		res.Explored++
+		if it.depth > res.Depth {
+			res.Depth = it.depth
+		}
+		if opts.Property != nil && !opts.Property(it.cfg) {
+			cfg := it.cfg
+			res.Violation = &cfg
+			return res
+		}
+		if it.cfg.Terminated() {
+			res.Terminated++
+			continue
+		}
+		if it.cfg.S.NumEvents()-nInit >= maxEv {
+			res.Truncated = true
+			continue
+		}
+		if res.Explored+len(frontier) >= maxCfg {
+			res.Truncated = true
+			continue
+		}
+		for _, s := range it.cfg.Successors() {
+			k := s.C.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			frontier = append(frontier, item{cfg: s.C, depth: it.depth + 1})
+		}
+	}
+	return res
+}
+
+func runParallel(c core.Config, opts Options) Result {
+	var res Result
+	nInit := c.S.NumEvents()
+	maxEv := opts.maxEvents()
+	maxCfg := opts.maxConfigs()
+	workers := opts.workers()
+
+	var mu sync.Mutex
+	seen := map[string]bool{c.Key(): true}
+
+	frontier := []item{{cfg: c}}
+	for len(frontier) > 0 {
+		// Evaluate the property and termination status of the whole
+		// level, then expand it in parallel.
+		next := make([][]item, len(frontier))
+		var truncated bool
+		var violation *core.Config
+
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range frontier {
+			it := frontier[i]
+			res.Explored++
+			if it.depth > res.Depth {
+				res.Depth = it.depth
+			}
+			if opts.Property != nil && !opts.Property(it.cfg) {
+				cfg := it.cfg
+				violation = &cfg
+				break
+			}
+			if it.cfg.Terminated() {
+				res.Terminated++
+				continue
+			}
+			if it.cfg.S.NumEvents()-nInit >= maxEv {
+				truncated = true
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, it item) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				var local []item
+				for _, s := range it.cfg.Successors() {
+					k := s.C.Key()
+					mu.Lock()
+					dup := seen[k]
+					if !dup {
+						seen[k] = true
+					}
+					mu.Unlock()
+					if !dup {
+						local = append(local, item{cfg: s.C, depth: it.depth + 1})
+					}
+				}
+				next[i] = local
+			}(i, it)
+		}
+		wg.Wait()
+
+		if violation != nil {
+			res.Violation = violation
+			return res
+		}
+		res.Truncated = res.Truncated || truncated
+
+		frontier = frontier[:0]
+		for _, l := range next {
+			frontier = append(frontier, l...)
+		}
+		if res.Explored+len(frontier) >= maxCfg {
+			res.Truncated = true
+			// Finish counting the frontier as explored states but do
+			// not expand further.
+			for _, it := range frontier {
+				res.Explored++
+				if opts.Property != nil && !opts.Property(it.cfg) {
+					cfg := it.cfg
+					res.Violation = &cfg
+					return res
+				}
+				if it.cfg.Terminated() {
+					res.Terminated++
+				}
+			}
+			return res
+		}
+	}
+	return res
+}
+
+// Trace is a witness path through the state space.
+type Trace struct {
+	Configs []core.Config
+}
+
+// Describe renders the trace step by step: for each transition, the
+// event added (or τ) and the resulting per-thread residual programs.
+func (tr Trace) Describe() string {
+	var b []byte
+	appendLine := func(s string) { b = append(b, s...); b = append(b, '\n') }
+	for i, c := range tr.Configs {
+		if i == 0 {
+			appendLine("start: " + c.P.String())
+			continue
+		}
+		prev := tr.Configs[i-1]
+		label := "τ"
+		if c.S.NumEvents() > prev.S.NumEvents() {
+			e := c.S.Event(event.Tag(c.S.NumEvents() - 1))
+			label = e.String()
+		}
+		appendLine(fmt.Sprintf("%3d. %-22s %s", i, label, c.P))
+	}
+	return string(b)
+}
+
+// FindTrace searches (serially, breadth-first) for a configuration
+// satisfying pred and returns the shortest witness trace to it. found
+// is false when no such configuration exists within the bounds.
+func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace, bool) {
+	nInit := c.S.NumEvents()
+	maxEv := opts.maxEvents()
+	maxCfg := opts.maxConfigs()
+
+	type node struct {
+		cfg    core.Config
+		parent int
+	}
+	nodes := []node{{cfg: c, parent: -1}}
+	seen := map[string]bool{c.Key(): true}
+
+	mk := func(i int) Trace {
+		var rev []core.Config
+		for j := i; j >= 0; j = nodes[j].parent {
+			rev = append(rev, nodes[j].cfg)
+		}
+		out := Trace{Configs: make([]core.Config, 0, len(rev))}
+		for k := len(rev) - 1; k >= 0; k-- {
+			out.Configs = append(out.Configs, rev[k])
+		}
+		return out
+	}
+
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[i]
+		if pred(n.cfg) {
+			return mk(i), true
+		}
+		if n.cfg.S.NumEvents()-nInit >= maxEv || len(nodes) >= maxCfg {
+			continue
+		}
+		for _, s := range n.cfg.Successors() {
+			k := s.C.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			nodes = append(nodes, node{cfg: s.C, parent: i})
+		}
+	}
+	return Trace{}, false
+}
+
+// Outcomes explores to termination and returns the multiplicity-free
+// set of summaries of terminated configurations, as produced by
+// summarise.
+func Outcomes(c core.Config, opts Options, summarise func(core.Config) string) map[string]bool {
+	out := map[string]bool{}
+	o := opts
+	o.Property = nil
+	collect := func(cfg core.Config) bool {
+		if cfg.Terminated() {
+			out[summarise(cfg)] = true
+		}
+		return true
+	}
+	o.Property = collect
+	Run(c, o)
+	return out
+}

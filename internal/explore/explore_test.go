@@ -1,0 +1,165 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/lang"
+)
+
+func mpConfig() core.Config {
+	p := lang.Prog{
+		lang.SeqC(lang.AssignC("d", lang.V(5)), lang.AssignRelC("f", lang.V(1))),
+		lang.SeqC(lang.AssignC("a", lang.XA("f")), lang.AssignC("b", lang.X("d"))),
+	}
+	return core.NewConfig(p, map[event.Var]event.Val{"d": 0, "f": 0, "a": 0, "b": 0})
+}
+
+func TestRunSerialBasics(t *testing.T) {
+	res := Run(mpConfig(), Options{Workers: 1})
+	if res.Explored == 0 || res.Terminated == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Truncated {
+		t.Fatal("loop-free program should not truncate")
+	}
+	if res.Violation != nil {
+		t.Fatal("no property given, yet violation reported")
+	}
+	if res.Depth < 6 { // 6 statements minimum
+		t.Fatalf("depth = %d", res.Depth)
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	s := Run(mpConfig(), Options{Workers: 1})
+	p := Run(mpConfig(), Options{Workers: 8})
+	if s.Explored != p.Explored || s.Terminated != p.Terminated {
+		t.Fatalf("serial %+v != parallel %+v", s, p)
+	}
+}
+
+func TestPropertyViolationStopsSearch(t *testing.T) {
+	res := Run(mpConfig(), Options{
+		Workers:  1,
+		Property: func(c core.Config) bool { return c.S.NumEvents() < 6 },
+	})
+	if res.Violation == nil {
+		t.Fatal("expected a violation")
+	}
+	if (*res.Violation).S.NumEvents() < 6 {
+		t.Fatal("violation config does not falsify the property")
+	}
+	// Parallel flavour too.
+	res2 := Run(mpConfig(), Options{
+		Workers:  4,
+		Property: func(c core.Config) bool { return c.S.NumEvents() < 6 },
+	})
+	if res2.Violation == nil {
+		t.Fatal("parallel run missed the violation")
+	}
+}
+
+func TestEventBoundTruncates(t *testing.T) {
+	// Infinite loop: while (x = 0) skip. Must truncate, not hang.
+	p := lang.Prog{lang.WhileC(lang.Eq(lang.X("x"), lang.V(0)), lang.SkipC())}
+	c := core.NewConfig(p, map[event.Var]event.Val{"x": 0})
+	res := Run(c, Options{MaxEvents: 5, Workers: 1})
+	if !res.Truncated {
+		t.Fatal("unbounded loop did not truncate")
+	}
+	res2 := Run(c, Options{MaxEvents: 5, Workers: 4})
+	if !res2.Truncated {
+		t.Fatal("parallel run did not truncate")
+	}
+}
+
+func TestMaxConfigsBound(t *testing.T) {
+	res := Run(mpConfig(), Options{MaxConfigs: 10, Workers: 1})
+	if !res.Truncated {
+		t.Fatal("config bound not honoured")
+	}
+	res2 := Run(mpConfig(), Options{MaxConfigs: 10, Workers: 4})
+	if !res2.Truncated {
+		t.Fatal("parallel config bound not honoured")
+	}
+}
+
+func TestFindTraceShortestWitness(t *testing.T) {
+	// Find a terminated state; trace must start at the root and end at
+	// a terminated configuration, with strictly growing event counts
+	// on non-silent steps.
+	trace, found := FindTrace(mpConfig(), Options{}, func(c core.Config) bool {
+		return c.Terminated()
+	})
+	if !found {
+		t.Fatal("no terminated state found")
+	}
+	first := trace.Configs[0]
+	if first.S.NumEvents() != 4 {
+		t.Fatalf("trace does not start at the root: %d events", first.S.NumEvents())
+	}
+	if !trace.Configs[len(trace.Configs)-1].Terminated() {
+		t.Fatal("trace does not end at a goal state")
+	}
+	// BFS gives a shortest path: MP needs 6 actions + ≥0 silent steps.
+	if len(trace.Configs) < 7 {
+		t.Fatalf("trace too short: %d", len(trace.Configs))
+	}
+}
+
+func TestFindTraceAbsent(t *testing.T) {
+	if _, found := FindTrace(mpConfig(), Options{}, func(c core.Config) bool {
+		return c.S.NumEvents() > 1000
+	}); found {
+		t.Fatal("found impossible goal")
+	}
+}
+
+func TestOutcomes(t *testing.T) {
+	out := Outcomes(mpConfig(), Options{}, func(c core.Config) string {
+		ga, _ := c.S.Last("a")
+		gb, _ := c.S.Last("b")
+		return c.S.Event(ga).Act.String() + c.S.Event(gb).Act.String()
+	})
+	if len(out) != 3 {
+		t.Fatalf("outcomes = %v", out)
+	}
+	if out["wr(a,1)wr(b,0)"] {
+		t.Fatal("MP stale outcome reachable")
+	}
+}
+
+func TestDefaultOptionValues(t *testing.T) {
+	var o Options
+	if o.maxEvents() != 24 || o.maxConfigs() != 1<<20 || o.workers() < 1 {
+		t.Fatalf("defaults: %d %d %d", o.maxEvents(), o.maxConfigs(), o.workers())
+	}
+	o = Options{MaxEvents: 3, MaxConfigs: 7, Workers: 2}
+	if o.maxEvents() != 3 || o.maxConfigs() != 7 || o.workers() != 2 {
+		t.Fatal("explicit options not honoured")
+	}
+}
+
+func TestTraceDescribe(t *testing.T) {
+	trace, found := FindTrace(mpConfig(), Options{}, func(c core.Config) bool {
+		return c.Terminated()
+	})
+	if !found {
+		t.Fatal("no trace")
+	}
+	out := trace.Describe()
+	if !strings.Contains(out, "start:") {
+		t.Fatalf("missing start line:\n%s", out)
+	}
+	// Both event-labelled and τ steps appear.
+	if !strings.Contains(out, "wr(d,5)") || !strings.Contains(out, "τ") {
+		t.Fatalf("missing step labels:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(trace.Configs) {
+		t.Fatalf("line count %d != %d configs", lines, len(trace.Configs))
+	}
+}

@@ -1,0 +1,171 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Com is a command of the grammar (§2.1):
+//
+//	Com ::= skip | x.swap(n)^RA | x := Exp | x :=^R Exp
+//	      | Com;Com | if B then Com else Com | while B do Com
+//
+// plus a transparent Label command used by the verification layer to
+// name program points (program counters in the paper's proofs).
+type Com interface {
+	isCom()
+	// String renders a canonical form used for configuration hashing.
+	String() string
+}
+
+// Skip is the terminated command.
+type Skip struct{}
+
+// Assign is x := E (relaxed), x :=^R E (releasing) when Rel is set,
+// or x :=^NA E (non-atomic) when NA is set.
+type Assign struct {
+	X   event.Var
+	E   Expr
+	Rel bool
+	NA  bool
+}
+
+// Swap is x.swap(n)^RA, generating a release-acquire update event.
+type Swap struct {
+	X event.Var
+	N event.Val
+}
+
+// Seq is C1 ; C2.
+type Seq struct{ C1, C2 Com }
+
+// If is if B then C1 else C2. The guard is partially evaluated in
+// place, one read per free variable, left to right.
+type If struct {
+	B          Expr
+	Then, Else Com
+}
+
+// While is while B do C. Guard is the pristine loop guard; Cur is the
+// partially evaluated copy for the current iteration. When the guard
+// evaluates to true the loop unfolds to Body ; while Guard do Body with
+// the guard reset, so each iteration re-reads its variables. (This is
+// the standard reading of the WHILE rules of Figure 2: the "while B do
+// C" in the true-continuation denotes the original loop.)
+type While struct {
+	Guard Expr
+	Cur   Expr
+	Body  Com
+}
+
+// Label names a program point; it takes one silent step to its body.
+// Labels let the verifier and explorer observe "the thread is at line
+// i" exactly as the paper's pc_t function does.
+type Label struct {
+	Name string
+	C    Com
+}
+
+func (Skip) isCom()   {}
+func (Assign) isCom() {}
+func (Swap) isCom()   {}
+func (Seq) isCom()    {}
+func (If) isCom()     {}
+func (While) isCom()  {}
+func (Label) isCom()  {}
+
+func (Skip) String() string { return "skip" }
+
+func (a Assign) String() string {
+	op := ":="
+	switch {
+	case a.Rel:
+		op = ":=R"
+	case a.NA:
+		op = ":=NA"
+	}
+	return fmt.Sprintf("%s %s %s", a.X, op, a.E)
+}
+
+func (s Swap) String() string {
+	return fmt.Sprintf("%s.swap(%d)^RA", s.X, s.N)
+}
+
+func (s Seq) String() string {
+	return s.C1.String() + "; " + s.C2.String()
+}
+
+func (c If) String() string {
+	return fmt.Sprintf("if %s then {%s} else {%s}", c.B, c.Then, c.Else)
+}
+
+func (w While) String() string {
+	if w.Cur.String() == w.Guard.String() {
+		return fmt.Sprintf("while %s do {%s}", w.Guard, w.Body)
+	}
+	return fmt.Sprintf("while[%s] %s do {%s}", w.Cur, w.Guard, w.Body)
+}
+
+func (l Label) String() string {
+	return "@" + l.Name + ":" + l.C.String()
+}
+
+// Constructors.
+
+// SkipC returns skip.
+func SkipC() Com { return Skip{} }
+
+// AssignC returns x := E.
+func AssignC(x event.Var, e Expr) Com { return Assign{X: x, E: e} }
+
+// AssignRelC returns x :=^R E.
+func AssignRelC(x event.Var, e Expr) Com { return Assign{X: x, E: e, Rel: true} }
+
+// AssignNAC returns the non-atomic assignment x :=^NA E.
+func AssignNAC(x event.Var, e Expr) Com { return Assign{X: x, E: e, NA: true} }
+
+// SwapC returns x.swap(n)^RA.
+func SwapC(x event.Var, n event.Val) Com { return Swap{X: x, N: n} }
+
+// SeqC sequences the given commands, dropping leading skips.
+func SeqC(cs ...Com) Com {
+	if len(cs) == 0 {
+		return Skip{}
+	}
+	out := cs[len(cs)-1]
+	for i := len(cs) - 2; i >= 0; i-- {
+		out = Seq{C1: cs[i], C2: out}
+	}
+	return out
+}
+
+// IfC returns if B then c1 else c2.
+func IfC(b Expr, c1, c2 Com) Com { return If{B: b, Then: c1, Else: c2} }
+
+// WhileC returns while B do body.
+func WhileC(b Expr, body Com) Com {
+	return While{Guard: b, Cur: b, Body: body}
+}
+
+// LabelC returns a labelled command.
+func LabelC(name string, c Com) Com { return Label{Name: name, C: c} }
+
+// AtLabel returns the label name at the head of c, or "" when the head
+// of c is not labelled. For Seq the head of C1 is inspected.
+func AtLabel(c Com) string {
+	switch x := c.(type) {
+	case Label:
+		return x.Name
+	case Seq:
+		return AtLabel(x.C1)
+	default:
+		return ""
+	}
+}
+
+// Terminated reports whether c is (equivalent to) skip.
+func Terminated(c Com) bool {
+	_, ok := c.(Skip)
+	return ok
+}

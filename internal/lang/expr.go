@@ -1,0 +1,295 @@
+// Package lang implements the command language of §2 of the paper: the
+// Exp/Com grammar (§2.1), expression evaluation (Figure 1), and the
+// uninterpreted operational semantics of commands and programs
+// (Figure 2). "Uninterpreted" means read steps may return any value;
+// the memory model (internal/core) later constrains which values are
+// actually observable.
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Expr is an expression of the grammar
+//
+//	Exp ::= Val | Exp^A | ⊖Exp | Exp ⊗ Exp
+//
+// Variables occur as Load nodes; Load{Acq: true} is the acquiring form
+// x^A. Boolean values are encoded as 0 (false) and 1 (true).
+type Expr interface {
+	isExpr()
+	// String renders a canonical form used for configuration hashing.
+	String() string
+}
+
+// Lit is a value literal.
+type Lit struct{ V event.Val }
+
+// Load is a variable occurrence; Acq marks an acquiring load (x^A)
+// and NA a non-atomic load (x^NA) of the extended language.
+type Load struct {
+	X   event.Var
+	Acq bool
+	NA  bool
+}
+
+// UnOp enumerates unary operators (⊖).
+type UnOp uint8
+
+// Unary operators.
+const (
+	OpNot UnOp = iota // logical negation (¬)
+	OpNeg             // arithmetic negation (-)
+)
+
+// Un is a unary operator application ⊖E.
+type Un struct {
+	Op UnOp
+	E  Expr
+}
+
+// BinOp enumerates binary operators (⊗).
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAnd BinOp = iota // logical conjunction (∧)
+	OpOr               // logical disjunction (∨)
+	OpEq               // equality (=)
+	OpNe               // disequality (≠)
+	OpLt               // less-than (<)
+	OpAdd              // addition (+)
+	OpSub              // subtraction (−)
+)
+
+// Bin is a binary operator application E1 ⊗ E2.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (Lit) isExpr()  {}
+func (Load) isExpr() {}
+func (Un) isExpr()   {}
+func (Bin) isExpr()  {}
+
+func (l Lit) String() string { return fmt.Sprintf("%d", l.V) }
+
+func (l Load) String() string {
+	switch {
+	case l.Acq:
+		return string(l.X) + "^A"
+	case l.NA:
+		return string(l.X) + "^NA"
+	default:
+		return string(l.X)
+	}
+}
+
+func (u Un) String() string {
+	op := "!"
+	if u.Op == OpNeg {
+		op = "-"
+	}
+	return op + "(" + u.E.String() + ")"
+}
+
+func (b Bin) String() string {
+	var op string
+	switch b.Op {
+	case OpAnd:
+		op = "&&"
+	case OpOr:
+		op = "||"
+	case OpEq:
+		op = "=="
+	case OpNe:
+		op = "!="
+	case OpLt:
+		op = "<"
+	case OpAdd:
+		op = "+"
+	case OpSub:
+		op = "-"
+	}
+	return "(" + b.L.String() + op + b.R.String() + ")"
+}
+
+// Convenience constructors.
+
+// V returns a value literal.
+func V(v event.Val) Expr { return Lit{V: v} }
+
+// B returns a boolean literal (0/1 encoding).
+func B(b bool) Expr {
+	if b {
+		return Lit{V: event.True}
+	}
+	return Lit{V: event.False}
+}
+
+// X returns a relaxed load of x.
+func X(x event.Var) Expr { return Load{X: x} }
+
+// XA returns an acquiring load of x.
+func XA(x event.Var) Expr { return Load{X: x, Acq: true} }
+
+// XNA returns a non-atomic load of x.
+func XNA(x event.Var) Expr { return Load{X: x, NA: true} }
+
+// Not returns ¬e.
+func Not(e Expr) Expr { return Un{Op: OpNot, E: e} }
+
+// And returns e1 ∧ e2.
+func And(e1, e2 Expr) Expr { return Bin{Op: OpAnd, L: e1, R: e2} }
+
+// Or returns e1 ∨ e2.
+func Or(e1, e2 Expr) Expr { return Bin{Op: OpOr, L: e1, R: e2} }
+
+// Eq returns e1 = e2.
+func Eq(e1, e2 Expr) Expr { return Bin{Op: OpEq, L: e1, R: e2} }
+
+// Ne returns e1 ≠ e2.
+func Ne(e1, e2 Expr) Expr { return Bin{Op: OpNe, L: e1, R: e2} }
+
+// Add returns e1 + e2.
+func Add(e1, e2 Expr) Expr { return Bin{Op: OpAdd, L: e1, R: e2} }
+
+// FreeVars returns fv(E), the set of variables occurring in E.
+func FreeVars(e Expr) map[event.Var]bool {
+	out := map[event.Var]bool{}
+	collectVars(e, out)
+	return out
+}
+
+func collectVars(e Expr, out map[event.Var]bool) {
+	switch x := e.(type) {
+	case Lit:
+	case Load:
+		out[x.X] = true
+	case Un:
+		collectVars(x.E, out)
+	case Bin:
+		collectVars(x.L, out)
+		collectVars(x.R, out)
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+// Closed reports fv(E) = ∅.
+func Closed(e Expr) bool {
+	switch x := e.(type) {
+	case Lit:
+		return true
+	case Load:
+		return false
+	case Un:
+		return Closed(x.E)
+	case Bin:
+		return Closed(x.L) && Closed(x.R)
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+// Subst returns E[n/x]: E with every occurrence of variable x replaced
+// by the literal n.
+func Subst(e Expr, x event.Var, n event.Val) Expr {
+	switch ex := e.(type) {
+	case Lit:
+		return ex
+	case Load:
+		if ex.X == x {
+			return Lit{V: n}
+		}
+		return ex
+	case Un:
+		return Un{Op: ex.Op, E: Subst(ex.E, x, n)}
+	case Bin:
+		return Bin{Op: ex.Op, L: Subst(ex.L, x, n), R: Subst(ex.R, x, n)}
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+// Eval returns [[E]] for a variable-free expression. It panics when E
+// has free variables, mirroring the partiality of [[·]] in the paper.
+// Boolean operators treat 0 as false and anything else as true, and
+// produce 0/1.
+func Eval(e Expr) event.Val {
+	switch x := e.(type) {
+	case Lit:
+		return x.V
+	case Load:
+		panic("lang: Eval of open expression (free variable " + string(x.X) + ")")
+	case Un:
+		v := Eval(x.E)
+		switch x.Op {
+		case OpNot:
+			return boolVal(v == 0)
+		case OpNeg:
+			return -v
+		}
+	case Bin:
+		l, r := Eval(x.L), Eval(x.R)
+		switch x.Op {
+		case OpAnd:
+			return boolVal(l != 0 && r != 0)
+		case OpOr:
+			return boolVal(l != 0 || r != 0)
+		case OpEq:
+			return boolVal(l == r)
+		case OpNe:
+			return boolVal(l != r)
+		case OpLt:
+			return boolVal(l < r)
+		case OpAdd:
+			return l + r
+		case OpSub:
+			return l - r
+		}
+	}
+	panic(fmt.Sprintf("lang: unknown expression %T", e))
+}
+
+func boolVal(b bool) event.Val {
+	if b {
+		return event.True
+	}
+	return event.False
+}
+
+// EvalTarget implements the eval(E, a, E') relation of Figure 1 up to
+// the choice of value: it locates the leftmost free variable of E
+// (evaluation proceeds left to right) and reports the variable and
+// whether the load is acquiring. ok is false when E is closed.
+//
+// Given a value n chosen for the read, the successor expression E' is
+// Subst(E, x, n) — exactly E[n/x] as in the READ rules of Figure 1.
+func EvalTarget(e Expr) (x event.Var, acq bool, ok bool) {
+	l, ok := EvalTargetLoad(e)
+	return l.X, l.Acq, ok
+}
+
+// EvalTargetLoad is EvalTarget returning the full load (including the
+// non-atomic marker of the extended language).
+func EvalTargetLoad(e Expr) (Load, bool) {
+	switch ex := e.(type) {
+	case Lit:
+		return Load{}, false
+	case Load:
+		return ex, true
+	case Un:
+		return EvalTargetLoad(ex.E)
+	case Bin:
+		if !Closed(ex.L) {
+			return EvalTargetLoad(ex.L)
+		}
+		return EvalTargetLoad(ex.R)
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}

@@ -1,0 +1,187 @@
+package lang
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestFreeVarsAndClosed(t *testing.T) {
+	e := And(Eq(XA("flag2"), B(true)), Eq(X("turn"), V(2)))
+	fv := FreeVars(e)
+	if len(fv) != 2 || !fv["flag2"] || !fv["turn"] {
+		t.Fatalf("fv = %v", fv)
+	}
+	if Closed(e) {
+		t.Fatal("open expression reported closed")
+	}
+	if !Closed(And(B(true), V(2))) {
+		t.Fatal("closed expression reported open")
+	}
+	if !Closed(Not(V(0))) {
+		t.Fatal("closed Not reported open")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	e := And(Eq(X("x"), V(1)), Eq(X("x"), X("y")))
+	s := Subst(e, "x", 5)
+	if Closed(s) {
+		t.Fatal("y should remain free")
+	}
+	fv := FreeVars(s)
+	if fv["x"] || !fv["y"] {
+		t.Fatalf("fv after subst = %v", fv)
+	}
+	s2 := Subst(s, "y", 5)
+	if !Closed(s2) {
+		t.Fatal("all vars substituted but still open")
+	}
+	if Eval(s2) != event.False { // (5=1) && (5=5) = false
+		t.Fatal("wrong value after substitution")
+	}
+}
+
+func TestEval(t *testing.T) {
+	cases := []struct {
+		e Expr
+		v event.Val
+	}{
+		{V(7), 7},
+		{Not(V(0)), 1},
+		{Not(V(3)), 0},
+		{Un{Op: OpNeg, E: V(4)}, -4},
+		{And(V(1), V(1)), 1},
+		{And(V(1), V(0)), 0},
+		{Or(V(0), V(1)), 1},
+		{Or(V(0), V(0)), 0},
+		{Eq(V(2), V(2)), 1},
+		{Eq(V(2), V(3)), 0},
+		{Ne(V(2), V(3)), 1},
+		{Bin{Op: OpLt, L: V(1), R: V(2)}, 1},
+		{Bin{Op: OpLt, L: V(2), R: V(1)}, 0},
+		{Add(V(2), V(3)), 5},
+		{Bin{Op: OpSub, L: V(2), R: V(3)}, -1},
+	}
+	for _, c := range cases {
+		if got := Eval(c.e); got != c.v {
+			t.Errorf("Eval(%s) = %d, want %d", c.e, got, c.v)
+		}
+	}
+}
+
+func TestEvalOpenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval of open expression did not panic")
+		}
+	}()
+	Eval(X("x"))
+}
+
+func TestEvalTargetLeftToRight(t *testing.T) {
+	// Figure 1: the leftmost free variable is read first.
+	e := And(Eq(XA("a"), V(1)), Eq(X("b"), V(2)))
+	x, acq, ok := EvalTarget(e)
+	if !ok || x != "a" || !acq {
+		t.Fatalf("first target = %v acq=%v ok=%v", x, acq, ok)
+	}
+	// After substituting a, the right operand is evaluated.
+	e2 := Subst(e, "a", 1)
+	x2, acq2, ok2 := EvalTarget(e2)
+	if !ok2 || x2 != "b" || acq2 {
+		t.Fatalf("second target = %v acq=%v", x2, acq2)
+	}
+	// Closed expression has no target.
+	if _, _, ok := EvalTarget(V(3)); ok {
+		t.Fatal("closed expression has a target")
+	}
+	// Unary wraps.
+	if x, _, _ := EvalTarget(Not(X("z"))); x != "z" {
+		t.Fatal("target under Not wrong")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := And(Eq(XA("f"), V(1)), Not(X("t")))
+	want := "((f^A==1)&&!(t))"
+	if got := e.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if (Un{Op: OpNeg, E: V(2)}).String() != "-(2)" {
+		t.Fatal("neg string wrong")
+	}
+	for _, op := range []BinOp{OpOr, OpNe, OpLt, OpAdd, OpSub} {
+		if (Bin{Op: op, L: V(1), R: V(2)}).String() == "" {
+			t.Fatalf("op %d renders empty", op)
+		}
+	}
+}
+
+// Property: substitution eliminates the variable and Eval after full
+// substitution never panics.
+func TestQuickSubstEliminates(t *testing.T) {
+	f := func(a, b int8) bool {
+		e := And(Eq(X("x"), V(event.Val(a))), Or(X("y"), Eq(X("x"), X("y"))))
+		e = Subst(e, "x", event.Val(b))
+		if FreeVars(e)["x"] {
+			return false
+		}
+		e = Subst(e, "y", event.Val(a))
+		if !Closed(e) {
+			return false
+		}
+		Eval(e) // must not panic
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation order — repeatedly substituting the EvalTarget
+// terminates in exactly |occurrences| distinct variable reads and
+// yields a closed expression.
+func TestQuickEvalTargetTerminates(t *testing.T) {
+	f := func(n uint8) bool {
+		e := Expr(Eq(X("a"), V(1)))
+		for i := 0; i < int(n%4); i++ {
+			e = And(e, Ne(X("b"), X("c")))
+		}
+		steps := 0
+		for !Closed(e) {
+			x, _, ok := EvalTarget(e)
+			if !ok {
+				return false
+			}
+			e = Subst(e, x, 0)
+			steps++
+			if steps > 20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := And(Eq(V(1), V(1)), Or(Ne(V(2), V(3)), Bin{Op: OpLt, L: V(1), R: V(5)}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Eval(e) != 1 {
+			b.Fatal("wrong value")
+		}
+	}
+}
+
+func BenchmarkSubst(b *testing.B) {
+	e := And(Eq(XA("f"), B(true)), Eq(X("t"), V(2)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Subst(e, "f", 1)
+	}
+}

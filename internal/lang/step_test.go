@@ -1,0 +1,343 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func single(t *testing.T, c Com) Step {
+	t.Helper()
+	ss := Steps(c)
+	if len(ss) != 1 {
+		t.Fatalf("Steps(%s) returned %d steps, want 1", c, len(ss))
+	}
+	return ss[0]
+}
+
+func TestSkipHasNoSteps(t *testing.T) {
+	if len(Steps(Skip{})) != 0 {
+		t.Fatal("skip should be terminated")
+	}
+	if !Terminated(Skip{}) || Terminated(SwapC("x", 1)) {
+		t.Fatal("Terminated wrong")
+	}
+}
+
+func TestAssignClosedIsWrite(t *testing.T) {
+	s := single(t, AssignC("x", Add(V(2), V(3))))
+	if s.Kind != StepWrite || s.Loc != "x" || s.WVal != 5 || s.Rel {
+		t.Fatalf("step = %+v", s)
+	}
+	a, ok := s.Action(0)
+	if !ok || a != event.Wr("x", 5) {
+		t.Fatalf("action = %v", a)
+	}
+	if !Terminated(s.Apply(0)) {
+		t.Fatal("assignment should reduce to skip")
+	}
+}
+
+func TestAssignReleaseWrite(t *testing.T) {
+	s := single(t, AssignRelC("f", B(false)))
+	if s.Kind != StepWrite || !s.Rel {
+		t.Fatalf("step = %+v", s)
+	}
+	a, _ := s.Action(0)
+	if a != event.WrR("f", 0) {
+		t.Fatalf("action = %v", a)
+	}
+}
+
+func TestAssignOpenIsRead(t *testing.T) {
+	// z := x : first a read of x, then a write of the value read.
+	s := single(t, AssignC("z", X("x")))
+	if s.Kind != StepRead || s.Loc != "x" || s.Acq {
+		t.Fatalf("step = %+v", s)
+	}
+	a, _ := s.Action(5)
+	if a != event.Rd("x", 5) {
+		t.Fatalf("action = %v", a)
+	}
+	c2 := s.Apply(5)
+	s2 := single(t, c2)
+	if s2.Kind != StepWrite || s2.WVal != 5 {
+		t.Fatalf("second step = %+v", s2)
+	}
+}
+
+func TestAcquireReadAction(t *testing.T) {
+	s := single(t, AssignC("r", XA("f")))
+	if !s.Acq {
+		t.Fatal("acquire flag lost")
+	}
+	a, _ := s.Action(1)
+	if a != event.RdA("f", 1) {
+		t.Fatalf("action = %v", a)
+	}
+}
+
+func TestSwapIsUpdate(t *testing.T) {
+	s := single(t, SwapC("turn", 2))
+	if s.Kind != StepUpdate || s.Loc != "turn" || s.WVal != 2 {
+		t.Fatalf("step = %+v", s)
+	}
+	a, _ := s.Action(1)
+	if a != event.Upd("turn", 1, 2) {
+		t.Fatalf("action = %v", a)
+	}
+	if !Terminated(s.Apply(7)) {
+		t.Fatal("swap should reduce to skip")
+	}
+}
+
+func TestSeqRules(t *testing.T) {
+	// skip; C --τ--> C
+	c := Seq{C1: Skip{}, C2: SwapC("x", 1)}
+	s := single(t, c)
+	if s.Kind != StepSilent {
+		t.Fatalf("step = %+v", s)
+	}
+	if s.Apply(0).String() != "x.swap(1)^RA" {
+		t.Fatal("skip;C should step to C")
+	}
+	// Steps of C1 lift into C1;C2.
+	c2 := SeqC(AssignC("x", V(1)), AssignC("y", V(2)))
+	s2 := single(t, c2)
+	if s2.Kind != StepWrite || s2.Loc != "x" {
+		t.Fatalf("lifted step = %+v", s2)
+	}
+	next := s2.Apply(0)
+	if next.String() != "skip; y := 2" {
+		t.Fatalf("next = %q", next)
+	}
+	// Read steps lift too.
+	c3 := SeqC(AssignC("z", X("x")), SkipC())
+	s3 := single(t, c3)
+	if s3.Kind != StepRead {
+		t.Fatalf("step = %+v", s3)
+	}
+	if got := s3.Apply(9).String(); got != "z := 9; skip" {
+		t.Fatalf("next = %q", got)
+	}
+}
+
+func TestIfGuardEvaluation(t *testing.T) {
+	c := IfC(Eq(X("x"), V(1)), AssignC("a", V(1)), AssignC("b", V(2)))
+	s := single(t, c)
+	if s.Kind != StepRead || s.Loc != "x" {
+		t.Fatalf("step = %+v", s)
+	}
+	// Read 1: guard true -> silent into then.
+	cTrue := s.Apply(1)
+	st := single(t, cTrue)
+	if st.Kind != StepSilent {
+		t.Fatalf("expected silent, got %+v", st)
+	}
+	if st.Apply(0).String() != "a := 1" {
+		t.Fatal("then branch not taken")
+	}
+	// Read 0: guard false -> silent into else.
+	cFalse := s.Apply(0)
+	sf := single(t, cFalse)
+	if sf.Apply(0).String() != "b := 2" {
+		t.Fatal("else branch not taken")
+	}
+}
+
+func TestWhileUnfoldAndReset(t *testing.T) {
+	// while (f = 1) do skip
+	w := WhileC(Eq(X("f"), V(1)), SkipC())
+	s := single(t, w)
+	if s.Kind != StepRead || s.Loc != "f" {
+		t.Fatalf("step = %+v", s)
+	}
+	// Guard true: unfold, and crucially the guard is RESET so the next
+	// iteration re-reads f (busy-wait loops must re-read their guard).
+	cTrue := s.Apply(1)
+	st := single(t, cTrue)
+	if st.Kind != StepSilent {
+		t.Fatalf("expected silent unfold, got %+v", st)
+	}
+	unfolded := st.Apply(0)
+	seq, ok := unfolded.(Seq)
+	if !ok {
+		t.Fatalf("unfold shape = %T", unfolded)
+	}
+	w2, ok := seq.C2.(While)
+	if !ok {
+		t.Fatalf("continuation shape = %T", seq.C2)
+	}
+	if w2.Cur.String() != w2.Guard.String() {
+		t.Fatal("loop guard not reset after unfolding")
+	}
+	// Guard false: loop exits to skip.
+	cFalse := s.Apply(0)
+	sf := single(t, cFalse)
+	if sf.Kind != StepSilent || !Terminated(sf.Apply(0)) {
+		t.Fatal("false guard should exit loop")
+	}
+}
+
+func TestWhileConjunctionGuardTwoReads(t *testing.T) {
+	// Peterson guard: while (flag^A = true) && (turn = 2) do skip.
+	w := WhileC(And(Eq(XA("flag2"), B(true)), Eq(X("turn"), V(2))), SkipC())
+	s1 := single(t, w)
+	if s1.Loc != "flag2" || !s1.Acq {
+		t.Fatalf("first guard read = %+v", s1)
+	}
+	c2 := s1.Apply(1)
+	s2 := single(t, c2)
+	if s2.Kind != StepRead || s2.Loc != "turn" || s2.Acq {
+		t.Fatalf("second guard read = %+v", s2)
+	}
+	c3 := s2.Apply(2)
+	s3 := single(t, c3)
+	if s3.Kind != StepSilent {
+		t.Fatal("fully evaluated guard should be silent")
+	}
+}
+
+func TestLabelStepsSilentlyAndAtLabel(t *testing.T) {
+	c := SeqC(LabelC("cs", SkipC()), AssignRelC("f", B(false)))
+	if AtLabel(c) != "cs" {
+		t.Fatalf("AtLabel = %q", AtLabel(c))
+	}
+	s := single(t, c)
+	if s.Kind != StepSilent {
+		t.Fatalf("label step = %+v", s)
+	}
+	next := s.Apply(0)
+	if AtLabel(next) != "" {
+		t.Fatal("label should be consumed")
+	}
+	if AtLabel(SkipC()) != "" {
+		t.Fatal("skip has no label")
+	}
+}
+
+// Proposition 2.2: read transitions exist for every value with the
+// same (post-application) continuation structure, and an update's
+// successor is independent of the value read.
+func TestProp22ValueAgnosticReads(t *testing.T) {
+	c := AssignC("z", X("x"))
+	s := single(t, c)
+	for v := event.Val(-3); v <= 3; v++ {
+		next := s.Apply(v)
+		// The continuation must be the assignment with v substituted:
+		// the rule applies uniformly at every value.
+		want := Assign{X: "z", E: Lit{V: v}}
+		if next.String() != want.String() {
+			t.Fatalf("Apply(%d) = %s, want %s", v, next, want)
+		}
+	}
+	u := single(t, SwapC("x", 9))
+	if u.Apply(0).String() != u.Apply(42).String() {
+		t.Fatal("update continuation depends on value read")
+	}
+}
+
+// Proposition 2.3: steps of distinct threads commute in the
+// uninterpreted program semantics.
+func TestProp23ThreadCommutation(t *testing.T) {
+	p := Prog{AssignC("x", V(1)), AssignC("y", V(2))}
+	steps := ProgSteps(p)
+	if len(steps) != 2 {
+		t.Fatalf("enabled steps = %d, want 2", len(steps))
+	}
+	// Order 1: t1 then t2.
+	p1 := p.WithThread(steps[0].T, steps[0].S.Apply(0))
+	s2after := ProgSteps(p1)
+	var p12 Prog
+	for _, ps := range s2after {
+		if ps.T == steps[1].T {
+			p12 = p1.WithThread(ps.T, ps.S.Apply(0))
+		}
+	}
+	// Order 2: t2 then t1.
+	p2 := p.WithThread(steps[1].T, steps[1].S.Apply(0))
+	s1after := ProgSteps(p2)
+	var p21 Prog
+	for _, ps := range s1after {
+		if ps.T == steps[0].T {
+			p21 = p2.WithThread(ps.T, ps.S.Apply(0))
+		}
+	}
+	if p12 == nil || p21 == nil {
+		t.Fatal("commuted step not enabled")
+	}
+	if p12.String() != p21.String() {
+		t.Fatalf("orders disagree: %q vs %q", p12, p21)
+	}
+}
+
+func TestProgHelpers(t *testing.T) {
+	p := Prog{SkipC(), SwapC("x", 1)}
+	if p.Terminated() {
+		t.Fatal("program with live thread reported terminated")
+	}
+	if p.Thread(2).String() != "x.swap(1)^RA" {
+		t.Fatal("Thread accessor wrong")
+	}
+	q := p.WithThread(2, SkipC())
+	if !q.Terminated() {
+		t.Fatal("all-skip program not terminated")
+	}
+	if p.Thread(2).String() != "x.swap(1)^RA" {
+		t.Fatal("WithThread mutated original")
+	}
+	if q.String() != "skip ||| skip" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestSeqCConstruction(t *testing.T) {
+	if !Terminated(SeqC()) {
+		t.Fatal("empty SeqC should be skip")
+	}
+	c := SeqC(AssignC("a", V(1)), AssignC("b", V(2)), AssignC("c", V(3)))
+	if c.String() != "a := 1; b := 2; c := 3" {
+		t.Fatalf("SeqC = %q", c)
+	}
+	if SeqC(SwapC("x", 1)).String() != "x.swap(1)^RA" {
+		t.Fatal("singleton SeqC wrong")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	for k, want := range map[StepKind]string{
+		StepSilent: "τ", StepRead: "read", StepWrite: "write", StepUpdate: "update",
+	} {
+		if k.String() != want {
+			t.Fatalf("String(%d) = %q", k, k.String())
+		}
+	}
+	if StepKind(99).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}
+
+func TestWhileStringForms(t *testing.T) {
+	w := WhileC(Eq(X("f"), V(1)), SkipC())
+	if w.String() != "while (f==1) do {skip}" {
+		t.Fatalf("pristine while = %q", w)
+	}
+	s := single(t, w)
+	part := s.Apply(1) // guard now closed literal
+	if part.String() == w.String() {
+		t.Fatal("partially evaluated while should render differently")
+	}
+}
+
+func BenchmarkProgSteps(b *testing.B) {
+	p := Prog{
+		SeqC(AssignC("x", V(1)), SwapC("t", 2), WhileC(Eq(XA("y"), V(1)), SkipC())),
+		SeqC(AssignC("y", V(1)), SwapC("t", 1), WhileC(Eq(XA("x"), V(1)), SkipC())),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(ProgSteps(p)) == 0 {
+			b.Fatal("no steps")
+		}
+	}
+}

@@ -1,0 +1,444 @@
+// Package litmus provides the classic weak-memory litmus tests
+// expressed in the paper's command language, with their expected
+// verdicts under the RAR fragment, plus the Peterson mutual-exclusion
+// programs of Algorithm 1 (and deliberately weakened variants used as
+// negative controls). Each test runs both through the operational
+// explorer and — at litmus sizes — through the axiomatic
+// generate-and-test baseline, and the two verdicts are cross-checked.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/lang"
+)
+
+// Outcome is an assignment of final values to observed variables. The
+// final value of a variable is the value of its mo-last write.
+type Outcome map[event.Var]event.Val
+
+// Key renders the outcome over the observed variables, in the same
+// format Report.Outcomes uses.
+func (o Outcome) Key(observe []event.Var) string { return o.key(observe) }
+
+func (o Outcome) key(observe []event.Var) string {
+	var b strings.Builder
+	for _, x := range observe {
+		fmt.Fprintf(&b, "%s=%d;", x, o[x])
+	}
+	return b.String()
+}
+
+// Test is one litmus test.
+type Test struct {
+	// Name identifies the test (e.g. "MP+rel+acq").
+	Name string
+	// Prog and Init define the program and initial memory.
+	Prog lang.Prog
+	Init map[event.Var]event.Val
+	// Observe lists the variables whose final values form an outcome.
+	Observe []event.Var
+	// Allowed outcomes must be reachable; Forbidden must not.
+	Allowed   []Outcome
+	Forbidden []Outcome
+	// MaxEvents bounds exploration (0: default).
+	MaxEvents int
+}
+
+// Report is the verdict of running a test.
+type Report struct {
+	Test     *Test
+	Outcomes map[string]bool // reachable outcome keys
+	// MissingAllowed and ReachedForbidden list violated expectations.
+	MissingAllowed   []string
+	ReachedForbidden []string
+	Explored         int
+	Truncated        bool
+}
+
+// Pass reports whether every expectation held.
+func (r Report) Pass() bool {
+	return len(r.MissingAllowed) == 0 && len(r.ReachedForbidden) == 0
+}
+
+// Summary renders a one-line verdict.
+func (r Report) Summary() string {
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("%-24s %s  outcomes=%d explored=%d %s",
+		r.Test.Name, verdict, len(r.Outcomes), r.Explored, strings.Join(keys, " "))
+}
+
+// Run explores the test operationally and checks expectations.
+func (t *Test) Run(opts explore.Options) Report {
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = t.MaxEvents
+	}
+	cfg := core.NewConfig(t.Prog, t.Init)
+	rep := Report{Test: t, Outcomes: map[string]bool{}}
+
+	summarise := func(c core.Config) string {
+		o := Outcome{}
+		for _, x := range t.Observe {
+			g, ok := c.S.Last(x)
+			if !ok {
+				continue
+			}
+			o[x] = c.S.Event(g).WrVal()
+		}
+		return o.key(t.Observe)
+	}
+
+	res := explore.Run(cfg, explore.Options{
+		MaxEvents:  opts.MaxEvents,
+		MaxConfigs: opts.MaxConfigs,
+		Workers:    opts.Workers,
+		Property: func(c core.Config) bool {
+			if c.Terminated() {
+				rep.Outcomes[summarise(c)] = true
+			}
+			return true
+		},
+	})
+	rep.Explored = res.Explored
+	rep.Truncated = res.Truncated
+
+	for _, o := range t.Allowed {
+		if !rep.Outcomes[o.key(t.Observe)] {
+			rep.MissingAllowed = append(rep.MissingAllowed, o.key(t.Observe))
+		}
+	}
+	for _, o := range t.Forbidden {
+		if rep.Outcomes[o.key(t.Observe)] {
+			rep.ReachedForbidden = append(rep.ReachedForbidden, o.key(t.Observe))
+		}
+	}
+	return rep
+}
+
+// seqAsn builds var := e chains tersely.
+func wr(x event.Var, v event.Val) lang.Com  { return lang.AssignC(x, lang.V(v)) }
+func wrR(x event.Var, v event.Val) lang.Com { return lang.AssignRelC(x, lang.V(v)) }
+func rd(dst, src event.Var) lang.Com        { return lang.AssignC(dst, lang.X(src)) }
+func rdA(dst, src event.Var) lang.Com       { return lang.AssignC(dst, lang.XA(src)) }
+
+// Suite returns the full litmus catalog.
+func Suite() []*Test {
+	zero := func(xs ...event.Var) map[event.Var]event.Val {
+		m := map[event.Var]event.Val{}
+		for _, x := range xs {
+			m[x] = 0
+		}
+		return m
+	}
+	return []*Test{
+		{
+			Name: "MP+rel+acq",
+			Prog: lang.Prog{
+				lang.SeqC(wr("d", 5), wrR("f", 1)),
+				lang.SeqC(rdA("a", "f"), rd("b", "d")),
+			},
+			Init:    zero("d", "f", "a", "b"),
+			Observe: []event.Var{"a", "b"},
+			Allowed: []Outcome{
+				{"a": 0, "b": 0}, {"a": 0, "b": 5}, {"a": 1, "b": 5},
+			},
+			Forbidden: []Outcome{{"a": 1, "b": 0}},
+		},
+		{
+			Name: "MP+rlx+rlx",
+			Prog: lang.Prog{
+				lang.SeqC(wr("d", 5), wr("f", 1)),
+				lang.SeqC(rd("a", "f"), rd("b", "d")),
+			},
+			Init:    zero("d", "f", "a", "b"),
+			Observe: []event.Var{"a", "b"},
+			Allowed: []Outcome{
+				{"a": 1, "b": 0}, // the stale read is allowed relaxed
+				{"a": 1, "b": 5},
+			},
+		},
+		{
+			Name: "SB+rel+acq",
+			Prog: lang.Prog{
+				lang.SeqC(wrR("x", 1), rdA("a", "y")),
+				lang.SeqC(wrR("y", 1), rdA("b", "x")),
+			},
+			Init:    zero("x", "y", "a", "b"),
+			Observe: []event.Var{"a", "b"},
+			Allowed: []Outcome{
+				{"a": 0, "b": 0}, // RA is weaker than SC
+				{"a": 1, "b": 1},
+				{"a": 0, "b": 1},
+				{"a": 1, "b": 0},
+			},
+		},
+		{
+			Name: "LB+rlx+rlx",
+			Prog: lang.Prog{
+				lang.SeqC(rd("a", "x"), wr("y", 1)),
+				lang.SeqC(rd("b", "y"), wr("x", 1)),
+			},
+			Init:      zero("x", "y", "a", "b"),
+			Observe:   []event.Var{"a", "b"},
+			Allowed:   []Outcome{{"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}},
+			Forbidden: []Outcome{{"a": 1, "b": 1}}, // sb ∪ rf acyclic
+		},
+		{
+			Name: "CoRR",
+			Prog: lang.Prog{
+				wr("x", 1),
+				lang.SeqC(rd("a", "x"), rd("b", "x")),
+			},
+			Init:      zero("x", "a", "b"),
+			Observe:   []event.Var{"a", "b"},
+			Allowed:   []Outcome{{"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 1}},
+			Forbidden: []Outcome{{"a": 1, "b": 0}},
+		},
+		{
+			Name: "CoWW",
+			Prog: lang.Prog{
+				lang.SeqC(wr("x", 1), wr("x", 2)),
+			},
+			Init:      zero("x"),
+			Observe:   []event.Var{"x"},
+			Allowed:   []Outcome{{"x": 2}},
+			Forbidden: []Outcome{{"x": 1}, {"x": 0}},
+		},
+		{
+			Name: "CoWR",
+			Prog: lang.Prog{
+				lang.SeqC(wr("x", 1), rd("a", "x")),
+				wr("x", 2),
+			},
+			Init:    zero("x", "a"),
+			Observe: []event.Var{"a"},
+			Allowed: []Outcome{{"a": 1}, {"a": 2}},
+			// Reading the initial 0 after writing 1 violates coherence.
+			Forbidden: []Outcome{{"a": 0}},
+		},
+		{
+			Name: "2+2W",
+			Prog: lang.Prog{
+				lang.SeqC(wr("x", 1), wr("y", 2)),
+				lang.SeqC(wr("y", 1), wr("x", 2)),
+			},
+			Init:    zero("x", "y"),
+			Observe: []event.Var{"x", "y"},
+			Allowed: []Outcome{
+				{"x": 1, "y": 1}, // both final writes "early": allowed relaxed
+				{"x": 2, "y": 2},
+				{"x": 1, "y": 2},
+				{"x": 2, "y": 1},
+			},
+		},
+		{
+			Name: "IRIW+rel+acq",
+			Prog: lang.Prog{
+				wrR("x", 1),
+				wrR("y", 1),
+				lang.SeqC(rdA("a", "x"), rdA("b", "y")),
+				lang.SeqC(rdA("c", "y"), rdA("d", "x")),
+			},
+			Init:    zero("x", "y", "a", "b", "c", "d"),
+			Observe: []event.Var{"a", "b", "c", "d"},
+			// The two readers may disagree on the write order: RA does
+			// not guarantee multi-copy atomicity.
+			Allowed: []Outcome{{"a": 1, "b": 0, "c": 1, "d": 0}},
+		},
+		{
+			Name: "RMW-atomicity",
+			Prog: lang.Prog{
+				lang.SwapC("t", 1),
+				lang.SwapC("t", 2),
+			},
+			Init:    zero("t"),
+			Observe: []event.Var{"t"},
+			// Both orders allowed, but the updates serialize.
+			Allowed: []Outcome{{"t": 1}, {"t": 2}},
+		},
+		{
+			Name: "WRC+rel+acq", // write-to-read causality
+			Prog: lang.Prog{
+				wrR("x", 1),
+				lang.SeqC(rdA("a", "x"), wrR("y", 1)),
+				lang.SeqC(rdA("b", "y"), rdA("c", "x")),
+			},
+			Init:    zero("x", "y", "a", "b", "c"),
+			Observe: []event.Var{"a", "b", "c"},
+			// Causality is cumulative through sw;sb chains: if t2 saw
+			// x=1 and t3 saw t2's y=1, t3 must see x=1.
+			Forbidden: []Outcome{{"a": 1, "b": 1, "c": 0}},
+			Allowed:   []Outcome{{"a": 1, "b": 1, "c": 1}, {"a": 1, "b": 0, "c": 0}},
+		},
+		{
+			Name: "WRC+rlx",
+			Prog: lang.Prog{
+				wr("x", 1),
+				lang.SeqC(rd("a", "x"), wr("y", 1)),
+				lang.SeqC(rd("b", "y"), rd("c", "x")),
+			},
+			Init:    zero("x", "y", "a", "b", "c"),
+			Observe: []event.Var{"a", "b", "c"},
+			// Without synchronisation the causality chain is gone.
+			Allowed: []Outcome{{"a": 1, "b": 1, "c": 0}},
+		},
+		{
+			Name: "S+rel+acq",
+			Prog: lang.Prog{
+				lang.SeqC(wr("x", 2), wrR("y", 1)),
+				lang.SeqC(rdA("a", "y"), wr("x", 1)),
+			},
+			Init:    zero("x", "y", "a"),
+			Observe: []event.Var{"a", "x"},
+			// a=1 puts wr(x,2) hb-before wr(x,1), so mo must agree:
+			// the final value of x cannot be 2.
+			Forbidden: []Outcome{{"a": 1, "x": 2}},
+			Allowed:   []Outcome{{"a": 1, "x": 1}, {"a": 0, "x": 1}, {"a": 0, "x": 2}},
+		},
+		{
+			Name: "ISA2+rel+acq",
+			Prog: lang.Prog{
+				lang.SeqC(wr("x", 1), wrR("y", 1)),
+				lang.SeqC(rdA("a", "y"), wrR("z", 1)),
+				lang.SeqC(rdA("b", "z"), rdA("c", "x")),
+			},
+			Init:    zero("x", "y", "a", "b", "c", "z"),
+			Observe: []event.Var{"a", "b", "c"},
+			// The sw;sb;sw chain transports the relaxed write of x.
+			Forbidden: []Outcome{{"a": 1, "b": 1, "c": 0}},
+			Allowed:   []Outcome{{"a": 1, "b": 1, "c": 1}},
+		},
+		{
+			Name: "W+RWC", // writes seen out of order without sync
+			Prog: lang.Prog{
+				lang.SeqC(wr("x", 1), wrR("f", 1)),
+				lang.SeqC(rdA("a", "f"), rd("b", "x")),
+				rd("c", "x"),
+			},
+			Init:    zero("x", "f", "a", "b", "c"),
+			Observe: []event.Var{"a", "b", "c"},
+			// Synchronised reader must see x=1 after f=1...
+			Forbidden: []Outcome{
+				{"a": 1, "b": 0, "c": 0}, {"a": 1, "b": 0, "c": 1},
+			},
+			// ...while the unsynchronised one may still see 0.
+			Allowed: []Outcome{{"a": 1, "b": 1, "c": 0}},
+		},
+	}
+}
+
+// Peterson returns Algorithm 1: the release-acquire Peterson lock.
+// The critical section is the labelled skip "cs"; mutual exclusion is
+// the property that the two threads are never simultaneously at that
+// label.
+func Peterson() (lang.Prog, map[event.Var]event.Val) {
+	return petersonWith(swapTurn, acquireFlagGuard, releaseReset), petersonInit()
+}
+
+// PetersonWeakTurn replaces the release-acquire swap of line 3 with a
+// plain relaxed write — the classic broken variant: without the
+// synchronising update, each thread can miss the other's flag.
+func PetersonWeakTurn() (lang.Prog, map[event.Var]event.Val) {
+	return petersonWith(plainTurn, acquireFlagGuard, releaseReset), petersonInit()
+}
+
+// PetersonRelaxedGuard drops the acquire annotation on the flag read
+// in the busy-wait guard (line 4) but keeps the RA swap.
+func PetersonRelaxedGuard() (lang.Prog, map[event.Var]event.Val) {
+	return petersonWith(swapTurn, relaxedFlagGuard, releaseReset), petersonInit()
+}
+
+// PetersonRelaxedReset downgrades the flag reset of line 6 from
+// release to relaxed, keeping everything else.
+func PetersonRelaxedReset() (lang.Prog, map[event.Var]event.Val) {
+	return petersonWith(swapTurn, acquireFlagGuard, relaxedReset), petersonInit()
+}
+
+func petersonInit() map[event.Var]event.Val {
+	return map[event.Var]event.Val{"flag1": 0, "flag2": 0, "turn": 1}
+}
+
+type turnStyle int
+
+const (
+	swapTurn turnStyle = iota
+	plainTurn
+)
+
+type guardStyle int
+
+const (
+	acquireFlagGuard guardStyle = iota
+	relaxedFlagGuard
+)
+
+type resetStyle int
+
+const (
+	releaseReset resetStyle = iota
+	relaxedReset
+)
+
+func petersonWith(ts turnStyle, gs guardStyle, rs resetStyle) lang.Prog {
+	thread := func(t int) lang.Com {
+		other := 3 - t
+		me := event.Var(fmt.Sprintf("flag%d", t))
+		you := event.Var(fmt.Sprintf("flag%d", other))
+
+		var setTurn lang.Com
+		switch ts {
+		case swapTurn:
+			setTurn = lang.SwapC("turn", event.Val(other))
+		case plainTurn:
+			setTurn = lang.AssignC("turn", lang.V(event.Val(other)))
+		}
+
+		var flagRead lang.Expr
+		switch gs {
+		case acquireFlagGuard:
+			flagRead = lang.XA(you)
+		case relaxedFlagGuard:
+			flagRead = lang.X(you)
+		}
+		guard := lang.And(
+			lang.Eq(flagRead, lang.B(true)),
+			lang.Eq(lang.X("turn"), lang.V(event.Val(other))),
+		)
+
+		var reset lang.Com
+		switch rs {
+		case releaseReset:
+			reset = lang.AssignRelC(me, lang.B(false))
+		case relaxedReset:
+			reset = lang.AssignC(me, lang.B(false))
+		}
+
+		return lang.SeqC(
+			lang.AssignC(me, lang.B(true)),   // line 2 (relaxed)
+			setTurn,                          // line 3
+			lang.WhileC(guard, lang.SkipC()), // line 4
+			lang.LabelC("cs", lang.SkipC()),  // line 5
+			reset,                            // line 6
+		)
+	}
+	return lang.Prog{thread(1), thread(2)}
+}
+
+// MutualExclusion is the safety property of Theorem 5.8: the two
+// threads are never both at the critical-section label.
+func MutualExclusion(c core.Config) bool {
+	return !(lang.AtLabel(c.P.Thread(1)) == "cs" && lang.AtLabel(c.P.Thread(2)) == "cs")
+}

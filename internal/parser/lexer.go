@@ -1,0 +1,150 @@
+// Package parser implements a textual front end for the command
+// language: litmus-style files declaring initial memory, one block per
+// thread, and expected outcomes. It turns the paper's examples into
+// runnable artifacts:
+//
+//	// message passing, Example 5.7
+//	init d=0 f=0 r=0
+//	thread 1 { d := 5; f :=R 1; }
+//	thread 2 { while (f^A == 0) { skip; } r := d; }
+//	observe r
+//	allow  r=5
+//	forbid r=0
+//
+// Grammar (precedence low to high): ||, &&, {==,!=,<}, {+,-}, unary
+// {!,-}, primary (integer, variable, variable^A, parenthesised).
+// Statements: skip; x := e; x :=R e; x :=NA e; x.swap(n); if (e) {..}
+// else {..}; while (e) {..}; label name {..}. Loads may be annotated
+// x^A (acquire) or x^NA (non-atomic).
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokPunct // one of the punctuation/operator spellings below
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// operators and punctuation, longest first for maximal munch.
+var puncts = []string{
+	":=NA", ":=R", ":=", "==", "!=", "&&", "||", "^NA", "^A",
+	"{", "}", "(", ")", ";", "<", "+", "-", "!", "=", ".",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.src[l.pos]
+
+	if unicode.IsDigit(rune(c)) {
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.advance(1)
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.advance(1)
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			return token{kind: tokPunct, text: p, line: line, col: col}, nil
+		}
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", c)
+}
+
+// tokenize lexes the whole input.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,489 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+)
+
+// File is a parsed litmus file.
+type File struct {
+	Name    string
+	Init    map[event.Var]event.Val
+	Threads map[int]lang.Com
+	Observe []event.Var
+	Allow   []litmus.Outcome
+	Forbid  []litmus.Outcome
+}
+
+// Prog assembles the per-thread commands into a lang.Prog; thread
+// numbers must be contiguous from 1.
+func (f *File) Prog() (lang.Prog, error) {
+	var ids []int
+	for id := range f.Threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		if id != i+1 {
+			return nil, fmt.Errorf("parser: thread ids must be 1..n, got %v", ids)
+		}
+	}
+	p := make(lang.Prog, len(ids))
+	for i, id := range ids {
+		p[i] = f.Threads[id]
+	}
+	return p, nil
+}
+
+// Test converts the file into a runnable litmus test.
+func (f *File) Test() (*litmus.Test, error) {
+	p, err := f.Prog()
+	if err != nil {
+		return nil, err
+	}
+	return &litmus.Test{
+		Name:      f.Name,
+		Prog:      p,
+		Init:      f.Init,
+		Observe:   f.Observe,
+		Allowed:   f.Allow,
+		Forbidden: f.Forbid,
+	}, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a litmus file.
+func Parse(name, src string) (*File, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{
+		Name:    name,
+		Init:    map[event.Var]event.Val{},
+		Threads: map[int]lang.Com{},
+	}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.atIdent("init"):
+			p.pos++
+			if err := p.parseInit(f); err != nil {
+				return nil, err
+			}
+		case p.atIdent("thread"):
+			p.pos++
+			if err := p.parseThread(f); err != nil {
+				return nil, err
+			}
+		case p.atIdent("observe"):
+			p.pos++
+			for p.at(tokIdent, "") && !isKeyword(p.cur().text) {
+				f.Observe = append(f.Observe, event.Var(p.take().text))
+			}
+		case p.atIdent("allow"), p.atIdent("forbid"):
+			kind := p.take().text
+			o, err := p.parseOutcome()
+			if err != nil {
+				return nil, err
+			}
+			if kind == "allow" {
+				f.Allow = append(f.Allow, o)
+			} else {
+				f.Forbid = append(f.Forbid, o)
+			}
+		default:
+			t := p.cur()
+			return nil, fmt.Errorf("%d:%d: unexpected %q at top level", t.line, t.col, t.text)
+		}
+	}
+	return f, nil
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "init", "thread", "observe", "allow", "forbid":
+		return true
+	}
+	return false
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) atIdent(name string) bool {
+	return p.at(tokIdent, name)
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != k || (text != "" && t.text != text) {
+		want := text
+		if want == "" {
+			want = map[tokenKind]string{tokIdent: "identifier", tokInt: "integer"}[k]
+		}
+		return t, fmt.Errorf("%d:%d: expected %s, got %q", t.line, t.col, want, t.text)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) parseInit(f *File) error {
+	for p.at(tokIdent, "") {
+		if isKeyword(p.cur().text) {
+			return nil
+		}
+		name := p.take().text
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return err
+		}
+		v, err := p.parseInt()
+		if err != nil {
+			return err
+		}
+		f.Init[event.Var(name)] = v
+	}
+	return nil
+}
+
+func (p *parser) parseInt() (event.Val, error) {
+	neg := false
+	if p.at(tokPunct, "-") {
+		p.take()
+		neg = true
+	}
+	t, err := p.expect(tokInt, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("%d:%d: bad integer %q", t.line, t.col, t.text)
+	}
+	if neg {
+		n = -n
+	}
+	return event.Val(n), nil
+}
+
+func (p *parser) parseOutcome() (litmus.Outcome, error) {
+	o := litmus.Outcome{}
+	for p.at(tokIdent, "") {
+		if isKeyword(p.cur().text) {
+			return o, nil
+		}
+		name := p.take().text
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		o[event.Var(name)] = v
+	}
+	return o, nil
+}
+
+func (p *parser) parseThread(f *File) error {
+	idTok, err := p.expect(tokInt, "")
+	if err != nil {
+		return err
+	}
+	id, _ := strconv.Atoi(idTok.text)
+	if _, dup := f.Threads[id]; dup {
+		return fmt.Errorf("%d:%d: duplicate thread %d", idTok.line, idTok.col, id)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	f.Threads[id] = body
+	return nil
+}
+
+func (p *parser) parseBlock() (lang.Com, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []lang.Com
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			t := p.cur()
+			return nil, fmt.Errorf("%d:%d: unterminated block", t.line, t.col)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.take() // }
+	return lang.SeqC(stmts...), nil
+}
+
+func (p *parser) parseStmt() (lang.Com, error) {
+	t := p.cur()
+	switch {
+	case p.atIdent("skip"):
+		p.take()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return lang.SkipC(), nil
+
+	case p.atIdent("if"):
+		p.take()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		els := lang.SkipC()
+		if p.atIdent("else") {
+			p.take()
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return lang.IfC(b, then, els), nil
+
+	case p.atIdent("while"):
+		p.take()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return lang.WhileC(b, body), nil
+
+	case p.atIdent("label"):
+		p.take()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return lang.LabelC(name.text, body), nil
+
+	case t.kind == tokIdent:
+		name := p.take().text
+		switch {
+		case p.at(tokPunct, "."): // x.swap(n);
+			p.take()
+			if _, err := p.expect(tokIdent, "swap"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			n, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return lang.SwapC(event.Var(name), n), nil
+
+		case p.at(tokPunct, ":=") || p.at(tokPunct, ":=R") || p.at(tokPunct, ":=NA"):
+			op := p.take().text
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			switch op {
+			case ":=R":
+				return lang.AssignRelC(event.Var(name), e), nil
+			case ":=NA":
+				return lang.AssignNAC(event.Var(name), e), nil
+			default:
+				return lang.AssignC(event.Var(name), e), nil
+			}
+		}
+		return nil, fmt.Errorf("%d:%d: expected :=, :=R, :=NA or .swap after %q", t.line, t.col, name)
+	}
+	return nil, fmt.Errorf("%d:%d: unexpected %q in statement position", t.line, t.col, t.text)
+}
+
+// Expression parsing, precedence climbing.
+
+func (p *parser) parseExpr() (lang.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (lang.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "||") {
+		p.take()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = lang.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (lang.Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "&&") {
+		p.take()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = lang.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (lang.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "==") || p.at(tokPunct, "!=") || p.at(tokPunct, "<") {
+		op := p.take().text
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "==":
+			l = lang.Eq(l, r)
+		case "!=":
+			l = lang.Ne(l, r)
+		case "<":
+			l = lang.Bin{Op: lang.OpLt, L: l, R: r}
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (lang.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "+") || p.at(tokPunct, "-") {
+		op := p.take().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			l = lang.Add(l, r)
+		} else {
+			l = lang.Bin{Op: lang.OpSub, L: l, R: r}
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (lang.Expr, error) {
+	switch {
+	case p.at(tokPunct, "!"):
+		p.take()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Not(e), nil
+	case p.at(tokPunct, "-"):
+		p.take()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Un{Op: lang.OpNeg, E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (lang.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.take()
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("%d:%d: bad integer %q", t.line, t.col, t.text)
+		}
+		return lang.V(event.Val(n)), nil
+	case t.kind == tokIdent:
+		p.take()
+		if p.at(tokPunct, "^A") {
+			p.take()
+			return lang.XA(event.Var(t.text)), nil
+		}
+		if p.at(tokPunct, "^NA") {
+			p.take()
+			return lang.XNA(event.Var(t.text)), nil
+		}
+		return lang.X(event.Var(t.text)), nil
+	case p.at(tokPunct, "("):
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("%d:%d: unexpected %q in expression", t.line, t.col, t.text)
+}

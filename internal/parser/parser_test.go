@@ -1,0 +1,235 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/lang"
+)
+
+const mpSrc = `
+// message passing, Example 5.7
+init d=0 f=0 r=0
+thread 1 { d := 5; f :=R 1; }
+thread 2 { while (f^A == 0) { skip; } r := d; }
+observe r
+allow  r=5
+forbid r=0
+`
+
+func TestParseMP(t *testing.T) {
+	f, err := Parse("mp", mpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Init) != 3 || f.Init["d"] != 0 {
+		t.Fatalf("init = %v", f.Init)
+	}
+	if len(f.Threads) != 2 {
+		t.Fatalf("threads = %d", len(f.Threads))
+	}
+	if got := f.Threads[1].String(); got != "d := 5; f :=R 1" {
+		t.Fatalf("thread 1 = %q", got)
+	}
+	if !strings.Contains(f.Threads[2].String(), "while") {
+		t.Fatalf("thread 2 = %q", f.Threads[2])
+	}
+	if len(f.Observe) != 1 || f.Observe[0] != "r" {
+		t.Fatalf("observe = %v", f.Observe)
+	}
+	if len(f.Allow) != 1 || f.Allow[0]["r"] != 5 {
+		t.Fatalf("allow = %v", f.Allow)
+	}
+	if len(f.Forbid) != 1 || f.Forbid[0]["r"] != 0 {
+		t.Fatalf("forbid = %v", f.Forbid)
+	}
+}
+
+// The parsed MP test runs end to end and passes its expectations —
+// the full pipeline from text to verdict.
+func TestParsedMPRuns(t *testing.T) {
+	f, err := Parse("mp", mpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := f.Test()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tc.Run(explore.Options{MaxEvents: 12})
+	if !rep.Pass() {
+		t.Fatalf("parsed MP failed: %s", rep.Summary())
+	}
+}
+
+func TestParseSwapAndControlFlow(t *testing.T) {
+	src := `
+init turn=1 flag1=0 flag2=0
+thread 1 {
+  flag1 := 1;
+  turn.swap(2);
+  while ((flag2^A == 1) && (turn == 2)) { skip; }
+  label cs { skip; }
+  flag1 :=R 0;
+}
+thread 2 {
+  if (flag1 == 0) { flag2 := 1; } else { skip; }
+}
+`
+	f, err := Parse("pet1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := f.Threads[1].String()
+	for _, want := range []string{"turn.swap(2)^RA", "while", "@cs:", "flag1 :=R 0"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("thread 1 missing %q: %s", want, t1)
+		}
+	}
+	t2 := f.Threads[2].String()
+	if !strings.Contains(t2, "if (flag1==0)") {
+		t.Errorf("thread 2 = %q", t2)
+	}
+}
+
+func TestParseIfWithoutElse(t *testing.T) {
+	f, err := Parse("t", `thread 1 { if (1) { skip; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := f.Threads[1].(lang.If)
+	if !ok {
+		t.Fatalf("shape = %T", f.Threads[1])
+	}
+	if !lang.Terminated(c.Else) {
+		t.Fatal("missing else should default to skip")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	f, err := Parse("t", `thread 1 { r := a == 1 && b == 2 || !c; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Threads[1].String()
+	want := "r := (((a==1)&&(b==2))||!(c))"
+	if got != want {
+		t.Fatalf("precedence: got %q, want %q", got, want)
+	}
+	// Arithmetic and comparison.
+	f2, err := Parse("t", `thread 1 { r := a + 1 < b - -2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2.Threads[1].String(), "((a+1)<(b--(2)))") {
+		t.Fatalf("arith: %q", f2.Threads[1])
+	}
+}
+
+func TestParseNegativeInit(t *testing.T) {
+	f, err := Parse("t", `init x=-3
+thread 1 { skip; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Init["x"] != -3 {
+		t.Fatalf("init x = %d", f.Init["x"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad top level":      `frobnicate`,
+		"bad char":           `thread 1 { x := $; }`,
+		"missing semicolon":  `thread 1 { x := 1 }`,
+		"unterminated block": `thread 1 { x := 1;`,
+		"duplicate thread":   `thread 1 { skip; } thread 1 { skip; }`,
+		"bad statement":      `thread 1 { 42; }`,
+		"bad after ident":    `thread 1 { x + 1; }`,
+		"bad swap":           `thread 1 { x.swop(1); }`,
+		"missing paren":      `thread 1 { if (1 { skip; } }`,
+		"bad init":           `init x 3`,
+		"bad expr token":     `thread 1 { x := ;; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("%s: error lacks position: %v", name, err)
+		}
+	}
+}
+
+func TestProgThreadNumbering(t *testing.T) {
+	f, err := Parse("t", `thread 2 { skip; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Prog(); err == nil {
+		t.Fatal("non-contiguous thread ids accepted")
+	}
+	if _, err := f.Test(); err == nil {
+		t.Fatal("Test should propagate the Prog error")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "// leading comment\n# hash comment\ninit x=1\nthread 1 {\n  // inner\n  skip;\n}\n"
+	f, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Init["x"] != 1 {
+		t.Fatal("init lost")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Fatalf("first token at %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 2 || toks[1].col != 3 {
+		t.Fatalf("second token at %d:%d", toks[1].line, toks[1].col)
+	}
+}
+
+func BenchmarkParseMP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("mp", mpSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestParseNonAtomicAccesses(t *testing.T) {
+	src := `
+init d=0 f=0 r=0
+thread 1 { d :=NA 5; f :=R 1; }
+thread 2 { while (f^A == 0) { skip; } r := d^NA; }
+`
+	f, err := Parse("na-mp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Threads[1].String(); !strings.Contains(got, "d :=NA 5") {
+		t.Fatalf("thread 1 = %q", got)
+	}
+	if got := f.Threads[2].String(); !strings.Contains(got, "d^NA") {
+		t.Fatalf("thread 2 = %q", got)
+	}
+	// End to end: the parsed program produces NA events.
+	prog, err := f.Prog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := lang.Steps(prog[0])
+	if len(steps) != 1 || !steps[0].NA {
+		t.Fatalf("first step = %+v", steps)
+	}
+}

@@ -1,0 +1,251 @@
+package proof
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// example52Left builds the left state of Example 5.2: thread 1 writes
+// x (relaxed) then y (release); thread 2 performs an acquiring read of
+// y. The rf into the acquiring read synchronises, so thread 2 holds
+// x =_2 2.
+func example52Left(t *testing.T) *core.State {
+	t.Helper()
+	s := core.Init(map[event.Var]event.Val{"x": 7, "y": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	s, wx, err := s.StepWrite(1, false, "x", 2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, wy, err := s.StepWrite(1, true, "y", 1, iy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err = s.StepRead(2, true, "y", wy.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = wx
+	return s
+}
+
+// example52Right: thread 1 reads x (relaxed, unsynchronised) from the
+// last write, then writes y (release); thread 2 acquires y. Thread 2
+// does NOT get a determinate value for x, because the last write to x
+// is not in its happens-before cone.
+func example52Right(t *testing.T) *core.State {
+	t.Helper()
+	s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	// Thread 3 writes x = 2 (the "last write" of the example, not
+	// synchronised with anyone).
+	s, wx, err := s.StepWrite(3, false, "x", 2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1 reads it relaxed.
+	s, _, err = s.StepRead(1, false, "x", wx.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, wy, err := s.StepWrite(1, true, "y", 1, iy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err = s.StepRead(2, true, "y", wy.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExample52DeterminateValue(t *testing.T) {
+	left := example52Left(t)
+	if !DV(left, 2, "x", 2) {
+		t.Fatal("left state: thread 2 should hold x =_2 2")
+	}
+	// Condition (3) of Definition 5.1 follows: observable singleton.
+	if !observableSingleton(left, 2, "x") {
+		t.Fatal("left state: thread 2 should observe exactly the last write")
+	}
+
+	right := example52Right(t)
+	if DV(right, 2, "x", 2) {
+		t.Fatal("right state: thread 2 must NOT hold x =_2 2 (no hb)")
+	}
+	// Yet the only observable write to x is the last one — the
+	// example's point: the singleton does not imply the assertion.
+	if !observableSingleton(right, 2, "x") {
+		t.Fatal("right state: thread 2 should still observe only the last write")
+	}
+}
+
+func TestDVBasics(t *testing.T) {
+	s := core.Init(map[event.Var]event.Val{"x": 3})
+	// Initially every thread holds x = 3 (rule Init).
+	for th := event.Thread(1); th <= 3; th++ {
+		if !DV(s, th, "x", 3) {
+			t.Fatalf("thread %d misses initial determinate value", th)
+		}
+		if DV(s, th, "x", 4) {
+			t.Fatal("wrong value accepted")
+		}
+	}
+	if DV(s, 1, "nope", 0) {
+		t.Fatal("unknown variable accepted")
+	}
+	v, ok := DVValue(s, 1, "x")
+	if !ok || v != 3 {
+		t.Fatalf("DVValue = %d, %v", v, ok)
+	}
+	// After thread 1 writes x := 9, thread 1 holds x =_1 9; thread 2
+	// holds nothing for x.
+	ix, _ := s.InitialFor("x")
+	s1, _, _ := s.StepWrite(1, false, "x", 9, ix)
+	if !DV(s1, 1, "x", 9) {
+		t.Fatal("writer misses own value")
+	}
+	if _, ok := DVValue(s1, 2, "x"); ok {
+		t.Fatal("non-synchronised thread has determinate value")
+	}
+}
+
+func TestVOBasics(t *testing.T) {
+	s := example52Left(t)
+	// Last write to x (thread 1's) happens-before last write to y
+	// (same thread, sb).
+	if !VO(s, "x", "y") {
+		t.Fatal("x ↪ y should hold")
+	}
+	if VO(s, "y", "x") {
+		t.Fatal("y ↪ x must not hold")
+	}
+	if VO(s, "x", "nope") {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestAssertionInterfaces(t *testing.T) {
+	s := example52Left(t)
+	var a Assertion = DVAssertion{T: 2, X: "x", V: 2}
+	if !a.Holds(s) || a.String() != "x =_2 2" {
+		t.Fatalf("DVAssertion: holds=%v s=%q", a.Holds(s), a)
+	}
+	var b Assertion = VOAssertion{X: "x", Y: "y"}
+	if !b.Holds(s) || b.String() != "x ↪ y" {
+		t.Fatalf("VOAssertion: holds=%v s=%q", b.Holds(s), b)
+	}
+}
+
+// randomWalk produces a random reachable transition sequence and calls
+// visit on every transition.
+func randomWalk(t *testing.T, rng *rand.Rand, steps int, visit func(Transition)) {
+	t.Helper()
+	vars := []event.Var{"x", "y", "z"}
+	s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0, "z": 0})
+	for i := 0; i < steps; i++ {
+		th := event.Thread(1 + rng.Intn(3))
+		x := vars[rng.Intn(len(vars))]
+		var (
+			ns  *core.State
+			e   event.Event
+			m   event.Tag
+			err error
+		)
+		switch rng.Intn(4) {
+		case 0:
+			obs := s.ObservableFor(th, x)
+			if len(obs) == 0 {
+				continue
+			}
+			m = obs[rng.Intn(len(obs))]
+			ns, e, err = s.StepRead(th, rng.Intn(2) == 0, x, m)
+		case 1, 2:
+			pts := s.InsertionPointsFor(th, x)
+			if len(pts) == 0 {
+				continue
+			}
+			m = pts[rng.Intn(len(pts))]
+			ns, e, err = s.StepWrite(th, rng.Intn(2) == 0, x, event.Val(rng.Intn(4)), m)
+		case 3:
+			pts := s.InsertionPointsFor(th, x)
+			if len(pts) == 0 {
+				continue
+			}
+			m = pts[rng.Intn(len(pts))]
+			ns, e, err = s.StepRMW(th, x, event.Val(rng.Intn(4)), m)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		visit(Transition{Before: s, M: m, E: e, After: ns})
+		s = ns
+	}
+}
+
+// Lemma 5.3 on random transitions.
+func TestLemma53Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		randomWalk(t, rng, 10, func(tr Transition) {
+			if !tr.E.IsRead() {
+				return
+			}
+			for v := event.Val(0); v < 4; v++ {
+				if !Lemma53(tr.Before, tr.E, v) {
+					t.Fatalf("Lemma 5.3 violated at %v value %d", tr.E, v)
+				}
+			}
+		})
+	}
+}
+
+// Lemma 5.4 on random states.
+func TestLemma54Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 40; trial++ {
+		randomWalk(t, rng, 10, func(tr Transition) {
+			for _, x := range []event.Var{"x", "y", "z"} {
+				if !Lemma54(tr.After, 1, 2, x) || !Lemma54(tr.After, 2, 3, x) {
+					t.Fatalf("Lemma 5.4 violated for %s", x)
+				}
+			}
+		})
+	}
+}
+
+// Lemma 5.6 on random transitions.
+func TestLemma56Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 40; trial++ {
+		randomWalk(t, rng, 10, func(tr Transition) {
+			if !Lemma56(tr.Before, tr.M, tr.E) {
+				t.Fatalf("Lemma 5.6 violated at %v", tr.E)
+			}
+		})
+	}
+}
+
+// Definition 5.1's condition (3) is a consequence of (1)+(2): a
+// determinate value implies the observable singleton.
+func TestDVImpliesObservableSingleton(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		randomWalk(t, rng, 10, func(tr Transition) {
+			for _, x := range []event.Var{"x", "y", "z"} {
+				for th := event.Thread(1); th <= 3; th++ {
+					if _, ok := DVValue(tr.After, th, x); ok {
+						if !observableSingleton(tr.After, th, x) {
+							t.Fatalf("x=%s t=%d: DV without singleton", x, th)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package proof_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/proof"
+)
+
+// The determinate-value assertion of Definition 5.1: after the
+// release/acquire handshake, thread 2 knows d = 5 — the weak-memory
+// analogue of the conventional equation d == 5.
+func ExampleDV() {
+	s := core.Init(map[event.Var]event.Val{"d": 0, "f": 0})
+	id, _ := s.InitialFor("d")
+	iff, _ := s.InitialFor("f")
+	s, _, _ = s.StepWrite(1, false, "d", 5, id)
+	s, wf, _ := s.StepWrite(1, true, "f", 1, iff)
+
+	fmt.Println("before sync:", proof.DV(s, 2, "d", 5))
+	s, _, _ = s.StepRead(2, true, "f", wf.Tag)
+	fmt.Println("after sync: ", proof.DV(s, 2, "d", 5))
+	// Output:
+	// before sync: false
+	// after sync:  true
+}
+
+// The variable-ordering assertion of Definition 5.5: writing f after
+// holding d =_1 5 records that the last write to d happens-before the
+// last write to f (rule WOrd), which is what Transfer later exploits.
+func ExampleVO() {
+	s := core.Init(map[event.Var]event.Val{"d": 0, "f": 0})
+	id, _ := s.InitialFor("d")
+	iff, _ := s.InitialFor("f")
+	s, _, _ = s.StepWrite(1, false, "d", 5, id)
+	fmt.Println("before the flag write:", proof.VO(s, "d", "f"))
+	s, _, _ = s.StepWrite(1, true, "f", 1, iff)
+	fmt.Println("after the flag write: ", proof.VO(s, "d", "f"))
+	// Output:
+	// before the flag write: false
+	// after the flag write:  true
+}

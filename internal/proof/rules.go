@@ -1,0 +1,157 @@
+package proof
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// This file implements the inference rules of Figure 4. Every rule is
+// phrased over a transition (σ, m, e, σ') of the RA event semantics:
+// given that its premises hold, the conclusion is an assertion valid
+// in σ'. The Check* functions return (premisesHold, conclusionHolds);
+// soundness (Lemmas B.1–B.3) is the implication premises → conclusion,
+// which the test suite verifies on randomly generated transitions.
+
+// Transition is one step σ --(m,e)-->_RA σ' of the event semantics.
+type Transition struct {
+	Before *core.State
+	M      event.Tag // the observed write m
+	E      event.Event
+	After  *core.State
+}
+
+// RuleInit (Init): in an initial state, every thread holds a
+// determinate value for every variable.
+func RuleInit(s0 *core.State, t event.Thread, x event.Var) (premises, conclusion bool) {
+	// Premise: s0 is initial — no non-init events.
+	for _, e := range s0.Events() {
+		if !e.IsInit() {
+			return false, false
+		}
+	}
+	last, ok := s0.Last(x)
+	if !ok {
+		return false, false
+	}
+	return true, DV(s0, t, x, s0.Event(last).WrVal())
+}
+
+// RuleModLast (ModLast): a write to x observing σ.last(x) establishes
+// x =_tid(e) wrval(e) in σ'.
+func RuleModLast(tr Transition, x event.Var) (premises, conclusion bool) {
+	e := tr.E
+	if !(e.IsWrite() && e.Var() == x) {
+		return false, false
+	}
+	last, ok := tr.Before.Last(x)
+	if !ok || tr.M != last {
+		return false, false
+	}
+	return true, DV(tr.After, e.TID, x, e.WrVal())
+}
+
+// RuleTransfer (Transfer): an acquiring read of the last write to y,
+// when x ↪ y and x =_t v, copies x =_tid(e) v to the reading thread.
+// The synchronisation premise (m, e) ∈ sw is checked in σ'.
+func RuleTransfer(tr Transition, t event.Thread, x event.Var, v event.Val) (premises, conclusion bool) {
+	e := tr.E
+	y := e.Var()
+	if !VO(tr.Before, x, y) || !DV(tr.Before, t, x, v) {
+		return false, false
+	}
+	last, ok := tr.Before.Last(y)
+	if !ok || tr.M != last {
+		return false, false
+	}
+	if !tr.After.SW().Has(int(tr.M), int(e.Tag)) {
+		return false, false
+	}
+	return true, DV(tr.After, e.TID, x, v)
+}
+
+// RuleUOrd (UOrd): an update of y reading a releasing write preserves
+// x ↪ y.
+func RuleUOrd(tr Transition, x event.Var) (premises, conclusion bool) {
+	e := tr.E
+	y := e.Var()
+	if !e.IsUpdate() {
+		return false, false
+	}
+	if !tr.Before.Event(tr.M).Releasing() {
+		return false, false
+	}
+	if !VO(tr.Before, x, y) {
+		return false, false
+	}
+	return true, VO(tr.After, x, y)
+}
+
+// RuleNoMod (NoMod): an event that does not write x preserves
+// x =_t v.
+func RuleNoMod(tr Transition, t event.Thread, x event.Var, v event.Val) (premises, conclusion bool) {
+	e := tr.E
+	if e.IsWrite() && e.Var() == x {
+		return false, false
+	}
+	if !DV(tr.Before, t, x, v) {
+		return false, false
+	}
+	return true, DV(tr.After, t, x, v)
+}
+
+// RuleAcqRd (AcqRd): an acquiring read of the last write to x, that
+// write being releasing, establishes x =_tid(e) rdval(e).
+//
+// The rule applies to pure acquiring reads, not updates: an update
+// makes its own write the new last modification, so the determinate
+// value it establishes is wrval(e), which is rule ModLast's
+// conclusion. (The paper's convention RdA ⊇ U would otherwise make
+// this rule conclude x = rdval(e) for updates, contradicting the
+// freshly written value.)
+func RuleAcqRd(tr Transition, x event.Var) (premises, conclusion bool) {
+	e := tr.E
+	if !(e.Acquiring() && e.IsRead() && !e.IsUpdate() && e.Var() == x) {
+		return false, false
+	}
+	m := tr.Before.Event(tr.M)
+	if !m.Releasing() {
+		return false, false
+	}
+	last, ok := tr.Before.Last(x)
+	if !ok || tr.M != last {
+		return false, false
+	}
+	return true, DV(tr.After, e.TID, x, e.RdVal())
+}
+
+// RuleWOrd (WOrd): a write to y by a thread holding a determinate
+// value for x (x ≠ y), observing the last write to y, establishes
+// x ↪ y.
+func RuleWOrd(tr Transition, x event.Var) (premises, conclusion bool) {
+	e := tr.E
+	y := e.Var()
+	if x == y || !e.IsWrite() {
+		return false, false
+	}
+	if _, ok := DVValue(tr.Before, e.TID, x); !ok {
+		return false, false
+	}
+	last, ok := tr.Before.Last(y)
+	if !ok || tr.M != last {
+		return false, false
+	}
+	return true, VO(tr.After, x, y)
+}
+
+// RuleNoModOrd (NoModOrd): an event writing neither x nor y preserves
+// x ↪ y.
+func RuleNoModOrd(tr Transition, x, y event.Var) (premises, conclusion bool) {
+	e := tr.E
+	if e.IsWrite() && (e.Var() == x || e.Var() == y) {
+		return false, false
+	}
+	if !VO(tr.Before, x, y) {
+		return false, false
+	}
+	return true, VO(tr.After, x, y)
+}

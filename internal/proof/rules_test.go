@@ -1,0 +1,214 @@
+package proof
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Soundness of the Figure 4 rules (Lemmas B.1–B.3), checked on random
+// reachable transitions: whenever a rule's premises hold, its
+// conclusion holds in the successor state.
+
+var ruleVars = []event.Var{"x", "y", "z"}
+
+func TestRuleInitSound(t *testing.T) {
+	s0 := core.Init(map[event.Var]event.Val{"x": 1, "y": 2})
+	for th := event.Thread(1); th <= 3; th++ {
+		for _, x := range []event.Var{"x", "y"} {
+			prem, concl := RuleInit(s0, th, x)
+			if !prem {
+				t.Fatalf("Init premises fail on initial state (%d, %s)", th, x)
+			}
+			if !concl {
+				t.Fatalf("Init conclusion fails (%d, %s)", th, x)
+			}
+		}
+	}
+	// Premise must fail on non-initial states.
+	ix, _ := s0.InitialFor("x")
+	s1, _, _ := s0.StepWrite(1, false, "x", 5, ix)
+	if prem, _ := RuleInit(s1, 1, "x"); prem {
+		t.Fatal("Init premises hold on non-initial state")
+	}
+}
+
+// checkRule sweeps a premise/conclusion pair over random transitions.
+func checkRule(t *testing.T, seed int64, name string,
+	apply func(tr Transition) []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	premCount := 0
+	for trial := 0; trial < 60; trial++ {
+		randomWalk(t, rng, 9, func(tr Transition) {
+			for _, ok := range apply(tr) {
+				if ok {
+					premCount++
+				}
+			}
+		})
+	}
+	if premCount == 0 {
+		t.Fatalf("rule %s: premises never fired — vacuous test", name)
+	}
+	t.Logf("rule %s: %d premise instances checked", name, premCount)
+}
+
+func TestRuleModLastSound(t *testing.T) {
+	checkRule(t, 101, "ModLast", func(tr Transition) []bool {
+		var fired []bool
+		for _, x := range ruleVars {
+			prem, concl := RuleModLast(tr, x)
+			if prem && !concl {
+				t.Fatalf("ModLast unsound at %v (x=%s)", tr.E, x)
+			}
+			fired = append(fired, prem)
+		}
+		return fired
+	})
+}
+
+func TestRuleTransferSound(t *testing.T) {
+	checkRule(t, 102, "Transfer", func(tr Transition) []bool {
+		var fired []bool
+		for _, x := range ruleVars {
+			for th := event.Thread(1); th <= 3; th++ {
+				for v := event.Val(0); v < 4; v++ {
+					prem, concl := RuleTransfer(tr, th, x, v)
+					if prem && !concl {
+						t.Fatalf("Transfer unsound at %v (t=%d x=%s v=%d)", tr.E, th, x, v)
+					}
+					fired = append(fired, prem)
+				}
+			}
+		}
+		return fired
+	})
+}
+
+func TestRuleUOrdSound(t *testing.T) {
+	checkRule(t, 103, "UOrd", func(tr Transition) []bool {
+		var fired []bool
+		for _, x := range ruleVars {
+			prem, concl := RuleUOrd(tr, x)
+			if prem && !concl {
+				t.Fatalf("UOrd unsound at %v (x=%s)", tr.E, x)
+			}
+			fired = append(fired, prem)
+		}
+		return fired
+	})
+}
+
+func TestRuleNoModSound(t *testing.T) {
+	checkRule(t, 104, "NoMod", func(tr Transition) []bool {
+		var fired []bool
+		for _, x := range ruleVars {
+			for th := event.Thread(1); th <= 3; th++ {
+				for v := event.Val(0); v < 4; v++ {
+					prem, concl := RuleNoMod(tr, th, x, v)
+					if prem && !concl {
+						t.Fatalf("NoMod unsound at %v (t=%d x=%s v=%d)", tr.E, th, x, v)
+					}
+					fired = append(fired, prem)
+				}
+			}
+		}
+		return fired
+	})
+}
+
+func TestRuleAcqRdSound(t *testing.T) {
+	checkRule(t, 105, "AcqRd", func(tr Transition) []bool {
+		var fired []bool
+		for _, x := range ruleVars {
+			prem, concl := RuleAcqRd(tr, x)
+			if prem && !concl {
+				t.Fatalf("AcqRd unsound at %v (x=%s)", tr.E, x)
+			}
+			fired = append(fired, prem)
+		}
+		return fired
+	})
+}
+
+func TestRuleWOrdSound(t *testing.T) {
+	checkRule(t, 106, "WOrd", func(tr Transition) []bool {
+		var fired []bool
+		for _, x := range ruleVars {
+			prem, concl := RuleWOrd(tr, x)
+			if prem && !concl {
+				t.Fatalf("WOrd unsound at %v (x=%s)", tr.E, x)
+			}
+			fired = append(fired, prem)
+		}
+		return fired
+	})
+}
+
+func TestRuleNoModOrdSound(t *testing.T) {
+	checkRule(t, 107, "NoModOrd", func(tr Transition) []bool {
+		var fired []bool
+		for _, x := range ruleVars {
+			for _, y := range ruleVars {
+				prem, concl := RuleNoModOrd(tr, x, y)
+				if prem && !concl {
+					t.Fatalf("NoModOrd unsound at %v (x=%s y=%s)", tr.E, x, y)
+				}
+				fired = append(fired, prem)
+			}
+		}
+		return fired
+	})
+}
+
+// The Transfer rule in action — the exact scenario of Example 5.2
+// left: thread 2's acquiring read copies thread 1's x =_1 2 over the
+// x ↪ y ordering.
+func TestTransferScenario(t *testing.T) {
+	s := core.Init(map[event.Var]event.Val{"x": 7, "y": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	s, _, _ = s.StepWrite(1, false, "x", 2, ix)
+	s, wy, _ := s.StepWrite(1, true, "y", 1, iy)
+
+	// Before the read: x =_1 2 and x ↪ y hold, x =_2 2 does not.
+	if !DV(s, 1, "x", 2) || !VO(s, "x", "y") || DV(s, 2, "x", 2) {
+		t.Fatal("pre-state assertions wrong")
+	}
+	after, e, err := s.StepRead(2, true, "y", wy.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Transition{Before: s, M: wy.Tag, E: e, After: after}
+	prem, concl := RuleTransfer(tr, 1, "x", 2)
+	if !prem {
+		t.Fatal("Transfer premises should hold")
+	}
+	if !concl {
+		t.Fatal("Transfer conclusion should hold")
+	}
+	if !DV(after, 2, "x", 2) {
+		t.Fatal("assertion not copied to thread 2")
+	}
+}
+
+// A relaxed read does not transfer the assertion (premise (m,e) ∈ sw
+// fails).
+func TestTransferNeedsSynchronisation(t *testing.T) {
+	s := core.Init(map[event.Var]event.Val{"x": 7, "y": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	s, _, _ = s.StepWrite(1, false, "x", 2, ix)
+	s, wy, _ := s.StepWrite(1, true, "y", 1, iy)
+	after, e, _ := s.StepRead(2, false, "y", wy.Tag) // relaxed!
+	tr := Transition{Before: s, M: wy.Tag, E: e, After: after}
+	if prem, _ := RuleTransfer(tr, 1, "x", 2); prem {
+		t.Fatal("Transfer premises must fail without synchronisation")
+	}
+	if DV(after, 2, "x", 2) {
+		t.Fatal("assertion leaked through a relaxed read")
+	}
+}

@@ -1,0 +1,95 @@
+// Package races implements the data-race detection of the extended
+// language with non-atomic accesses. The paper restricts its formal
+// development to atomic (relaxed/release/acquire) accesses and notes
+// that non-atomics are a straightforward extension that "potentially
+// generate undefined behaviour" (§2.1); the accompanying cat model
+// (c11_base_rar.cat, Appendix E) defines the race relation we
+// implement here:
+//
+//	cnf = (((W×M) ∪ (M×W)) ∩ loc) \ id     conflicting accesses
+//	dr  = (cnf \ (A×A)) \ thd \ (hb ∪ hb⁻¹) data races
+//
+// where A is the set of atomic events and thd relates same-thread
+// events. An execution with a non-empty dr makes the whole program
+// undefined ("undefined_unless empty dr as Dr").
+package races
+
+import (
+	"fmt"
+
+	"repro/internal/axiomatic"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/explore"
+)
+
+// Race is one racy pair of events.
+type Race struct {
+	A, B event.Event
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race between %s and %s", r.A, r.B)
+}
+
+// Of returns the data races of an execution: conflicting accesses
+// (same variable, at least one write, at least one non-atomic) from
+// different threads unordered by happens-before. Each unordered pair
+// is reported once, with the smaller tag first.
+func Of(x axiomatic.Exec) []Race {
+	hb := x.HB()
+	var out []Race
+	n := x.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ea, eb := x.Events[a], x.Events[b]
+			if ea.Var() != eb.Var() {
+				continue
+			}
+			if !ea.IsWrite() && !eb.IsWrite() {
+				continue // cnf needs at least one write
+			}
+			if ea.Atomic() && eb.Atomic() {
+				continue // cnf \ (A×A)
+			}
+			if ea.TID == eb.TID {
+				continue // \ thd
+			}
+			if hb.Has(a, b) || hb.Has(b, a) {
+				continue // \ (hb ∪ hb⁻¹)
+			}
+			out = append(out, Race{A: ea, B: eb})
+		}
+	}
+	return out
+}
+
+// Racy reports whether the execution contains a data race.
+func Racy(x axiomatic.Exec) bool { return len(Of(x)) > 0 }
+
+// RacyState reports whether the reachable state contains a data race.
+func RacyState(s *core.State) bool { return Racy(axiomatic.FromState(s)) }
+
+// FindRace explores the program's bounded state space for a reachable
+// racy state and returns the shortest witness trace. A program with a
+// reachable race has undefined behaviour under C11.
+func FindRace(cfg core.Config, opts explore.Options) (explore.Trace, []Race, bool) {
+	trace, found := explore.FindTrace(cfg, opts, func(c core.Config) bool {
+		return RacyState(c.S)
+	})
+	if !found {
+		return explore.Trace{}, nil, false
+	}
+	last := trace.Configs[len(trace.Configs)-1]
+	return trace, Of(axiomatic.FromState(last.S)), true
+}
+
+// RaceFree verifies that no reachable state within the bounds is racy.
+// The second result reports whether the search was truncated (absence
+// of races is then relative to the bound).
+func RaceFree(cfg core.Config, opts explore.Options) (bool, bool) {
+	o := opts
+	o.Property = func(c core.Config) bool { return !RacyState(c.S) }
+	res := explore.Run(cfg, o)
+	return res.Violation == nil, res.Truncated
+}

@@ -1,0 +1,577 @@
+// Package relation implements finite binary relations over the elements
+// 0..n-1 as dense boolean matrices backed by internal/bits.
+//
+// The C11 memory-model development manipulates relations constantly:
+// sequenced-before, reads-from, modification order, and the derived
+// synchronises-with, happens-before, from-read and extended-coherence
+// orders are all binary relations over the events of an execution, and
+// the axioms are (ir)reflexivity and acyclicity conditions on relational
+// expressions. This package supplies exactly that algebra: union,
+// intersection, composition, converse, reflexive and transitive closure,
+// restriction, images, and linearization (topological sorting).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bits"
+)
+
+// Rel is a binary relation over {0..n-1}. Rel values are mutable;
+// Clone before sharing. The zero value is an empty relation over the
+// empty carrier.
+type Rel struct {
+	n    int
+	rows []bits.Set // rows[i] = successors of i
+}
+
+// New returns the empty relation over {0..n-1}.
+func New(n int) Rel {
+	if n < 0 {
+		panic("relation: negative carrier size")
+	}
+	rows := make([]bits.Set, n)
+	for i := range rows {
+		rows[i] = bits.New(n)
+	}
+	return Rel{n: n, rows: rows}
+}
+
+// FromPairs builds a relation over {0..n-1} from explicit pairs.
+func FromPairs(n int, pairs [][2]int) Rel {
+	r := New(n)
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	return r
+}
+
+// Identity returns the identity relation over {0..n-1}.
+func Identity(n int) Rel {
+	r := New(n)
+	for i := 0; i < n; i++ {
+		r.Add(i, i)
+	}
+	return r
+}
+
+// Full returns the complete relation over {0..n-1}.
+func Full(n int) Rel {
+	r := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r.Add(i, j)
+		}
+	}
+	return r
+}
+
+// Size returns the carrier size n.
+func (r Rel) Size() int { return r.n }
+
+// Add inserts the pair (a, b).
+func (r *Rel) Add(a, b int) {
+	r.rows[a].Set(b)
+}
+
+// Remove deletes the pair (a, b).
+func (r *Rel) Remove(a, b int) {
+	r.rows[a].Clear(b)
+}
+
+// Has reports whether (a, b) is in the relation. Out-of-range indices
+// report false.
+func (r Rel) Has(a, b int) bool {
+	if a < 0 || a >= r.n {
+		return false
+	}
+	return r.rows[a].Test(b)
+}
+
+// Row returns the successor set of a (shared storage; do not mutate).
+func (r Rel) Row(a int) bits.Set { return r.rows[a] }
+
+// Clone returns an independent copy.
+func (r Rel) Clone() Rel {
+	c := Rel{n: r.n, rows: make([]bits.Set, r.n)}
+	for i := range r.rows {
+		c.rows[i] = r.rows[i].Clone()
+	}
+	return c
+}
+
+// Grow returns a copy of r over a carrier of at least n elements.
+func (r Rel) Grow(n int) Rel {
+	if n <= r.n {
+		return r.Clone()
+	}
+	c := New(n)
+	for i := range r.rows {
+		c.rows[i] = r.rows[i].Grow(n)
+	}
+	return c
+}
+
+// Union sets r to r ∪ s. Carriers must match.
+func (r *Rel) Union(s Rel) {
+	r.checkSize(s)
+	for i := range r.rows {
+		r.rows[i].Or(s.rows[i])
+	}
+}
+
+// Intersect sets r to r ∩ s. Carriers must match.
+func (r *Rel) Intersect(s Rel) {
+	r.checkSize(s)
+	for i := range r.rows {
+		r.rows[i].And(s.rows[i])
+	}
+}
+
+// Subtract sets r to r \ s. Carriers must match.
+func (r *Rel) Subtract(s Rel) {
+	r.checkSize(s)
+	for i := range r.rows {
+		r.rows[i].AndNot(s.rows[i])
+	}
+}
+
+func (r Rel) checkSize(s Rel) {
+	if r.n != s.n {
+		panic(fmt.Sprintf("relation: carrier mismatch %d != %d", r.n, s.n))
+	}
+}
+
+// UnionOf returns r ∪ s as a new relation.
+func UnionOf(rs ...Rel) Rel {
+	if len(rs) == 0 {
+		return New(0)
+	}
+	out := rs[0].Clone()
+	for _, s := range rs[1:] {
+		out.Union(s)
+	}
+	return out
+}
+
+// IntersectOf returns the intersection of the given relations.
+func IntersectOf(rs ...Rel) Rel {
+	if len(rs) == 0 {
+		return New(0)
+	}
+	out := rs[0].Clone()
+	for _, s := range rs[1:] {
+		out.Intersect(s)
+	}
+	return out
+}
+
+// Compose returns r ; s — the relational composition
+// {(a,c) | ∃b. (a,b) ∈ r ∧ (b,c) ∈ s}.
+func Compose(r, s Rel) Rel {
+	r.checkSize(s)
+	out := New(r.n)
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			out.rows[a].Or(s.rows[b])
+		}
+	}
+	return out
+}
+
+// Converse returns r⁻¹.
+func (r Rel) Converse() Rel {
+	out := New(r.n)
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			out.Add(b, a)
+		}
+	}
+	return out
+}
+
+// ReflexiveClosure returns r ∪ Id.
+func (r Rel) ReflexiveClosure() Rel {
+	out := r.Clone()
+	for i := 0; i < r.n; i++ {
+		out.Add(i, i)
+	}
+	return out
+}
+
+// TransitiveClosure returns r⁺ using a bitset Floyd–Warshall:
+// for each pivot k, every row that reaches k absorbs row(k).
+func (r Rel) TransitiveClosure() Rel {
+	out := r.Clone()
+	for k := 0; k < out.n; k++ {
+		rk := out.rows[k]
+		for i := 0; i < out.n; i++ {
+			if i != k && out.rows[i].Test(k) {
+				out.rows[i].Or(rk)
+			}
+		}
+		// A self-loop at k also requires absorbing k's row into itself,
+		// which is a no-op; nothing further needed.
+	}
+	return out
+}
+
+// ReflexiveTransitiveClosure returns r*.
+func (r Rel) ReflexiveTransitiveClosure() Rel {
+	return r.TransitiveClosure().ReflexiveClosure()
+}
+
+// Irreflexive reports whether no (a, a) pair is present.
+func (r Rel) Irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.rows[i].Test(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether the relation has no directed cycle,
+// equivalently whether its transitive closure is irreflexive.
+func (r Rel) Acyclic() bool {
+	// Kahn's algorithm is O(V+E) and avoids building the closure.
+	indeg := make([]int, r.n)
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			indeg[b]++
+		}
+	}
+	queue := make([]int, 0, r.n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			indeg[b]--
+			if indeg[b] == 0 {
+				queue = append(queue, b)
+			}
+		}
+	}
+	return seen == r.n
+}
+
+// Transitive reports whether r;r ⊆ r.
+func (r Rel) Transitive() bool {
+	comp := Compose(r, r)
+	return comp.SubsetOf(r)
+}
+
+// SubsetOf reports whether r ⊆ s.
+func (r Rel) SubsetOf(s Rel) bool {
+	r.checkSize(s)
+	for i := range r.rows {
+		if !r.rows[i].IsSubsetOf(s.rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether r and s contain the same pairs.
+func (r Rel) Equal(s Rel) bool {
+	if r.n != s.n {
+		return false
+	}
+	for i := range r.rows {
+		if !r.rows[i].Equal(s.rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the relation has no pairs.
+func (r Rel) Empty() bool {
+	for i := range r.rows {
+		if !r.rows[i].Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs returns all pairs in lexicographic order.
+func (r Rel) Pairs() [][2]int {
+	var out [][2]int
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// Count returns the number of pairs.
+func (r Rel) Count() int {
+	c := 0
+	for i := range r.rows {
+		c += r.rows[i].Count()
+	}
+	return c
+}
+
+// Image returns R[S] = {b | ∃a ∈ S. (a,b) ∈ R}.
+func (r Rel) Image(s bits.Set) bits.Set {
+	out := bits.New(r.n)
+	for a := s.Next(0); a >= 0; a = s.Next(a + 1) {
+		if a < r.n {
+			out.Or(r.rows[a])
+		}
+	}
+	return out
+}
+
+// PreImage returns R⁻¹[S] = {a | ∃b ∈ S. (a,b) ∈ R}.
+func (r Rel) PreImage(s bits.Set) bits.Set {
+	out := bits.New(r.n)
+	for a := 0; a < r.n; a++ {
+		if r.rows[a].Intersects(s) {
+			out.Set(a)
+		}
+	}
+	return out
+}
+
+// Successors returns R[{a}] as a fresh set.
+func (r Rel) Successors(a int) bits.Set { return r.rows[a].Clone() }
+
+// Predecessors returns R⁻¹[{a}] as a fresh set.
+func (r Rel) Predecessors(a int) bits.Set {
+	out := bits.New(r.n)
+	for i := 0; i < r.n; i++ {
+		if r.rows[i].Test(a) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// RestrictTo returns r ∩ (S × S).
+func (r Rel) RestrictTo(s bits.Set) Rel {
+	out := New(r.n)
+	for a := s.Next(0); a >= 0; a = s.Next(a + 1) {
+		if a >= r.n {
+			break
+		}
+		row := r.rows[a].Clone()
+		masked := s.Grow(r.n)
+		row.And(masked)
+		out.rows[a] = row
+	}
+	return out
+}
+
+// FilterPairs returns the sub-relation of pairs satisfying keep.
+func (r Rel) FilterPairs(keep func(a, b int) bool) Rel {
+	out := New(r.n)
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			if keep(a, b) {
+				out.Add(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// WithoutIdentity returns r \ Id.
+func (r Rel) WithoutIdentity() Rel {
+	out := r.Clone()
+	for i := 0; i < r.n; i++ {
+		out.rows[i].Clear(i)
+	}
+	return out
+}
+
+// Dom returns {a | ∃b. (a,b) ∈ r}.
+func (r Rel) Dom() bits.Set {
+	out := bits.New(r.n)
+	for a := 0; a < r.n; a++ {
+		if !r.rows[a].Empty() {
+			out.Set(a)
+		}
+	}
+	return out
+}
+
+// Ran returns {b | ∃a. (a,b) ∈ r}.
+func (r Rel) Ran() bits.Set {
+	out := bits.New(r.n)
+	for a := 0; a < r.n; a++ {
+		out.Or(r.rows[a])
+	}
+	return out
+}
+
+// TotalOver reports whether r linearly orders the members of s:
+// for all distinct a, b in s, (a,b) ∈ r or (b,a) ∈ r.
+func (r Rel) TotalOver(s bits.Set) bool {
+	members := s.Members()
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			if !r.Has(a, b) && !r.Has(b, a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StrictOrderOver reports whether r restricted to s is a strict total
+// order: irreflexive, transitive and total over s.
+func (r Rel) StrictOrderOver(s bits.Set) bool {
+	sub := r.RestrictTo(s)
+	return sub.Irreflexive() && sub.Transitive() && sub.TotalOver(s)
+}
+
+// Topological returns one linearization of r restricted to the members
+// of carrier (all n elements when carrier is nil), or ok=false when r
+// is cyclic. Among available elements the smallest index is taken
+// first, so the output is deterministic.
+func (r Rel) Topological() ([]int, bool) {
+	indeg := make([]int, r.n)
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			if a != b {
+				indeg[b]++
+			} else {
+				return nil, false // self-loop
+			}
+		}
+	}
+	avail := bits.New(r.n)
+	for i, d := range indeg {
+		if d == 0 {
+			avail.Set(i)
+		}
+	}
+	out := make([]int, 0, r.n)
+	for len(out) < r.n {
+		a := avail.Next(0)
+		if a < 0 {
+			return nil, false
+		}
+		avail.Clear(a)
+		out = append(out, a)
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			indeg[b]--
+			if indeg[b] == 0 {
+				avail.Set(b)
+			}
+		}
+	}
+	return out, true
+}
+
+// Linearizations calls f with each linearization of r (each permutation
+// of 0..n-1 consistent with r) until f returns false. It reports
+// whether enumeration ran to completion (true) or was stopped by f
+// (false). A cyclic relation has no linearizations, so f is never
+// called and the result is true.
+func (r Rel) Linearizations(f func(perm []int) bool) bool {
+	indeg := make([]int, r.n)
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			indeg[b]++
+		}
+	}
+	perm := make([]int, 0, r.n)
+	used := make([]bool, r.n)
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == r.n {
+			return f(perm)
+		}
+		for a := 0; a < r.n; a++ {
+			if used[a] || indeg[a] != 0 {
+				continue
+			}
+			used[a] = true
+			perm = append(perm, a)
+			row := r.rows[a]
+			for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+				indeg[b]--
+			}
+			if !rec() {
+				return false
+			}
+			for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+				indeg[b]++
+			}
+			perm = perm[:len(perm)-1]
+			used[a] = false
+		}
+		return true
+	}
+	return rec()
+}
+
+// IsLinearization reports whether seq is a permutation of 0..n-1 that
+// respects r: (a,b) ∈ r implies a appears before b.
+func (r Rel) IsLinearization(seq []int) bool {
+	if len(seq) != r.n {
+		return false
+	}
+	pos := make([]int, r.n)
+	seen := make([]bool, r.n)
+	for i, e := range seq {
+		if e < 0 || e >= r.n || seen[e] {
+			return false
+		}
+		seen[e] = true
+		pos[e] = i
+	}
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a]
+		for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+			if pos[a] >= pos[b] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the relation as a sorted pair list.
+func (r Rel) String() string {
+	pairs := r.Pairs()
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d,%d)", p[0], p[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,462 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+)
+
+func pairsRel(n int, ps ...[2]int) Rel { return FromPairs(n, ps) }
+
+func TestAddHasRemove(t *testing.T) {
+	r := New(4)
+	r.Add(0, 1)
+	r.Add(3, 2)
+	if !r.Has(0, 1) || !r.Has(3, 2) {
+		t.Fatal("Add/Has broken")
+	}
+	if r.Has(1, 0) {
+		t.Fatal("converse pair present")
+	}
+	if r.Has(-1, 0) || r.Has(9, 0) {
+		t.Fatal("out-of-range Has should be false")
+	}
+	r.Remove(0, 1)
+	if r.Has(0, 1) {
+		t.Fatal("Remove failed")
+	}
+	if r.Count() != 1 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestIdentityFull(t *testing.T) {
+	id := Identity(3)
+	if id.Count() != 3 || !id.Has(0, 0) || !id.Has(2, 2) || id.Has(0, 1) {
+		t.Fatal("Identity wrong")
+	}
+	f := Full(3)
+	if f.Count() != 9 {
+		t.Fatalf("Full count = %d", f.Count())
+	}
+}
+
+func TestUnionIntersectSubtract(t *testing.T) {
+	a := pairsRel(4, [2]int{0, 1}, [2]int{1, 2})
+	b := pairsRel(4, [2]int{1, 2}, [2]int{2, 3})
+
+	u := UnionOf(a, b)
+	if u.Count() != 3 || !u.Has(0, 1) || !u.Has(2, 3) {
+		t.Fatalf("union = %v", u)
+	}
+	i := IntersectOf(a, b)
+	if i.Count() != 1 || !i.Has(1, 2) {
+		t.Fatalf("intersect = %v", i)
+	}
+	d := a.Clone()
+	d.Subtract(b)
+	if d.Count() != 1 || !d.Has(0, 1) {
+		t.Fatalf("subtract = %v", d)
+	}
+	// Originals untouched.
+	if a.Count() != 2 || b.Count() != 2 {
+		t.Fatal("operands mutated")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	r := pairsRel(5, [2]int{0, 1}, [2]int{0, 2})
+	s := pairsRel(5, [2]int{1, 3}, [2]int{2, 4}, [2]int{3, 0})
+	c := Compose(r, s)
+	want := pairsRel(5, [2]int{0, 3}, [2]int{0, 4})
+	if !c.Equal(want) {
+		t.Fatalf("compose = %v, want %v", c, want)
+	}
+	// Composition with identity is identity-preserving.
+	if !Compose(r, Identity(5)).Equal(r) || !Compose(Identity(5), r).Equal(r) {
+		t.Fatal("identity laws broken")
+	}
+}
+
+func TestConverse(t *testing.T) {
+	r := pairsRel(3, [2]int{0, 1}, [2]int{1, 2})
+	c := r.Converse()
+	if !c.Equal(pairsRel(3, [2]int{1, 0}, [2]int{2, 1})) {
+		t.Fatalf("converse = %v", c)
+	}
+	if !c.Converse().Equal(r) {
+		t.Fatal("double converse != original")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := pairsRel(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	tc := r.TransitiveClosure()
+	want := pairsRel(4,
+		[2]int{0, 1}, [2]int{0, 2}, [2]int{0, 3},
+		[2]int{1, 2}, [2]int{1, 3}, [2]int{2, 3})
+	if !tc.Equal(want) {
+		t.Fatalf("closure = %v, want %v", tc, want)
+	}
+	if !tc.Transitive() {
+		t.Fatal("closure not transitive")
+	}
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	r := pairsRel(3, [2]int{0, 1}, [2]int{1, 0})
+	tc := r.TransitiveClosure()
+	if !tc.Has(0, 0) || !tc.Has(1, 1) {
+		t.Fatal("cycle closure should contain self-loops")
+	}
+	if tc.Has(2, 2) {
+		t.Fatal("unrelated element gained self-loop")
+	}
+	if tc.Irreflexive() {
+		t.Fatal("cyclic closure reported irreflexive")
+	}
+}
+
+func TestReflexiveClosures(t *testing.T) {
+	r := pairsRel(3, [2]int{0, 1})
+	rc := r.ReflexiveClosure()
+	if rc.Count() != 4 {
+		t.Fatalf("reflexive closure count = %d", rc.Count())
+	}
+	rtc := r.ReflexiveTransitiveClosure()
+	if !rtc.Has(0, 0) || !rtc.Has(0, 1) || !rtc.Has(2, 2) {
+		t.Fatal("rtc missing pairs")
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	dag := pairsRel(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 2})
+	if !dag.Acyclic() {
+		t.Fatal("dag reported cyclic")
+	}
+	cyc := pairsRel(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0})
+	if cyc.Acyclic() {
+		t.Fatal("cycle reported acyclic")
+	}
+	self := pairsRel(2, [2]int{1, 1})
+	if self.Acyclic() {
+		t.Fatal("self-loop reported acyclic")
+	}
+	if !New(0).Acyclic() || !New(5).Acyclic() {
+		t.Fatal("empty relations should be acyclic")
+	}
+}
+
+func TestIrreflexive(t *testing.T) {
+	if !pairsRel(3, [2]int{0, 1}).Irreflexive() {
+		t.Fatal("irreflexive relation misreported")
+	}
+	if pairsRel(3, [2]int{1, 1}).Irreflexive() {
+		t.Fatal("reflexive pair missed")
+	}
+}
+
+func TestSubsetEqualEmpty(t *testing.T) {
+	a := pairsRel(3, [2]int{0, 1})
+	b := pairsRel(3, [2]int{0, 1}, [2]int{1, 2})
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if !a.Equal(a.Clone()) || a.Equal(b) {
+		t.Fatal("Equal wrong")
+	}
+	if !New(3).Empty() || a.Empty() {
+		t.Fatal("Empty wrong")
+	}
+}
+
+func TestImagePreImage(t *testing.T) {
+	r := pairsRel(5, [2]int{0, 2}, [2]int{1, 2}, [2]int{1, 3})
+	img := r.Image(bits.Of(5, 0, 1))
+	if !img.Equal(bits.Of(5, 2, 3)) {
+		t.Fatalf("image = %v", img)
+	}
+	pre := r.PreImage(bits.Of(5, 3))
+	if !pre.Equal(bits.Of(5, 1)) {
+		t.Fatalf("preimage = %v", pre)
+	}
+	if got := r.Successors(1); !got.Equal(bits.Of(5, 2, 3)) {
+		t.Fatalf("successors = %v", got)
+	}
+	if got := r.Predecessors(2); !got.Equal(bits.Of(5, 0, 1)) {
+		t.Fatalf("predecessors = %v", got)
+	}
+}
+
+func TestRestrictFilterWithoutID(t *testing.T) {
+	r := pairsRel(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{1, 1})
+	sub := r.RestrictTo(bits.Of(4, 1, 2))
+	if !sub.Equal(pairsRel(4, [2]int{1, 2}, [2]int{1, 1})) {
+		t.Fatalf("restrict = %v", sub)
+	}
+	f := r.FilterPairs(func(a, b int) bool { return a == b })
+	if !f.Equal(pairsRel(4, [2]int{1, 1})) {
+		t.Fatalf("filter = %v", f)
+	}
+	noid := r.WithoutIdentity()
+	if noid.Has(1, 1) || noid.Count() != 3 {
+		t.Fatalf("withoutIdentity = %v", noid)
+	}
+}
+
+func TestDomRan(t *testing.T) {
+	r := pairsRel(4, [2]int{0, 2}, [2]int{1, 2})
+	if !r.Dom().Equal(bits.Of(4, 0, 1)) {
+		t.Fatalf("dom = %v", r.Dom())
+	}
+	if !r.Ran().Equal(bits.Of(4, 2)) {
+		t.Fatalf("ran = %v", r.Ran())
+	}
+}
+
+func TestTotalAndStrictOrder(t *testing.T) {
+	// 0 < 1 < 2 strict total order (transitively closed).
+	r := pairsRel(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 2})
+	s := bits.Of(4, 0, 1, 2)
+	if !r.TotalOver(s) || !r.StrictOrderOver(s) {
+		t.Fatal("strict order misreported")
+	}
+	// Missing 0-2 pair: total fails after restriction? Actually TotalOver
+	// only checks comparability.
+	r2 := pairsRel(4, [2]int{0, 1}, [2]int{1, 2})
+	if r2.TotalOver(s) {
+		t.Fatal("incomparable pair missed")
+	}
+	// Non-transitive but total: not a strict order.
+	r3 := pairsRel(3, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0})
+	if r3.StrictOrderOver(bits.Of(3, 0, 1, 2)) {
+		t.Fatal("cyclic relation accepted as strict order")
+	}
+}
+
+func TestTopological(t *testing.T) {
+	r := pairsRel(4, [2]int{2, 0}, [2]int{0, 1}, [2]int{1, 3})
+	seq, ok := r.Topological()
+	if !ok {
+		t.Fatal("topological failed on dag")
+	}
+	if !r.IsLinearization(seq) {
+		t.Fatalf("sequence %v not a linearization", seq)
+	}
+	if _, ok := pairsRel(2, [2]int{0, 1}, [2]int{1, 0}).Topological(); ok {
+		t.Fatal("topological succeeded on cycle")
+	}
+	if _, ok := pairsRel(2, [2]int{1, 1}).Topological(); ok {
+		t.Fatal("topological succeeded on self-loop")
+	}
+}
+
+func TestLinearizationsEnumeration(t *testing.T) {
+	// Two incomparable chains 0<1 and 2: linearizations of 3 elements
+	// with 0 before 1: 3 of them.
+	r := pairsRel(3, [2]int{0, 1})
+	var count int
+	done := r.Linearizations(func(p []int) bool {
+		if !r.IsLinearization(p) {
+			t.Fatalf("emitted non-linearization %v", p)
+		}
+		count++
+		return true
+	})
+	if !done {
+		t.Fatal("enumeration reported early stop")
+	}
+	if count != 3 {
+		t.Fatalf("linearization count = %d, want 3", count)
+	}
+	// Early stop.
+	count = 0
+	done = r.Linearizations(func(p []int) bool {
+		count++
+		return false
+	})
+	if done || count != 1 {
+		t.Fatalf("early stop broken: done=%v count=%d", done, count)
+	}
+}
+
+func TestIsLinearizationRejects(t *testing.T) {
+	r := pairsRel(3, [2]int{0, 1})
+	if r.IsLinearization([]int{1, 0, 2}) {
+		t.Fatal("order violation accepted")
+	}
+	if r.IsLinearization([]int{0, 1}) {
+		t.Fatal("short sequence accepted")
+	}
+	if r.IsLinearization([]int{0, 0, 1}) {
+		t.Fatal("duplicate accepted")
+	}
+	if r.IsLinearization([]int{0, 1, 7}) {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestGrowRelation(t *testing.T) {
+	r := pairsRel(2, [2]int{0, 1})
+	g := r.Grow(5)
+	if g.Size() != 5 || !g.Has(0, 1) {
+		t.Fatal("Grow lost pairs")
+	}
+	g.Add(4, 0)
+	if r.Size() != 2 {
+		t.Fatal("Grow mutated original")
+	}
+}
+
+func randRel(r *rand.Rand, n int, density float64) Rel {
+	rel := New(n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if r.Float64() < density {
+				rel.Add(a, b)
+			}
+		}
+	}
+	return rel
+}
+
+// Property: transitive closure is idempotent, contains r, and is
+// transitive; acyclicity agrees with irreflexivity of the closure.
+func TestQuickClosureProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		r := randRel(rng, n, 0.25)
+		tc := r.TransitiveClosure()
+		if !r.SubsetOf(tc) || !tc.Transitive() {
+			return false
+		}
+		if !tc.TransitiveClosure().Equal(tc) {
+			return false
+		}
+		return r.Acyclic() == tc.Irreflexive()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: composition is associative and distributes over union.
+func TestQuickComposeAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		a := randRel(rng, n, 0.3)
+		b := randRel(rng, n, 0.3)
+		c := randRel(rng, n, 0.3)
+		lhs := Compose(Compose(a, b), c)
+		rhs := Compose(a, Compose(b, c))
+		if !lhs.Equal(rhs) {
+			return false
+		}
+		// a;(b ∪ c) == a;b ∪ a;c
+		d1 := Compose(a, UnionOf(b, c))
+		d2 := UnionOf(Compose(a, b), Compose(a, c))
+		return d1.Equal(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (r;s)⁻¹ = s⁻¹;r⁻¹.
+func TestQuickConverseAntiDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		r := randRel(rng, n, 0.3)
+		s := randRel(rng, n, 0.3)
+		lhs := Compose(r, s).Converse()
+		rhs := Compose(s.Converse(), r.Converse())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every topological sort of an acyclic relation is a
+// linearization and Linearizations only emits valid ones.
+func TestQuickTopologicalValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		// Build a DAG by ordering edges low->high.
+		r := New(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Intn(3) == 0 {
+					r.Add(a, b)
+				}
+			}
+		}
+		seq, ok := r.Topological()
+		if !ok || !r.IsLinearization(seq) {
+			return false
+		}
+		valid := true
+		r.Linearizations(func(p []int) bool {
+			if !r.IsLinearization(p) {
+				valid = false
+				return false
+			}
+			return true
+		})
+		return valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	r := pairsRel(3, [2]int{2, 0}, [2]int{0, 1})
+	if got := r.String(); got != "{(0,1), (2,0)}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkTransitiveClosure(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	r := randRel(rng, 64, 0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.TransitiveClosure()
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	r := randRel(rng, 64, 0.1)
+	s := randRel(rng, 64, 0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Compose(r, s)
+	}
+}
+
+func BenchmarkAcyclic(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 128
+	r := New(n)
+	for a := 0; a < n; a++ {
+		for bb := a + 1; bb < n; bb++ {
+			if rng.Intn(10) == 0 {
+				r.Add(a, bb)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Acyclic() {
+			b.Fatal("dag misclassified")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package sc plugs a sequentially consistent memory model into the
+// interpreted semantics — the paper's §3.3 defines the combination
+// rules generically over an event semantics precisely so different
+// models can be swapped in, and SC (a single global store) is the
+// classic strongest instance. Contrasting RA-C11 with SC on the same
+// programs isolates the weak-memory behaviours: outcomes reachable
+// under internal/core but not under sc are exactly the "weak"
+// outcomes (store buffering, IRIW disagreement, …).
+package sc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+)
+
+// State is an SC memory: one global store mapping variables to values.
+// The zero value is unusable; use Init.
+type State struct {
+	store map[event.Var]event.Val
+}
+
+// Init returns the store with the given initial values.
+func Init(vars map[event.Var]event.Val) *State {
+	s := &State{store: make(map[event.Var]event.Val, len(vars))}
+	for x, v := range vars {
+		s.store[x] = v
+	}
+	return s
+}
+
+// Read returns the current value of x.
+func (s *State) Read(x event.Var) (event.Val, bool) {
+	v, ok := s.store[x]
+	return v, ok
+}
+
+// write returns a copy of s with x set to v.
+func (s *State) write(x event.Var, v event.Val) *State {
+	out := &State{store: make(map[event.Var]event.Val, len(s.store))}
+	for k, val := range s.store {
+		out.store[k] = val
+	}
+	out.store[x] = v
+	return out
+}
+
+// Signature renders the store canonically.
+func (s *State) Signature() string {
+	keys := make([]string, 0, len(s.store))
+	for x := range s.store {
+		keys = append(keys, string(x))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, x := range keys {
+		fmt.Fprintf(&b, "%s=%d;", x, s.store[event.Var(x)])
+	}
+	return b.String()
+}
+
+// Config is a configuration (P, σ) over the SC model.
+type Config struct {
+	P lang.Prog
+	S *State
+}
+
+// NewConfig pairs a program with an initial SC store.
+func NewConfig(p lang.Prog, vars map[event.Var]event.Val) Config {
+	return Config{P: p, S: Init(vars)}
+}
+
+// Key identifies the configuration for deduplication.
+func (c Config) Key() string { return c.P.String() + "\x00" + c.S.Signature() }
+
+// Terminated reports whether every thread has terminated.
+func (c Config) Terminated() bool { return c.P.Terminated() }
+
+// Successors returns the enabled SC transitions: reads are
+// deterministic (the global store), writes update it in place, and an
+// update atomically reads and writes. Annotations are irrelevant under
+// SC.
+func (c Config) Successors() []Config {
+	var out []Config
+	for _, ps := range lang.ProgSteps(c.P) {
+		t, s := ps.T, ps.S
+		switch s.Kind {
+		case lang.StepSilent:
+			out = append(out, Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S})
+		case lang.StepRead:
+			v, ok := c.S.Read(s.Loc)
+			if !ok {
+				continue // uninitialised variable: stuck
+			}
+			out = append(out, Config{P: c.P.WithThread(t, s.Apply(v)), S: c.S})
+		case lang.StepWrite:
+			out = append(out, Config{
+				P: c.P.WithThread(t, s.Apply(0)),
+				S: c.S.write(s.Loc, s.WVal),
+			})
+		case lang.StepUpdate:
+			v, ok := c.S.Read(s.Loc)
+			if !ok {
+				continue
+			}
+			out = append(out, Config{
+				P: c.P.WithThread(t, s.Apply(v)),
+				S: c.S.write(s.Loc, s.WVal),
+			})
+		}
+	}
+	return out
+}
+
+// Outcomes explores the SC state space to termination (bounded by
+// maxConfigs) and returns the set of final-store summaries over the
+// observed variables, formatted like litmus outcome keys.
+func Outcomes(c Config, observe []event.Var, maxConfigs int) map[string]bool {
+	if maxConfigs <= 0 {
+		maxConfigs = 1 << 20
+	}
+	out := map[string]bool{}
+	seen := map[string]bool{c.Key(): true}
+	stack := []Config{c}
+	for len(stack) > 0 && len(seen) < maxConfigs {
+		cfg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cfg.Terminated() {
+			var b strings.Builder
+			for _, x := range observe {
+				v, _ := cfg.S.Read(x)
+				fmt.Fprintf(&b, "%s=%d;", x, v)
+			}
+			out[b.String()] = true
+			continue
+		}
+		for _, n := range cfg.Successors() {
+			k := n.Key()
+			if !seen[k] {
+				seen[k] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package sc
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+
+	coremodel "repro/internal/core"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := Init(map[event.Var]event.Val{"x": 3})
+	if v, ok := s.Read("x"); !ok || v != 3 {
+		t.Fatalf("Read = %d, %v", v, ok)
+	}
+	if _, ok := s.Read("nope"); ok {
+		t.Fatal("unknown variable readable")
+	}
+	s2 := s.write("x", 9)
+	if v, _ := s2.Read("x"); v != 9 {
+		t.Fatal("write lost")
+	}
+	if v, _ := s.Read("x"); v != 3 {
+		t.Fatal("write mutated original")
+	}
+	if s.Signature() == s2.Signature() {
+		t.Fatal("signatures identical across write")
+	}
+}
+
+func TestSuccessorsDeterministicReads(t *testing.T) {
+	p := lang.Prog{lang.AssignC("r", lang.X("x"))}
+	c := NewConfig(p, map[event.Var]event.Val{"x": 7, "r": 0})
+	succ := c.Successors()
+	if len(succ) != 1 {
+		t.Fatalf("SC read must be deterministic, got %d successors", len(succ))
+	}
+	// The read value is the store value.
+	succ2 := succ[0].Successors() // the write of r
+	if len(succ2) != 1 {
+		t.Fatal("write step missing")
+	}
+	if v, _ := succ2[0].S.Read("r"); v != 7 {
+		t.Fatalf("r = %d, want 7", v)
+	}
+}
+
+func TestUpdateAtomicUnderSC(t *testing.T) {
+	p := lang.Prog{lang.SwapC("t", 1), lang.SwapC("t", 2)}
+	out := Outcomes(NewConfig(p, map[event.Var]event.Val{"t": 0}), []event.Var{"t"}, 0)
+	if len(out) != 2 || !out["t=1;"] || !out["t=2;"] {
+		t.Fatalf("outcomes = %v", out)
+	}
+}
+
+// SC forbids the store-buffering weak outcome that RA allows — the
+// defining difference between the two plugged-in models.
+func TestSBDiffersBetweenSCAndRA(t *testing.T) {
+	p := lang.Prog{
+		lang.SeqC(lang.AssignRelC("x", lang.V(1)), lang.AssignC("a", lang.XA("y"))),
+		lang.SeqC(lang.AssignRelC("y", lang.V(1)), lang.AssignC("b", lang.XA("x"))),
+	}
+	vars := map[event.Var]event.Val{"x": 0, "y": 0, "a": 0, "b": 0}
+	observe := []event.Var{"a", "b"}
+
+	scOut := Outcomes(NewConfig(p, vars), observe, 0)
+	if scOut["a=0;b=0;"] {
+		t.Fatal("SC allowed the SB weak outcome")
+	}
+	if !scOut["a=1;b=1;"] {
+		t.Fatalf("SC outcomes degenerate: %v", scOut)
+	}
+
+	raOut := explore.Outcomes(coremodel.NewConfig(p, vars), explore.Options{MaxEvents: 16},
+		func(c coremodel.Config) string {
+			s := ""
+			for _, x := range observe {
+				g, _ := c.S.Last(x)
+				s += string(x) + "=" + itoa(int(c.S.Event(g).WrVal())) + ";"
+			}
+			return s
+		})
+	if !raOut["a=0;b=0;"] {
+		t.Fatal("RA forbade the SB weak outcome")
+	}
+	// SC outcomes are a subset of RA outcomes.
+	for k := range scOut {
+		if !raOut[k] {
+			t.Fatalf("SC outcome %q not reachable under RA", k)
+		}
+	}
+}
+
+// Every litmus test's SC outcome set is contained in its RA outcome
+// set (SC refines RA), and the explicitly forbidden RA outcomes are
+// absent under SC too.
+func TestSCRefinesRAOnSuite(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			scOut := Outcomes(NewConfig(tc.Prog, tc.Init), tc.Observe, 0)
+			rep := tc.Run(explore.Options{MaxEvents: 20})
+			for k := range scOut {
+				if !rep.Outcomes[k] {
+					t.Fatalf("SC outcome %q missing under RA", k)
+				}
+			}
+			for _, o := range tc.Forbidden {
+				if scOut[o.Key(tc.Observe)] {
+					t.Fatalf("forbidden outcome reachable under SC")
+				}
+			}
+		})
+	}
+}
+
+// Peterson under SC: trivially mutually exclusive (sanity check that
+// the property is about the algorithm, not an artifact of the model).
+func TestPetersonSafeUnderSC(t *testing.T) {
+	p, vars := litmus.Peterson()
+	seen := map[string]bool{}
+	stack := []Config{NewConfig(p, vars)}
+	seen[stack[0].Key()] = true
+	checked := 0
+	for len(stack) > 0 && checked < 200000 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		checked++
+		if lang.AtLabel(c.P.Thread(1)) == "cs" && lang.AtLabel(c.P.Thread(2)) == "cs" {
+			t.Fatal("mutual exclusion violated under SC")
+		}
+		for _, n := range c.Successors() {
+			if k := n.Key(); !seen[k] {
+				seen[k] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing explored")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkSCOutcomes(b *testing.B) {
+	p := lang.Prog{
+		lang.SeqC(lang.AssignC("x", lang.V(1)), lang.AssignC("a", lang.X("y"))),
+		lang.SeqC(lang.AssignC("y", lang.V(1)), lang.AssignC("b", lang.X("x"))),
+	}
+	vars := map[event.Var]event.Val{"x": 0, "y": 0, "a": 0, "b": 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(Outcomes(NewConfig(p, vars), []event.Var{"a", "b"}, 0)) == 0 {
+			b.Fatal("no outcomes")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package vis renders executions as Graphviz dot graphs and aligned
+// ASCII tables — the executable counterpart of the paper's execution
+// diagrams (Examples 3.2, 3.6, 5.2). Nodes are events grouped by
+// thread; edges are drawn for sb (program order, solid), rf (dashed),
+// mo (bold) and sw (coloured), with derived edges (fr, hb, eco)
+// available on request.
+package vis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/axiomatic"
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+// Options selects which relations to draw.
+type Options struct {
+	// SB draws direct (transitively reduced) sequenced-before edges.
+	SB bool
+	// RF, MO, SW, FR draw the respective relations; MO is transitively
+	// reduced for readability.
+	RF, MO, SW, FR bool
+	// Title labels the graph.
+	Title string
+}
+
+// Default returns the paper-style edge selection: sb, rf, mo and sw.
+func Default() Options { return Options{SB: true, RF: true, MO: true, SW: true} }
+
+// Dot renders the execution as a Graphviz digraph.
+func Dot(x axiomatic.Exec, o Options) string {
+	var b strings.Builder
+	b.WriteString("digraph execution {\n")
+	if o.Title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", o.Title)
+	}
+	b.WriteString("  rankdir=TB; node [shape=box, fontname=\"monospace\"];\n")
+
+	// Cluster events by thread.
+	byThread := map[event.Thread][]event.Event{}
+	var tids []event.Thread
+	for _, e := range x.Events {
+		if _, ok := byThread[e.TID]; !ok {
+			tids = append(tids, e.TID)
+		}
+		byThread[e.TID] = append(byThread[e.TID], e)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, t := range tids {
+		name := fmt.Sprintf("thread %d", t)
+		if t == event.InitThread {
+			name = "init"
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_t%d {\n    label=%q;\n", t, name)
+		for _, e := range byThread[t] {
+			fmt.Fprintf(&b, "    e%d [label=%q];\n", e.Tag, e.Act.String())
+		}
+		b.WriteString("  }\n")
+	}
+
+	edge := func(r relation.Rel, attrs string) {
+		for _, p := range r.Pairs() {
+			fmt.Fprintf(&b, "  e%d -> e%d [%s];\n", p[0], p[1], attrs)
+		}
+	}
+	if o.SB {
+		edge(reduce(x.SB), `label="sb"`)
+	}
+	if o.RF {
+		edge(x.RF, `label="rf", style=dashed, color=forestgreen`)
+	}
+	if o.MO {
+		edge(reduce(x.MO), `label="mo", style=bold, color=firebrick`)
+	}
+	if o.SW {
+		edge(x.SW(), `label="sw", color=blue`)
+	}
+	if o.FR {
+		edge(x.FR(), `label="fr", style=dotted, color=darkorange`)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// reduce returns the transitive reduction of an acyclic relation (for
+// display only): edges implied by two-step paths are dropped.
+func reduce(r relation.Rel) relation.Rel {
+	comp := relation.Compose(r, r.TransitiveClosure())
+	out := r.Clone()
+	out.Subtract(comp)
+	return out
+}
+
+// ASCII renders the execution as per-thread columns of actions plus a
+// textual edge list — a terminal-friendly view of the same diagram.
+func ASCII(x axiomatic.Exec) string {
+	byThread := map[event.Thread][]event.Event{}
+	var tids []event.Thread
+	for _, e := range x.Events {
+		if _, ok := byThread[e.TID]; !ok {
+			tids = append(tids, e.TID)
+		}
+		byThread[e.TID] = append(byThread[e.TID], e)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	// Column widths.
+	width := map[event.Thread]int{}
+	height := 0
+	for _, t := range tids {
+		w := len(header(t))
+		for _, e := range byThread[t] {
+			if l := len(cell(e)); l > w {
+				w = l
+			}
+		}
+		width[t] = w
+		if len(byThread[t]) > height {
+			height = len(byThread[t])
+		}
+	}
+
+	var b strings.Builder
+	for _, t := range tids {
+		fmt.Fprintf(&b, "%-*s  ", width[t], header(t))
+	}
+	b.WriteString("\n")
+	for _, t := range tids {
+		fmt.Fprintf(&b, "%s  ", strings.Repeat("-", width[t]))
+	}
+	b.WriteString("\n")
+	for row := 0; row < height; row++ {
+		for _, t := range tids {
+			s := ""
+			if row < len(byThread[t]) {
+				s = cell(byThread[t][row])
+			}
+			fmt.Fprintf(&b, "%-*s  ", width[t], s)
+		}
+		b.WriteString("\n")
+	}
+
+	list := func(name string, r relation.Rel) {
+		pairs := r.Pairs()
+		if len(pairs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s: ", name)
+		for i, p := range pairs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s->%s",
+				x.Events[p[0]].Act, x.Events[p[1]].Act)
+		}
+		b.WriteString("\n")
+	}
+	list("rf", x.RF)
+	list("mo", reduce(x.MO))
+	list("sw", x.SW())
+	return b.String()
+}
+
+func header(t event.Thread) string {
+	if t == event.InitThread {
+		return "init"
+	}
+	return fmt.Sprintf("thread %d", t)
+}
+
+func cell(e event.Event) string { return e.Act.String() }

@@ -1,0 +1,113 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/axiomatic"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+func sampleExec(t *testing.T) axiomatic.Exec {
+	t.Helper()
+	s := core.Init(map[event.Var]event.Val{"d": 0, "f": 0})
+	id, _ := s.InitialFor("d")
+	iff, _ := s.InitialFor("f")
+	s, wd, err := s.StepWrite(1, false, "d", 5, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, wf, err := s.StepWrite(1, true, "f", 1, iff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err = s.StepRead(2, true, "f", wf.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = wd
+	return axiomatic.FromState(s)
+}
+
+func TestDotContainsStructure(t *testing.T) {
+	x := sampleExec(t)
+	out := Dot(x, Default())
+	for _, want := range []string{
+		"digraph execution",
+		"subgraph cluster_t0", "subgraph cluster_t1", "subgraph cluster_t2",
+		`label="rf"`, `label="mo"`, `label="sw"`, `label="sb"`,
+		"wr(d,5)", "wrR(f,1)", "rdA(f,1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	if strings.Contains(out, `label="fr"`) {
+		t.Error("fr drawn although not requested")
+	}
+}
+
+func TestDotOptions(t *testing.T) {
+	x := sampleExec(t)
+	out := Dot(x, Options{FR: true, Title: "Example"})
+	if !strings.Contains(out, `label="fr"`) && x.FR().Count() > 0 {
+		t.Error("fr requested but absent")
+	}
+	if !strings.Contains(out, `label="Example"`) {
+		t.Error("title absent")
+	}
+	if strings.Contains(out, `label="sb"`) {
+		t.Error("sb drawn although not requested")
+	}
+}
+
+func TestReduceDropsImpliedEdges(t *testing.T) {
+	r := relation.FromPairs(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	red := reduce(r)
+	if red.Has(0, 2) {
+		t.Error("implied edge survived reduction")
+	}
+	if !red.Has(0, 1) || !red.Has(1, 2) {
+		t.Error("reduction removed necessary edges")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	x := sampleExec(t)
+	out := ASCII(x)
+	for _, want := range []string{"init", "thread 1", "thread 2", "wr(d,5)", "rf:", "mo:", "sw:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ascii output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns line up: every line has the same rune count for the
+	// header block (before edge lists).
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+}
+
+func TestASCIIEmptyRelationsOmitted(t *testing.T) {
+	s := core.Init(map[event.Var]event.Val{"x": 0})
+	out := ASCII(axiomatic.FromState(s))
+	if strings.Contains(out, "rf:") || strings.Contains(out, "sw:") {
+		t.Errorf("empty relations rendered:\n%s", out)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	s := core.Init(map[event.Var]event.Val{"d": 0, "f": 0})
+	id, _ := s.InitialFor("d")
+	s, wd, _ := s.StepWrite(1, false, "d", 5, id)
+	_ = wd
+	x := axiomatic.FromState(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Dot(x, Default()) == "" {
+			b.Fatal("empty")
+		}
+	}
+}
