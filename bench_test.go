@@ -1,10 +1,11 @@
 package repro
 
 // The benchmark harness: one benchmark (or benchmark family) per
-// experiment row of DESIGN.md / EXPERIMENTS.md. Where the paper's
-// artefact is a theorem or a worked example rather than a timing, the
-// benchmark measures the cost of regenerating/checking it, and the
-// correctness assertions live in the package test suites.
+// experiment of the reproduction (PERF.md records the headline
+// numbers). Where the paper's artefact is a theorem or a worked
+// example rather than a timing, the benchmark measures the cost of
+// regenerating/checking it, and the correctness assertions live in
+// the package test suites.
 //
 // The headline comparison (experiment E16) is operational enumeration
 // with on-the-fly read validation versus the axiomatic two-step

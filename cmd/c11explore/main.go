@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/axiomatic"
 	"repro/internal/core"
@@ -32,6 +33,8 @@ func main() {
 		dot     = flag.Bool("dot", false, "print a dot graph of one terminal execution")
 		ascii   = flag.Bool("ascii", false, "print an ASCII diagram of one terminal execution")
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
+		checkFP = flag.Bool("checkcollisions", false,
+			"deduplicate by exact canonical signatures (slow path) and audit the 128-bit fingerprints against them")
 	)
 	flag.Parse()
 
@@ -57,19 +60,28 @@ func main() {
 	}
 
 	cfg := core.NewConfig(prog, f.Init)
+	var mu sync.Mutex
 	var sample *core.State
 	res := explore.Run(cfg, explore.Options{
-		MaxEvents: *maxEv,
-		Workers:   *workers,
+		MaxEvents:       *maxEv,
+		Workers:         *workers,
+		CheckCollisions: *checkFP,
 		Property: func(c core.Config) bool {
-			if c.Terminated() && sample == nil {
-				sample = c.S
+			if c.Terminated() {
+				mu.Lock()
+				if sample == nil {
+					sample = c.S
+				}
+				mu.Unlock()
 			}
 			return true
 		},
 	})
 	fmt.Printf("explored %d configurations, %d terminated, depth %d, truncated=%v\n",
 		res.Explored, res.Terminated, res.Depth, res.Truncated)
+	if *checkFP {
+		fmt.Printf("fingerprint collisions: %d\n", res.FingerprintCollisions)
+	}
 
 	if sample != nil && (*dot || *ascii) {
 		x := axiomatic.FromState(sample)

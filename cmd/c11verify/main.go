@@ -58,23 +58,20 @@ func main() {
 	start := time.Now()
 	var badInvariants []int
 	var badConfig *core.Config
+	// The property runs concurrently under a parallel explorer, so it
+	// only reports the verdict; diagnostics are recomputed from the
+	// violating configuration below.
 	res := explore.Run(core.NewConfig(prog, vars), explore.Options{
 		MaxEvents: *maxEv,
 		Workers:   *workers,
 		Property: func(c core.Config) bool {
-			if bad := proof.CheckPetersonInvariants(c); len(bad) > 0 {
-				badInvariants = bad
-				return false
-			}
-			if !proof.Theorem58(c) || !proof.DeriveTheorem58(c) {
-				badInvariants = nil
-				return false
-			}
-			return true
+			return len(proof.CheckPetersonInvariants(c)) == 0 &&
+				proof.Theorem58(c) && proof.DeriveTheorem58(c)
 		},
 	})
 	if res.Violation != nil {
 		badConfig = res.Violation
+		badInvariants = proof.CheckPetersonInvariants(*badConfig)
 	}
 
 	fmt.Printf("variant=%s bound=%d explored=%d depth=%d truncated=%v (%.2fs)\n",

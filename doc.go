@@ -6,35 +6,36 @@
 // invariant-based verification, applied to Peterson's mutual-exclusion
 // algorithm.
 //
-// The library lives under internal/ (see DESIGN.md for the full
-// inventory):
+// The library lives under internal/:
 //
-//	internal/bits       dense bit vectors
-//	internal/relation   binary-relation algebra (closure, acyclicity, …)
-//	internal/event      threads, variables, actions, events
-//	internal/lang       the command language and uninterpreted semantics (§2)
-//	internal/core       C11 states, observability, the RA event and
-//	                    interpreted semantics (§3) — the paper's contribution
-//	internal/axiomatic  Definition 4.2 axioms, pre-executions,
-//	                    justification, Theorem 4.8 replay, Appendix C
-//	internal/enumerate  bounded candidate-execution enumeration
-//	                    (the Memalloy substitution of Appendix E)
-//	internal/catdsl     cat-language evaluator with the paper's models
-//	                    (Appendix E, executable)
-//	internal/explore    bounded explicit-state model checker
-//	internal/proof      determinate-value / variable-ordering assertions,
-//	                    the Figure 4 rules, the Peterson invariants (§5)
-//	internal/litmus     litmus catalog, Peterson variants, differential
-//	                    fuzzing of the two semantics
-//	internal/races      non-atomic accesses and data-race detection
-//	                    (the §2.1 extension)
-//	internal/sc         sequential consistency behind the same generic
-//	                    combination rules (§3.3)
-//	internal/parser     textual litmus front end
-//	internal/vis        dot / ASCII execution diagrams
+//	internal/bits        dense bit vectors
+//	internal/relation    binary-relation algebra (closure, acyclicity, …)
+//	internal/fingerprint 128-bit canonical execution fingerprints
+//	internal/event       threads, variables, actions, events
+//	internal/lang        the command language and uninterpreted semantics (§2)
+//	internal/core        C11 states, observability, the RA event and
+//	                     interpreted semantics (§3) — the paper's contribution
+//	internal/axiomatic   Definition 4.2 axioms, pre-executions,
+//	                     justification, Theorem 4.8 replay, Appendix C
+//	internal/enumerate   bounded candidate-execution enumeration
+//	                     (the Memalloy substitution of Appendix E)
+//	internal/catdsl      cat-language evaluator with the paper's models
+//	                     (Appendix E, executable)
+//	internal/explore     bounded explicit-state model checker
+//	internal/proof       determinate-value / variable-ordering assertions,
+//	                     the Figure 4 rules, the Peterson invariants (§5)
+//	internal/litmus      litmus catalog, Peterson variants, differential
+//	                     fuzzing of the two semantics
+//	internal/races       non-atomic accesses and data-race detection
+//	                     (the §2.1 extension)
+//	internal/sc          sequential consistency behind the same generic
+//	                     combination rules (§3.3)
+//	internal/parser      textual litmus front end
+//	internal/vis         dot / ASCII execution diagrams
 //
 // The executables under cmd/ (c11litmus, c11explore, c11equiv,
 // c11verify) and the programs under examples/ exercise the public
-// surface; bench_test.go at this root regenerates every experiment
-// recorded in EXPERIMENTS.md.
+// surface; bench_test.go at this root regenerates every experiment,
+// and PERF.md records the exploration hot-path numbers and how to
+// reproduce them.
 package repro

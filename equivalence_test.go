@@ -1,0 +1,71 @@
+package repro
+
+// Serial/parallel equivalence of the explorer: the barrier-free
+// parallel engine deduplicates through a sharded fingerprint-keyed
+// seen-set and relaxes depths as shorter paths appear, so on any
+// search that runs to completion it must report exactly the serial
+// engine's Explored, Terminated, Depth and Truncated — on the whole
+// litmus catalog and on the Peterson verification workload. Property
+// early-exit is nondeterministic in *which* violating configuration is
+// reported, so there only the verdict is compared.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/litmus"
+	"repro/internal/proof"
+)
+
+func TestSerialParallelEquivalenceLitmusSuite(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		t.Run(tc.Name, func(t *testing.T) {
+			cfg := core.NewConfig(tc.Prog, tc.Init)
+			s := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 1})
+			p := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 8})
+			if s.Explored != p.Explored || s.Terminated != p.Terminated ||
+				s.Depth != p.Depth || s.Truncated != p.Truncated {
+				t.Fatalf("serial %+v != parallel %+v", s, p)
+			}
+		})
+	}
+}
+
+func TestSerialParallelEquivalencePeterson(t *testing.T) {
+	p, vars := litmus.Peterson()
+	property := func(c core.Config) bool {
+		return len(proof.CheckPetersonInvariants(c)) == 0
+	}
+	s := explore.Run(core.NewConfig(p, vars), explore.Options{
+		MaxEvents: 9, Workers: 1, Property: property,
+	})
+	pr := explore.Run(core.NewConfig(p, vars), explore.Options{
+		MaxEvents: 9, Workers: 8, Property: property,
+	})
+	if s.Violation != nil || pr.Violation != nil {
+		t.Fatal("Peterson invariants must hold in both engines")
+	}
+	if s.Explored != pr.Explored || s.Terminated != pr.Terminated ||
+		s.Depth != pr.Depth || s.Truncated != pr.Truncated {
+		t.Fatalf("serial %+v != parallel %+v", s, pr)
+	}
+}
+
+func TestSerialParallelVerdictWeakTurn(t *testing.T) {
+	// The broken variant must be caught by both engines.
+	p, vars := litmus.PetersonWeakTurn()
+	for _, workers := range []int{1, 8} {
+		res := explore.Run(core.NewConfig(p, vars), explore.Options{
+			MaxEvents: 12,
+			Workers:   workers,
+			Property:  litmus.MutualExclusion,
+		})
+		if res.Violation == nil {
+			t.Fatalf("workers=%d: mutual-exclusion violation not found", workers)
+		}
+		if litmus.MutualExclusion(*res.Violation) {
+			t.Fatalf("workers=%d: reported violation does not falsify the property", workers)
+		}
+	}
+}

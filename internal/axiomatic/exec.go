@@ -14,6 +14,7 @@ import (
 	"repro/internal/bits"
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/fingerprint"
 	"repro/internal/relation"
 )
 
@@ -199,6 +200,16 @@ func (x Exec) CanonicalSignature() string {
 	writePairs("rf", x.RF)
 	writePairs("mo", x.MO)
 	return b.String()
+}
+
+// Fingerprint returns the 128-bit binary equivalent of
+// CanonicalSignature: the same (thread, position-in-thread) renaming
+// and the same identified executions, hashed instead of printed. It
+// uses the encoding shared with core.State.Fingerprint, so an
+// operationally built state and its FromState image fingerprint
+// identically.
+func (x Exec) Fingerprint() fingerprint.FP {
+	return fingerprint.Canonical(x.Events, x.RF, x.MO)
 }
 
 // String renders a readable multi-line description.

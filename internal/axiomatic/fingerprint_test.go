@@ -1,0 +1,34 @@
+package axiomatic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// State.Fingerprint and Exec.Fingerprint share one canonical encoding,
+// so an operationally built state and its FromState image must
+// fingerprint identically — the binary analogue of the replay tests'
+// CanonicalSignature comparisons.
+func TestStateAndExecFingerprintsAgree(t *testing.T) {
+	s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0})
+	ix, _ := s.InitialFor("x")
+	iy, _ := s.InitialFor("y")
+	s, w, err := s.StepWrite(1, true, "x", 2, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ = s.StepRead(2, true, "x", w.Tag)
+	s, u, _ := s.StepRMW(2, "y", 7, iy)
+	s, _, _ = s.StepRMW(1, "y", 8, u.Tag)
+
+	x := FromState(s)
+	if got, want := x.Fingerprint(), s.Fingerprint(); got != want {
+		t.Fatalf("Exec fingerprint %x%x != State fingerprint %x%x",
+			got.Hi, got.Lo, want.Hi, want.Lo)
+	}
+	if x.CanonicalSignature() != s.CanonicalSignature() {
+		t.Fatal("canonical signatures diverge between State and Exec")
+	}
+}

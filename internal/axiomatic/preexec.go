@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/fingerprint"
 	"repro/internal/lang"
 )
 
@@ -217,10 +218,10 @@ func ValidExecutions(p lang.Prog, vars map[event.Var]event.Val, maxEvents int) m
 // that, and the benchmark harness compares the costs.
 func OperationalExecutions(p lang.Prog, vars map[event.Var]event.Val) map[string]Exec {
 	out := map[string]Exec{}
-	seen := map[string]bool{}
+	seen := map[fingerprint.FP]bool{}
 	var dfs func(core.Config)
 	dfs = func(cfg core.Config) {
-		k := cfg.Key()
+		k := cfg.Fingerprint()
 		if seen[k] {
 			return
 		}

@@ -94,6 +94,45 @@ func (s *Set) CopyFrom(t Set) {
 	copy(s.words, t.words)
 }
 
+// LoadFrom overwrites s with the members of t; s must have capacity at
+// least t's. Words beyond t's are cleared.
+func (s *Set) LoadFrom(t Set) {
+	if s.n < t.n {
+		panic("bits: LoadFrom into smaller set")
+	}
+	copied := copy(s.words, t.words)
+	for i := copied; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// MakeRows returns nrows empty sets of capacity nbits each, all carved
+// from a single backing allocation — the row carrier of a dense
+// relation. Allocating the rows individually was the dominant
+// allocation cost of cloning a relation (one make per row); a slab
+// reduces it to two allocations regardless of nrows. The per-row
+// stride is rounded up to a power of two words, so carriers grown
+// step by step reuse a stable layout (capacity doubling).
+func MakeRows(nrows, nbits int) []Set {
+	if nrows < 0 || nbits < 0 {
+		panic("bits: negative MakeRows size")
+	}
+	if nrows == 0 {
+		return nil
+	}
+	need := (nbits + wordBits - 1) / wordBits
+	stride := 1
+	for stride < need {
+		stride <<= 1
+	}
+	slab := make([]uint64, nrows*stride)
+	rows := make([]Set, nrows)
+	for i := range rows {
+		rows[i] = Set{words: slab[i*stride : i*stride+need : (i+1)*stride], n: nbits}
+	}
+	return rows
+}
+
 // Or sets s to s | t. Both must have the same capacity.
 func (s *Set) Or(t Set) {
 	s.check(t)

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/event"
+	"repro/internal/fingerprint"
 	"repro/internal/lang"
 )
 
@@ -106,13 +109,37 @@ func (c Config) Successors() []Succ {
 	return out
 }
 
-// Key returns a canonical identity for the configuration, used for
-// state-space deduplication. It identifies configurations up to the
-// interleaving that produced them (see State.CanonicalSignature):
-// same per-thread residual programs + isomorphic C11 state ⇒ same
-// futures, so exploring one representative suffices.
+// Key returns a canonical string identity for the configuration, used
+// for exact state-space deduplication. It identifies configurations up
+// to the interleaving that produced them (see
+// State.CanonicalSignature): same per-thread residual programs +
+// isomorphic C11 state ⇒ same futures, so exploring one representative
+// suffices. The explorer's hot path uses Fingerprint instead; Key is
+// the exact slow path kept for collision cross-checking.
 func (c Config) Key() string {
 	return c.P.String() + "\x00" + c.S.CanonicalSignature()
+}
+
+// progBufPool recycles the scratch buffers for program signatures.
+var progBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// Fingerprint returns a 128-bit canonical identity for the
+// configuration — the hashed equivalent of Key, computed without fmt
+// or intermediate signature strings. Two configurations with equal
+// keys always have equal fingerprints; distinct keys collide only with
+// 128-bit hash probability, which the explorer's collision-check mode
+// can audit against Key.
+func (c Config) Fingerprint() fingerprint.FP {
+	h := fingerprint.NewHasher()
+	sfp := c.S.Fingerprint()
+	h.Word(sfp.Hi)
+	h.Word(sfp.Lo)
+	bp := progBufPool.Get().(*[]byte)
+	buf := lang.AppendProgSig((*bp)[:0], c.P)
+	h.Bytes(buf)
+	*bp = buf
+	progBufPool.Put(bp)
+	return h.Sum()
 }
 
 // Terminated reports whether every thread of the configuration has

@@ -15,6 +15,13 @@ import (
 //
 // and the three write sets of §3.2: encountered writes EW_σ(t),
 // observable writes OW_σ(t) and covered writes CW_σ.
+//
+// The derived orders and the per-thread observability sets are
+// memoised: a state is interrogated once per enabled thread and per
+// transition premise during successor generation, and recomputing the
+// closures each time dominated the explorer's profile. Public
+// accessors return defensive copies; the unexported *Locked variants
+// return the memoised values directly and require memo.mu held.
 
 // SW returns the synchronises-with relation sw = rf ∩ (WrR × RdA).
 // Update events are both releasing and acquiring, so rf edges into or
@@ -27,12 +34,18 @@ func (s *State) SW() relation.Rel {
 
 // HB returns happens-before hb = (sb ∪ sw)⁺.
 func (s *State) HB() relation.Rel {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.hbLocked().Clone()
+}
+
+func (s *State) hbLocked() *relation.Rel {
 	if s.memo.hb == nil {
 		u := relation.UnionOf(s.sb, s.SW())
 		hb := u.TransitiveClosure()
 		s.memo.hb = &hb
 	}
-	return s.memo.hb.Clone()
+	return s.memo.hb
 }
 
 // FR returns the from-read relation fr = (rf⁻¹ ; mo) \ Id. The
@@ -45,39 +58,61 @@ func (s *State) FR() relation.Rel {
 
 // ECO returns the extended coherence order eco = (fr ∪ mo ∪ rf)⁺ [19].
 func (s *State) ECO() relation.Rel {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.ecoLocked().Clone()
+}
+
+func (s *State) ecoLocked() *relation.Rel {
 	if s.memo.eco == nil {
 		u := relation.UnionOf(s.FR(), s.mo, s.rf)
 		eco := u.TransitiveClosure()
 		s.memo.eco = &eco
 	}
-	return s.memo.eco.Clone()
+	return s.memo.eco
+}
+
+// combLocked returns the thread-independent kernel of the encountered-
+// write computation, eco? ; hb? = Id ∪ eco ∪ hb ∪ eco;hb. EW_σ(t) is
+// this relation's image restricted to writes and intersected with
+// thread t's events, so memoising comb once per state makes every
+// per-thread observability query a cheap row scan.
+func (s *State) combLocked() *relation.Rel {
+	if s.memo.comb == nil {
+		eco := s.ecoLocked()
+		hb := s.hbLocked()
+		comb := relation.UnionOf(*eco, *hb, relation.Compose(*eco, *hb)).ReflexiveClosure()
+		s.memo.comb = &comb
+	}
+	return s.memo.comb
 }
 
 // EncounteredWrites returns EW_σ(t): the writes w ∈ Wr ∩ D such that
 // some event e of thread t has (w, e) ∈ eco? ; hb? (§3.2). The set is
 // empty when t has executed no action.
 func (s *State) EncounteredWrites(t event.Thread) bits.Set {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.encounteredLocked(t)
+}
+
+// encounteredLocked computes EW_σ(t) into a fresh set; memo.mu held.
+func (s *State) encounteredLocked(t event.Thread) bits.Set {
 	n := len(s.events)
 	out := bits.New(n)
 
-	// Collect thread t's events.
 	tEvents := bits.New(n)
-	for i, e := range s.events {
-		if e.TID == t {
+	for i := range s.events {
+		if s.events[i].TID == t {
 			tEvents.Set(i)
 		}
 	}
 	if tEvents.Empty() {
 		return out
 	}
-
-	// eco? ; hb? = Id ∪ eco ∪ hb ∪ eco;hb.
-	eco := s.ECO()
-	hb := s.HB()
-	comb := relation.UnionOf(eco, hb, relation.Compose(eco, hb)).ReflexiveClosure()
-
-	for i, e := range s.events {
-		if !e.IsWrite() {
+	comb := s.combLocked()
+	for i := range s.events {
+		if !s.events[i].IsWrite() {
 			continue
 		}
 		// w encountered iff comb row of w intersects t's events.
@@ -91,27 +126,50 @@ func (s *State) EncounteredWrites(t event.Thread) bits.Set {
 // ObservableWrites returns OW_σ(t): writes not succeeded in mo by any
 // encountered write of t (§3.2) — the writes t may read next.
 func (s *State) ObservableWrites(t event.Thread) bits.Set {
-	ew := s.EncounteredWrites(t)
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.observableLocked(t).Clone()
+}
+
+// observableLocked returns the memoised OW_σ(t); memo.mu must be held
+// and the result must not be mutated.
+func (s *State) observableLocked(t event.Thread) *bits.Set {
+	if ow, ok := s.memo.ow[t]; ok {
+		return ow
+	}
+	ew := s.encounteredLocked(t)
 	out := bits.New(len(s.events))
-	for i, e := range s.events {
-		if !e.IsWrite() {
+	for i := range s.events {
+		if !s.events[i].IsWrite() {
 			continue
 		}
 		if !s.mo.Row(i).Intersects(ew) {
 			out.Set(i)
 		}
 	}
-	return out
+	if s.memo.ow == nil {
+		s.memo.ow = make(map[event.Thread]*bits.Set, 4)
+	}
+	s.memo.ow[t] = &out
+	return &out
 }
 
 // CoveredWrites returns CW_σ: writes immediately followed in rf by an
 // update (§3.2). Inserting after a covered write would break update
 // atomicity, so writes and updates may not be placed there.
 func (s *State) CoveredWrites() bits.Set {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.coveredLocked().Clone()
+}
+
+// coveredLocked returns the memoised CW_σ; memo.mu must be held and
+// the result must not be mutated.
+func (s *State) coveredLocked() *bits.Set {
 	if s.memo.covered == nil {
 		out := bits.New(len(s.events))
-		for i, e := range s.events {
-			if !e.IsWrite() {
+		for i := range s.events {
+			if !s.events[i].IsWrite() {
 				continue
 			}
 			row := s.rf.Row(i)
@@ -124,20 +182,22 @@ func (s *State) CoveredWrites() bits.Set {
 		}
 		s.memo.covered = &out
 	}
-	return s.memo.covered.Clone()
+	return s.memo.covered
 }
 
 // ObservableFor returns the writes to x observable by thread t,
 // i.e. OW_σ(t)|ₓ, as sorted tags. These are the legal reads-from
 // choices for a read of x by t (rule READ).
 func (s *State) ObservableFor(t event.Thread, x event.Var) []event.Tag {
-	ow := s.ObservableWrites(t)
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	ow := s.observableLocked(t)
 	var out []event.Tag
-	ow.ForEach(func(i int) {
+	for i := ow.Next(0); i >= 0; i = ow.Next(i + 1) {
 		if s.events[i].Var() == x {
 			out = append(out, event.Tag(i))
 		}
-	})
+	}
 	return out
 }
 
@@ -145,15 +205,16 @@ func (s *State) ObservableFor(t event.Thread, x event.Var) []event.Tag {
 // which thread t may insert a new write or update to x in mo (rules
 // WRITE and RMW).
 func (s *State) InsertionPointsFor(t event.Thread, x event.Var) []event.Tag {
-	ow := s.ObservableWrites(t)
-	cw := s.CoveredWrites()
-	ow.AndNot(cw)
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	ow := s.observableLocked(t)
+	cw := s.coveredLocked()
 	var out []event.Tag
-	ow.ForEach(func(i int) {
-		if s.events[i].Var() == x {
+	for i := ow.Next(0); i >= 0; i = ow.Next(i + 1) {
+		if !cw.Test(i) && s.events[i].Var() == x {
 			out = append(out, event.Tag(i))
 		}
-	})
+	}
 	return out
 }
 
@@ -206,11 +267,13 @@ func (s *State) HBCone(t event.Thread) bits.Set {
 			out.Set(i) // (e,e) ∈ hb? with tid(e)=t
 		}
 	}
-	hb := s.HB()
+	s.memo.mu.Lock()
+	hb := s.hbLocked()
 	for i := 0; i < n; i++ {
 		if hb.Row(i).Intersects(tEvents) {
 			out.Set(i)
 		}
 	}
+	s.memo.mu.Unlock()
 	return out
 }

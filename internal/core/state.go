@@ -15,15 +15,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/event"
+	"repro/internal/fingerprint"
 	"repro/internal/relation"
 )
 
 // State is a C11 state ((D, sb), rf, mo). States are immutable once
 // built: the transition functions return new states. Derived orders
-// (sw, hb, fr, eco) are memoised on first use.
+// (sw, hb, fr, eco), the per-thread observability sets and the
+// canonical fingerprint are memoised on first use, guarded by a mutex
+// because silent program steps share the state between configurations
+// that a parallel explorer may expand concurrently.
 type State struct {
 	events []event.Event // D; index is the event's Tag
 	sb     relation.Rel  // sequenced-before
@@ -31,9 +36,14 @@ type State struct {
 	mo     relation.Rel  // modification order (Wr × Wr)
 
 	memo struct {
+		mu      sync.Mutex
 		hb, eco *relation.Rel
-		wr      *bits.Set // all writes
-		covered *bits.Set // CW
+		comb    *relation.Rel // (eco? ; hb?) — thread-independent EW kernel
+		wr      *bits.Set     // all writes
+		covered *bits.Set     // CW
+		ow      map[event.Thread]*bits.Set
+		fp      fingerprint.FP
+		fpOK    bool
 	}
 }
 
@@ -100,6 +110,13 @@ func (s *State) MOHas(a, b event.Tag) bool { return s.mo.Has(int(a), int(b)) }
 // Writes returns the set of write events Wr ∩ D (includes updates and
 // initialising writes) as tags.
 func (s *State) Writes() bits.Set {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.writesLocked().Clone()
+}
+
+// writesLocked returns the memoised write set; memo.mu must be held.
+func (s *State) writesLocked() *bits.Set {
 	if s.memo.wr == nil {
 		w := bits.New(len(s.events))
 		for i, e := range s.events {
@@ -109,7 +126,7 @@ func (s *State) Writes() bits.Set {
 		}
 		s.memo.wr = &w
 	}
-	return s.memo.wr.Clone()
+	return s.memo.wr
 }
 
 // WritesTo returns the tags of writes to variable x in mo-respecting
@@ -198,6 +215,22 @@ func (s *State) addEvent(a event.Action, t event.Thread) event.Tag {
 		}
 	}
 	return g
+}
+
+// Fingerprint returns a 128-bit canonical identity of the state up to
+// the interleaving that built it — the binary, allocation-free
+// equivalent of CanonicalSignature (same renaming, same identified
+// states, modulo hash collisions over the 128-bit key). The explorer
+// keys its seen-set by this value; CanonicalSignature remains the
+// exact slow path behind the collision-checking debug option.
+func (s *State) Fingerprint() fingerprint.FP {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	if !s.memo.fpOK {
+		s.memo.fp = fingerprint.Canonical(s.events, s.rf, s.mo)
+		s.memo.fpOK = true
+	}
+	return s.memo.fp
 }
 
 // Signature returns a canonical string identifying the state up to

@@ -110,10 +110,14 @@ func (s *State) checkObserved(t event.Thread, x event.Var, w event.Tag, excludeC
 	if we.Var() != x {
 		return fmt.Errorf("%w: %s writes %s, not %s", ErrVarMismatch, we, we.Var(), x)
 	}
-	if !s.ObservableWrites(t).Test(int(w)) {
+	s.memo.mu.Lock()
+	observable := s.observableLocked(t).Test(int(w))
+	covered := excludeCovered && s.coveredLocked().Test(int(w))
+	s.memo.mu.Unlock()
+	if !observable {
 		return fmt.Errorf("%w: %s by thread %d", ErrNotObservable, we, t)
 	}
-	if excludeCovered && s.CoveredWrites().Test(int(w)) {
+	if covered {
 		return fmt.Errorf("%w: %s", ErrCovered, we)
 	}
 	return nil
@@ -129,8 +133,10 @@ func (s *State) insertMO(w, e event.Tag) {
 			s.mo.Add(i, ei)
 		}
 	}
-	// e precedes everything w preceded.
-	row := s.mo.Row(wi).Clone()
+	// e precedes everything w preceded. Iterating w's row directly is
+	// safe: the loop only mutates e's row, and e ≠ w (e is the fresh
+	// maximal tag), so the row being walked never changes under us.
+	row := s.mo.Row(wi)
 	for j := row.Next(0); j >= 0; j = row.Next(j + 1) {
 		if j != ei {
 			s.mo.Add(ei, j)

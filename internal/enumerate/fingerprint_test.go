@@ -1,0 +1,70 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/axiomatic"
+	"repro/internal/event"
+	"repro/internal/fingerprint"
+)
+
+// The explorer's seen-set is keyed by 128-bit fingerprints while the
+// exact identity of a candidate execution remains its canonical string
+// signature. These tests sweep the candidate spaces the Appendix E
+// comparison quantifies over and assert the two identities induce the
+// same equivalence — a fingerprint collision or split here would make
+// the fingerprint-keyed deduplication diverge from the exact one.
+
+type crossCheck struct {
+	t     *testing.T
+	bySig map[string]fingerprint.FP
+	byFP  map[fingerprint.FP]string
+}
+
+func newCrossCheck(t *testing.T) *crossCheck {
+	return &crossCheck{
+		t:     t,
+		bySig: map[string]fingerprint.FP{},
+		byFP:  map[fingerprint.FP]string{},
+	}
+}
+
+func (c *crossCheck) add(x axiomatic.Exec) {
+	c.t.Helper()
+	sig := x.CanonicalSignature()
+	fp := x.Fingerprint()
+	if prev, ok := c.bySig[sig]; ok && prev != fp {
+		c.t.Fatalf("one signature, two fingerprints:\n%s", sig)
+	}
+	if prev, ok := c.byFP[fp]; ok && prev != sig {
+		c.t.Fatalf("fingerprint collision:\n%s\n%s", prev, sig)
+	}
+	c.bySig[sig] = fp
+	c.byFP[fp] = sig
+}
+
+func TestCandidatesFingerprintCrossCheck(t *testing.T) {
+	check := newCrossCheck(t)
+	n := Candidates(Params{
+		Threads: 2, Vars: []event.Var{"x"}, Events: 3,
+	}, func(x axiomatic.Exec) bool {
+		check.add(x)
+		return true
+	})
+	if n < 100 {
+		t.Fatalf("only %d candidates enumerated", n)
+	}
+}
+
+func TestRandomFingerprintCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := newCrossCheck(t)
+	params := Params{Threads: 3, Vars: []event.Var{"x", "y"}, Events: 7}
+	for i := 0; i < 1500; i++ {
+		check.add(Random(rng, params))
+	}
+	if len(check.bySig) < 500 {
+		t.Fatalf("random sweep too repetitive: %d distinct", len(check.bySig))
+	}
+}

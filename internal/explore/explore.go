@@ -1,26 +1,35 @@
 // Package explore is a bounded explicit-state model checker for the
 // interpreted RA semantics (internal/core). It enumerates the
 // configurations reachable from an initial (P, σ) pair, deduplicating
-// by canonical configuration keys, and checks safety properties at
-// every state. Programs with loops have unbounded executions (each
-// loop iteration appends read events), so exploration is bounded by a
-// maximum number of non-initialising events per state; within that
-// bound the search is exhaustive.
+// by canonical 128-bit configuration fingerprints, and checks safety
+// properties at every state. Programs with loops have unbounded
+// executions (each loop iteration appends read events), so exploration
+// is bounded by a maximum number of non-initialising events per state;
+// within that bound the search is exhaustive.
 //
-// The frontier can be expanded in parallel: successor computation is
-// by far the dominant cost (each successor clones the relation
-// matrices), and successors of distinct configurations are
-// independent, so a worker pool over the frontier scales with
-// GOMAXPROCS.
+// The serial engine is a FIFO breadth-first search, so a state's
+// recorded depth is its shortest distance from the root. The parallel
+// engine has no per-level barrier: workers pull configurations from a
+// shared pool and push successors as they find them, deduplicating
+// through a sharded seen-set keyed by fingerprint bits. Discovery
+// order is nondeterministic, so a state may first be reached along a
+// non-shortest path; when a shorter path is found later the state's
+// depth is relaxed and — if it was already expanded — it is re-queued
+// so the improvement propagates. At quiescence every state carries its
+// shortest-path depth, making Explored, Terminated, Depth and the
+// Truncated flag identical to the serial engine's whenever the search
+// runs to completion (no MaxConfigs cut, no early property exit).
 package explore
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/fingerprint"
 )
 
 // Options bounds and configures an exploration.
@@ -29,15 +38,29 @@ type Options struct {
 	// state; configurations at the bound are not expanded further.
 	// Zero means 24.
 	MaxEvents int
-	// MaxConfigs aborts the search after this many distinct
-	// configurations. Zero means 1 << 20.
+	// MaxConfigs bounds the number of distinct configurations
+	// explored; once reached, no further configurations are admitted
+	// and the search is reported truncated. Zero means 1 << 20. When
+	// the cap cuts a parallel search, *which* configurations were
+	// admitted depends on scheduling, so Terminated and Depth (unlike
+	// Explored and Truncated) may vary between runs; use Workers 1
+	// for a deterministic truncated prefix.
 	MaxConfigs int
 	// Workers sets the parallelism; 0 means GOMAXPROCS, 1 is serial.
 	Workers int
-	// Property, when non-nil, is evaluated at every reachable
-	// configuration; the first configuration where it returns false
-	// is reported as a violation and stops the search.
+	// Property, when non-nil, is evaluated once at every distinct
+	// reachable configuration; the first configuration where it
+	// returns false is reported as a violation and stops the search.
+	// With Workers > 1 the property is called concurrently from
+	// multiple workers and must be safe for concurrent use.
 	Property func(core.Config) bool
+	// CheckCollisions switches deduplication to the exact canonical
+	// string keys (core.Config.Key) and audits the fingerprints
+	// against them, counting distinct keys whose 128-bit fingerprints
+	// coincide in Result.FingerprintCollisions. This is a debug mode:
+	// it restores the allocation-heavy slow path the fingerprints
+	// replaced.
+	CheckCollisions bool
 }
 
 func (o Options) maxEvents() int {
@@ -74,9 +97,12 @@ type Result struct {
 	// Violation is a configuration falsifying the property, nil if
 	// none was found.
 	Violation *core.Config
-	// Depth is the maximum number of transitions along any explored
-	// path.
+	// Depth is the maximum over explored configurations of the
+	// shortest transition distance from the initial configuration.
 	Depth int
+	// FingerprintCollisions counts distinct canonical keys that
+	// shared a fingerprint; only populated under CheckCollisions.
+	FingerprintCollisions int
 }
 
 // Run explores the state space of c under the given options.
@@ -98,134 +124,375 @@ func runSerial(c core.Config, opts Options) Result {
 	maxEv := opts.maxEvents()
 	maxCfg := opts.maxConfigs()
 
-	seen := map[string]bool{c.Key(): true}
-	frontier := []item{{cfg: c}}
-
-	for len(frontier) > 0 {
-		it := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-
-		res.Explored++
-		if it.depth > res.Depth {
-			res.Depth = it.depth
-		}
-		if opts.Property != nil && !opts.Property(it.cfg) {
-			cfg := it.cfg
-			res.Violation = &cfg
-			return res
-		}
-		if it.cfg.Terminated() {
-			res.Terminated++
-			continue
-		}
-		if it.cfg.S.NumEvents()-nInit >= maxEv {
-			res.Truncated = true
-			continue
-		}
-		if res.Explored+len(frontier) >= maxCfg {
-			res.Truncated = true
-			continue
-		}
-		for _, s := range it.cfg.Successors() {
-			k := s.C.Key()
-			if seen[k] {
-				continue
+	// Deduplication: fingerprints on the fast path, exact canonical
+	// keys (with fingerprint auditing) under CheckCollisions.
+	var dup func(core.Config) bool
+	if opts.CheckCollisions {
+		seen := make(map[string]struct{}, 1024)
+		byFP := make(map[fingerprint.FP]string, 1024)
+		dup = func(cfg core.Config) bool {
+			k := cfg.Key()
+			if _, ok := seen[k]; ok {
+				return true
 			}
-			seen[k] = true
-			frontier = append(frontier, item{cfg: s.C, depth: it.depth + 1})
+			seen[k] = struct{}{}
+			fp := cfg.Fingerprint()
+			if prev, ok := byFP[fp]; ok {
+				if prev != k {
+					res.FingerprintCollisions++
+				}
+			} else {
+				byFP[fp] = k
+			}
+			return false
+		}
+	} else {
+		seen := make(map[fingerprint.FP]struct{}, 1024)
+		dup = func(cfg core.Config) bool {
+			fp := cfg.Fingerprint()
+			if _, ok := seen[fp]; ok {
+				return true
+			}
+			seen[fp] = struct{}{}
+			return false
+		}
+	}
+
+	var queue []item
+	head := 0
+	// visit admits one configuration: dedup, count, check the
+	// property, and enqueue it when expandable. It returns false when
+	// the search must stop (property violation).
+	visit := func(cfg core.Config, depth int) bool {
+		if dup(cfg) {
+			return true
+		}
+		if res.Explored >= maxCfg {
+			res.Truncated = true
+			return true
+		}
+		res.Explored++
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		if opts.Property != nil && !opts.Property(cfg) {
+			res.Violation = &cfg
+			return false
+		}
+		if cfg.Terminated() {
+			res.Terminated++
+			return true
+		}
+		if cfg.S.NumEvents()-nInit >= maxEv {
+			res.Truncated = true
+			return true
+		}
+		queue = append(queue, item{cfg: cfg, depth: depth})
+		return true
+	}
+
+	if !visit(c, 0) {
+		return res
+	}
+	for head < len(queue) {
+		// Once the configuration cap has both filled and rejected an
+		// admission, no further expansion can change any result field
+		// (fresh successors are rejected before the property runs,
+		// duplicates are no-ops), so the remaining queue is abandoned.
+		if res.Truncated && res.Explored >= maxCfg {
+			break
+		}
+		// Keep the backing array proportional to the live frontier.
+		if head > 1024 && head > len(queue)/2 {
+			n := copy(queue, queue[head:])
+			queue = queue[:n]
+			head = 0
+		}
+		it := queue[head]
+		queue[head] = item{} // release the config for GC
+		head++
+		for _, s := range it.cfg.Successors() {
+			if !visit(s.C, it.depth+1) {
+				return res
+			}
 		}
 	}
 	return res
 }
 
+// --- parallel engine ---
+
+const numShards = 64
+
+// pentry is one shard record: the best depth a configuration has been
+// reached at, and the depth it was last expanded at (-1 if never).
+// Non-expandable configurations (terminated or at the event bound)
+// only track depth.
+type pentry struct {
+	depth      int32
+	expandedAt int32
+	expandable bool
+}
+
+type pshard struct {
+	mu   sync.Mutex
+	byFP map[fingerprint.FP]*pentry
+	// Collision-check mode state (nil otherwise).
+	byKey map[string]*pentry
+	fpOf  map[fingerprint.FP]string
+}
+
+type pitem struct {
+	cfg core.Config
+	fp  fingerprint.FP
+	key string // only set under CheckCollisions
+}
+
+// ppool is the shared work pool: a FIFO of discovered configurations
+// plus the in-flight counter that detects quiescence.
+type ppool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []pitem
+	head    int
+	pending int // queued + currently-processing items
+	stopped bool
+}
+
+func (p *ppool) push(it pitem) {
+	p.mu.Lock()
+	p.pending++
+	p.queue = append(p.queue, it)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// pop blocks until an item is available, the pool quiesces, or the
+// search is stopped. ok=false means the worker should exit.
+func (p *ppool) pop() (pitem, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.head == len(p.queue) && p.pending > 0 && !p.stopped {
+		p.cond.Wait()
+	}
+	if p.stopped || p.head == len(p.queue) {
+		return pitem{}, false
+	}
+	it := p.queue[p.head]
+	p.queue[p.head] = pitem{} // release the config for GC
+	p.head++
+	// Keep the backing array proportional to the live frontier.
+	if p.head > 1024 && p.head > len(p.queue)/2 {
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
+	return it, true
+}
+
+func (p *ppool) done() {
+	p.mu.Lock()
+	p.pending--
+	quiesced := p.pending == 0
+	p.mu.Unlock()
+	if quiesced {
+		p.cond.Broadcast()
+	}
+}
+
+func (p *ppool) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+type prun struct {
+	opts   Options
+	nInit  int
+	maxEv  int
+	maxCfg int
+
+	shards [numShards]pshard
+	pool   ppool
+
+	explored   atomic.Int64
+	terminated atomic.Int64
+	truncated  atomic.Bool
+	collisions atomic.Int64
+	violation  atomic.Pointer[core.Config]
+}
+
+func (r *prun) shardOf(fp fingerprint.FP) *pshard {
+	return &r.shards[fp.Lo%numShards]
+}
+
+// admit deduplicates and registers cfg at depth d, updating counters
+// and queueing it when expandable. Re-discoveries at a shorter depth
+// relax the recorded depth and re-queue already-expanded entries so
+// shortest-path depths propagate.
+func (r *prun) admit(cfg core.Config, d int32) {
+	fp := cfg.Fingerprint()
+	var key string
+	if r.opts.CheckCollisions {
+		key = cfg.Key()
+	}
+	sh := r.shardOf(fp)
+
+	sh.mu.Lock()
+	var e *pentry
+	if r.opts.CheckCollisions {
+		e = sh.byKey[key]
+	} else {
+		e = sh.byFP[fp]
+	}
+	if e != nil {
+		// Known configuration: relax its depth if this path is shorter.
+		requeue := false
+		if d < e.depth {
+			e.depth = d
+			requeue = e.expandable && e.expandedAt >= 0 && e.expandedAt > d
+		}
+		sh.mu.Unlock()
+		if requeue {
+			r.pool.push(pitem{cfg: cfg, fp: fp, key: key})
+		}
+		return
+	}
+	// Fresh configuration: honour the MaxConfigs admission cap.
+	n := r.explored.Add(1)
+	if int(n) > r.maxCfg {
+		r.explored.Add(-1)
+		r.truncated.Store(true)
+		sh.mu.Unlock()
+		// The cap has both filled and rejected an admission: no
+		// further expansion can change any result field, so the
+		// remaining work is abandoned (mirrors the serial engine).
+		r.pool.stop()
+		return
+	}
+	term := cfg.Terminated()
+	atBound := cfg.S.NumEvents()-r.nInit >= r.maxEv
+	e = &pentry{depth: d, expandedAt: -1, expandable: !term && !atBound}
+	if r.opts.CheckCollisions {
+		sh.byKey[key] = e
+		// Audit once per distinct canonical key, matching runSerial.
+		if prev, ok := sh.fpOf[fp]; ok {
+			if prev != key {
+				r.collisions.Add(1)
+			}
+		} else {
+			sh.fpOf[fp] = key
+		}
+	} else {
+		sh.byFP[fp] = e
+	}
+	sh.mu.Unlock()
+
+	if term {
+		r.terminated.Add(1)
+	} else if atBound {
+		r.truncated.Store(true)
+	}
+	// The property runs outside every lock; it may be expensive and is
+	// documented as concurrently callable.
+	if r.opts.Property != nil && !r.opts.Property(cfg) {
+		c := cfg
+		r.violation.CompareAndSwap(nil, &c)
+		r.pool.stop()
+		return
+	}
+	if e.expandable {
+		r.pool.push(pitem{cfg: cfg, fp: fp, key: key})
+	}
+}
+
+// claim marks it as being expanded and returns the depth to expand at,
+// or ok=false when the entry has already been expanded at its current
+// best depth (a stale re-queue).
+func (r *prun) claim(it pitem) (int32, bool) {
+	sh := r.shardOf(it.fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var e *pentry
+	if r.opts.CheckCollisions {
+		e = sh.byKey[it.key]
+	} else {
+		e = sh.byFP[it.fp]
+	}
+	if e == nil || (e.expandedAt >= 0 && e.expandedAt <= e.depth) {
+		return 0, false
+	}
+	e.expandedAt = e.depth
+	return e.depth, true
+}
+
+func (r *prun) worker() {
+	for {
+		it, ok := r.pool.pop()
+		if !ok {
+			return
+		}
+		if d, live := r.claim(it); live {
+			for _, s := range it.cfg.Successors() {
+				if r.violation.Load() != nil {
+					break
+				}
+				r.admit(s.C, d+1)
+			}
+		}
+		r.pool.done()
+	}
+}
+
 func runParallel(c core.Config, opts Options) Result {
+	r := &prun{
+		opts:   opts,
+		nInit:  c.S.NumEvents(),
+		maxEv:  opts.maxEvents(),
+		maxCfg: opts.maxConfigs(),
+	}
+	r.pool.cond = sync.NewCond(&r.pool.mu)
+	for i := range r.shards {
+		if opts.CheckCollisions {
+			r.shards[i].byKey = make(map[string]*pentry)
+			r.shards[i].fpOf = make(map[fingerprint.FP]string)
+		} else {
+			r.shards[i].byFP = make(map[fingerprint.FP]*pentry)
+		}
+	}
+
+	r.admit(c, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker()
+		}()
+	}
+	wg.Wait()
+
 	var res Result
-	nInit := c.S.NumEvents()
-	maxEv := opts.maxEvents()
-	maxCfg := opts.maxConfigs()
-	workers := opts.workers()
-
-	var mu sync.Mutex
-	seen := map[string]bool{c.Key(): true}
-
-	frontier := []item{{cfg: c}}
-	for len(frontier) > 0 {
-		// Evaluate the property and termination status of the whole
-		// level, then expand it in parallel.
-		next := make([][]item, len(frontier))
-		var truncated bool
-		var violation *core.Config
-
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i := range frontier {
-			it := frontier[i]
-			res.Explored++
-			if it.depth > res.Depth {
-				res.Depth = it.depth
-			}
-			if opts.Property != nil && !opts.Property(it.cfg) {
-				cfg := it.cfg
-				violation = &cfg
-				break
-			}
-			if it.cfg.Terminated() {
-				res.Terminated++
-				continue
-			}
-			if it.cfg.S.NumEvents()-nInit >= maxEv {
-				truncated = true
-				continue
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, it item) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				var local []item
-				for _, s := range it.cfg.Successors() {
-					k := s.C.Key()
-					mu.Lock()
-					dup := seen[k]
-					if !dup {
-						seen[k] = true
-					}
-					mu.Unlock()
-					if !dup {
-						local = append(local, item{cfg: s.C, depth: it.depth + 1})
-					}
-				}
-				next[i] = local
-			}(i, it)
-		}
-		wg.Wait()
-
-		if violation != nil {
-			res.Violation = violation
-			return res
-		}
-		res.Truncated = res.Truncated || truncated
-
-		frontier = frontier[:0]
-		for _, l := range next {
-			frontier = append(frontier, l...)
-		}
-		if res.Explored+len(frontier) >= maxCfg {
-			res.Truncated = true
-			// Finish counting the frontier as explored states but do
-			// not expand further.
-			for _, it := range frontier {
-				res.Explored++
-				if opts.Property != nil && !opts.Property(it.cfg) {
-					cfg := it.cfg
-					res.Violation = &cfg
-					return res
-				}
-				if it.cfg.Terminated() {
-					res.Terminated++
+	res.Explored = int(r.explored.Load())
+	res.Terminated = int(r.terminated.Load())
+	res.Truncated = r.truncated.Load()
+	res.Violation = r.violation.Load()
+	res.FingerprintCollisions = int(r.collisions.Load())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		if opts.CheckCollisions {
+			for _, e := range sh.byKey {
+				if int(e.depth) > res.Depth {
+					res.Depth = int(e.depth)
 				}
 			}
-			return res
+		} else {
+			for _, e := range sh.byFP {
+				if int(e.depth) > res.Depth {
+					res.Depth = int(e.depth)
+				}
+			}
 		}
 	}
 	return res
@@ -270,7 +537,7 @@ func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace,
 		parent int
 	}
 	nodes := []node{{cfg: c, parent: -1}}
-	seen := map[string]bool{c.Key(): true}
+	seen := map[fingerprint.FP]bool{c.Fingerprint(): true}
 
 	mk := func(i int) Trace {
 		var rev []core.Config
@@ -293,7 +560,7 @@ func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace,
 			continue
 		}
 		for _, s := range n.cfg.Successors() {
-			k := s.C.Key()
+			k := s.C.Fingerprint()
 			if seen[k] {
 				continue
 			}
@@ -309,15 +576,17 @@ func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace,
 // summarise.
 func Outcomes(c core.Config, opts Options, summarise func(core.Config) string) map[string]bool {
 	out := map[string]bool{}
+	var mu sync.Mutex
 	o := opts
-	o.Property = nil
-	collect := func(cfg core.Config) bool {
+	o.Property = func(cfg core.Config) bool {
 		if cfg.Terminated() {
-			out[summarise(cfg)] = true
+			key := summarise(cfg)
+			mu.Lock()
+			out[key] = true
+			mu.Unlock()
 		}
 		return true
 	}
-	o.Property = collect
 	Run(c, o)
 	return out
 }

@@ -36,8 +36,25 @@ func TestRunSerialBasics(t *testing.T) {
 func TestRunParallelMatchesSerial(t *testing.T) {
 	s := Run(mpConfig(), Options{Workers: 1})
 	p := Run(mpConfig(), Options{Workers: 8})
-	if s.Explored != p.Explored || s.Terminated != p.Terminated {
+	if s.Explored != p.Explored || s.Terminated != p.Terminated ||
+		s.Depth != p.Depth || s.Truncated != p.Truncated {
 		t.Fatalf("serial %+v != parallel %+v", s, p)
+	}
+}
+
+func TestCheckCollisionsMatchesFastPath(t *testing.T) {
+	// The exact-key slow path must visit the same state space as the
+	// fingerprint fast path, and the audit must find no collisions.
+	fast := Run(mpConfig(), Options{Workers: 1})
+	for _, workers := range []int{1, 8} {
+		slow := Run(mpConfig(), Options{Workers: workers, CheckCollisions: true})
+		if slow.FingerprintCollisions != 0 {
+			t.Fatalf("workers=%d: %d fingerprint collisions", workers, slow.FingerprintCollisions)
+		}
+		if slow.Explored != fast.Explored || slow.Terminated != fast.Terminated ||
+			slow.Depth != fast.Depth {
+			t.Fatalf("workers=%d: slow %+v != fast %+v", workers, slow, fast)
+		}
 	}
 }
 

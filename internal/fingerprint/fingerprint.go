@@ -1,0 +1,210 @@
+// Package fingerprint computes compact 128-bit identities for
+// canonical executions. The explorer visits hundreds of thousands of
+// states per run and previously keyed its seen-set by a
+// fmt.Fprintf-built canonical string (sorted event list plus rf/mo
+// pair list) — the single hottest allocation site in the whole
+// checker. This package replaces that string with a binary encoding:
+// events are renamed to (thread, position-in-thread) exactly as in the
+// canonical signatures, encoded as fixed-width words with no
+// intermediate strings, and absorbed into two independent 64-bit hash
+// lanes. Collisions over a 128-bit key are vanishingly unlikely at
+// reachable state counts; the explorer retains the exact string
+// signature as a slow path behind a collision-checking debug option.
+package fingerprint
+
+import (
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+// FP is a 128-bit fingerprint, usable directly as a map key.
+type FP struct {
+	Hi, Lo uint64
+}
+
+// Lane constants: the Lo lane is word-wise FNV-1a (xor, then multiply
+// by the FNV prime); the Hi lane is an add-multiply chain with xxhash
+// constants. The lanes use different combining operations and
+// different odd multipliers, so one lane's collisions are uncorrelated
+// with the other's.
+const (
+	seedLo = 0xcbf29ce484222325 // FNV-1a 64 offset basis
+	seedHi = 0x9e3779b97f4a7c15 // golden gamma
+	mulLo  = 0x00000100000001b3 // FNV-1a 64 prime
+	mulHi  = 0xc2b2ae3d27d4eb4f // xxhash PRIME64_2
+)
+
+// Hasher accumulates words into the two lanes. The zero value is not
+// ready for use; call NewHasher.
+type Hasher struct {
+	hi, lo uint64
+}
+
+// NewHasher returns a hasher with both lanes seeded.
+func NewHasher() Hasher { return Hasher{hi: seedHi, lo: seedLo} }
+
+// Word absorbs one 64-bit word.
+func (h *Hasher) Word(w uint64) {
+	lo := (h.lo ^ w) * mulLo
+	h.lo = lo ^ lo>>31
+	hi := (h.hi + w) * mulHi
+	h.hi = hi ^ hi>>29
+}
+
+// absorb packs a length-prefixed byte sequence eight bytes per word.
+// The length prefix keeps the encoding prefix-free.
+func absorb[T ~string | ~[]byte](h *Hasher, s T) {
+	h.Word(uint64(len(s)))
+	var w uint64
+	var nb uint
+	for i := 0; i < len(s); i++ {
+		w |= uint64(s[i]) << (8 * nb)
+		nb++
+		if nb == 8 {
+			h.Word(w)
+			w, nb = 0, 0
+		}
+	}
+	if nb > 0 {
+		h.Word(w)
+	}
+}
+
+// String absorbs a length-prefixed string.
+func (h *Hasher) String(s string) { absorb(h, s) }
+
+// Bytes absorbs a length-prefixed byte slice.
+func (h *Hasher) Bytes(b []byte) { absorb(h, b) }
+
+// fmix64 is the murmur3 finalizer: a full-avalanche bijection.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Sum finalizes both lanes.
+func (h *Hasher) Sum() FP {
+	return FP{Hi: fmix64(h.hi), Lo: fmix64(h.lo)}
+}
+
+// scratch holds the reusable buffers of one Canonical invocation.
+type scratch struct {
+	canon  []int32 // tag -> canonical index
+	order  []int32 // canonical index -> tag
+	counts []int32 // per-thread event counts / offsets
+	row    []int32 // renamed members of one relation row
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (sc *scratch) resize(n, threads int) {
+	if cap(sc.canon) < n {
+		sc.canon = make([]int32, n)
+		sc.order = make([]int32, n)
+		sc.row = make([]int32, n)
+	}
+	sc.canon = sc.canon[:n]
+	sc.order = sc.order[:n]
+	sc.row = sc.row[:n]
+	if cap(sc.counts) < threads {
+		sc.counts = make([]int32, threads)
+	}
+	sc.counts = sc.counts[:threads]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+}
+
+// Canonical fingerprints an execution ((D, sb), rf, mo) up to the
+// interleaving that built it, matching the renaming of the string
+// CanonicalSignature implementations: events are ordered by thread id,
+// within the initialising thread by variable name, and within every
+// other thread by position (per-thread events appear in tag order);
+// rf and mo are absorbed as sorted renamed pairs. sb is omitted — it
+// is determined by the event order and thread structure. The relations
+// must have carrier len(events), with events[i] at tag i.
+func Canonical(events []event.Event, rf, mo relation.Rel) FP {
+	n := len(events)
+	maxT := 0
+	for i := range events {
+		if t := int(events[i].TID); t > maxT {
+			maxT = t
+		}
+	}
+	sc := pool.Get().(*scratch)
+	sc.resize(n, maxT+1)
+
+	// Counting sort by thread id; per-thread order is tag order.
+	for i := range events {
+		sc.counts[int(events[i].TID)]++
+	}
+	off := int32(0)
+	for t := range sc.counts {
+		c := sc.counts[t]
+		sc.counts[t] = off
+		off += c
+	}
+	nInit := 0
+	if maxT >= 0 && len(sc.counts) > 1 {
+		nInit = int(sc.counts[1])
+	} else {
+		nInit = n // all events initialising
+	}
+	for i := range events {
+		t := int(events[i].TID)
+		sc.order[sc.counts[t]] = int32(i)
+		sc.counts[t]++
+	}
+	// Initialising writes sort by variable name (stable: equal names
+	// keep tag order), mirroring the canonical signatures.
+	initOrder := sc.order[:nInit]
+	for i := 1; i < len(initOrder); i++ {
+		for j := i; j > 0 && events[initOrder[j]].Var() < events[initOrder[j-1]].Var(); j-- {
+			initOrder[j], initOrder[j-1] = initOrder[j-1], initOrder[j]
+		}
+	}
+	for ci, tag := range sc.order {
+		sc.canon[tag] = int32(ci)
+	}
+
+	h := NewHasher()
+	h.Word(uint64(n))
+	for _, tag := range sc.order {
+		e := &events[tag]
+		h.Word(uint64(e.TID)<<8 | uint64(e.Act.Kind))
+		h.String(string(e.Act.Loc))
+		h.Word(uint64(int64(e.Act.RVal)))
+		h.Word(uint64(int64(e.Act.WVal)))
+	}
+	absorbRel := func(label uint64, r relation.Rel) {
+		h.Word(label)
+		for _, tag := range sc.order {
+			row := r.Row(int(tag))
+			m := 0
+			for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
+				sc.row[m] = sc.canon[b]
+				m++
+			}
+			// Insertion sort: rows are tiny (per-variable write chains).
+			for i := 1; i < m; i++ {
+				for j := i; j > 0 && sc.row[j] < sc.row[j-1]; j-- {
+					sc.row[j], sc.row[j-1] = sc.row[j-1], sc.row[j]
+				}
+			}
+			h.Word(uint64(m))
+			for i := 0; i < m; i++ {
+				h.Word(uint64(sc.row[i]))
+			}
+		}
+	}
+	absorbRel(1, rf)
+	absorbRel(2, mo)
+	pool.Put(sc)
+	return h.Sum()
+}

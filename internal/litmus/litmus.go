@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -59,6 +60,9 @@ type Report struct {
 	ReachedForbidden []string
 	Explored         int
 	Truncated        bool
+	// FingerprintCollisions reports the explorer's fingerprint audit;
+	// only populated when the run sets Options.CheckCollisions.
+	FingerprintCollisions int
 }
 
 // Pass reports whether every expectation held.
@@ -101,19 +105,27 @@ func (t *Test) Run(opts explore.Options) Report {
 		return o.key(t.Observe)
 	}
 
+	// The property runs concurrently under a parallel explorer; the
+	// outcome set is the only shared state and is mutex-guarded.
+	var mu sync.Mutex
 	res := explore.Run(cfg, explore.Options{
-		MaxEvents:  opts.MaxEvents,
-		MaxConfigs: opts.MaxConfigs,
-		Workers:    opts.Workers,
+		MaxEvents:       opts.MaxEvents,
+		MaxConfigs:      opts.MaxConfigs,
+		Workers:         opts.Workers,
+		CheckCollisions: opts.CheckCollisions,
 		Property: func(c core.Config) bool {
 			if c.Terminated() {
-				rep.Outcomes[summarise(c)] = true
+				key := summarise(c)
+				mu.Lock()
+				rep.Outcomes[key] = true
+				mu.Unlock()
 			}
 			return true
 		},
 	})
 	rep.Explored = res.Explored
 	rep.Truncated = res.Truncated
+	rep.FingerprintCollisions = res.FingerprintCollisions
 
 	for _, o := range t.Allowed {
 		if !rep.Outcomes[o.key(t.Observe)] {

@@ -57,8 +57,16 @@ func PC(c lang.Com) int {
 	}
 }
 
-// flagVar returns flag_t.
+// flagVar returns flag_t. The invariants evaluate it on every explored
+// configuration, so the two Peterson flags are pre-built rather than
+// formatted each time.
 func flagVar(t event.Thread) event.Var {
+	switch t {
+	case 1:
+		return "flag1"
+	case 2:
+		return "flag2"
+	}
 	return event.Var(fmt.Sprintf("flag%d", t))
 }
 

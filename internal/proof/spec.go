@@ -69,10 +69,12 @@ func (r SpecResult) OK() bool { return r.Failed == nil }
 func CheckAnnotations(cfg core.Config, anns []Annotation, opts explore.Options) SpecResult {
 	var out SpecResult
 	o := opts
+	// The property may be evaluated concurrently by a parallel
+	// explorer, so it only reports the verdict; the failing annotation
+	// is recovered from the violating configuration afterwards.
 	o.Property = func(c core.Config) bool {
 		for i := range anns {
 			if !anns[i].holds(c) {
-				out.Failed = &anns[i]
 				return false
 			}
 		}
@@ -82,6 +84,14 @@ func CheckAnnotations(cfg core.Config, anns []Annotation, opts explore.Options) 
 	out.Explored = res.Explored
 	out.Truncated = res.Truncated
 	out.At = res.Violation
+	if res.Violation != nil {
+		for i := range anns {
+			if !anns[i].holds(*res.Violation) {
+				out.Failed = &anns[i]
+				break
+			}
+		}
+	}
 	return out
 }
 

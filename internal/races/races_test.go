@@ -175,9 +175,12 @@ func TestNALanguageIntegration(t *testing.T) {
 		lang.AssignC("r", lang.XNA("d")),
 	}
 	cfg := core.NewConfig(p, map[event.Var]event.Val{"d": 0, "r": 0})
+	// Workers 1: the closure mutates local state and the explorer
+	// calls the property concurrently in parallel mode.
 	sawNAWrite, sawNARead := false, false
 	res := explore.Run(cfg, explore.Options{
 		MaxEvents: 8,
+		Workers:   1,
 		Property: func(c core.Config) bool {
 			for _, e := range c.S.Events() {
 				switch e.Act.Kind {

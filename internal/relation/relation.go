@@ -27,16 +27,14 @@ type Rel struct {
 	rows []bits.Set // rows[i] = successors of i
 }
 
-// New returns the empty relation over {0..n-1}.
+// New returns the empty relation over {0..n-1}. All rows share one
+// backing slab (see bits.MakeRows), so constructing or cloning a
+// relation costs two allocations rather than n+1.
 func New(n int) Rel {
 	if n < 0 {
 		panic("relation: negative carrier size")
 	}
-	rows := make([]bits.Set, n)
-	for i := range rows {
-		rows[i] = bits.New(n)
-	}
-	return Rel{n: n, rows: rows}
+	return Rel{n: n, rows: bits.MakeRows(n, n)}
 }
 
 // FromPairs builds a relation over {0..n-1} from explicit pairs.
@@ -95,9 +93,9 @@ func (r Rel) Row(a int) bits.Set { return r.rows[a] }
 
 // Clone returns an independent copy.
 func (r Rel) Clone() Rel {
-	c := Rel{n: r.n, rows: make([]bits.Set, r.n)}
+	c := New(r.n)
 	for i := range r.rows {
-		c.rows[i] = r.rows[i].Clone()
+		c.rows[i].CopyFrom(r.rows[i])
 	}
 	return c
 }
@@ -109,7 +107,7 @@ func (r Rel) Grow(n int) Rel {
 	}
 	c := New(n)
 	for i := range r.rows {
-		c.rows[i] = r.rows[i].Grow(n)
+		c.rows[i].LoadFrom(r.rows[i])
 	}
 	return c
 }
