@@ -208,6 +208,59 @@ func BenchmarkE13_PetersonVerify(b *testing.B) {
 	}
 }
 
+// peterson3 is a three-thread Peterson-style client: each thread
+// raises its flag (relaxed write), yields the turn with an RA swap,
+// spins on an acquiring read of the next thread's flag and a relaxed
+// read of turn, then enters a labelled critical section and resets its
+// flag with a release write. It exercises the same event mix as
+// Algorithm 1 (relaxed/release writes, RA updates, acquire guard
+// reads) on a wider carrier — three program threads plus the
+// initialising thread — so per-state costs that scale with carrier
+// width (closure maintenance, observability) dominate.
+func peterson3() (lang.Prog, map[event.Var]event.Val) {
+	mk := func(i int, watch event.Var) lang.Com {
+		me := event.Var(fmt.Sprintf("f%d", i))
+		return lang.SeqC(
+			lang.AssignC(me, lang.B(true)),
+			lang.SwapC("turn", event.Val(i)),
+			lang.WhileC(lang.And(
+				lang.Eq(lang.XA(watch), lang.B(true)),
+				lang.Eq(lang.X("turn"), lang.V(event.Val(i))),
+			), lang.SkipC()),
+			lang.LabelC("cs", lang.SkipC()),
+			lang.AssignRelC(me, lang.B(false)),
+		)
+	}
+	p := lang.Prog{mk(1, "f2"), mk(2, "f3"), mk(3, "f1")}
+	vars := map[event.Var]event.Val{"f1": 0, "f2": 0, "f3": 0, "turn": 0}
+	return p, vars
+}
+
+// BenchmarkE13_ThreeThreadPeterson explores the three-thread client —
+// the incremental engine's win grows with carrier width, so this is
+// the headline number beyond litmus-sized programs.
+func BenchmarkE13_ThreeThreadPeterson(b *testing.B) {
+	p, vars := peterson3()
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(core.NewConfig(p, vars), explore.Options{
+					MaxEvents: 10,
+					Workers:   workers,
+				})
+				if res.Explored == 0 {
+					b.Fatal("nothing explored")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkE13_PetersonWeakTurnWitness(b *testing.B) {
 	p, vars := litmus.PetersonWeakTurn()
 	b.ReportAllocs()
@@ -322,6 +375,25 @@ func scalingProg(n int) (lang.Prog, map[event.Var]event.Val) {
 
 func BenchmarkE16_ScalingOperational(b *testing.B) {
 	for n := 2; n <= 4; n++ {
+		b.Run(fmt.Sprintf("writers=%d", n), func(b *testing.B) {
+			p, vars := scalingProg(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(axiomatic.OperationalExecutions(p, vars)) == 0 {
+					b.Fatal("no executions")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE16_ScalingWide pushes the operational scaling client to
+// five and six writers — carriers the axiomatic baseline cannot touch
+// (6! modification orders per pre-execution) and wide enough that
+// per-successor closure maintenance dominates. Run with -benchtime=1x:
+// writers=6 explores several million configurations.
+func BenchmarkE16_ScalingWide(b *testing.B) {
+	for n := 5; n <= 6; n++ {
 		b.Run(fmt.Sprintf("writers=%d", n), func(b *testing.B) {
 			p, vars := scalingProg(n)
 			b.ReportAllocs()

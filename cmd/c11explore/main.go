@@ -35,6 +35,8 @@ func main() {
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
 		checkFP = flag.Bool("checkcollisions", false,
 			"deduplicate by exact canonical signatures (slow path) and audit the 128-bit fingerprints against them")
+		checkInc = flag.Bool("checkincremental", false,
+			"recompute every derived order (hb/eco/comb, observability sets, indexes) from scratch at each configuration and count disagreements with the incremental engine")
 	)
 	flag.Parse()
 
@@ -63,9 +65,10 @@ func main() {
 	var mu sync.Mutex
 	var sample *core.State
 	res := explore.Run(cfg, explore.Options{
-		MaxEvents:       *maxEv,
-		Workers:         *workers,
-		CheckCollisions: *checkFP,
+		MaxEvents:        *maxEv,
+		Workers:          *workers,
+		CheckCollisions:  *checkFP,
+		CheckIncremental: *checkInc,
 		Property: func(c core.Config) bool {
 			if c.Terminated() {
 				mu.Lock()
@@ -81,6 +84,12 @@ func main() {
 		res.Explored, res.Terminated, res.Depth, res.Truncated)
 	if *checkFP {
 		fmt.Printf("fingerprint collisions: %d\n", res.FingerprintCollisions)
+	}
+	if *checkInc {
+		fmt.Printf("closure mismatches: %d\n", res.ClosureMismatches)
+		if res.ClosureMismatches > 0 {
+			os.Exit(1)
+		}
 	}
 
 	if sample != nil && (*dot || *ascii) {

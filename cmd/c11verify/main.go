@@ -31,9 +31,11 @@ import (
 
 func main() {
 	var (
-		maxEv   = flag.Int("max", 12, "maximum non-initial events per state")
-		variant = flag.String("variant", "ra", "ra | weak-turn | relaxed-guard | relaxed-reset")
-		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
+		maxEv    = flag.Int("max", 12, "maximum non-initial events per state")
+		variant  = flag.String("variant", "ra", "ra | weak-turn | relaxed-guard | relaxed-reset")
+		workers  = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
+		checkInc = flag.Bool("checkincremental", false,
+			"audit the incremental derived-order engine against from-scratch recomputation at every configuration")
 	)
 	flag.Parse()
 
@@ -62,8 +64,9 @@ func main() {
 	// only reports the verdict; diagnostics are recomputed from the
 	// violating configuration below.
 	res := explore.Run(core.NewConfig(prog, vars), explore.Options{
-		MaxEvents: *maxEv,
-		Workers:   *workers,
+		MaxEvents:        *maxEv,
+		Workers:          *workers,
+		CheckIncremental: *checkInc,
 		Property: func(c core.Config) bool {
 			return len(proof.CheckPetersonInvariants(c)) == 0 &&
 				proof.Theorem58(c) && proof.DeriveTheorem58(c)
@@ -76,6 +79,12 @@ func main() {
 
 	fmt.Printf("variant=%s bound=%d explored=%d depth=%d truncated=%v (%.2fs)\n",
 		*variant, *maxEv, res.Explored, res.Depth, res.Truncated, time.Since(start).Seconds())
+	if *checkInc {
+		fmt.Printf("closure mismatches: %d\n", res.ClosureMismatches)
+		if res.ClosureMismatches > 0 {
+			os.Exit(1)
+		}
+	}
 
 	if badConfig == nil {
 		fmt.Println("invariants (4)-(10) hold in every reachable configuration")

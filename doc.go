@@ -38,4 +38,32 @@
 // surface; bench_test.go at this root regenerates every experiment,
 // and PERF.md records the exploration hot-path numbers and how to
 // reproduce them.
+//
+// # Incremental derived-order maintenance
+//
+// A transition σ --(w,e)--> σ' appends exactly one event and at most
+// three edge groups (sb into e, one rf edge, one mo splice), so
+// successor states never recompute their derived orders from scratch.
+// Instead (internal/core/incremental.go):
+//
+//   - sb, rf and mo are copy-on-write (relation.ShareGrow): a
+//     successor aliases its parent's rows and copies only the rows its
+//     new event touches;
+//   - the closures hb = (sb ∪ sw)⁺, eco = (fr ∪ mo ∪ rf)⁺ and the
+//     observability kernel eco?;hb? are inherited from the parent's
+//     memoised values and extended by the new event's row and column
+//     alone — every new edge is incident to the new event, so no pair
+//     between old events changes;
+//   - the per-thread event sets, the write set, the per-variable
+//     write lists, the mo-maximal write per variable (σ.last) and the
+//     canonical fingerprint (a commutative multiset hash under the
+//     stable (thread, position) renaming) are all maintained eagerly
+//     on each step.
+//
+// The from-scratch formulas survive as an audit:
+// explore.Options.CheckIncremental (flag -checkincremental on
+// c11explore and c11verify) recomputes every derived order at every
+// explored configuration and counts disagreements — expected zero,
+// asserted across the testdata litmus suite by
+// incremental_equivalence_test.go.
 package repro

@@ -1,0 +1,65 @@
+package repro
+
+// Equivalence of the incremental derived-order engine with from-scratch
+// recomputation, across the whole testdata litmus suite: exploring with
+// CheckIncremental recomputes hb/eco/comb, the observability sets and
+// the maintained indexes at every admitted configuration and compares
+// them with the inherited-and-extended values. The audit must count
+// zero mismatches, and the exploration statistics must be identical
+// with and without it — on the serial engine and (under -race, see CI)
+// on the parallel engine, where closure rows are shared across workers.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// testdataConfigs parses every .lit program under testdata, through
+// the same parseFile helper the integration tests use.
+func testdataConfigs(t *testing.T) map[string]core.Config {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "*.lit"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	out := make(map[string]core.Config, len(files))
+	for _, fn := range files {
+		name := filepath.Base(fn)
+		f := parseFile(t, name)
+		prog, err := f.Prog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = core.NewConfig(prog, f.Init)
+	}
+	return out
+}
+
+func TestIncrementalEquivalenceTestdata(t *testing.T) {
+	for name, cfg := range testdataConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			bound := 9
+			for _, workers := range []int{1, 8} {
+				plain := explore.Run(cfg, explore.Options{
+					MaxEvents: bound, Workers: workers,
+				})
+				audited := explore.Run(cfg, explore.Options{
+					MaxEvents: bound, Workers: workers, CheckIncremental: true,
+				})
+				if audited.ClosureMismatches != 0 {
+					t.Fatalf("workers=%d: %d closure mismatches", workers, audited.ClosureMismatches)
+				}
+				if plain.Explored != audited.Explored ||
+					plain.Terminated != audited.Terminated ||
+					plain.Depth != audited.Depth ||
+					plain.Truncated != audited.Truncated {
+					t.Fatalf("workers=%d: audit changed the exploration: %+v != %+v",
+						workers, plain, audited)
+				}
+			}
+		})
+	}
+}

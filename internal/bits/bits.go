@@ -133,33 +133,62 @@ func MakeRows(nrows, nbits int) []Set {
 	return rows
 }
 
-// Or sets s to s | t. Both must have the same capacity.
+// FromWords returns a set of capacity nbits backed by the given word
+// slice (not copied). The caller must supply at least ceil(nbits/64)
+// words; membership beyond nbits is undefined. This is the carving
+// primitive for external slab allocators (see relation's
+// copy-on-write rows); MakeRows remains the one-shot variant.
+func FromWords(words []uint64, nbits int) Set {
+	if nbits < 0 || len(words)*wordBits < nbits {
+		panic(fmt.Sprintf("bits: FromWords(%d words, %d bits)", len(words), nbits))
+	}
+	return Set{words: words, n: nbits}
+}
+
+// Or sets s to s | t. t's capacity may be smaller than s's (absent
+// words read as zero) — the copy-on-write relation rows of
+// internal/relation alias rows of smaller ancestor carriers, and the
+// boolean operations must compose them with full-size rows. t may not
+// be larger than s.
 func (s *Set) Or(t Set) {
-	s.check(t)
+	s.checkAtMost(t)
 	for i, w := range t.words {
 		s.words[i] |= w
 	}
 }
 
-// And sets s to s & t. Both must have the same capacity.
+// And sets s to s & t. Capacities may differ: words absent from t read
+// as zero (so s's tail is cleared), and words of t beyond s's capacity
+// are irrelevant.
 func (s *Set) And(t Set) {
-	s.check(t)
-	for i, w := range t.words {
-		s.words[i] &= w
+	m := len(t.words)
+	if len(s.words) < m {
+		m = len(s.words)
+	}
+	for i := 0; i < m; i++ {
+		s.words[i] &= t.words[i]
+	}
+	for i := m; i < len(s.words); i++ {
+		s.words[i] = 0
 	}
 }
 
-// AndNot sets s to s &^ t. Both must have the same capacity.
+// AndNot sets s to s &^ t. Capacities may differ; words absent from
+// either side read as zero.
 func (s *Set) AndNot(t Set) {
-	s.check(t)
-	for i, w := range t.words {
-		s.words[i] &^= w
+	m := len(t.words)
+	if len(s.words) < m {
+		m = len(s.words)
+	}
+	for i := 0; i < m; i++ {
+		s.words[i] &^= t.words[i]
 	}
 }
 
-// OrChanged sets s to s | t and reports whether s changed.
+// OrChanged sets s to s | t and reports whether s changed. Like Or, t
+// may be smaller than s but not larger.
 func (s *Set) OrChanged(t Set) bool {
-	s.check(t)
+	s.checkAtMost(t)
 	changed := false
 	for i, w := range t.words {
 		old := s.words[i]
@@ -172,9 +201,9 @@ func (s *Set) OrChanged(t Set) bool {
 	return changed
 }
 
-func (s Set) check(t Set) {
-	if s.n != t.n {
-		panic(fmt.Sprintf("bits: capacity mismatch %d != %d", s.n, t.n))
+func (s Set) checkAtMost(t Set) {
+	if t.n > s.n {
+		panic(fmt.Sprintf("bits: operand capacity %d exceeds receiver capacity %d", t.n, s.n))
 	}
 }
 
@@ -243,6 +272,27 @@ func (s Set) Count() int {
 	c := 0
 	for _, w := range s.words {
 		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Rank returns the number of members strictly below i — the position
+// of i among the members when i itself is one. Out-of-range i counts
+// the whole set.
+func (s Set) Rank(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > s.n {
+		i = s.n
+	}
+	c := 0
+	wi := i / wordBits
+	for k := 0; k < wi; k++ {
+		c += bits.OnesCount64(s.words[k])
+	}
+	if r := uint(i % wordBits); r != 0 {
+		c += bits.OnesCount64(s.words[wi] & (1<<r - 1))
 	}
 	return c
 }

@@ -351,3 +351,76 @@ func BenchmarkNextIterate(b *testing.B) {
 		}
 	}
 }
+
+func TestMixedCapacityOps(t *testing.T) {
+	// Or/And/AndNot accept a shorter operand (missing words read as
+	// zero) — the contract copy-on-write relation rows rely on.
+	long := Of(130, 1, 64, 129)
+	short := Of(65, 1, 64)
+
+	s := long.Clone()
+	s.Or(short)
+	if !equalInts(s.Members(), []int{1, 64, 129}) {
+		t.Fatalf("Or with shorter operand: %v", s)
+	}
+
+	s = long.Clone()
+	s.And(short)
+	if !equalInts(s.Members(), []int{1, 64}) {
+		t.Fatalf("And with shorter operand must clear the tail: %v", s)
+	}
+
+	s = long.Clone()
+	s.AndNot(short)
+	if !equalInts(s.Members(), []int{129}) {
+		t.Fatalf("AndNot with shorter operand: %v", s)
+	}
+
+	// And with a longer operand: words beyond the receiver are
+	// irrelevant.
+	s = Of(65, 1, 64)
+	s.And(Of(130, 64, 129))
+	if !equalInts(s.Members(), []int{64}) {
+		t.Fatalf("And with longer operand: %v", s)
+	}
+
+	// Or with a longer operand stays a misuse.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with longer operand must panic")
+		}
+	}()
+	s = Of(65, 1)
+	s.Or(Of(130, 129))
+}
+
+func TestOrChangedShorter(t *testing.T) {
+	s := Of(130, 129)
+	if s.OrChanged(Of(65, 3)) != true {
+		t.Fatal("OrChanged must report the new member")
+	}
+	if s.OrChanged(Of(65, 3)) != false {
+		t.Fatal("OrChanged must be idempotent")
+	}
+	if !equalInts(s.Members(), []int{3, 129}) {
+		t.Fatalf("OrChanged result: %v", s)
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	words := []uint64{0, 0}
+	s := FromWords(words, 70)
+	s.Set(69)
+	if words[1] == 0 {
+		t.Fatal("FromWords must alias the given words")
+	}
+	if s.Len() != 70 || !s.Test(69) {
+		t.Fatalf("FromWords set: len=%d %v", s.Len(), s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords with too few words must panic")
+		}
+	}()
+	FromWords(words, 200)
+}

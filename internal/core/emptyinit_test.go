@@ -1,0 +1,19 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// Init with no variables must build a valid inert state (regression:
+// the embedded allocator divided by a zero stride).
+func TestInitEmptyVars(t *testing.T) {
+	s := Init(map[event.Var]event.Val{})
+	if s.NumEvents() != 0 {
+		t.Fatalf("empty init has %d events", s.NumEvents())
+	}
+	if bad := s.AuditIncremental(); len(bad) != 0 {
+		t.Fatalf("empty init audit: %v", bad)
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+// This file is the incremental derived-order engine. A transition
+// σ --(w,e)-->_RA σ' changes the state by exactly one event g := e and
+// at most three edge groups: sb gains P×{g} for the sb-predecessors P
+// of g, rf may gain (w,g), and mo may be spliced to mo[w,g]. Every new
+// edge is incident to g, and g is sb/sw-maximal, so the derived
+// closures of σ' are the closures of σ extended by g's row and column
+// alone — no pair between old events changes:
+//
+//   - hb:  g has no outgoing sb/sw edge, so hb' = hb ∪ (reach⁻¹(g) × {g})
+//     where reach⁻¹(g) = {i | i ∈ D ∨ hb[i] ∩ D ≠ ∅} for the direct
+//     predecessors D (sb-predecessors, plus w when (w,g) synchronises).
+//   - eco: g's direct successors are the old mo-successors of w in
+//     every rule (mo and fr edges out of a spliced write/update, fr
+//     edges out of a read), and its direct predecessors are w (rf) and,
+//     under a splice, mo⁺w = {w} ∪ mo⁻¹[w] together with their rf
+//     readers (fr). A path between old events through g would factor
+//     through v ⊑_mo w <_mo k, which eco already contained, so old
+//     pairs are untouched.
+//   - comb = eco?;hb?: old pairs are compositions of old pairs; g's
+//     row and column follow from the hb/eco extensions above.
+//   - CW gains at most {w}, when g is an update.
+//
+// The engine therefore inherits the parent's memoised hb/eco/comb/CW
+// (sharing their rows copy-on-write) and propagates only g's edges, at
+// O(n²/64) word operations per state instead of the O(n³/64)
+// Floyd–Warshall closures the scratch path pays. The scratch path
+// survives for root states and for the audit mode: AuditIncremental
+// recomputes everything from first principles and reports any
+// disagreement (explore.Options.CheckIncremental counts these; the
+// expected count is zero).
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/event"
+	"repro/internal/relation"
+)
+
+// incProvenance links a successor to the parent it was derived from:
+// the appended event g, the observed write w, the stepping thread, and
+// which edge groups the rule added. parent is cleared once the derived
+// orders have been inherited, releasing the ancestor chain.
+type incProvenance struct {
+	parent   *State
+	g        int          // index of the event this step appended
+	w        int          // index of the observed write (in the parent)
+	t        event.Thread // the stepping thread
+	rfEdge   bool         // rf gained (w, g): READ and RMW
+	moSplice bool         // mo became mo[w, g]: WRITE and RMW
+}
+
+// linkParent records the provenance of a freshly-built successor.
+func (s *State) linkParent(parent *State, g event.Tag, w event.Tag, t event.Thread, rfEdge, moSplice bool) {
+	s.inc = incProvenance{
+		parent: parent, g: int(g), w: int(w), t: t,
+		rfEdge: rfEdge, moSplice: moSplice,
+	}
+}
+
+// hbRef, ecoRef, combRef and cwRef return the state's memoised derived
+// values, computing them first if needed. The returned values are
+// immutable once memoised, so a child may read them after the parent's
+// lock is released. Lock order is strictly child → parent, and parents
+// never lock children, so the order is acyclic.
+
+func (s *State) hbRef() *relation.Rel {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.hbLocked()
+}
+
+func (s *State) ecoRef() *relation.Rel {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.ecoLocked()
+}
+
+func (s *State) combRef() *relation.Rel {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.combLocked()
+}
+
+func (s *State) cwRef() *bits.Set {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.coveredLocked()
+}
+
+// maybeDetachLocked drops the parent link once every derived value has
+// been inherited, releasing the ancestor State (its events, indexes
+// and memo); the inherited rows keep aliasing ancestor slabs. The
+// derivations are split per closure — a configuration only visited by
+// a property check typically needs hb alone, and deriving eco/comb for
+// it would triple the cost of the frontier.
+func (s *State) maybeDetachLocked() {
+	if s.memo.hbOK && s.memo.ecoOK && s.memo.combOK && s.memo.cwOK {
+		s.inc.parent = nil
+	}
+}
+
+// deriveHBLocked computes hb' = hb ∪ reach⁻¹(g) × {g} from the
+// parent's memoised hb. The direct predecessors D of g are its
+// sb-predecessors — the parent's events of the stepping thread and the
+// initialising writes — plus w when the new rf edge synchronises
+// (sw = rf ∩ (WrR × RdA)). g itself is hb-maximal: every new sb/sw
+// edge ends at g, so no pair between old events changes.
+func (s *State) deriveHBLocked(p *State) {
+	phb := p.hbRef()
+	n := len(s.events)
+	g, w := s.inc.g, s.inc.w
+
+	hb := phb.ShareGrowAlloc(n, &s.alloc)
+	direct := s.alloc.NewSet(n)
+	direct.Or(p.threadEvs(event.InitThread))
+	direct.Or(p.threadEvs(s.inc.t))
+	if s.inc.rfEdge && s.events[w].Releasing() && s.events[g].Acquiring() {
+		direct.Set(w)
+	}
+	for i := 0; i < g; i++ {
+		if direct.Test(i) || phb.Row(i).Intersects(direct) {
+			hb.Add(i, g)
+		}
+	}
+	s.memo.hb = hb
+	s.memo.hbOK = true
+	s.maybeDetachLocked()
+}
+
+// deriveECOLocked extends the parent's memoised eco. g's direct
+// successors are the old mo-successors of w in every rule — the
+// targets of the mo and fr edges out of a spliced write or update, and
+// of the fr edges out of a read. Its direct predecessors are w along
+// the new rf edge and, under a splice, mo⁺w = {w} ∪ mo⁻¹[w] together
+// with every rf reader of a write in mo⁺w (new fr edges). A path
+// between old events through g would factor through v ⊑_mo w <_mo k,
+// which eco already contained, so old pairs are untouched.
+func (s *State) deriveECOLocked(p *State) {
+	peco := p.ecoRef()
+	n := len(s.events)
+	g, w := s.inc.g, s.inc.w
+
+	eco := peco.ShareGrowAlloc(n, &s.alloc)
+	moSucc := p.mo.Row(w)
+	eco.UnionRow(g, moSucc)
+	for k := moSucc.Next(0); k >= 0; k = moSucc.Next(k + 1) {
+		eco.UnionRow(g, peco.Row(k))
+	}
+	direct := s.alloc.NewSet(n)
+	if s.inc.rfEdge {
+		direct.Set(w)
+	}
+	if s.inc.moSplice {
+		direct.Set(w)
+		x := s.events[w].Var()
+		for _, v := range p.writesTo(x) {
+			vi := int(v)
+			if vi == w || p.mo.Has(vi, w) {
+				direct.Set(vi)
+				direct.Or(p.rf.Row(vi))
+			}
+		}
+	}
+	for i := 0; i < g; i++ {
+		if direct.Test(i) || peco.Row(i).Intersects(direct) {
+			eco.Add(i, g)
+		}
+	}
+	s.memo.eco = eco
+	s.memo.ecoOK = true
+	s.maybeDetachLocked()
+}
+
+// deriveCombLocked extends the parent's memoised comb = eco? ; hb?.
+// Old pairs are compositions of old pairs and stay unchanged. Row g:
+// {g} ∪ eco'[g] ∪ hb'[eco'[g]] (hb'[g] is empty — g is hb-maximal).
+// Column g: i reaches g when eco'(i,g), hb'(i,g), or eco'(i,m) for
+// some hb-predecessor m of g. The child's own (incrementally derived)
+// hb and eco rows serve both passes: they differ from the parent's
+// only in column g, which never occurs as a middle element.
+func (s *State) deriveCombLocked(p *State) {
+	pcomb := p.combRef()
+	n := len(s.events)
+	g := s.inc.g
+	hb := s.hbLocked()
+	eco := s.ecoLocked()
+
+	comb := pcomb.ShareGrowAlloc(n, &s.alloc)
+	comb.Add(g, g)
+	ecoOut := eco.Row(g)
+	comb.UnionRow(g, ecoOut)
+	for m := ecoOut.Next(0); m >= 0; m = ecoOut.Next(m + 1) {
+		comb.UnionRow(g, hb.Row(m))
+	}
+	hbPreds := s.alloc.NewSet(n)
+	for i := 0; i < g; i++ {
+		if hb.Row(i).Test(g) {
+			hbPreds.Set(i)
+		}
+	}
+	for i := 0; i < g; i++ {
+		if eco.Row(i).Test(g) || hbPreds.Test(i) || eco.Row(i).Intersects(hbPreds) {
+			comb.Add(i, g)
+		}
+	}
+	s.memo.comb = comb
+	s.memo.combOK = true
+	s.maybeDetachLocked()
+}
+
+// deriveCWLocked extends the parent's CW: an update covers the write
+// it reads, so CW' = CW ∪ {w | g ∈ U}.
+func (s *State) deriveCWLocked(p *State) {
+	pcw := p.cwRef()
+	n := len(s.events)
+	cov := pcw.Grow(n)
+	if s.events[s.inc.g].IsUpdate() {
+		cov.Set(s.inc.w)
+	}
+	s.memo.covered = cov
+	s.memo.cwOK = true
+	s.maybeDetachLocked()
+}
+
+// AuditIncremental recomputes every derived order and maintained index
+// from first principles and compares them with the incrementally
+// maintained values, returning one description per mismatch. It is the
+// correctness guard behind explore.Options.CheckIncremental and the
+// c11explore/c11verify -checkincremental flags; the expected result is
+// always empty.
+func (s *State) AuditIncremental() []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	s.memo.mu.Lock()
+	hb := s.hbLocked()
+	eco := s.ecoLocked()
+	comb := s.combLocked()
+	cw := s.coveredLocked()
+	s.memo.mu.Unlock()
+
+	sHB := s.scratchHB()
+	if !hb.Equal(sHB) {
+		report("hb: incremental %s != scratch %s", hb, sHB)
+	}
+	sECO := s.scratchECO()
+	if !eco.Equal(sECO) {
+		report("eco: incremental %s != scratch %s", eco, sECO)
+	}
+	sComb := scratchComb(sECO, sHB)
+	if !comb.Equal(sComb) {
+		report("comb: incremental %s != scratch %s", comb, sComb)
+	}
+	sCW := s.auditScratchCW()
+	if !cw.Equal(sCW) {
+		report("cw: incremental %s != scratch %s", cw, sCW)
+	}
+
+	// sb is reconstructible from the event list: a program event j is
+	// preceded exactly by the earlier events of its own thread and of
+	// thread 0; initialising writes are sb-unordered among themselves.
+	n := len(s.events)
+	sSB := relation.New(n)
+	for j := 0; j < n; j++ {
+		if s.events[j].TID == event.InitThread {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			if s.events[i].TID == s.events[j].TID || s.events[i].TID == event.InitThread {
+				sSB.Add(i, j)
+			}
+		}
+	}
+	if !s.sb.Equal(sSB) {
+		report("sb: maintained %s != reconstructed %s", s.sb, sSB)
+	}
+
+	// Per-thread EW/OW against the scratch kernel.
+	for i := range s.threads {
+		t := s.threads[i].tid
+		ewS := s.scratchEW(&sComb, t)
+		if ew := s.EncounteredWrites(t); !ew.Equal(ewS) {
+			report("ew(%d): memoised %s != scratch %s", t, ew, ewS)
+		}
+		owS := s.scratchOW(ewS)
+		if ow := s.ObservableWrites(t); !ow.Equal(owS) {
+			report("ow(%d): memoised %s != scratch %s", t, ow, owS)
+		}
+	}
+
+	// Eager indexes against event scans.
+	wr := bits.New(n)
+	for i, e := range s.events {
+		if e.IsWrite() {
+			wr.Set(i)
+		}
+		if !s.threadEvs(e.TID).Test(i) {
+			report("threads: event %d missing from thread %d index", i, e.TID)
+		}
+	}
+	if !s.writes.Equal(wr) {
+		report("writes: maintained %s != scan %s", s.writes, wr)
+	}
+	total := 0
+	for i := range s.threads {
+		total += s.threads[i].evs.Count()
+	}
+	if total != n {
+		report("threads: index holds %d events, state has %d", total, n)
+	}
+	for _, vw := range s.writesBy {
+		for _, g := range vw.tags {
+			if e := s.events[int(g)]; !e.IsWrite() || e.Var() != vw.x {
+				report("writesBy[%s]: tag %d is %s", vw.x, g, e)
+			}
+		}
+		if got := len(vw.tags); got != len(s.WritesTo(vw.x)) {
+			report("writesBy[%s]: %d tags vs WritesTo %d", vw.x, got, len(s.WritesTo(vw.x)))
+		}
+	}
+	for _, lw := range s.lastW {
+		// σ.last(x) is the unique write to x with no mo successor.
+		if !s.writes.Test(int(lw.w)) || s.events[int(lw.w)].Var() != lw.x {
+			report("lastW[%s]: %d is not a write to %s", lw.x, lw.w, lw.x)
+			continue
+		}
+		for _, g := range s.writesTo(lw.x) {
+			if s.mo.Has(int(lw.w), int(g)) {
+				report("lastW[%s]: %d has mo successor %d", lw.x, lw.w, g)
+			}
+		}
+	}
+	return bad
+}
+
+// auditScratchCW is scratchCW over an event scan (not the write
+// index), so the audit does not trust the index it also checks.
+func (s *State) auditScratchCW() bits.Set {
+	out := bits.New(len(s.events))
+	for i, e := range s.events {
+		if !e.IsWrite() {
+			continue
+		}
+		row := s.rf.Row(i)
+		for j := row.Next(0); j >= 0; j = row.Next(j + 1) {
+			if s.events[j].IsUpdate() {
+				out.Set(i)
+				break
+			}
+		}
+	}
+	return out
+}

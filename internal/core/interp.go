@@ -43,8 +43,9 @@ type Succ struct {
 // combining each uninterpreted program step with each memory-model
 // choice of observed write.
 func (c Config) Successors() []Succ {
-	var out []Succ
-	for _, ps := range lang.ProgSteps(c.P) {
+	steps := lang.ProgSteps(c.P)
+	out := make([]Succ, 0, 2*len(steps))
+	for _, ps := range steps {
 		t, s := ps.T, ps.S
 		switch s.Kind {
 		case lang.StepSilent:

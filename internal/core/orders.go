@@ -22,6 +22,13 @@ import (
 // closures each time dominated the explorer's profile. Public
 // accessors return defensive copies; the unexported *Locked variants
 // return the memoised values directly and require memo.mu held.
+//
+// For successor states the memos are not computed from scratch at all:
+// the *Locked getters delegate to the incremental engine
+// (incremental.go), which extends the parent's memoised closures by
+// the one new event's edges. The from-scratch formulas survive as the
+// scratch* functions, used by root states and by the audit mode
+// (AuditIncremental).
 
 // SW returns the synchronises-with relation sw = rf ∩ (WrR × RdA).
 // Update events are both releasing and acquiring, so rf edges into or
@@ -39,13 +46,31 @@ func (s *State) HB() relation.Rel {
 	return s.hbLocked().Clone()
 }
 
+// HBHas reports (a, b) ∈ hb without cloning the closure — the
+// assertion checkers (internal/proof) interrogate single pairs on
+// every explored configuration.
+func (s *State) HBHas(a, b event.Tag) bool {
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.hbLocked().Has(int(a), int(b))
+}
+
 func (s *State) hbLocked() *relation.Rel {
-	if s.memo.hb == nil {
-		u := relation.UnionOf(s.sb, s.SW())
-		hb := u.TransitiveClosure()
-		s.memo.hb = &hb
+	if !s.memo.hbOK {
+		if p := s.inc.parent; p != nil {
+			s.deriveHBLocked(p)
+		} else {
+			s.memo.hb = s.scratchHB()
+			s.memo.hbOK = true
+		}
 	}
-	return s.memo.hb
+	return &s.memo.hb
+}
+
+// scratchHB computes hb from first principles, without touching the
+// memo or the incremental provenance.
+func (s *State) scratchHB() relation.Rel {
+	return relation.UnionOf(s.sb, s.SW()).TransitiveClosure()
 }
 
 // FR returns the from-read relation fr = (rf⁻¹ ; mo) \ Id. The
@@ -64,12 +89,20 @@ func (s *State) ECO() relation.Rel {
 }
 
 func (s *State) ecoLocked() *relation.Rel {
-	if s.memo.eco == nil {
-		u := relation.UnionOf(s.FR(), s.mo, s.rf)
-		eco := u.TransitiveClosure()
-		s.memo.eco = &eco
+	if !s.memo.ecoOK {
+		if p := s.inc.parent; p != nil {
+			s.deriveECOLocked(p)
+		} else {
+			s.memo.eco = s.scratchECO()
+			s.memo.ecoOK = true
+		}
 	}
-	return s.memo.eco
+	return &s.memo.eco
+}
+
+// scratchECO computes eco from first principles.
+func (s *State) scratchECO() relation.Rel {
+	return relation.UnionOf(s.FR(), s.mo, s.rf).TransitiveClosure()
 }
 
 // combLocked returns the thread-independent kernel of the encountered-
@@ -78,13 +111,20 @@ func (s *State) ecoLocked() *relation.Rel {
 // thread t's events, so memoising comb once per state makes every
 // per-thread observability query a cheap row scan.
 func (s *State) combLocked() *relation.Rel {
-	if s.memo.comb == nil {
-		eco := s.ecoLocked()
-		hb := s.hbLocked()
-		comb := relation.UnionOf(*eco, *hb, relation.Compose(*eco, *hb)).ReflexiveClosure()
-		s.memo.comb = &comb
+	if !s.memo.combOK {
+		if p := s.inc.parent; p != nil {
+			s.deriveCombLocked(p)
+		} else {
+			s.memo.comb = scratchComb(*s.ecoLocked(), *s.hbLocked())
+			s.memo.combOK = true
+		}
 	}
-	return s.memo.comb
+	return &s.memo.comb
+}
+
+// scratchComb computes eco? ; hb? from the given closures.
+func scratchComb(eco, hb relation.Rel) relation.Rel {
+	return relation.UnionOf(eco, hb, relation.Compose(eco, hb)).ReflexiveClosure()
 }
 
 // EncounteredWrites returns EW_σ(t): the writes w ∈ Wr ∩ D such that
@@ -93,28 +133,38 @@ func (s *State) combLocked() *relation.Rel {
 func (s *State) EncounteredWrites(t event.Thread) bits.Set {
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
-	return s.encounteredLocked(t)
+	return s.ewLocked(t).Clone()
 }
 
-// encounteredLocked computes EW_σ(t) into a fresh set; memo.mu held.
-func (s *State) encounteredLocked(t event.Thread) bits.Set {
-	n := len(s.events)
-	out := bits.New(n)
-
-	tEvents := bits.New(n)
-	for i := range s.events {
-		if s.events[i].TID == t {
-			tEvents.Set(i)
+// ewLocked returns the memoised EW_σ(t); memo.mu must be held and the
+// result must not be mutated. The scan runs over the maintained write
+// set and per-thread event index — not over D — and comb itself is
+// inherited incrementally, so this is O(|Wr|) word-sized intersections.
+func (s *State) ewLocked(t event.Thread) bits.Set {
+	for i := range s.memo.ew {
+		if s.memo.ew[i].tid == t {
+			return s.memo.ew[i].set
 		}
 	}
+	out := s.ewInto(s.alloc.NewSet(len(s.events)), s.combLocked(), t)
+	s.memo.ew = append(s.memo.ew, threadSet{tid: t, set: out})
+	return out
+}
+
+// scratchEW computes EW_σ(t) from the given eco?;hb? kernel into fresh
+// heap storage (safe without the memo lock — used by the audit).
+func (s *State) scratchEW(comb *relation.Rel, t event.Thread) bits.Set {
+	return s.ewInto(bits.New(len(s.events)), comb, t)
+}
+
+// ewInto fills out (an empty set of carrier capacity) with EW_σ(t).
+func (s *State) ewInto(out bits.Set, comb *relation.Rel, t event.Thread) bits.Set {
+	tEvents := s.threadEvs(t)
 	if tEvents.Empty() {
 		return out
 	}
-	comb := s.combLocked()
-	for i := range s.events {
-		if !s.events[i].IsWrite() {
-			continue
-		}
+	wr := s.writes
+	for i := wr.Next(0); i >= 0; i = wr.Next(i + 1) {
 		// w encountered iff comb row of w intersects t's events.
 		if comb.Row(i).Intersects(tEvents) {
 			out.Set(i)
@@ -133,25 +183,32 @@ func (s *State) ObservableWrites(t event.Thread) bits.Set {
 
 // observableLocked returns the memoised OW_σ(t); memo.mu must be held
 // and the result must not be mutated.
-func (s *State) observableLocked(t event.Thread) *bits.Set {
-	if ow, ok := s.memo.ow[t]; ok {
-		return ow
-	}
-	ew := s.encounteredLocked(t)
-	out := bits.New(len(s.events))
-	for i := range s.events {
-		if !s.events[i].IsWrite() {
-			continue
+func (s *State) observableLocked(t event.Thread) bits.Set {
+	for i := range s.memo.ow {
+		if s.memo.ow[i].tid == t {
+			return s.memo.ow[i].set
 		}
+	}
+	out := s.owInto(s.alloc.NewSet(len(s.events)), s.ewLocked(t))
+	s.memo.ow = append(s.memo.ow, threadSet{tid: t, set: out})
+	return out
+}
+
+// scratchOW computes OW from the given encountered-write set into
+// fresh heap storage (safe without the memo lock — used by the audit).
+func (s *State) scratchOW(ew bits.Set) bits.Set {
+	return s.owInto(bits.New(len(s.events)), ew)
+}
+
+// owInto fills out (an empty set of carrier capacity) with OW.
+func (s *State) owInto(out bits.Set, ew bits.Set) bits.Set {
+	wr := s.writes
+	for i := wr.Next(0); i >= 0; i = wr.Next(i + 1) {
 		if !s.mo.Row(i).Intersects(ew) {
 			out.Set(i)
 		}
 	}
-	if s.memo.ow == nil {
-		s.memo.ow = make(map[event.Thread]*bits.Set, 4)
-	}
-	s.memo.ow[t] = &out
-	return &out
+	return out
 }
 
 // CoveredWrites returns CW_σ: writes immediately followed in rf by an
@@ -164,25 +221,35 @@ func (s *State) CoveredWrites() bits.Set {
 }
 
 // coveredLocked returns the memoised CW_σ; memo.mu must be held and
-// the result must not be mutated.
+// the result must not be mutated. Successors inherit the parent's CW
+// through the incremental derivation (a step extends CW by at most the
+// observed write, when the new event is an update).
 func (s *State) coveredLocked() *bits.Set {
-	if s.memo.covered == nil {
-		out := bits.New(len(s.events))
-		for i := range s.events {
-			if !s.events[i].IsWrite() {
-				continue
-			}
-			row := s.rf.Row(i)
-			for j := row.Next(0); j >= 0; j = row.Next(j + 1) {
-				if s.events[j].IsUpdate() {
-					out.Set(i)
-					break
-				}
+	if !s.memo.cwOK {
+		if p := s.inc.parent; p != nil {
+			s.deriveCWLocked(p)
+		} else {
+			s.memo.covered = s.scratchCW()
+			s.memo.cwOK = true
+		}
+	}
+	return &s.memo.covered
+}
+
+// scratchCW computes CW from first principles.
+func (s *State) scratchCW() bits.Set {
+	out := bits.New(len(s.events))
+	wr := s.writes
+	for i := wr.Next(0); i >= 0; i = wr.Next(i + 1) {
+		row := s.rf.Row(i)
+		for j := row.Next(0); j >= 0; j = row.Next(j + 1) {
+			if s.events[j].IsUpdate() {
+				out.Set(i)
+				break
 			}
 		}
-		s.memo.covered = &out
 	}
-	return s.memo.covered
+	return out
 }
 
 // ObservableFor returns the writes to x observable by thread t,
@@ -192,7 +259,7 @@ func (s *State) ObservableFor(t event.Thread, x event.Var) []event.Tag {
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
 	ow := s.observableLocked(t)
-	var out []event.Tag
+	out := make([]event.Tag, 0, ow.Count())
 	for i := ow.Next(0); i >= 0; i = ow.Next(i + 1) {
 		if s.events[i].Var() == x {
 			out = append(out, event.Tag(i))
@@ -209,7 +276,7 @@ func (s *State) InsertionPointsFor(t event.Thread, x event.Var) []event.Tag {
 	defer s.memo.mu.Unlock()
 	ow := s.observableLocked(t)
 	cw := s.coveredLocked()
-	var out []event.Tag
+	out := make([]event.Tag, 0, ow.Count())
 	for i := ow.Next(0); i >= 0; i = ow.Next(i + 1) {
 		if !cw.Test(i) && s.events[i].Var() == x {
 			out = append(out, event.Tag(i))
@@ -219,53 +286,60 @@ func (s *State) InsertionPointsFor(t event.Thread, x event.Var) []event.Tag {
 }
 
 // Last returns σ.last(x): the mo-maximal write to x (well-defined in
-// any valid state; §5.1).
+// any valid state; §5.1). The maximum is maintained on every mo splice
+// (insertMO), so this is an index lookup, not an O(writes²) mo scan.
 func (s *State) Last(x event.Var) (event.Tag, bool) {
-	var found bool
-	var last event.Tag
-	for i, e := range s.events {
-		if !e.IsWrite() || e.Var() != x {
-			continue
-		}
-		g := event.Tag(i)
-		if !found {
-			found, last = true, g
-			continue
-		}
-		if s.mo.Has(int(last), int(g)) {
-			last = g
+	for i := range s.lastW {
+		if s.lastW[i].x == x {
+			return s.lastW[i].w, true
 		}
 	}
-	return last, found
+	return 0, false
 }
 
 // UpdateOnly reports whether x is an update-only variable in σ: every
 // modification of x is an update or an initialising write (§5.1).
 // Update-only variables admit the last-modification lemma (Lemma 5.6).
 func (s *State) UpdateOnly(x event.Var) bool {
-	for _, e := range s.events {
-		if e.IsWrite() && e.Var() == x && !e.IsUpdate() && !e.IsInit() {
+	for _, g := range s.writesTo(x) {
+		if e := s.events[int(g)]; !e.IsUpdate() && !e.IsInit() {
 			return false
 		}
 	}
 	return true
 }
 
+// InHBCone reports g ∈ σ.hbc(t) without materialising the cone: g is
+// initial, g is t's own, or g happens-before one of t's events. The
+// per-configuration determinate-value assertions ask about exactly one
+// event (the last write), so building the full cone per query was pure
+// overhead.
+func (s *State) InHBCone(t event.Thread, g event.Tag) bool {
+	e := s.events[int(g)]
+	if e.IsInit() || e.TID == t {
+		return true
+	}
+	tEvents := s.threadEvs(t)
+	if tEvents.Empty() {
+		return false
+	}
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.hbLocked().Row(int(g)).Intersects(tEvents)
+}
+
 // HBCone returns σ.hbc(t) = I_σ ∪ {e | ∃e'. tid(e') = t ∧ (e, e') ∈
 // hb?} — the happens-before cone of t (Appendix B). Determinate-value
-// assertions require the last write to lie in this cone.
+// assertions require the last write to lie in this cone. Initials and
+// t's events come from the per-thread index.
 func (s *State) HBCone(t event.Thread) bits.Set {
 	n := len(s.events)
 	out := bits.New(n)
-	tEvents := bits.New(n)
-	for i, e := range s.events {
-		if e.IsInit() {
-			out.Set(i)
-		}
-		if e.TID == t {
-			tEvents.Set(i)
-			out.Set(i) // (e,e) ∈ hb? with tid(e)=t
-		}
+	out.Or(s.threadEvs(event.InitThread)) // I_σ (thread 0 only writes)
+	tEvents := s.threadEvs(t)
+	out.Or(tEvents) // (e,e) ∈ hb? with tid(e)=t
+	if tEvents.Empty() {
+		return out
 	}
 	s.memo.mu.Lock()
 	hb := s.hbLocked()

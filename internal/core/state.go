@@ -29,22 +29,107 @@ import (
 // canonical fingerprint are memoised on first use, guarded by a mutex
 // because silent program steps share the state between configurations
 // that a parallel explorer may expand concurrently.
+//
+// Successor states are cheap on two axes. First, sb/rf/mo are
+// copy-on-write (relation.ShareGrow): a successor aliases its parent's
+// rows and copies only the rows its one new event touches. Second, a
+// successor records its provenance (the inc field) so the derived
+// closures hb/eco/comb are not recomputed from scratch but inherited
+// from the parent's memoised closures and extended by the new event's
+// edges alone — see incremental.go.
 type State struct {
 	events []event.Event // D; index is the event's Tag
 	sb     relation.Rel  // sequenced-before
 	rf     relation.Rel  // reads-from (Wr × Rd)
 	mo     relation.Rel  // modification order (Wr × Wr)
 
+	// Eagerly-maintained indexes, extended by addEvent/insertMO and
+	// immutable once the building step returns. They replace the
+	// full-event rescans previously hidden in EncounteredWrites,
+	// HBCone, Last, WritesTo and sb construction.
+	threads  []threadEvents // per-thread event sets, in order of first action
+	writes   bits.Set       // Wr ∩ D
+	writesBy []varWrites    // per-variable writes in tag order
+	lastW    []lastWrite    // mo-maximal write per variable
+
+	// inc links a successor to the parent it was derived from, until
+	// the derived orders have been inherited (see incremental.go).
+	inc incProvenance
+
+	// alloc backs the copy-on-write rows of this state's relations and
+	// inherited closures. Embedded so a successor costs one fewer
+	// allocation; carving happens only while the state is being built
+	// (single goroutine) and later under memo.mu (deriveIncLocked).
+	alloc relation.Allocator
+
+	// fpAcc is the eagerly-maintained canonical fingerprint
+	// accumulator: a commutative multiset hash over the events and
+	// rf/mo pairs under the (thread, position-in-thread) renaming of
+	// CanonicalSignature. Appending an event never changes the
+	// canonical name of an existing one, so a successor's identity is
+	// the parent's accumulator plus the new event's items — the
+	// explorer's deduplication key costs O(new edges) per state instead
+	// of an O(n + pairs) canonical rehash.
+	fpAcc fingerprint.Acc
+
 	memo struct {
 		mu      sync.Mutex
-		hb, eco *relation.Rel
-		comb    *relation.Rel // (eco? ; hb?) — thread-independent EW kernel
-		wr      *bits.Set     // all writes
-		covered *bits.Set     // CW
-		ow      map[event.Thread]*bits.Set
-		fp      fingerprint.FP
-		fpOK    bool
+		hb, eco relation.Rel
+		comb    relation.Rel // (eco? ; hb?) — thread-independent EW kernel
+		covered bits.Set     // CW
+		hbOK    bool
+		ecoOK   bool
+		combOK  bool
+		cwOK    bool
+		ew      []threadSet // EW_σ(t), appended on first query per thread
+		ow      []threadSet // OW_σ(t), likewise
 	}
+}
+
+// threadSet is one memoised per-thread set (EW or OW); a slice of
+// these beats a map for the handful of threads a program has.
+type threadSet struct {
+	tid event.Thread
+	set bits.Set
+}
+
+// threadEvents is one per-thread entry of the event index.
+type threadEvents struct {
+	tid event.Thread
+	evs bits.Set
+}
+
+// varWrites lists the writes to one variable in tag order.
+type varWrites struct {
+	x    event.Var
+	tags []event.Tag
+}
+
+// lastWrite records σ.last(x), the mo-maximal write to x.
+type lastWrite struct {
+	x event.Var
+	w event.Tag
+}
+
+// threadEvs returns the event set of thread t (the zero set when t has
+// no events). The result aliases the index; do not mutate.
+func (s *State) threadEvs(t event.Thread) bits.Set {
+	for i := range s.threads {
+		if s.threads[i].tid == t {
+			return s.threads[i].evs
+		}
+	}
+	return bits.Set{}
+}
+
+// writesTo returns the write-tag list for x (aliases the index).
+func (s *State) writesTo(x event.Var) []event.Tag {
+	for i := range s.writesBy {
+		if s.writesBy[i].x == x {
+			return s.writesBy[i].tags
+		}
+	}
+	return nil
 }
 
 // Init returns an initial state σ₀ = ((I, ∅), ∅, ∅) with one
@@ -63,13 +148,20 @@ func Init(vars map[event.Var]event.Val) *State {
 		sb:     relation.New(n),
 		rf:     relation.New(n),
 		mo:     relation.New(n),
+		writes: bits.New(n),
 	}
+	s.alloc.Init(n)
 	for i, x := range names {
 		s.events = append(s.events, event.Event{
 			Tag: event.Tag(i),
 			Act: event.Wr(x, vars[x]),
 			TID: event.InitThread,
 		})
+		s.noteEvent(event.InitThread, i, n)
+		s.noteWrite(x, event.Tag(i))
+		// Canonical position of an initialising write is its index in
+		// the variable-sorted order — exactly the construction order.
+		s.fpAcc.Add(fingerprint.EventItem(event.InitThread, i, s.events[i].Act))
 	}
 	return s
 }
@@ -108,47 +200,28 @@ func (s *State) RFHas(a, b event.Tag) bool { return s.rf.Has(int(a), int(b)) }
 func (s *State) MOHas(a, b event.Tag) bool { return s.mo.Has(int(a), int(b)) }
 
 // Writes returns the set of write events Wr ∩ D (includes updates and
-// initialising writes) as tags.
-func (s *State) Writes() bits.Set {
-	s.memo.mu.Lock()
-	defer s.memo.mu.Unlock()
-	return s.writesLocked().Clone()
-}
-
-// writesLocked returns the memoised write set; memo.mu must be held.
-func (s *State) writesLocked() *bits.Set {
-	if s.memo.wr == nil {
-		w := bits.New(len(s.events))
-		for i, e := range s.events {
-			if e.IsWrite() {
-				w.Set(i)
-			}
-		}
-		s.memo.wr = &w
-	}
-	return s.memo.wr
-}
+// initialising writes) as tags. The set is maintained incrementally on
+// every addEvent, so this is a copy, not a scan.
+func (s *State) Writes() bits.Set { return s.writes.Clone() }
 
 // WritesTo returns the tags of writes to variable x in mo-respecting
-// tag order (unsorted by mo; use Last or MO for ordering).
+// tag order (unsorted by mo; use Last or MO for ordering). Served from
+// the per-variable write index.
 func (s *State) WritesTo(x event.Var) []event.Tag {
-	var out []event.Tag
-	for i, e := range s.events {
-		if e.IsWrite() && e.Var() == x {
-			out = append(out, event.Tag(i))
-		}
+	tags := s.writesTo(x)
+	if tags == nil {
+		return nil
 	}
+	out := make([]event.Tag, len(tags))
+	copy(out, tags)
 	return out
 }
 
 // Initials returns I_σ = D ∩ IWr.
 func (s *State) Initials() []event.Tag {
-	var out []event.Tag
-	for i, e := range s.events {
-		if e.IsInit() {
-			out = append(out, event.Tag(i))
-		}
-	}
+	init := s.threadEvs(event.InitThread)
+	out := make([]event.Tag, 0, init.Count())
+	init.ForEach(func(i int) { out = append(out, event.Tag(i)) })
 	return out
 }
 
@@ -164,15 +237,9 @@ func (s *State) InitialFor(x event.Var) (event.Tag, bool) {
 
 // Vars returns the variables written anywhere in the state, sorted.
 func (s *State) Vars() []event.Var {
-	seen := map[event.Var]bool{}
-	for _, e := range s.events {
-		if e.IsWrite() {
-			seen[e.Var()] = true
-		}
-	}
-	out := make([]event.Var, 0, len(seen))
-	for x := range seen {
-		out = append(out, x)
+	out := make([]event.Var, 0, len(s.writesBy))
+	for i := range s.writesBy {
+		out = append(out, s.writesBy[i].x)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -181,56 +248,136 @@ func (s *State) Vars() []event.Var {
 // ThreadEvents returns the tags of thread t's events in sb order
 // (which coincides with tag order since events are appended).
 func (s *State) ThreadEvents(t event.Thread) []event.Tag {
-	var out []event.Tag
-	for i, e := range s.events {
-		if e.TID == t {
-			out = append(out, event.Tag(i))
-		}
-	}
+	evs := s.threadEvs(t)
+	out := make([]event.Tag, 0, evs.Count())
+	evs.ForEach(func(i int) { out = append(out, event.Tag(i)) })
 	return out
 }
 
-// clone returns a deep copy of s with relation carriers grown to
-// accommodate one more event, and memoised orders dropped.
+// cloneGrow returns a copy of s with relation carriers grown to
+// accommodate one more event. The copy is shallow where immutability
+// allows: sb/rf/mo share the parent's rows copy-on-write through one
+// shared allocator, the index slices alias the parent outright (the
+// note* helpers below replace them copy-on-write when they extend an
+// entry), and the memoised orders are left to be inherited through the
+// inc provenance set by the caller.
 func (s *State) cloneGrow() *State {
 	n := len(s.events) + 1
 	out := &State{
-		events: make([]event.Event, len(s.events), n),
-		sb:     s.sb.Grow(n),
-		rf:     s.rf.Grow(n),
-		mo:     s.mo.Grow(n),
+		events:   make([]event.Event, len(s.events), n),
+		threads:  s.threads,
+		writes:   s.writes,
+		writesBy: s.writesBy,
+		lastW:    s.lastW,
+		fpAcc:    s.fpAcc,
 	}
+	out.alloc.Init(n)
+	out.sb = s.sb.ShareGrowAlloc(n, &out.alloc)
+	out.rf = s.rf.ShareGrowAlloc(n, &out.alloc)
+	out.mo = s.mo.ShareGrowAlloc(n, &out.alloc)
 	copy(out.events, s.events)
 	return out
 }
 
-// addEvent implements (D, sb) + e: e is appended and sb gains
-// {e' | tid(e') ∈ {tid(e), 0}} × {e} (Figure 3).
-func (s *State) addEvent(a event.Action, t event.Thread) event.Tag {
-	g := event.Tag(len(s.events))
-	s.events = append(s.events, event.Event{Tag: g, Act: a, TID: t})
-	for i, e := range s.events[:int(g)] {
-		if e.TID == t || e.TID == event.InitThread {
-			s.sb.Add(i, int(g))
+// noteEvent records event i of thread t in the per-thread index; n is
+// the carrier size to grow the thread's set to. Neither the parent's
+// slice nor its sets are mutated: the outer slice and the one extended
+// entry are replaced by copies.
+func (s *State) noteEvent(t event.Thread, i, n int) {
+	out := make([]threadEvents, len(s.threads), len(s.threads)+1)
+	copy(out, s.threads)
+	s.threads = out
+	for k := range s.threads {
+		if s.threads[k].tid == t {
+			evs := s.threads[k].evs.Grow(n)
+			evs.Set(i)
+			s.threads[k].evs = evs
+			return
 		}
 	}
+	evs := bits.New(n)
+	evs.Set(i)
+	s.threads = append(s.threads, threadEvents{tid: t, evs: evs})
+}
+
+// noteWrite records write g to x in the write indexes, replacing the
+// aliased parent slices copy-on-write (read steps never touch them). A
+// first write to x is trivially mo-maximal; insertMO keeps lastW
+// current for subsequent writes.
+func (s *State) noteWrite(x event.Var, g event.Tag) {
+	w := s.writes.Grow(int(g) + 1)
+	w.Set(int(g))
+	s.writes = w
+	for i := range s.writesBy {
+		if s.writesBy[i].x == x {
+			out := make([]varWrites, len(s.writesBy))
+			copy(out, s.writesBy)
+			old := out[i].tags
+			tags := make([]event.Tag, len(old)+1)
+			copy(tags, old)
+			tags[len(old)] = g
+			out[i].tags = tags
+			s.writesBy = out
+			return
+		}
+	}
+	s.writesBy = append(append([]varWrites(nil), s.writesBy...), varWrites{x: x, tags: []event.Tag{g}})
+	s.lastW = append(append([]lastWrite(nil), s.lastW...), lastWrite{x: x, w: g})
+}
+
+// addEvent implements (D, sb) + e: e is appended and sb gains
+// {e' | tid(e') ∈ {tid(e), 0}} × {e} (Figure 3). The sb predecessors
+// are read off the per-thread index instead of rescanning D.
+func (s *State) addEvent(a event.Action, t event.Thread) event.Tag {
+	g := event.Tag(len(s.events))
+	gi := int(g)
+	n := gi + 1
+	s.events = append(s.events, event.Event{Tag: g, Act: a, TID: t})
+	addPreds := func(set bits.Set) {
+		for i := set.Next(0); i >= 0; i = set.Next(i + 1) {
+			s.sb.Add(i, gi)
+		}
+	}
+	addPreds(s.threadEvs(event.InitThread))
+	pos := 0
+	if t != event.InitThread {
+		tEvs := s.threadEvs(t)
+		addPreds(tEvs)
+		pos = tEvs.Count()
+	}
+	s.noteEvent(t, gi, n)
+	if a.Kind.IsWrite() {
+		s.noteWrite(a.Loc, g)
+	}
+	s.fpAcc.Add(fingerprint.EventItem(t, pos, a))
 	return g
 }
 
 // Fingerprint returns a 128-bit canonical identity of the state up to
 // the interleaving that built it — the binary, allocation-free
 // equivalent of CanonicalSignature (same renaming, same identified
-// states, modulo hash collisions over the 128-bit key). The explorer
-// keys its seen-set by this value; CanonicalSignature remains the
-// exact slow path behind the collision-checking debug option.
+// states, modulo hash collisions over the 128-bit key). The underlying
+// multiset accumulator is maintained incrementally as events and edges
+// are added, so this is a finalisation, not a computation. The
+// explorer keys its seen-set by this value; CanonicalSignature remains
+// the exact slow path behind the collision-checking debug option.
 func (s *State) Fingerprint() fingerprint.FP {
-	s.memo.mu.Lock()
-	defer s.memo.mu.Unlock()
-	if !s.memo.fpOK {
-		s.memo.fp = fingerprint.Canonical(s.events, s.rf, s.mo)
-		s.memo.fpOK = true
-	}
-	return s.memo.fp
+	return fingerprint.Finalize(s.fpAcc, len(s.events))
+}
+
+// posOf returns the canonical position of event g: its index within
+// its thread's event sequence (for initialising writes, the
+// variable-sorted index — which coincides with tag order).
+func (s *State) posOf(g int) int {
+	return s.threadEvs(s.events[g].TID).Rank(g)
+}
+
+// notePair accumulates a new rf/mo pair (a, b) into the fingerprint;
+// both events must already be indexed.
+func (s *State) notePair(label uint64, a, b int) {
+	s.fpAcc.Add(fingerprint.PairItem(label,
+		s.events[a].TID, s.posOf(a),
+		s.events[b].TID, s.posOf(b)))
 }
 
 // Signature returns a canonical string identifying the state up to

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/event"
+	"repro/internal/fingerprint"
 )
 
 // This file implements the event semantics of Figure 3: the transition
@@ -52,6 +53,8 @@ func (s *State) StepReadKind(t event.Thread, k event.Kind, x event.Var, w event.
 	out := s.cloneGrow()
 	g := out.addEvent(a, t)
 	out.rf.Add(int(w), int(g)) // rf' = rf ∪ {(w, e)}
+	out.notePair(fingerprint.LabelRF, int(w), int(g))
+	out.linkParent(s, g, w, t, true, false)
 	return out, out.events[int(g)], nil
 }
 
@@ -79,6 +82,7 @@ func (s *State) StepWriteKind(t event.Thread, k event.Kind, x event.Var, v event
 	out := s.cloneGrow()
 	g := out.addEvent(a, t)
 	out.insertMO(w, g)
+	out.linkParent(s, g, w, t, false, true)
 	return out, out.events[int(g)], nil
 }
 
@@ -94,7 +98,9 @@ func (s *State) StepRMW(t event.Thread, x event.Var, v event.Val, w event.Tag) (
 	out := s.cloneGrow()
 	g := out.addEvent(a, t)
 	out.rf.Add(int(w), int(g))
+	out.notePair(fingerprint.LabelRF, int(w), int(g))
 	out.insertMO(w, g)
+	out.linkParent(s, g, w, t, true, true)
 	return out, out.events[int(g)], nil
 }
 
@@ -125,12 +131,18 @@ func (s *State) checkObserved(t event.Thread, x event.Var, w event.Tag, excludeC
 
 // insertMO performs mo := mo[w, e] = mo ∪ (mo⁺w × {e}) ∪ ({e} × mo[w])
 // where mo⁺w = {w} ∪ mo⁻¹[w] (§3.2): e is placed immediately after w.
+// Only writes to w's variable can be mo-related to it, so candidates
+// come from the per-variable write index, not a scan of D. The index
+// includes e itself (appended by addEvent), which is skipped.
 func (s *State) insertMO(w, e event.Tag) {
 	wi, ei := int(w), int(e)
+	x := s.events[wi].Var()
 	// {e' | (e', w) ∈ mo} ∪ {w} all precede e.
-	for i := range s.events {
-		if i == wi || s.mo.Has(i, wi) {
-			s.mo.Add(i, ei)
+	for _, v := range s.writesTo(x) {
+		vi := int(v)
+		if vi != ei && (vi == wi || s.mo.Has(vi, wi)) {
+			s.mo.Add(vi, ei)
+			s.notePair(fingerprint.LabelMO, vi, ei)
 		}
 	}
 	// e precedes everything w preceded. Iterating w's row directly is
@@ -140,6 +152,21 @@ func (s *State) insertMO(w, e event.Tag) {
 	for j := row.Next(0); j >= 0; j = row.Next(j + 1) {
 		if j != ei {
 			s.mo.Add(ei, j)
+			s.notePair(fingerprint.LabelMO, ei, j)
+		}
+	}
+	// e is the new mo-maximal write to x iff it was inserted after the
+	// previous maximum. The lastW slice may still alias the parent's,
+	// so it is replaced, not mutated.
+	for i := range s.lastW {
+		if s.lastW[i].x == x {
+			if s.lastW[i].w == w {
+				out := make([]lastWrite, len(s.lastW))
+				copy(out, s.lastW)
+				out[i].w = e
+				s.lastW = out
+			}
+			break
 		}
 	}
 }

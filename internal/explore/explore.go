@@ -61,6 +61,15 @@ type Options struct {
 	// it restores the allocation-heavy slow path the fingerprints
 	// replaced.
 	CheckCollisions bool
+	// CheckIncremental audits the incremental derived-order engine: at
+	// every admitted configuration the state's hb/eco/comb closures,
+	// observability sets and maintained indexes are recomputed from
+	// first principles and compared with the inherited-and-extended
+	// values (core.State.AuditIncremental), accumulating the number of
+	// disagreements in Result.ClosureMismatches. This is a debug mode:
+	// it restores the from-scratch Floyd–Warshall cost per state. The
+	// expected mismatch count is always zero.
+	CheckIncremental bool
 }
 
 func (o Options) maxEvents() int {
@@ -103,6 +112,10 @@ type Result struct {
 	// FingerprintCollisions counts distinct canonical keys that
 	// shared a fingerprint; only populated under CheckCollisions.
 	FingerprintCollisions int
+	// ClosureMismatches counts disagreements between the incremental
+	// derived orders and their from-scratch recomputation across all
+	// admitted configurations; only populated under CheckIncremental.
+	ClosureMismatches int
 }
 
 // Run explores the state space of c under the given options.
@@ -172,6 +185,9 @@ func runSerial(c core.Config, opts Options) Result {
 			return true
 		}
 		res.Explored++
+		if opts.CheckIncremental {
+			res.ClosureMismatches += len(cfg.S.AuditIncremental())
+		}
 		if depth > res.Depth {
 			res.Depth = depth
 		}
@@ -320,6 +336,7 @@ type prun struct {
 	terminated atomic.Int64
 	truncated  atomic.Bool
 	collisions atomic.Int64
+	mismatches atomic.Int64
 	violation  atomic.Pointer[core.Config]
 }
 
@@ -393,6 +410,13 @@ func (r *prun) admit(cfg core.Config, d int32) {
 		r.terminated.Add(1)
 	} else if atBound {
 		r.truncated.Store(true)
+	}
+	// The audit runs outside every lock, like the property: it only
+	// touches the admitted configuration's own state.
+	if r.opts.CheckIncremental {
+		if bad := cfg.S.AuditIncremental(); len(bad) > 0 {
+			r.mismatches.Add(int64(len(bad)))
+		}
 	}
 	// The property runs outside every lock; it may be expensive and is
 	// documented as concurrently callable.
@@ -479,6 +503,7 @@ func runParallel(c core.Config, opts Options) Result {
 	res.Truncated = r.truncated.Load()
 	res.Violation = r.violation.Load()
 	res.FingerprintCollisions = int(r.collisions.Load())
+	res.ClosureMismatches = int(r.mismatches.Load())
 	for i := range r.shards {
 		sh := &r.shards[i]
 		if opts.CheckCollisions {

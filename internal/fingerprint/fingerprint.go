@@ -93,25 +93,81 @@ func (h *Hasher) Sum() FP {
 	return FP{Hi: fmix64(h.hi), Lo: fmix64(h.lo)}
 }
 
+// Acc is a commutative accumulator of item fingerprints: a multiset
+// hash. Each item is hashed to a full-avalanche FP (via Hasher.Sum)
+// and the lanes are combined by wrapping addition, so the accumulated
+// value is independent of the order items are added — exactly what an
+// incrementally maintained canonical state identity needs, since the
+// canonical renaming (thread, position-in-thread) of an event never
+// changes as later events are appended.
+type Acc struct {
+	Hi, Lo uint64
+}
+
+// Add absorbs one item fingerprint into the accumulator.
+func (a *Acc) Add(fp FP) {
+	a.Hi += fp.Hi
+	a.Lo += fp.Lo
+}
+
+// Finalize seals an accumulator of n items into a fingerprint.
+func Finalize(a Acc, n int) FP {
+	h := NewHasher()
+	h.Word(uint64(n))
+	h.Word(a.Hi)
+	h.Word(a.Lo)
+	return h.Sum()
+}
+
+// Item labels of the canonical encoding, shared by the incremental
+// accumulator on core.State and the from-scratch Canonical below.
+const (
+	// LabelRF tags reads-from pairs.
+	LabelRF = 2
+	// LabelMO tags modification-order pairs.
+	LabelMO = 3
+)
+
+// EventItem hashes one event under its canonical name: the pair
+// (thread, position-in-thread), with initialising writes positioned by
+// variable-sorted order.
+func EventItem(t event.Thread, pos int, a event.Action) FP {
+	h := NewHasher()
+	h.Word(1)
+	h.Word(uint64(t)<<32 | uint64(uint32(pos)))
+	h.Word(uint64(a.Kind))
+	h.String(string(a.Loc))
+	h.Word(uint64(int64(a.RVal)))
+	h.Word(uint64(int64(a.WVal)))
+	return h.Sum()
+}
+
+// PairItem hashes one relation pair (LabelRF or LabelMO) under
+// canonical names.
+func PairItem(label uint64, ta event.Thread, pa int, tb event.Thread, pb int) FP {
+	h := NewHasher()
+	h.Word(label)
+	h.Word(uint64(ta)<<32 | uint64(uint32(pa)))
+	h.Word(uint64(tb)<<32 | uint64(uint32(pb)))
+	return h.Sum()
+}
+
 // scratch holds the reusable buffers of one Canonical invocation.
 type scratch struct {
-	canon  []int32 // tag -> canonical index
-	order  []int32 // canonical index -> tag
-	counts []int32 // per-thread event counts / offsets
-	row    []int32 // renamed members of one relation row
+	pos    []int32 // tag -> canonical position within its thread
+	inits  []int32 // initialising-write tags, for the variable sort
+	counts []int32 // per-thread position counters
 }
 
 var pool = sync.Pool{New: func() any { return new(scratch) }}
 
 func (sc *scratch) resize(n, threads int) {
-	if cap(sc.canon) < n {
-		sc.canon = make([]int32, n)
-		sc.order = make([]int32, n)
-		sc.row = make([]int32, n)
+	if cap(sc.pos) < n {
+		sc.pos = make([]int32, n)
+		sc.inits = make([]int32, n)
 	}
-	sc.canon = sc.canon[:n]
-	sc.order = sc.order[:n]
-	sc.row = sc.row[:n]
+	sc.pos = sc.pos[:n]
+	sc.inits = sc.inits[:0]
 	if cap(sc.counts) < threads {
 		sc.counts = make([]int32, threads)
 	}
@@ -122,13 +178,15 @@ func (sc *scratch) resize(n, threads int) {
 }
 
 // Canonical fingerprints an execution ((D, sb), rf, mo) up to the
-// interleaving that built it, matching the renaming of the string
-// CanonicalSignature implementations: events are ordered by thread id,
-// within the initialising thread by variable name, and within every
-// other thread by position (per-thread events appear in tag order);
-// rf and mo are absorbed as sorted renamed pairs. sb is omitted — it
-// is determined by the event order and thread structure. The relations
-// must have carrier len(events), with events[i] at tag i.
+// interleaving that built it, using the same multiset encoding that
+// core.State accumulates incrementally: every event contributes
+// EventItem under its (thread, position-in-thread) name — with
+// initialising writes positioned by variable-sorted order — and every
+// rf/mo pair contributes PairItem over the renamed endpoints; the
+// items combine commutatively (Acc) and Finalize seals the result. sb
+// is omitted — it is determined by the event order and thread
+// structure. The relations must have carrier len(events), with
+// events[i] at tag i.
 func Canonical(events []event.Event, rf, mo relation.Rel) FP {
 	n := len(events)
 	maxT := 0
@@ -140,71 +198,41 @@ func Canonical(events []event.Event, rf, mo relation.Rel) FP {
 	sc := pool.Get().(*scratch)
 	sc.resize(n, maxT+1)
 
-	// Counting sort by thread id; per-thread order is tag order.
+	// Canonical positions: per-thread appearance order (tag order),
+	// except initialising writes, which sort by variable name (stable).
 	for i := range events {
-		sc.counts[int(events[i].TID)]++
-	}
-	off := int32(0)
-	for t := range sc.counts {
-		c := sc.counts[t]
-		sc.counts[t] = off
-		off += c
-	}
-	nInit := 0
-	if maxT >= 0 && len(sc.counts) > 1 {
-		nInit = int(sc.counts[1])
-	} else {
-		nInit = n // all events initialising
-	}
-	for i := range events {
-		t := int(events[i].TID)
-		sc.order[sc.counts[t]] = int32(i)
-		sc.counts[t]++
-	}
-	// Initialising writes sort by variable name (stable: equal names
-	// keep tag order), mirroring the canonical signatures.
-	initOrder := sc.order[:nInit]
-	for i := 1; i < len(initOrder); i++ {
-		for j := i; j > 0 && events[initOrder[j]].Var() < events[initOrder[j-1]].Var(); j-- {
-			initOrder[j], initOrder[j-1] = initOrder[j-1], initOrder[j]
+		if t := int(events[i].TID); t != int(event.InitThread) {
+			sc.pos[i] = sc.counts[t]
+			sc.counts[t]++
+		} else {
+			sc.inits = append(sc.inits, int32(i))
 		}
 	}
-	for ci, tag := range sc.order {
-		sc.canon[tag] = int32(ci)
+	for i := 1; i < len(sc.inits); i++ {
+		for j := i; j > 0 && events[sc.inits[j]].Var() < events[sc.inits[j-1]].Var(); j-- {
+			sc.inits[j], sc.inits[j-1] = sc.inits[j-1], sc.inits[j]
+		}
+	}
+	for p, tag := range sc.inits {
+		sc.pos[tag] = int32(p)
 	}
 
-	h := NewHasher()
-	h.Word(uint64(n))
-	for _, tag := range sc.order {
-		e := &events[tag]
-		h.Word(uint64(e.TID)<<8 | uint64(e.Act.Kind))
-		h.String(string(e.Act.Loc))
-		h.Word(uint64(int64(e.Act.RVal)))
-		h.Word(uint64(int64(e.Act.WVal)))
+	var acc Acc
+	for i := range events {
+		acc.Add(EventItem(events[i].TID, int(sc.pos[i]), events[i].Act))
 	}
 	absorbRel := func(label uint64, r relation.Rel) {
-		h.Word(label)
-		for _, tag := range sc.order {
-			row := r.Row(int(tag))
-			m := 0
+		for a := 0; a < n; a++ {
+			row := r.Row(a)
 			for b := row.Next(0); b >= 0; b = row.Next(b + 1) {
-				sc.row[m] = sc.canon[b]
-				m++
-			}
-			// Insertion sort: rows are tiny (per-variable write chains).
-			for i := 1; i < m; i++ {
-				for j := i; j > 0 && sc.row[j] < sc.row[j-1]; j-- {
-					sc.row[j], sc.row[j-1] = sc.row[j-1], sc.row[j]
-				}
-			}
-			h.Word(uint64(m))
-			for i := 0; i < m; i++ {
-				h.Word(uint64(sc.row[i]))
+				acc.Add(PairItem(label,
+					events[a].TID, int(sc.pos[a]),
+					events[b].TID, int(sc.pos[b])))
 			}
 		}
 	}
-	absorbRel(1, rf)
-	absorbRel(2, mo)
+	absorbRel(LabelRF, rf)
+	absorbRel(LabelMO, mo)
 	pool.Put(sc)
-	return h.Sum()
+	return Finalize(acc, n)
 }

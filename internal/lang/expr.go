@@ -197,19 +197,47 @@ func Closed(e Expr) bool {
 
 // Subst returns E[n/x]: E with every occurrence of variable x replaced
 // by the literal n.
+// litCache interns the boxed literals of the small value domain:
+// substitution runs once per read successor across the whole state
+// space, and boxing a fresh Lit for every replaced load was a
+// measurable slice of the explorer's allocation profile.
+var litCache = func() [16]Expr {
+	var out [16]Expr
+	for i := range out {
+		out[i] = Lit{V: event.Val(i)}
+	}
+	return out
+}()
+
+func litExpr(n event.Val) Expr {
+	if n >= 0 && int(n) < len(litCache) {
+		return litCache[n]
+	}
+	return Lit{V: n}
+}
+
 func Subst(e Expr, x event.Var, n event.Val) Expr {
 	switch ex := e.(type) {
 	case Lit:
-		return ex
+		return e // the original boxed value: no re-boxing
 	case Load:
 		if ex.X == x {
-			return Lit{V: n}
+			return litExpr(n)
 		}
-		return ex
+		return e
 	case Un:
-		return Un{Op: ex.Op, E: Subst(ex.E, x, n)}
+		inner := Subst(ex.E, x, n)
+		if inner == ex.E {
+			return e // untouched subtree: keep the original box
+		}
+		return Un{Op: ex.Op, E: inner}
 	case Bin:
-		return Bin{Op: ex.Op, L: Subst(ex.L, x, n), R: Subst(ex.R, x, n)}
+		l := Subst(ex.L, x, n)
+		r := Subst(ex.R, x, n)
+		if l == ex.L && r == ex.R {
+			return e
+		}
+		return Bin{Op: ex.Op, L: l, R: r}
 	default:
 		panic(fmt.Sprintf("lang: unknown expression %T", e))
 	}

@@ -31,7 +31,7 @@ func DV(s *core.State, t event.Thread, x event.Var, v event.Val) bool {
 	if s.Event(last).WrVal() != v { // condition (1)
 		return false
 	}
-	return s.HBCone(t).Test(int(last)) // condition (2)
+	return s.InHBCone(t, last) // condition (2)
 }
 
 // DVValue returns the value v for which x =σ_t v holds, if any.
@@ -55,7 +55,7 @@ func VO(s *core.State, x, y event.Var) bool {
 	if !okx || !oky {
 		return false
 	}
-	return s.HB().Has(int(lx), int(ly))
+	return s.HBHas(lx, ly)
 }
 
 // Assertion is a state predicate of the proof calculus.

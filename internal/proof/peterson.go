@@ -145,11 +145,16 @@ func PetersonInvariants() []PetersonInvariant {
 	}
 }
 
+// petersonInvariants is the memoised invariant table:
+// CheckPetersonInvariants runs on every explored configuration, and
+// rebuilding the closures per call dominated its allocation profile.
+var petersonInvariants = PetersonInvariants()
+
 // CheckPetersonInvariants evaluates all invariants on a configuration
 // and returns the IDs of those violated (empty when all hold).
 func CheckPetersonInvariants(c core.Config) []int {
 	var bad []int
-	for _, inv := range PetersonInvariants() {
+	for _, inv := range petersonInvariants {
 		if !inv.Holds(c) {
 			bad = append(bad, inv.ID)
 		}

@@ -22,10 +22,164 @@ import (
 // Rel is a binary relation over {0..n-1}. Rel values are mutable;
 // Clone before sharing. The zero value is an empty relation over the
 // empty carrier.
+//
+// A relation built by ShareGrow aliases the rows of its (immutable)
+// parent and copies a row only on first write — see ShareGrow.
 type Rel struct {
 	n    int
 	rows []bits.Set // rows[i] = successors of i
+	cow  *Allocator // non-nil while some rows alias a parent relation
 }
+
+// Allocator carves owned rows for copy-on-write relations out of
+// chunked slabs, so copying k rows costs O(k) words plus O(log k)
+// allocations rather than one allocation per row. One Allocator may
+// back several relations over the same carrier (e.g. the sb/rf/mo of
+// one successor state): rows are carved sequentially and each belongs
+// to exactly one relation row.
+type Allocator struct {
+	chunk     []uint64   // spare words for the next owned rows
+	stride    int        // words per owned row
+	chunkRows int        // rows in the most recent chunk (doubled on refill)
+	hdrs      []bits.Set // spare row headers for ShareGrowAlloc
+	free      []uint64   // spare inline words for NewSet
+	// inline backs NewSet carves only. Relation rows must never live
+	// here: they are aliased copy-on-write by descendant relations,
+	// and inline storage would keep the embedding structure (and
+	// transitively its ancestors) reachable long after the owner is
+	// otherwise dead. NewSet storage, by contract, never escapes the
+	// owner, so it may share the owner's allocation.
+	inline [8]uint64
+}
+
+// NewAllocator returns an allocator for rows over an n-element
+// carrier.
+//
+// Carved storage is always separate heap chunks, never memory inside
+// the Allocator itself: rows carved here are aliased copy-on-write by
+// descendant relations, and inline storage would keep the whole
+// embedding structure (and transitively its ancestors) reachable long
+// after the owner is otherwise dead.
+func NewAllocator(n int) *Allocator {
+	a := &Allocator{}
+	a.Init(n)
+	return a
+}
+
+// Init (re)initialises an allocator in place for an n-element carrier
+// — for callers that embed the Allocator in a larger per-state
+// structure to save the separate allocation. The allocator must not
+// have carved rows that are still referenced.
+func (a *Allocator) Init(n int) {
+	a.stride = (n + wordBits - 1) / wordBits
+	a.chunk = nil
+	a.chunkRows = 0
+	a.hdrs = nil
+	a.free = nil
+	if a.stride > 0 && a.stride <= len(a.inline) {
+		a.free = a.inline[:len(a.inline)-len(a.inline)%a.stride]
+	}
+}
+
+// rowHeaders carves a slice of k zero row headers, batching the
+// backing allocation across the several relations of one state.
+func (a *Allocator) rowHeaders(k int) []bits.Set {
+	if len(a.hdrs) < k {
+		a.hdrs = make([]bits.Set, 3*k)
+	}
+	out := a.hdrs[:k:k]
+	a.hdrs = a.hdrs[k:]
+	return out
+}
+
+// NewSet carves one zeroed bit set of capacity n (the allocator's
+// carrier size) — for per-state scratch and memo sets that live no
+// longer than the allocator's owner and are never aliased by
+// descendants (unlike relation rows; see the inline field). Not safe
+// for concurrent use; callers synchronise exactly as they do for
+// copy-on-write row mutation.
+func (a *Allocator) NewSet(n int) bits.Set {
+	if len(a.free) >= a.stride && a.stride > 0 {
+		words := a.free[:a.stride:a.stride]
+		a.free = a.free[a.stride:]
+		return bits.FromWords(words, n)
+	}
+	return a.newRow(n)
+}
+
+// newRow carves one zeroed row of capacity nbits from the chunk list.
+// Chunks double in size on every refill, so owning k rows costs O(k)
+// words over O(log k) allocations. A zero stride (empty carrier)
+// carves empty rows without ever allocating.
+func (a *Allocator) newRow(nbits int) bits.Set {
+	if len(a.chunk) < a.stride {
+		if a.chunkRows < 16 {
+			a.chunkRows = 16
+		} else {
+			a.chunkRows *= 2
+		}
+		a.chunk = make([]uint64, a.chunkRows*a.stride)
+	}
+	words := a.chunk[:a.stride:a.stride]
+	a.chunk = a.chunk[a.stride:]
+	return bits.FromWords(words, nbits)
+}
+
+// ShareGrow returns a relation over a carrier of n >= r.n elements
+// whose first r.n rows alias r's storage. The result is copy-on-write:
+// reads go through the shared rows, and the first Add/Remove touching
+// a row copies it into storage owned by the new relation. r must not
+// be mutated afterwards (in this repository parents are immutable
+// states, so the constraint holds by construction). A shared row is
+// recognised by its capacity: owned rows have capacity exactly n,
+// inherited rows have the smaller capacity of the ancestor that built
+// them — which is also why reads of column bits >= an inherited row's
+// capacity correctly report false (the parent had no such column).
+func (r Rel) ShareGrow(n int) Rel {
+	return r.ShareGrowAlloc(n, NewAllocator(n))
+}
+
+// ShareGrowAlloc is ShareGrow drawing owned rows from the given shared
+// allocator, which must have been built for an n-element carrier.
+func (r Rel) ShareGrowAlloc(n int, a *Allocator) Rel {
+	if n <= r.n {
+		return r.Clone()
+	}
+	out := Rel{
+		n:    n,
+		rows: a.rowHeaders(n),
+		cow:  a,
+	}
+	copy(out.rows, r.rows)
+	for i := r.n; i < n; i++ {
+		out.rows[i] = a.newRow(n)
+	}
+	return out
+}
+
+// ownRow ensures row a is backed by storage owned by r, copying the
+// inherited row on first write.
+func (r *Rel) ownRow(a int) {
+	if r.cow == nil || r.rows[a].Len() == r.n {
+		return
+	}
+	row := r.cow.newRow(r.n)
+	row.LoadFrom(r.rows[a])
+	r.rows[a] = row
+}
+
+// ownAll materialises every inherited row, after which bulk mutation
+// is safe.
+func (r *Rel) ownAll() {
+	if r.cow == nil {
+		return
+	}
+	for i := range r.rows {
+		r.ownRow(i)
+	}
+}
+
+const wordBits = 64
 
 // New returns the empty relation over {0..n-1}. All rows share one
 // backing slab (see bits.MakeRows), so constructing or cloning a
@@ -71,12 +225,21 @@ func (r Rel) Size() int { return r.n }
 
 // Add inserts the pair (a, b).
 func (r *Rel) Add(a, b int) {
+	r.ownRow(a)
 	r.rows[a].Set(b)
 }
 
 // Remove deletes the pair (a, b).
 func (r *Rel) Remove(a, b int) {
+	r.ownRow(a)
 	r.rows[a].Clear(b)
+}
+
+// UnionRow sets row a to row(a) ∪ s. s may have a smaller capacity
+// than the carrier (absent columns read as empty).
+func (r *Rel) UnionRow(a int, s bits.Set) {
+	r.ownRow(a)
+	r.rows[a].Or(s)
 }
 
 // Has reports whether (a, b) is in the relation. Out-of-range indices
@@ -91,11 +254,12 @@ func (r Rel) Has(a, b int) bool {
 // Row returns the successor set of a (shared storage; do not mutate).
 func (r Rel) Row(a int) bits.Set { return r.rows[a] }
 
-// Clone returns an independent copy.
+// Clone returns an independent, fully-owned copy (shared rows of a
+// copy-on-write relation are materialised).
 func (r Rel) Clone() Rel {
 	c := New(r.n)
 	for i := range r.rows {
-		c.rows[i].CopyFrom(r.rows[i])
+		c.rows[i].LoadFrom(r.rows[i])
 	}
 	return c
 }
@@ -115,6 +279,7 @@ func (r Rel) Grow(n int) Rel {
 // Union sets r to r ∪ s. Carriers must match.
 func (r *Rel) Union(s Rel) {
 	r.checkSize(s)
+	r.ownAll()
 	for i := range r.rows {
 		r.rows[i].Or(s.rows[i])
 	}
@@ -123,6 +288,7 @@ func (r *Rel) Union(s Rel) {
 // Intersect sets r to r ∩ s. Carriers must match.
 func (r *Rel) Intersect(s Rel) {
 	r.checkSize(s)
+	r.ownAll()
 	for i := range r.rows {
 		r.rows[i].And(s.rows[i])
 	}
@@ -131,6 +297,7 @@ func (r *Rel) Intersect(s Rel) {
 // Subtract sets r to r \ s. Carriers must match.
 func (r *Rel) Subtract(s Rel) {
 	r.checkSize(s)
+	r.ownAll()
 	for i := range r.rows {
 		r.rows[i].AndNot(s.rows[i])
 	}
@@ -366,14 +533,13 @@ func (r Rel) Predecessors(a int) bits.Set {
 // RestrictTo returns r ∩ (S × S).
 func (r Rel) RestrictTo(s bits.Set) Rel {
 	out := New(r.n)
+	masked := s.Grow(r.n)
 	for a := s.Next(0); a >= 0; a = s.Next(a + 1) {
 		if a >= r.n {
 			break
 		}
-		row := r.rows[a].Clone()
-		masked := s.Grow(r.n)
-		row.And(masked)
-		out.rows[a] = row
+		out.rows[a].Or(r.rows[a])
+		out.rows[a].And(masked)
 	}
 	return out
 }

@@ -460,3 +460,123 @@ func BenchmarkAcyclic(b *testing.B) {
 		}
 	}
 }
+
+func TestShareGrowCopyOnWrite(t *testing.T) {
+	parent := FromPairs(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	snapshot := parent.Clone()
+
+	child := parent.ShareGrow(4)
+	if child.Size() != 4 {
+		t.Fatalf("child carrier %d", child.Size())
+	}
+	// Inherited pairs read through; the new row starts empty.
+	for _, p := range snapshot.Pairs() {
+		if !child.Has(p[0], p[1]) {
+			t.Fatalf("child lost inherited pair %v", p)
+		}
+	}
+	if !child.Row(3).Empty() {
+		t.Fatal("fresh row must be empty")
+	}
+
+	// Writes to the child must not leak into the parent.
+	child.Add(0, 3) // copy-on-write of an inherited row
+	child.Add(3, 1) // write to the fresh row
+	child.Remove(1, 2)
+	if !parent.Equal(snapshot) {
+		t.Fatalf("parent mutated through child: %s != %s", parent, snapshot)
+	}
+	if !child.Has(0, 3) || !child.Has(3, 1) || child.Has(1, 2) || !child.Has(0, 1) {
+		t.Fatalf("child contents wrong: %s", child)
+	}
+
+	// Untouched rows still alias the parent; touched rows are owned.
+	if child.Row(2).Len() != 3 {
+		t.Fatal("untouched row should keep the parent capacity")
+	}
+	if child.Row(0).Len() != 4 || child.Row(3).Len() != 4 {
+		t.Fatal("written rows must be owned at the child capacity")
+	}
+}
+
+func TestShareGrowChain(t *testing.T) {
+	// Grandchild sharing through an intermediate copy-on-write parent.
+	r := FromPairs(2, [][2]int{{0, 1}})
+	c1 := r.ShareGrow(3)
+	c1.Add(2, 0)
+	c2 := c1.ShareGrow(4)
+	c2.Add(3, 2)
+	c2.Add(0, 3)
+	want := FromPairs(4, [][2]int{{0, 1}, {2, 0}, {3, 2}, {0, 3}})
+	if !c2.Equal(want) {
+		t.Fatalf("chained share: %s != %s", c2, want)
+	}
+	if !c1.Equal(FromPairs(3, [][2]int{{0, 1}, {2, 0}})) {
+		t.Fatalf("intermediate mutated: %s", c1)
+	}
+	// Clone materialises every shared row at full capacity.
+	cl := c2.Clone()
+	for i := 0; i < 4; i++ {
+		if cl.Row(i).Len() != 4 {
+			t.Fatalf("Clone row %d capacity %d", i, cl.Row(i).Len())
+		}
+	}
+	if !cl.Equal(want) {
+		t.Fatalf("clone: %s", cl)
+	}
+}
+
+func TestShareGrowBulkOps(t *testing.T) {
+	parent := FromPairs(3, [][2]int{{0, 1}, {1, 2}})
+	child := parent.ShareGrow(4)
+	other := FromPairs(4, [][2]int{{2, 3}, {1, 2}})
+	child.Union(other)
+	if !child.Equal(FromPairs(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})) {
+		t.Fatalf("union on shared rel: %s", child)
+	}
+	child2 := parent.ShareGrow(4)
+	child2.Subtract(other)
+	if !child2.Equal(FromPairs(4, [][2]int{{0, 1}})) {
+		t.Fatalf("subtract on shared rel: %s", child2)
+	}
+	if !parent.Equal(FromPairs(3, [][2]int{{0, 1}, {1, 2}})) {
+		t.Fatalf("parent mutated: %s", parent)
+	}
+}
+
+func TestShareGrowDerivedOps(t *testing.T) {
+	// Read-only algebra over a copy-on-write relation matches the
+	// algebra over its materialised clone.
+	rng := rand.New(rand.NewSource(99))
+	parent := randRel(rng, 20, 0.15)
+	child := parent.ShareGrow(24)
+	for i := 0; i < 10; i++ {
+		child.Add(rng.Intn(24), rng.Intn(24))
+	}
+	full := child.Clone()
+	if !child.TransitiveClosure().Equal(full.TransitiveClosure()) {
+		t.Fatal("closure differs on shared rel")
+	}
+	if !child.Converse().Equal(full.Converse()) {
+		t.Fatal("converse differs on shared rel")
+	}
+	if !Compose(child, child).Equal(Compose(full, full)) {
+		t.Fatal("compose differs on shared rel")
+	}
+	if got, want := child.Count(), full.Count(); got != want {
+		t.Fatalf("count %d != %d", got, want)
+	}
+}
+
+func TestUnionRow(t *testing.T) {
+	parent := FromPairs(3, [][2]int{{0, 1}})
+	child := parent.ShareGrow(4)
+	child.UnionRow(0, bits.Of(3, 2)) // shorter set into an inherited row
+	child.UnionRow(3, bits.Of(4, 0, 3))
+	if !child.Equal(FromPairs(4, [][2]int{{0, 1}, {0, 2}, {3, 0}, {3, 3}})) {
+		t.Fatalf("UnionRow: %s", child)
+	}
+	if parent.Has(0, 2) {
+		t.Fatal("UnionRow leaked into parent")
+	}
+}
