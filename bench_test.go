@@ -180,13 +180,14 @@ func BenchmarkE10_RuleChecks(b *testing.B) {
 
 // --- E13: Peterson verification (Algorithm 1, Theorem 5.8) ---
 
-func benchPeterson(b *testing.B, bound, workers int) {
+func benchPeterson(b *testing.B, bound, workers int, por bool) {
 	p, vars := litmus.Peterson()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := explore.Run(core.NewConfig(p, vars), explore.Options{
 			MaxEvents: bound,
 			Workers:   workers,
+			POR:       por,
 			Property: func(c core.Config) bool {
 				return len(proof.CheckPetersonInvariants(c)) == 0
 			},
@@ -200,10 +201,16 @@ func benchPeterson(b *testing.B, bound, workers int) {
 func BenchmarkE13_PetersonVerify(b *testing.B) {
 	for _, bound := range []int{7, 8, 9, 10} {
 		b.Run(fmt.Sprintf("bound=%d/serial", bound), func(b *testing.B) {
-			benchPeterson(b, bound, 1)
+			benchPeterson(b, bound, 1, false)
+		})
+		b.Run(fmt.Sprintf("bound=%d/serial/por", bound), func(b *testing.B) {
+			benchPeterson(b, bound, 1, true)
 		})
 		b.Run(fmt.Sprintf("bound=%d/parallel", bound), func(b *testing.B) {
-			benchPeterson(b, bound, 0)
+			benchPeterson(b, bound, 0, false)
+		})
+		b.Run(fmt.Sprintf("bound=%d/parallel/por", bound), func(b *testing.B) {
+			benchPeterson(b, bound, 0, true)
 		})
 	}
 }
@@ -246,18 +253,25 @@ func BenchmarkE13_ThreeThreadPeterson(b *testing.B) {
 		if workers == 0 {
 			name = "parallel"
 		}
-		b.Run(name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res := explore.Run(core.NewConfig(p, vars), explore.Options{
-					MaxEvents: 10,
-					Workers:   workers,
-				})
-				if res.Explored == 0 {
-					b.Fatal("nothing explored")
-				}
+		for _, por := range []bool{false, true} {
+			bn := name
+			if por {
+				bn += "/por"
 			}
-		})
+			b.Run(bn, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := explore.Run(core.NewConfig(p, vars), explore.Options{
+						MaxEvents: 10,
+						Workers:   workers,
+						POR:       por,
+					})
+					if res.Explored == 0 {
+						b.Fatal("nothing explored")
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -438,14 +452,22 @@ func loopingMP() (lang.Prog, map[event.Var]event.Val) {
 
 func BenchmarkE16_LoopingMPOperational(b *testing.B) {
 	p, vars := loopingMP()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res := explore.Run(core.NewConfig(p, vars), explore.Options{
-			MaxEvents: 10, Workers: 1,
-		})
-		if res.Explored == 0 {
-			b.Fatal("nothing explored")
+	for _, por := range []bool{false, true} {
+		name := "full"
+		if por {
+			name = "por"
 		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := explore.Run(core.NewConfig(p, vars), explore.Options{
+					MaxEvents: 10, Workers: 1, POR: por,
+				})
+				if res.Explored == 0 {
+					b.Fatal("nothing explored")
+				}
+			}
+		})
 	}
 }
 

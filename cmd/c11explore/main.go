@@ -33,10 +33,14 @@ func main() {
 		dot     = flag.Bool("dot", false, "print a dot graph of one terminal execution")
 		ascii   = flag.Bool("ascii", false, "print an ASCII diagram of one terminal execution")
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
+		por     = flag.Bool("por", true,
+			"partial-order reduction: explore commuting interleavings once (sleep sets + persistent-set heuristic)")
 		checkFP = flag.Bool("checkcollisions", false,
 			"deduplicate by exact canonical signatures (slow path) and audit the 128-bit fingerprints against them")
 		checkInc = flag.Bool("checkincremental", false,
 			"recompute every derived order (hb/eco/comb, observability sets, indexes) from scratch at each configuration and count disagreements with the incremental engine")
+		checkPOR = flag.Bool("checkpor", false,
+			"run the reduced and the full search and diff reachable-state fingerprints and property verdicts (zero divergences expected)")
 	)
 	flag.Parse()
 
@@ -62,26 +66,36 @@ func main() {
 	}
 
 	cfg := core.NewConfig(prog, f.Init)
-	var mu sync.Mutex
-	var sample *core.State
-	res := explore.Run(cfg, explore.Options{
+	opts := explore.Options{
 		MaxEvents:        *maxEv,
 		Workers:          *workers,
+		POR:              *por,
 		CheckCollisions:  *checkFP,
 		CheckIncremental: *checkInc,
-		Property: func(c core.Config) bool {
-			if c.Terminated() {
-				mu.Lock()
-				if sample == nil {
-					sample = c.S
-				}
-				mu.Unlock()
+	}
+	if *checkPOR {
+		audit := explore.CheckPOR(cfg, opts)
+		fmt.Println(audit)
+		if audit.Divergences() > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	var mu sync.Mutex
+	var sample *core.State
+	opts.Property = func(c core.Config) bool {
+		if c.Terminated() {
+			mu.Lock()
+			if sample == nil {
+				sample = c.S
 			}
-			return true
-		},
-	})
-	fmt.Printf("explored %d configurations, %d terminated, depth %d, truncated=%v\n",
-		res.Explored, res.Terminated, res.Depth, res.Truncated)
+			mu.Unlock()
+		}
+		return true
+	}
+	res := explore.Run(cfg, opts)
+	fmt.Printf("explored %d configurations, %d terminated, depth %d, truncated=%v, por=%v\n",
+		res.Explored, res.Terminated, res.Depth, res.Truncated, *por)
 	if *checkFP {
 		fmt.Printf("fingerprint collisions: %d\n", res.FingerprintCollisions)
 	}

@@ -11,6 +11,9 @@
 //	c11litmus -f test.lit     # run one litmus file
 //	c11litmus -x              # cross-check against the axiomatic model
 //	c11litmus -max 24 -v      # deeper bound, verbose outcomes
+//
+// The litmus file grammar is documented in docs/litmus-format.md,
+// with a worked example per file under testdata/.
 package main
 
 import (
@@ -35,6 +38,11 @@ func main() {
 		verbose = flag.Bool("v", false, "print the full outcome set per test")
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: c11litmus [flags]\n\nRuns weak-memory litmus tests against the RA operational semantics.\nThe .lit file grammar accepted by -f is documented in docs/litmus-format.md\n(one worked example per file under testdata/).\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var tests []*litmus.Test

@@ -37,7 +37,11 @@
 // c11verify) and the programs under examples/ exercise the public
 // surface; bench_test.go at this root regenerates every experiment,
 // and PERF.md records the exploration hot-path numbers and how to
-// reproduce them.
+// reproduce them. ARCHITECTURE.md is the top-to-bottom tour: the
+// layer map, the data flow between packages, and where the
+// fingerprinting, incremental-closure and partial-order-reduction
+// machinery sits. The .lit litmus file grammar is documented in
+// docs/litmus-format.md.
 //
 // # Incremental derived-order maintenance
 //
@@ -66,4 +70,28 @@
 // explored configuration and counts disagreements — expected zero,
 // asserted across the testdata litmus suite by
 // incremental_equivalence_test.go.
+//
+// # Partial-order reduction
+//
+// Fingerprint deduplication merges commuting interleavings only after
+// they have been generated; the explorer's independence-based
+// reduction (explore.Options.POR, flag -por, default on for the
+// binaries) avoids generating them. Two enabled steps of different
+// threads commute when either is silent or they touch no common
+// variable with a write (core.StepsCommute — non-commutation is
+// exactly interference through the eco/mo structure, since every new
+// derived-order edge is incident to the new event). On top of that
+// oracle sit a persistent-set heuristic (expand one thread alone when
+// its next step cannot conflict with any other thread's static
+// may-access footprint, lang.MayAccess) and sleep sets (masks riding
+// the work items that prune sibling orders already covered
+// elsewhere), with steps arriving at or leaving a lang.Label treated
+// as visible and never reduced over. The reduction preserves every
+// terminated configuration and all label-observable behaviour while
+// skipping commuting intermediate states. Its contract is auditable:
+// explore.CheckPOR (flag -checkpor) runs the reduced and the full
+// search and diffs property verdicts, terminated-state fingerprint
+// sets and reduced ⊆ full reachability — expected zero divergences,
+// asserted across the testdata litmus suite by
+// por_equivalence_test.go and in CI.
 package repro

@@ -41,71 +41,14 @@ type Succ struct {
 
 // Successors returns every interpreted transition enabled in c,
 // combining each uninterpreted program step with each memory-model
-// choice of observed write.
+// choice of observed write. Per-step expansion (used by the explorer's
+// partial-order reduction to expand only a persistent subset of the
+// enabled threads) is StepSuccessors in por.go.
 func (c Config) Successors() []Succ {
 	steps := lang.ProgSteps(c.P)
 	out := make([]Succ, 0, 2*len(steps))
 	for _, ps := range steps {
-		t, s := ps.T, ps.S
-		switch s.Kind {
-		case lang.StepSilent:
-			out = append(out, Succ{
-				C:      Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S},
-				Silent: true,
-				T:      t,
-			})
-
-		case lang.StepRead:
-			k := event.RdX
-			switch {
-			case s.Acq:
-				k = event.RdAcq
-			case s.NA:
-				k = event.RdNA
-			}
-			for _, w := range c.S.ObservableFor(t, s.Loc) {
-				v := c.S.Event(w).WrVal()
-				ns, e, err := c.S.StepReadKind(t, k, s.Loc, w)
-				if err != nil {
-					continue // unreachable: w drawn from OW
-				}
-				out = append(out, Succ{
-					C: Config{P: c.P.WithThread(t, s.Apply(v)), S: ns},
-					W: w, E: e, T: t,
-				})
-			}
-
-		case lang.StepWrite:
-			k := event.WrX
-			switch {
-			case s.Rel:
-				k = event.WrRel
-			case s.NA:
-				k = event.WrNA
-			}
-			for _, w := range c.S.InsertionPointsFor(t, s.Loc) {
-				ns, e, err := c.S.StepWriteKind(t, k, s.Loc, s.WVal, w)
-				if err != nil {
-					continue
-				}
-				out = append(out, Succ{
-					C: Config{P: c.P.WithThread(t, s.Apply(0)), S: ns},
-					W: w, E: e, T: t,
-				})
-			}
-
-		case lang.StepUpdate:
-			for _, w := range c.S.InsertionPointsFor(t, s.Loc) {
-				ns, e, err := c.S.StepRMW(t, s.Loc, s.WVal, w)
-				if err != nil {
-					continue
-				}
-				out = append(out, Succ{
-					C: Config{P: c.P.WithThread(t, s.Apply(c.S.Event(w).WrVal())), S: ns},
-					W: w, E: e, T: t,
-				})
-			}
-		}
+		out = c.appendStepSuccessors(out, ps)
 	}
 	return out
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/lang"
+)
+
+// This file exposes the independence structure of the interpreted
+// semantics — the input of the explorer's partial-order reduction.
+//
+// A transition of the interpreted semantics is a program step of one
+// thread coupled with one memory-model choice (the observed write).
+// Two enabled steps of *different* threads commute when every concrete
+// transition of one composes with every concrete transition of the
+// other in either order to the same canonical state, and neither step
+// changes the other's set of enabled choices. In the RA semantics this
+// holds whenever the steps touch no common variable with at least one
+// write on it, mirroring how the derived orders are built: a
+// transition appends one event whose new hb/eco/comb pairs are all
+// incident to that event (the invariant the incremental engine of
+// incremental.go maintains), so it can only change another thread's
+// observable-write set OW(t)|x — served from the eager per-variable
+// write indexes — by inserting or covering a write to x itself.
+// Concretely:
+//
+//   - a silent step touches no memory at all and commutes with
+//     everything;
+//   - steps on distinct variables commute: OW(t)|x and the covered
+//     set CW|x are invariant under events on y ≠ x;
+//   - two plain reads of the same variable commute: a read adds no
+//     write and covers nothing, so neither read changes the other's
+//     choices, and the resulting event sets and relations agree in
+//     either order;
+//   - everything else (same variable, at least one write or update)
+//     is dependent: a write to x inserted into mo can enter another
+//     thread's encountered set and shrink OW(u)|x, an update covers
+//     its observed write, and two writes to x order themselves in mo
+//     differently depending on who goes first.
+
+// StepsCommute reports whether two enabled program steps of different
+// threads commute in the sense above. Steps of the same thread never
+// commute (program order is observable). This is the dependence oracle
+// the explorer's sleep sets filter with.
+func StepsCommute(a, b lang.ProgStep) bool {
+	if a.T == b.T {
+		return false
+	}
+	if a.S.Kind == lang.StepSilent || b.S.Kind == lang.StepSilent {
+		return true
+	}
+	if a.S.Loc != b.S.Loc {
+		return true
+	}
+	return a.S.Kind == lang.StepRead && b.S.Kind == lang.StepRead
+}
+
+// Commutes reports whether two generated transitions commute — the
+// a-posteriori counterpart of StepsCommute, phrased over the events
+// the transitions produced. Used by tests and audits to cross-check
+// the step-level oracle against actual successor states.
+func Commutes(a, b Succ) bool {
+	if a.T == b.T {
+		return false
+	}
+	if a.Silent || b.Silent {
+		return true
+	}
+	if a.E.Var() != b.E.Var() {
+		return true
+	}
+	return !a.E.Act.Kind.IsWrite() && !b.E.Act.Kind.IsWrite()
+}
+
+// StepSuccessors expands one enabled program step into its interpreted
+// transitions — each memory-model choice of observed write (a single
+// τ transition for silent steps). Successors is the union of
+// StepSuccessors over ProgSteps(c.P); the explorer's partial-order
+// reduction calls this per selected thread so pruned threads never
+// pay successor construction.
+func (c Config) StepSuccessors(ps lang.ProgStep) []Succ {
+	return c.appendStepSuccessors(nil, ps)
+}
+
+func (c Config) appendStepSuccessors(out []Succ, ps lang.ProgStep) []Succ {
+	t, s := ps.T, ps.S
+	switch s.Kind {
+	case lang.StepSilent:
+		out = append(out, Succ{
+			C:      Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S},
+			Silent: true,
+			T:      t,
+		})
+
+	case lang.StepRead:
+		k := event.RdX
+		switch {
+		case s.Acq:
+			k = event.RdAcq
+		case s.NA:
+			k = event.RdNA
+		}
+		for _, w := range c.S.ObservableFor(t, s.Loc) {
+			v := c.S.Event(w).WrVal()
+			ns, e, err := c.S.StepReadKind(t, k, s.Loc, w)
+			if err != nil {
+				continue // unreachable: w drawn from OW
+			}
+			out = append(out, Succ{
+				C: Config{P: c.P.WithThread(t, s.Apply(v)), S: ns},
+				W: w, E: e, T: t,
+			})
+		}
+
+	case lang.StepWrite:
+		k := event.WrX
+		switch {
+		case s.Rel:
+			k = event.WrRel
+		case s.NA:
+			k = event.WrNA
+		}
+		for _, w := range c.S.InsertionPointsFor(t, s.Loc) {
+			ns, e, err := c.S.StepWriteKind(t, k, s.Loc, s.WVal, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Succ{
+				C: Config{P: c.P.WithThread(t, s.Apply(0)), S: ns},
+				W: w, E: e, T: t,
+			})
+		}
+
+	case lang.StepUpdate:
+		for _, w := range c.S.InsertionPointsFor(t, s.Loc) {
+			ns, e, err := c.S.StepRMW(t, s.Loc, s.WVal, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Succ{
+				C: Config{P: c.P.WithThread(t, s.Apply(c.S.Event(w).WrVal())), S: ns},
+				W: w, E: e, T: t,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fingerprint"
+	"repro/internal/lang"
+)
+
+// stepOf returns thread t's enabled program step.
+func stepOf(t *testing.T, c Config, tid event.Thread) lang.ProgStep {
+	t.Helper()
+	for _, ps := range lang.ProgSteps(c.P) {
+		if ps.T == tid {
+			return ps
+		}
+	}
+	t.Fatalf("thread %d has no enabled step", tid)
+	return lang.ProgStep{}
+}
+
+func TestStepsCommuteOracle(t *testing.T) {
+	mk := func(c1, c2 lang.Com, vars ...event.Var) Config {
+		m := map[event.Var]event.Val{}
+		for _, x := range vars {
+			m[x] = 0
+		}
+		return NewConfig(lang.Prog{c1, c2}, m)
+	}
+	cases := []struct {
+		name    string
+		cfg     Config
+		commute bool
+	}{
+		{"write-x/write-y", mk(lang.AssignC("x", lang.V(1)), lang.AssignC("y", lang.V(2)), "x", "y"), true},
+		{"write-x/write-x", mk(lang.AssignC("x", lang.V(1)), lang.AssignC("x", lang.V(2)), "x"), false},
+		{"write-x/read-x", mk(lang.AssignC("x", lang.V(1)), lang.AssignC("a", lang.X("x")), "x", "a"), false},
+		{"read-x/read-x", mk(lang.AssignC("a", lang.X("x")), lang.AssignC("b", lang.X("x")), "x", "a", "b"), true},
+		{"silent/write-x", mk(lang.SeqC(lang.SkipC(), lang.SkipC(), lang.AssignC("x", lang.V(1))), lang.AssignC("x", lang.V(2)), "x"), true},
+		{"update-x/read-x", mk(lang.SwapC("x", 1), lang.AssignC("a", lang.X("x")), "x", "a"), false},
+		{"update-x/write-y", mk(lang.SwapC("x", 1), lang.AssignC("y", lang.V(2)), "x", "y"), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := stepOf(t, tc.cfg, 1)
+			b := stepOf(t, tc.cfg, 2)
+			if got := StepsCommute(a, b); got != tc.commute {
+				t.Fatalf("StepsCommute = %v, want %v", got, tc.commute)
+			}
+			if got := StepsCommute(b, a); got != tc.commute {
+				t.Fatalf("StepsCommute (swapped) = %v, want %v", got, tc.commute)
+			}
+			if StepsCommute(a, a) {
+				t.Fatal("a step must not commute with itself (same thread)")
+			}
+		})
+	}
+}
+
+// twoStepFrontier returns the canonical fingerprints reachable by
+// executing one transition of thread first and then one transition of
+// thread second (re-reading second's enabled step in each intermediate
+// configuration).
+func twoStepFrontier(t *testing.T, c Config, first, second event.Thread) map[fingerprint.FP]bool {
+	t.Helper()
+	out := map[fingerprint.FP]bool{}
+	for _, s1 := range c.StepSuccessors(stepOf(t, c, first)) {
+		for _, s2 := range s1.C.StepSuccessors(stepOf(t, s1.C, second)) {
+			out[s2.C.Fingerprint()] = true
+		}
+	}
+	return out
+}
+
+// TestStepsCommuteDiamond checks the oracle against the semantics:
+// when StepsCommute holds, executing the two steps in either order
+// must close the diamond — the same set of canonical configurations,
+// with each thread offered the same choices.
+func TestStepsCommuteDiamond(t *testing.T) {
+	progs := []struct {
+		name string
+		p    lang.Prog
+		vars map[event.Var]event.Val
+	}{
+		{
+			"disjoint-writes-and-reads",
+			lang.Prog{
+				lang.SeqC(lang.AssignC("x", lang.V(1)), lang.AssignRelC("f", lang.V(1))),
+				lang.SeqC(lang.AssignC("a", lang.XA("g")), lang.AssignC("y", lang.V(2))),
+			},
+			map[event.Var]event.Val{"x": 0, "y": 0, "f": 0, "g": 0, "a": 0},
+		},
+		{
+			"shared-reads",
+			lang.Prog{
+				lang.AssignC("a", lang.X("x")),
+				lang.AssignC("b", lang.X("x")),
+				lang.SwapC("x", 7),
+			},
+			map[event.Var]event.Val{"x": 0, "a": 0, "b": 0},
+		},
+	}
+	for _, tc := range progs {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewConfig(tc.p, tc.vars)
+			steps := lang.ProgSteps(c.P)
+			for i := range steps {
+				for j := range steps {
+					if i == j || !StepsCommute(steps[i], steps[j]) {
+						continue
+					}
+					ab := twoStepFrontier(t, c, steps[i].T, steps[j].T)
+					ba := twoStepFrontier(t, c, steps[j].T, steps[i].T)
+					if len(ab) != len(ba) {
+						t.Fatalf("threads %d,%d: diamond frontier sizes differ: %d vs %d",
+							steps[i].T, steps[j].T, len(ab), len(ba))
+					}
+					for fp := range ab {
+						if !ba[fp] {
+							t.Fatalf("threads %d,%d: diamond does not close", steps[i].T, steps[j].T)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCommutesSucc(t *testing.T) {
+	c := NewConfig(lang.Prog{
+		lang.AssignC("x", lang.V(1)),
+		lang.AssignC("y", lang.V(2)),
+		lang.AssignC("a", lang.X("x")),
+	}, map[event.Var]event.Val{"x": 0, "y": 0, "a": 0})
+	succs := c.Successors()
+	byThread := map[event.Thread]Succ{}
+	for _, s := range succs {
+		byThread[s.T] = s
+	}
+	if !Commutes(byThread[1], byThread[2]) {
+		t.Fatal("writes to distinct variables must commute")
+	}
+	if Commutes(byThread[1], byThread[3]) {
+		t.Fatal("write and read of the same variable must not commute")
+	}
+	if Commutes(byThread[1], byThread[1]) {
+		t.Fatal("same-thread transitions must not commute")
+	}
+}

@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+)
+
+// PORAudit is the result of auditing a partial-order-reduced search
+// against the full search on the same workload (CheckPOR). The
+// reduction's contract has three checkable parts:
+//
+//   - soundness: every configuration the reduced search explores is
+//     reachable in the full search (the reduced transition relation is
+//     a subset of the full one), so UnsoundExplored must be zero;
+//   - terminated-state preservation: the reduced search reaches
+//     exactly the terminated configurations of the full search, so
+//     MissingTerminated and ExtraTerminated must be zero;
+//   - verdict agreement: the property verdicts coincide, so
+//     VerdictDiverged must be false. (For properties that inspect
+//     arbitrary intermediate state this is an empirical check — the
+//     reduction only guarantees it for label-visible and
+//     terminated-state properties.)
+//
+// The fingerprint-set comparisons are only meaningful when both runs
+// complete (no violation, no MaxConfigs cut); CheckPOR skips them —
+// leaving the counts zero — when either run stops early.
+type PORAudit struct {
+	// Full and Reduced are the two runs' results.
+	Full, Reduced Result
+	// MissingTerminated counts terminated configurations of the full
+	// search the reduced search never reached (must be zero).
+	MissingTerminated int
+	// ExtraTerminated counts terminated configurations of the reduced
+	// search absent from the full search (must be zero).
+	ExtraTerminated int
+	// UnsoundExplored counts configurations the reduced search
+	// explored that the full search cannot reach (must be zero).
+	UnsoundExplored int
+	// VerdictDiverged reports disagreement on whether a property
+	// violation exists.
+	VerdictDiverged bool
+	// SetsCompared reports whether the fingerprint sets were diffed
+	// (false when a violation or the MaxConfigs cap stopped a run).
+	SetsCompared bool
+}
+
+// Divergences returns the total number of contract violations.
+func (a PORAudit) Divergences() int {
+	n := a.MissingTerminated + a.ExtraTerminated + a.UnsoundExplored
+	if a.VerdictDiverged {
+		n++
+	}
+	return n
+}
+
+// String renders a one-line audit summary.
+func (a PORAudit) String() string {
+	return fmt.Sprintf(
+		"por audit: full=%d reduced=%d (%.1f%%) divergences=%d (missing-term=%d extra-term=%d unsound=%d verdict-diverged=%v)",
+		a.Full.Explored, a.Reduced.Explored,
+		100*float64(a.Reduced.Explored)/float64(max(a.Full.Explored, 1)),
+		a.Divergences(), a.MissingTerminated, a.ExtraTerminated,
+		a.UnsoundExplored, a.VerdictDiverged)
+}
+
+// fpCollector gathers the reachable and terminated fingerprint sets of
+// one run, mutex-guarded for the parallel engine.
+type fpCollector struct {
+	mu         sync.Mutex
+	explored   *fingerprint.Set
+	terminated *fingerprint.Set
+}
+
+func newFPCollector() *fpCollector {
+	return &fpCollector{
+		explored:   fingerprint.NewSet(),
+		terminated: fingerprint.NewSet(),
+	}
+}
+
+func (c *fpCollector) observe(fp fingerprint.FP, terminated bool) {
+	c.mu.Lock()
+	c.explored.Add(fp)
+	if terminated {
+		c.terminated.Add(fp)
+	}
+	c.mu.Unlock()
+}
+
+// CheckPOR runs the workload twice — once with partial-order reduction
+// and once without, both under the given options — and diffs the
+// searches: reachable- and terminated-state fingerprint sets and the
+// property verdicts, in the style of the CheckIncremental and
+// CheckCollisions audits. Zero Divergences certifies the reduction on
+// this workload. The cost is the full search plus the reduced one.
+func CheckPOR(c core.Config, opts Options) PORAudit {
+	full := newFPCollector()
+	fo := opts
+	fo.POR = false
+	fo.collect = full.observe
+	reduced := newFPCollector()
+	ro := opts
+	ro.POR = true
+	ro.collect = reduced.observe
+
+	var a PORAudit
+	a.Full = Run(c, fo)
+	a.Reduced = Run(c, ro)
+	a.VerdictDiverged = (a.Full.Violation == nil) != (a.Reduced.Violation == nil)
+
+	// Set diffs only make sense when both searches ran to their bound:
+	// an early stop (violation, MaxConfigs) leaves the sets arbitrary
+	// prefixes.
+	complete := a.Full.Violation == nil && a.Reduced.Violation == nil &&
+		a.Full.Explored < opts.maxConfigs() && a.Reduced.Explored < opts.maxConfigs()
+	if complete {
+		a.SetsCompared = true
+		a.MissingTerminated = full.terminated.MissingFrom(reduced.terminated)
+		a.ExtraTerminated = reduced.terminated.MissingFrom(full.terminated)
+		a.UnsoundExplored = reduced.explored.MissingFrom(full.explored)
+	}
+	return a
+}

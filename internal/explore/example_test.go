@@ -1,0 +1,62 @@
+package explore_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/lang"
+)
+
+// ExampleRun explores the message-passing idiom: thread 1 publishes
+// data and raises a flag with a releasing write, thread 2 reads the
+// flag with an acquiring load and then the data. The exploration is
+// exhaustive within the event bound, and the final data values show
+// the release/acquire guarantee: once the flag read returns 1, the
+// stale data value 0 is unobservable.
+func ExampleRun() {
+	prog := lang.Prog{
+		lang.SeqC(
+			lang.AssignC("d", lang.V(5)),    // d := 5   (relaxed)
+			lang.AssignRelC("f", lang.V(1)), // f :=R 1  (release)
+		),
+		lang.SeqC(
+			lang.AssignC("a", lang.XA("f")), // a := f^A (acquire)
+			lang.AssignC("b", lang.X("d")),  // b := d
+		),
+	}
+	cfg := core.NewConfig(prog, map[event.Var]event.Val{
+		"d": 0, "f": 0, "a": 0, "b": 0,
+	})
+
+	res := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 1})
+	fmt.Printf("explored=%d terminated=%d truncated=%v\n",
+		res.Explored, res.Terminated, res.Truncated)
+
+	// Collect the distinct final (a, b) outcomes. POR prunes commuting
+	// interleavings but preserves every terminated configuration, so
+	// the outcome set is identical with the reduction on.
+	outcomes := explore.Outcomes(cfg, explore.Options{MaxEvents: 10, Workers: 1, POR: true},
+		func(c core.Config) string {
+			val := func(x event.Var) event.Val {
+				g, _ := c.S.Last(x)
+				return c.S.Event(g).WrVal()
+			}
+			return fmt.Sprintf("a=%d b=%d", val("a"), val("b"))
+		})
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+	// Output:
+	// explored=35 terminated=3 truncated=false
+	// a=0 b=0
+	// a=0 b=5
+	// a=1 b=5
+}

@@ -7,6 +7,15 @@
 // is bounded by a maximum number of non-initialising events per state;
 // within that bound the search is exhaustive.
 //
+// With Options.POR the search applies independence-based partial-order
+// reduction (por.go): a persistent-set heuristic expands only a subset
+// of the enabled threads where one is provably conflict-free, and
+// sleep sets prune commuting interleavings that are covered elsewhere.
+// The reduced search preserves every terminated configuration and all
+// label-visible interleavings, but not every intermediate
+// configuration; CheckPOR (audit.go) diffs a reduced against a full
+// search.
+//
 // The serial engine is a FIFO breadth-first search, so a state's
 // recorded depth is its shortest distance from the root. The parallel
 // engine has no per-level barrier: workers pull configurations from a
@@ -15,10 +24,14 @@
 // order is nondeterministic, so a state may first be reached along a
 // non-shortest path; when a shorter path is found later the state's
 // depth is relaxed and — if it was already expanded — it is re-queued
-// so the improvement propagates. At quiescence every state carries its
-// shortest-path depth, making Explored, Terminated, Depth and the
-// Truncated flag identical to the serial engine's whenever the search
-// runs to completion (no MaxConfigs cut, no early property exit).
+// so the improvement propagates. Sleep masks relax the same way, by
+// intersection: re-reaching a known state with a smaller sleep set
+// weakens the stored mask and re-queues the state. Both relaxations
+// are monotone, so at quiescence every state carries its shortest-path
+// depth and its final (smallest) sleep mask, making Explored,
+// Terminated, Depth and the Truncated flag identical between the
+// serial and parallel engines whenever the search runs to completion
+// (no MaxConfigs cut, no early property exit) — with or without POR.
 package explore
 
 import (
@@ -48,6 +61,17 @@ type Options struct {
 	MaxConfigs int
 	// Workers sets the parallelism; 0 means GOMAXPROCS, 1 is serial.
 	Workers int
+	// POR enables independence-based partial-order reduction: sleep
+	// sets plus a persistent-set heuristic driven by the per-step
+	// commutation oracle core.StepsCommute (see por.go). The reduced
+	// search reaches every terminated configuration of the full search
+	// and preserves interleavings around labelled program points, but
+	// skips intermediate configurations whose interleavings commute —
+	// a Property that inspects arbitrary state components may
+	// therefore miss violations that only occur at skipped
+	// configurations (a reported violation is always real). CheckPOR
+	// audits a workload's reduced search against its full search.
+	POR bool
 	// Property, when non-nil, is evaluated once at every distinct
 	// reachable configuration; the first configuration where it
 	// returns false is reported as a violation and stops the search.
@@ -70,6 +94,12 @@ type Options struct {
 	// it restores the from-scratch Floyd–Warshall cost per state. The
 	// expected mismatch count is always zero.
 	CheckIncremental bool
+
+	// collect, when non-nil, observes every admitted configuration's
+	// fingerprint and whether it is terminated. Used by CheckPOR to
+	// gather reachable sets; must be safe for concurrent use when
+	// Workers > 1.
+	collect func(fp fingerprint.FP, terminated bool)
 }
 
 func (o Options) maxEvents() int {
@@ -107,7 +137,8 @@ type Result struct {
 	// none was found.
 	Violation *core.Config
 	// Depth is the maximum over explored configurations of the
-	// shortest transition distance from the initial configuration.
+	// shortest transition distance from the initial configuration
+	// (under POR: the shortest distance in the reduced graph).
 	Depth int
 	// FingerprintCollisions counts distinct canonical keys that
 	// shared a fingerprint; only populated under CheckCollisions.
@@ -126,9 +157,39 @@ func Run(c core.Config, opts Options) Result {
 	return runParallel(c, opts)
 }
 
-type item struct {
-	cfg   core.Config
-	depth int
+// entry is one seen-set record, shared by both engines: the best
+// depth and smallest sleep mask the configuration has been reached
+// with, and the values it was last expanded at (expandedAt -1 if
+// never). Non-expandable configurations (terminated or at the event
+// bound) only track depth.
+type entry struct {
+	depth         int32
+	expandedAt    int32
+	sleep         threadMask
+	expandedSleep threadMask
+	expandable    bool
+}
+
+// relax folds a re-discovery at depth d with sleep mask sleep into
+// the entry and reports whether the entry must be re-expanded: its
+// depth or sleep mask improved below what it was last expanded with.
+func (e *entry) relax(d int32, sleep threadMask) (requeue bool) {
+	if d < e.depth {
+		e.depth = d
+		requeue = e.expandable && e.expandedAt >= 0 && e.expandedAt > d
+	}
+	if ns := e.sleep & sleep; ns != e.sleep {
+		e.sleep = ns
+		requeue = requeue || (e.expandable && e.expandedAt >= 0 && e.expandedSleep&^ns != 0)
+	}
+	return requeue
+}
+
+// expanded reports whether the entry has already been expanded at its
+// current best depth and with a sleep mask no larger than the current
+// one (so a queued item for it is stale).
+func (e *entry) expanded() bool {
+	return e.expandedAt >= 0 && e.expandedAt <= e.depth && e.expandedSleep&^e.sleep == 0
 }
 
 func runSerial(c core.Config, opts Options) Result {
@@ -139,45 +200,46 @@ func runSerial(c core.Config, opts Options) Result {
 
 	// Deduplication: fingerprints on the fast path, exact canonical
 	// keys (with fingerprint auditing) under CheckCollisions.
-	var dup func(core.Config) bool
+	var (
+		byFP  map[fingerprint.FP]*entry
+		byKey map[string]*entry
+		fpOf  map[fingerprint.FP]string
+	)
 	if opts.CheckCollisions {
-		seen := make(map[string]struct{}, 1024)
-		byFP := make(map[fingerprint.FP]string, 1024)
-		dup = func(cfg core.Config) bool {
-			k := cfg.Key()
-			if _, ok := seen[k]; ok {
-				return true
-			}
-			seen[k] = struct{}{}
-			fp := cfg.Fingerprint()
-			if prev, ok := byFP[fp]; ok {
-				if prev != k {
-					res.FingerprintCollisions++
-				}
-			} else {
-				byFP[fp] = k
-			}
-			return false
-		}
+		byKey = make(map[string]*entry, 1024)
+		fpOf = make(map[fingerprint.FP]string, 1024)
 	} else {
-		seen := make(map[fingerprint.FP]struct{}, 1024)
-		dup = func(cfg core.Config) bool {
-			fp := cfg.Fingerprint()
-			if _, ok := seen[fp]; ok {
-				return true
-			}
-			seen[fp] = struct{}{}
-			return false
-		}
+		byFP = make(map[fingerprint.FP]*entry, 1024)
 	}
 
-	var queue []item
+	type sitem struct {
+		cfg core.Config
+		e   *entry
+	}
+	var queue []sitem
 	head := 0
+
 	// visit admits one configuration: dedup, count, check the
-	// property, and enqueue it when expandable. It returns false when
-	// the search must stop (property violation).
-	visit := func(cfg core.Config, depth int) bool {
-		if dup(cfg) {
+	// property, and enqueue it when expandable. Revisits relax the
+	// stored depth and sleep mask and re-queue already-expanded
+	// entries so the improvements propagate (without POR the sleep
+	// masks are all zero and FIFO order makes first discoveries
+	// shortest, so revisits are no-ops, exactly as before). It returns
+	// false when the search must stop (property violation).
+	visit := func(cfg core.Config, depth int32, sleep threadMask) bool {
+		fp := cfg.Fingerprint()
+		var e *entry
+		var key string
+		if opts.CheckCollisions {
+			key = cfg.Key()
+			e = byKey[key]
+		} else {
+			e = byFP[fp]
+		}
+		if e != nil {
+			if e.relax(depth, sleep) {
+				queue = append(queue, sitem{cfg: cfg, e: e})
+			}
 			return true
 		}
 		if res.Explored >= maxCfg {
@@ -188,33 +250,66 @@ func runSerial(c core.Config, opts Options) Result {
 		if opts.CheckIncremental {
 			res.ClosureMismatches += len(cfg.S.AuditIncremental())
 		}
-		if depth > res.Depth {
-			res.Depth = depth
+		term := cfg.Terminated()
+		atBound := cfg.S.NumEvents()-nInit >= maxEv
+		e = &entry{depth: depth, expandedAt: -1, sleep: sleep, expandable: !term && !atBound}
+		if opts.CheckCollisions {
+			byKey[key] = e
+			if prev, ok := fpOf[fp]; ok {
+				if prev != key {
+					res.FingerprintCollisions++
+				}
+			} else {
+				fpOf[fp] = key
+			}
+		} else {
+			byFP[fp] = e
+		}
+		if opts.collect != nil {
+			opts.collect(fp, term)
 		}
 		if opts.Property != nil && !opts.Property(cfg) {
 			res.Violation = &cfg
 			return false
 		}
-		if cfg.Terminated() {
+		if term {
 			res.Terminated++
 			return true
 		}
-		if cfg.S.NumEvents()-nInit >= maxEv {
+		if atBound {
 			res.Truncated = true
 			return true
 		}
-		queue = append(queue, item{cfg: cfg, depth: depth})
+		queue = append(queue, sitem{cfg: cfg, e: e})
 		return true
 	}
 
-	if !visit(c, 0) {
+	finishDepth := func() {
+		if opts.CheckCollisions {
+			for _, e := range byKey {
+				if int(e.depth) > res.Depth {
+					res.Depth = int(e.depth)
+				}
+			}
+		} else {
+			for _, e := range byFP {
+				if int(e.depth) > res.Depth {
+					res.Depth = int(e.depth)
+				}
+			}
+		}
+	}
+
+	if !visit(c, 0, 0) {
+		finishDepth()
 		return res
 	}
 	for head < len(queue) {
 		// Once the configuration cap has both filled and rejected an
 		// admission, no further expansion can change any result field
 		// (fresh successors are rejected before the property runs,
-		// duplicates are no-ops), so the remaining queue is abandoned.
+		// duplicates only relax metadata), so the remaining queue is
+		// abandoned.
 		if res.Truncated && res.Explored >= maxCfg {
 			break
 		}
@@ -225,14 +320,36 @@ func runSerial(c core.Config, opts Options) Result {
 			head = 0
 		}
 		it := queue[head]
-		queue[head] = item{} // release the config for GC
+		queue[head] = sitem{} // release the config for GC
 		head++
-		for _, s := range it.cfg.Successors() {
-			if !visit(s.C, it.depth+1) {
-				return res
+		e := it.e
+		if e.expanded() { // stale re-queue
+			continue
+		}
+		d, sl := e.depth, e.sleep
+		e.expandedAt, e.expandedSleep = d, sl
+
+		stop := false
+		emit := func(s core.Succ, cs threadMask) bool {
+			if !visit(s.C, d+1, cs) {
+				stop = true
+				return false
+			}
+			return true
+		}
+		if !opts.POR || !forEachReducedSucc(it.cfg, sl, emit) {
+			for _, s := range it.cfg.Successors() {
+				if !emit(s, 0) {
+					break
+				}
 			}
 		}
+		if stop {
+			finishDepth()
+			return res
+		}
 	}
+	finishDepth()
 	return res
 }
 
@@ -240,21 +357,11 @@ func runSerial(c core.Config, opts Options) Result {
 
 const numShards = 64
 
-// pentry is one shard record: the best depth a configuration has been
-// reached at, and the depth it was last expanded at (-1 if never).
-// Non-expandable configurations (terminated or at the event bound)
-// only track depth.
-type pentry struct {
-	depth      int32
-	expandedAt int32
-	expandable bool
-}
-
 type pshard struct {
 	mu   sync.Mutex
-	byFP map[fingerprint.FP]*pentry
+	byFP map[fingerprint.FP]*entry
 	// Collision-check mode state (nil otherwise).
-	byKey map[string]*pentry
+	byKey map[string]*entry
 	fpOf  map[fingerprint.FP]string
 }
 
@@ -344,11 +451,12 @@ func (r *prun) shardOf(fp fingerprint.FP) *pshard {
 	return &r.shards[fp.Lo%numShards]
 }
 
-// admit deduplicates and registers cfg at depth d, updating counters
-// and queueing it when expandable. Re-discoveries at a shorter depth
-// relax the recorded depth and re-queue already-expanded entries so
-// shortest-path depths propagate.
-func (r *prun) admit(cfg core.Config, d int32) {
+// admit deduplicates and registers cfg at depth d with sleep mask
+// sleep, updating counters and queueing it when expandable.
+// Re-discoveries at a shorter depth or with a smaller sleep mask relax
+// the recorded values and re-queue already-expanded entries so the
+// improvements propagate.
+func (r *prun) admit(cfg core.Config, d int32, sleep threadMask) {
 	fp := cfg.Fingerprint()
 	var key string
 	if r.opts.CheckCollisions {
@@ -357,19 +465,15 @@ func (r *prun) admit(cfg core.Config, d int32) {
 	sh := r.shardOf(fp)
 
 	sh.mu.Lock()
-	var e *pentry
+	var e *entry
 	if r.opts.CheckCollisions {
 		e = sh.byKey[key]
 	} else {
 		e = sh.byFP[fp]
 	}
 	if e != nil {
-		// Known configuration: relax its depth if this path is shorter.
-		requeue := false
-		if d < e.depth {
-			e.depth = d
-			requeue = e.expandable && e.expandedAt >= 0 && e.expandedAt > d
-		}
+		// Known configuration: relax depth and sleep mask.
+		requeue := e.relax(d, sleep)
 		sh.mu.Unlock()
 		if requeue {
 			r.pool.push(pitem{cfg: cfg, fp: fp, key: key})
@@ -390,7 +494,7 @@ func (r *prun) admit(cfg core.Config, d int32) {
 	}
 	term := cfg.Terminated()
 	atBound := cfg.S.NumEvents()-r.nInit >= r.maxEv
-	e = &pentry{depth: d, expandedAt: -1, expandable: !term && !atBound}
+	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term && !atBound}
 	if r.opts.CheckCollisions {
 		sh.byKey[key] = e
 		// Audit once per distinct canonical key, matching runSerial.
@@ -411,8 +515,12 @@ func (r *prun) admit(cfg core.Config, d int32) {
 	} else if atBound {
 		r.truncated.Store(true)
 	}
-	// The audit runs outside every lock, like the property: it only
-	// touches the admitted configuration's own state.
+	// The hooks run outside every lock, like the property: the audit
+	// only touches the admitted configuration's own state, and the
+	// collector is documented as concurrently callable.
+	if r.opts.collect != nil {
+		r.opts.collect(fp, term)
+	}
 	if r.opts.CheckIncremental {
 		if bad := cfg.S.AuditIncremental(); len(bad) > 0 {
 			r.mismatches.Add(int64(len(bad)))
@@ -431,24 +539,45 @@ func (r *prun) admit(cfg core.Config, d int32) {
 	}
 }
 
-// claim marks it as being expanded and returns the depth to expand at,
-// or ok=false when the entry has already been expanded at its current
-// best depth (a stale re-queue).
-func (r *prun) claim(it pitem) (int32, bool) {
+// claim marks it as being expanded and returns the depth and sleep
+// mask to expand at, or ok=false when the entry has already been
+// expanded at its current best depth and sleep mask (a stale
+// re-queue).
+func (r *prun) claim(it pitem) (int32, threadMask, bool) {
 	sh := r.shardOf(it.fp)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	var e *pentry
+	var e *entry
 	if r.opts.CheckCollisions {
 		e = sh.byKey[it.key]
 	} else {
 		e = sh.byFP[it.fp]
 	}
-	if e == nil || (e.expandedAt >= 0 && e.expandedAt <= e.depth) {
-		return 0, false
+	if e == nil || e.expanded() {
+		return 0, 0, false
 	}
 	e.expandedAt = e.depth
-	return e.depth, true
+	e.expandedSleep = e.sleep
+	return e.depth, e.sleep, true
+}
+
+// expand generates the successors of cfg at depth d under sleep mask
+// sl, applying the POR plan when enabled.
+func (r *prun) expand(cfg core.Config, d int32, sl threadMask) {
+	emit := func(s core.Succ, cs threadMask) bool {
+		if r.violation.Load() != nil {
+			return false
+		}
+		r.admit(s.C, d+1, cs)
+		return true
+	}
+	if !r.opts.POR || !forEachReducedSucc(cfg, sl, emit) {
+		for _, s := range cfg.Successors() {
+			if !emit(s, 0) {
+				return
+			}
+		}
+	}
 }
 
 func (r *prun) worker() {
@@ -457,13 +586,8 @@ func (r *prun) worker() {
 		if !ok {
 			return
 		}
-		if d, live := r.claim(it); live {
-			for _, s := range it.cfg.Successors() {
-				if r.violation.Load() != nil {
-					break
-				}
-				r.admit(s.C, d+1)
-			}
+		if d, sl, live := r.claim(it); live {
+			r.expand(it.cfg, d, sl)
 		}
 		r.pool.done()
 	}
@@ -479,14 +603,14 @@ func runParallel(c core.Config, opts Options) Result {
 	r.pool.cond = sync.NewCond(&r.pool.mu)
 	for i := range r.shards {
 		if opts.CheckCollisions {
-			r.shards[i].byKey = make(map[string]*pentry)
+			r.shards[i].byKey = make(map[string]*entry)
 			r.shards[i].fpOf = make(map[fingerprint.FP]string)
 		} else {
-			r.shards[i].byFP = make(map[fingerprint.FP]*pentry)
+			r.shards[i].byFP = make(map[fingerprint.FP]*entry)
 		}
 	}
 
-	r.admit(c, 0)
+	r.admit(c, 0, 0)
 	var wg sync.WaitGroup
 	for i := 0; i < opts.workers(); i++ {
 		wg.Add(1)
@@ -549,9 +673,11 @@ func (tr Trace) Describe() string {
 	return string(b)
 }
 
-// FindTrace searches (serially, breadth-first) for a configuration
-// satisfying pred and returns the shortest witness trace to it. found
-// is false when no such configuration exists within the bounds.
+// FindTrace searches (serially, breadth-first, always without
+// partial-order reduction — a witness search must see every
+// intermediate configuration) for a configuration satisfying pred and
+// returns the shortest witness trace to it. found is false when no
+// such configuration exists within the bounds.
 func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace, bool) {
 	nInit := c.S.NumEvents()
 	maxEv := opts.maxEvents()
@@ -598,7 +724,9 @@ func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace,
 
 // Outcomes explores to termination and returns the multiplicity-free
 // set of summaries of terminated configurations, as produced by
-// summarise.
+// summarise. Terminated configurations are preserved by the
+// partial-order reduction, so Outcomes is reduction-safe: opts.POR
+// changes the work, not the answer.
 func Outcomes(c core.Config, opts Options, summarise func(core.Config) string) map[string]bool {
 	out := map[string]bool{}
 	var mu sync.Mutex

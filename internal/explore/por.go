@@ -1,0 +1,218 @@
+package explore
+
+// Independence-based partial-order reduction. The explorer's state
+// count blows up factorially in thread interleavings even when most of
+// them are equivalent: two transitions on different threads that touch
+// no common variable with a write commute (core.StepsCommute), so the
+// n! orders of n pairwise-independent steps all reach the same
+// canonical configuration through 2^n intermediate ones. The reduction
+// avoids generating the redundant interleavings in the first place,
+// with the classic pair of techniques:
+//
+//   - a persistent-set heuristic chooses, per configuration, a subset
+//     of the enabled threads whose exploration provably suffices. The
+//     heuristic picks a singleton when some thread's next step can
+//     never conflict with anything the other live threads may still
+//     do: a silent step (touches no memory), or a memory step on a
+//     variable outside every other thread's static may-access
+//     footprint (lang.MayAccess). Nothing another thread does can
+//     disable, alter or conflict with such a step — in this semantics
+//     a live thread is never disabled at all, and OW(t)|x / CW|x are
+//     invariant under events on other variables — so exploring it
+//     first and the rest after it covers every behaviour. When no
+//     thread qualifies, the full enabled set is used.
+//   - sleep sets prune transitions whose interleavings are covered
+//     elsewhere: when threads u1 < u2 are explored at a configuration
+//     and their steps commute, the u2-successor need not explore u1
+//     again — the u1·u2 order already covers it. Sleep masks ride the
+//     work items, are filtered through StepsCommute on every edge, and
+//     interact with deduplication by intersection: re-reaching a known
+//     configuration with a smaller sleep set weakens the stored mask
+//     and re-queues the configuration, exactly like depth relaxation
+//     (the stored mask only ever shrinks, so the fixpoint — and with
+//     it the explored set — is engine-order independent).
+//
+// Label-visibility guard: safety properties observe program counters
+// through lang.AtLabel (e.g. mutual exclusion at the "cs" label), so
+// steps that arrive at or leave a labelled command are treated as
+// visible — never chosen as a reducing singleton, never slept, and
+// dependent with everything — keeping the label-interleavings of the
+// full search. Properties that inspect other state components can
+// still distinguish reduced from full searches (absence of a violation
+// is relative to the reduction); CheckPOR audits exactly this.
+//
+// The reduction preserves: every terminated configuration, the
+// violation verdict for label-based and terminated-state properties,
+// and soundness (every configuration the reduced search explores is
+// reachable in the full search — its edges are a subset). It does not
+// preserve the full set of intermediate configurations; that is the
+// point.
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/lang"
+)
+
+// threadMask is a bitmask over program threads (thread t at bit t-1).
+// Masks bound the reduction to 64 threads; wider programs fall back to
+// full exploration (plan.ok = false).
+type threadMask uint64
+
+const maxPORThreads = 64
+
+func maskBit(t event.Thread) threadMask { return 1 << uint(t-1) }
+
+// porPlan is the reduction decision at one configuration.
+type porPlan struct {
+	// steps are the enabled program steps, in thread order (the fixed
+	// exploration order both engines share, so successor sleep masks
+	// are deterministic).
+	steps []lang.ProgStep
+	// persist marks the threads to expand: a singleton when the
+	// heuristic found an independent thread, all enabled otherwise.
+	persist threadMask
+	// visible marks threads whose step arrives at or leaves a label.
+	visible threadMask
+	// ok is false when the program is too wide for masks; expand fully.
+	ok bool
+}
+
+// silentProgressLimit bounds the divergence walk of SilentProgress:
+// longer silent chains are conservatively treated as diverging.
+const silentProgressLimit = 32
+
+// planPOR computes the reduction at c: the enabled steps, their
+// visibility, and a persistent set. The plan is a function of the
+// configuration alone (never of the path or sleep mask reaching it),
+// which keeps the serial and parallel engines' fixpoints identical.
+func planPOR(c core.Config) porPlan {
+	pl := porPlan{steps: lang.ProgSteps(c.P), ok: true}
+	if len(c.P) > maxPORThreads {
+		pl.ok = false
+		return pl
+	}
+	all := threadMask(0)
+	for _, ps := range pl.steps {
+		b := maskBit(ps.T)
+		all |= b
+		if lang.VisibleStep(c.P.Thread(ps.T), ps.S) {
+			pl.visible |= b
+		}
+	}
+
+	// Singleton 1: an invisible silent step commutes with everything
+	// and is untouchable by other threads. The step must provably make
+	// progress (reach a memory step or terminate): every cycle of the
+	// configuration graph is all-silent, so reducing to a diverging
+	// silent thread would postpone every other thread around that
+	// cycle forever (the ignoring problem). A progressing chain ends
+	// within silentProgressLimit steps, after which the plan changes.
+	for _, ps := range pl.steps {
+		if ps.S.Kind == lang.StepSilent && pl.visible&maskBit(ps.T) == 0 &&
+			lang.SilentProgress(c.P.Thread(ps.T), silentProgressLimit) {
+			pl.persist = maskBit(ps.T)
+			return pl
+		}
+	}
+
+	// Singleton 2: an invisible memory step whose variable no other
+	// live thread may ever access conflictingly. Footprints are static
+	// over-approximations of the residual programs, so the independence
+	// covers every future transition of the other threads, not just the
+	// currently enabled ones. Memory steps grow the event set, so they
+	// never close a cycle and need no progress check. Footprints are
+	// computed once per live thread, lazily — this stage only runs
+	// when no silent singleton exists.
+	fps := make([]lang.Footprint, len(c.P))
+	fpsOK := make([]bool, len(c.P))
+	footprint := func(i int) lang.Footprint {
+		if !fpsOK[i] {
+			fps[i] = lang.MayAccess(c.P[i])
+			fpsOK[i] = true
+		}
+		return fps[i]
+	}
+	for _, ps := range pl.steps {
+		if ps.S.Kind == lang.StepSilent || pl.visible&maskBit(ps.T) != 0 {
+			continue
+		}
+		wr := ps.S.Kind != lang.StepRead
+		conflict := false
+		for i := range c.P {
+			u := event.Thread(i + 1)
+			if u == ps.T || lang.Terminated(c.P[i]) {
+				continue
+			}
+			if footprint(i).ConflictsWith(ps.S.Loc, wr) {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			pl.persist = maskBit(ps.T)
+			return pl
+		}
+	}
+
+	pl.persist = all
+	return pl
+}
+
+// forEachReducedSucc expands cfg under its POR plan: for every
+// selected step (persistent, not slept under sl) it generates the
+// interpreted successors and calls emit with each successor and its
+// child sleep mask. emit returns false to stop the expansion early.
+// ok is false when the plan cannot be applied (program too wide for
+// masks); callers fall back to full expansion. This is the one
+// reduction loop shared by the serial and parallel engines, so a
+// change to the pruning logic cannot desynchronise their fixpoints.
+func forEachReducedSucc(cfg core.Config, sl threadMask, emit func(core.Succ, threadMask) bool) (ok bool) {
+	pl := planPOR(cfg)
+	if !pl.ok {
+		return false
+	}
+	for j, ps := range pl.steps {
+		b := maskBit(ps.T)
+		if pl.persist&b == 0 || sl&b != 0 {
+			continue
+		}
+		cs := childSleep(pl, sl, j)
+		for _, s := range cfg.StepSuccessors(ps) {
+			if !emit(s, cs) {
+				return true
+			}
+		}
+	}
+	return true
+}
+
+// childSleep computes the sleep mask of successors generated by step j
+// of the plan: the threads already covered at the parent — the
+// parent's sleep plus the persistent threads ordered before j — whose
+// steps commute with step j. Visible steps are never slept and wake
+// everything when taken. Monotone in the parent mask, which makes the
+// dedup-by-intersection fixpoint well-defined.
+func childSleep(pl porPlan, sleep threadMask, j int) threadMask {
+	uj := pl.steps[j]
+	if pl.visible&maskBit(uj.T) != 0 {
+		return 0
+	}
+	cand := sleep
+	for k := 0; k < j; k++ {
+		if b := maskBit(pl.steps[k].T); pl.persist&b != 0 {
+			cand |= b
+		}
+	}
+	out := threadMask(0)
+	for _, ps := range pl.steps {
+		b := maskBit(ps.T)
+		if cand&b == 0 || pl.visible&b != 0 {
+			continue
+		}
+		if core.StepsCommute(ps, uj) {
+			out |= b
+		}
+	}
+	return out
+}

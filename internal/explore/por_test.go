@@ -1,0 +1,173 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/lang"
+)
+
+func mkConfig(vars map[event.Var]event.Val, coms ...lang.Com) core.Config {
+	return core.NewConfig(lang.Prog(coms), vars)
+}
+
+func TestPlanPORSilentSingleton(t *testing.T) {
+	// Thread 1's next step is the silent Seq advance over the finished
+	// skip; thread 2 has a memory step. The silent thread is a
+	// persistent singleton.
+	c := mkConfig(map[event.Var]event.Val{"x": 0},
+		lang.SeqC(lang.SkipC(), lang.SkipC(), lang.AssignC("x", lang.V(1))),
+		lang.AssignC("x", lang.V(2)),
+	)
+	pl := planPOR(c)
+	if !pl.ok || pl.persist != maskBit(1) {
+		t.Fatalf("want silent singleton {1}, got persist=%b ok=%v", pl.persist, pl.ok)
+	}
+}
+
+func TestPlanPORFootprintSingleton(t *testing.T) {
+	// Thread 1 writes x; thread 2 only ever touches y and a. Thread 1
+	// is a persistent singleton by footprint disjointness.
+	c := mkConfig(map[event.Var]event.Val{"x": 0, "y": 0, "a": 0},
+		lang.AssignC("x", lang.V(1)),
+		lang.SeqC(lang.AssignC("a", lang.X("y")), lang.AssignC("y", lang.V(2))),
+	)
+	pl := planPOR(c)
+	if !pl.ok || pl.persist != maskBit(1) {
+		t.Fatalf("want footprint singleton {1}, got persist=%b ok=%v", pl.persist, pl.ok)
+	}
+}
+
+func TestPlanPORConflictFullSet(t *testing.T) {
+	// Thread 2 eventually reads x, so writing x is not independent —
+	// no singleton, the full enabled set is persistent.
+	c := mkConfig(map[event.Var]event.Val{"x": 0, "a": 0},
+		lang.AssignC("x", lang.V(1)),
+		lang.AssignC("a", lang.X("x")),
+	)
+	pl := planPOR(c)
+	if !pl.ok || pl.persist != (maskBit(1)|maskBit(2)) {
+		t.Fatalf("want full persistent set, got persist=%b ok=%v", pl.persist, pl.ok)
+	}
+}
+
+func TestPlanPORLabelVisible(t *testing.T) {
+	// Thread 1 sits at a label: its (silent) step is visible and must
+	// not become a reducing singleton even though it commutes with
+	// everything.
+	c := mkConfig(map[event.Var]event.Val{"x": 0},
+		lang.LabelC("cs", lang.SkipC()),
+		lang.AssignC("x", lang.V(1)),
+	)
+	pl := planPOR(c)
+	if pl.visible&maskBit(1) == 0 {
+		t.Fatal("label step not marked visible")
+	}
+	if pl.persist == maskBit(1) {
+		t.Fatal("visible step chosen as reducing singleton")
+	}
+}
+
+func TestChildSleep(t *testing.T) {
+	// Two independent writers: with the full persistent set, the
+	// second-explored thread's successor must sleep the first (the
+	// 1·2 order covers 2·1), and the first's successor sleeps nobody.
+	c := mkConfig(map[event.Var]event.Val{"x": 0, "y": 0},
+		lang.AssignC("x", lang.V(1)),
+		lang.AssignC("y", lang.V(2)),
+	)
+	pl := planPOR(c)
+	// Both writers are footprint-independent, so the heuristic picks a
+	// singleton; force the full set to exercise the sleep arithmetic.
+	pl.persist = maskBit(1) | maskBit(2)
+	if got := childSleep(pl, 0, 0); got != 0 {
+		t.Fatalf("first child sleep = %b, want 0", got)
+	}
+	if got := childSleep(pl, 0, 1); got != maskBit(1) {
+		t.Fatalf("second child sleep = %b, want {1}", got)
+	}
+
+	// Dependent steps are filtered from the sleep set.
+	d := mkConfig(map[event.Var]event.Val{"x": 0},
+		lang.AssignC("x", lang.V(1)),
+		lang.AssignC("x", lang.V(2)),
+	)
+	dl := planPOR(d)
+	if dl.persist != (maskBit(1) | maskBit(2)) {
+		t.Fatalf("conflicting writers: persist=%b, want full set", dl.persist)
+	}
+	if got := childSleep(dl, 0, 1); got != 0 {
+		t.Fatalf("dependent step slept: %b", got)
+	}
+}
+
+// TestPORSilentDivergenceNotReduced regression-tests the ignoring
+// problem: a purely silent cycle ("while (1) { skip }") must never be
+// chosen as a reducing singleton, or it would postpone every other
+// thread forever and hide label-visible violations the reduction
+// promises to preserve.
+func TestPORSilentDivergenceNotReduced(t *testing.T) {
+	prog := lang.Prog{
+		lang.WhileC(lang.V(1), lang.SkipC()), // diverges silently
+		lang.SeqC(
+			lang.AssignC("y", lang.V(1)),
+			lang.LabelC("cs", lang.AssignC("y", lang.V(2))),
+		),
+	}
+	vars := map[event.Var]event.Val{"y": 0}
+	cfg := core.NewConfig(prog, vars)
+
+	pl := planPOR(cfg)
+	if pl.persist == maskBit(1) {
+		t.Fatal("diverging silent thread chosen as reducing singleton")
+	}
+
+	// Thread 2 reaching its critical-section label must be observable
+	// under reduction, on both engines.
+	property := func(c core.Config) bool { return lang.AtLabel(c.P.Thread(2)) != "cs" }
+	for _, workers := range []int{1, 8} {
+		res := Run(cfg, Options{MaxEvents: 8, Workers: workers, POR: true, Property: property})
+		if res.Violation == nil {
+			t.Fatalf("workers=%d: label-visible violation hidden by the reduction", workers)
+		}
+	}
+
+	// And the audit must agree with the full search end to end.
+	a := CheckPOR(cfg, Options{MaxEvents: 8, Workers: 1, Property: property})
+	if a.VerdictDiverged {
+		t.Fatalf("verdict diverged: %s", a)
+	}
+}
+
+// TestPORReductionOutcomesPreserved cross-checks Outcomes with and
+// without reduction on a program whose interleavings mostly commute.
+func TestPORReductionOutcomesPreserved(t *testing.T) {
+	prog := lang.Prog{
+		lang.SeqC(lang.AssignC("x", lang.V(1)), lang.AssignRelC("f", lang.V(1))),
+		lang.SeqC(lang.AssignC("a", lang.XA("f")), lang.AssignC("b", lang.X("x"))),
+		lang.AssignC("y", lang.V(3)),
+	}
+	vars := map[event.Var]event.Val{"x": 0, "y": 0, "f": 0, "a": 0, "b": 0}
+	sum := func(c core.Config) string {
+		out := ""
+		for _, x := range []event.Var{"a", "b"} {
+			g, ok := c.S.Last(x)
+			if !ok {
+				continue
+			}
+			out += string(x) + string(rune('0'+c.S.Event(g).WrVal())) + ";"
+		}
+		return out
+	}
+	full := Outcomes(core.NewConfig(prog, vars), Options{MaxEvents: 12, Workers: 1}, sum)
+	red := Outcomes(core.NewConfig(prog, vars), Options{MaxEvents: 12, Workers: 1, POR: true}, sum)
+	if len(full) != len(red) {
+		t.Fatalf("outcome sets differ: full=%d reduced=%d", len(full), len(red))
+	}
+	for k := range full {
+		if !red[k] {
+			t.Fatalf("outcome %q lost under reduction", k)
+		}
+	}
+}

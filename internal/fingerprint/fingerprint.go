@@ -152,6 +152,46 @@ func PairItem(label uint64, ta event.Thread, pa int, tb event.Thread, pb int) FP
 	return h.Sum()
 }
 
+// Set is a set of fingerprints — the currency of cross-run state-space
+// comparison. The explorer's partial-order-reduction audit
+// (explore.CheckPOR) collects the reachable and terminated fingerprint
+// sets of a reduced and a full search and diffs them: the reduced
+// reachable set must be contained in the full one (its transitions are
+// a subset) and the terminated sets must coincide (the reduction
+// preserves terminated configurations). The zero value is not ready;
+// call NewSet. Set is not safe for concurrent use — guard it with a
+// mutex when collecting from a parallel exploration.
+type Set struct {
+	m map[FP]struct{}
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{m: make(map[FP]struct{}, 1024)} }
+
+// Add inserts fp.
+func (s *Set) Add(fp FP) { s.m[fp] = struct{}{} }
+
+// Has reports fp ∈ s.
+func (s *Set) Has(fp FP) bool {
+	_, ok := s.m[fp]
+	return ok
+}
+
+// Len returns |s|.
+func (s *Set) Len() int { return len(s.m) }
+
+// MissingFrom counts the elements of s absent from other — zero iff
+// s ⊆ other.
+func (s *Set) MissingFrom(other *Set) int {
+	n := 0
+	for fp := range s.m {
+		if !other.Has(fp) {
+			n++
+		}
+	}
+	return n
+}
+
 // scratch holds the reusable buffers of one Canonical invocation.
 type scratch struct {
 	pos    []int32 // tag -> canonical position within its thread

@@ -1,0 +1,171 @@
+package lang
+
+import "repro/internal/event"
+
+// This file computes static variable footprints of commands — the
+// over-approximation of the variables a residual program may ever read
+// or write. The explorer's partial-order reduction (internal/explore)
+// uses footprints to justify singleton persistent sets: a thread whose
+// next access can never conflict with any variable another live thread
+// may touch can be explored alone, because every deferred transition
+// of the other threads commutes with it (see core.StepsCommute for the
+// per-step notion of commutation the footprints over-approximate).
+
+// VarSet is a small set of variables backed by a sorted slice — the
+// programs of the command language touch a handful of variables, so a
+// slice beats a map on both footprint construction and lookup.
+type VarSet []event.Var
+
+// Has reports x ∈ s.
+func (s VarSet) Has(x event.Var) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+		if y > x {
+			return false
+		}
+	}
+	return false
+}
+
+// add inserts x, keeping the slice sorted and duplicate-free.
+func (s *VarSet) add(x event.Var) {
+	v := *s
+	for i, y := range v {
+		if y == x {
+			return
+		}
+		if y > x {
+			v = append(v, "")
+			copy(v[i+1:], v[i:])
+			v[i] = x
+			*s = v
+			return
+		}
+	}
+	*s = append(v, x)
+}
+
+// Footprint is the static may-access footprint of a command: the
+// variables it may read and the variables it may write (updates —
+// x.swap — count as both) anywhere in its remaining execution. It is
+// an over-approximation: branches not taken and loop bodies never
+// entered still contribute.
+type Footprint struct {
+	Reads  VarSet
+	Writes VarSet
+}
+
+// ConflictsWith reports whether an access to x — a write access when
+// wr is set, a plain read otherwise — may conflict with this
+// footprint: two accesses to the same variable conflict when at least
+// one of them is a write.
+func (f Footprint) ConflictsWith(x event.Var, wr bool) bool {
+	if f.Writes.Has(x) {
+		return true
+	}
+	return wr && f.Reads.Has(x)
+}
+
+// MayAccess returns the static footprint of c.
+func MayAccess(c Com) Footprint {
+	var f Footprint
+	comFootprint(c, &f)
+	return f
+}
+
+func comFootprint(c Com, f *Footprint) {
+	switch x := c.(type) {
+	case Skip:
+	case Assign:
+		f.Writes.add(x.X)
+		exprLoads(x.E, &f.Reads)
+	case Swap:
+		f.Reads.add(x.X)
+		f.Writes.add(x.X)
+	case Seq:
+		comFootprint(x.C1, f)
+		comFootprint(x.C2, f)
+	case If:
+		exprLoads(x.B, &f.Reads)
+		comFootprint(x.Then, f)
+		comFootprint(x.Else, f)
+	case While:
+		exprLoads(x.Guard, &f.Reads)
+		exprLoads(x.Cur, &f.Reads)
+		comFootprint(x.Body, f)
+	case Label:
+		comFootprint(x.C, f)
+	}
+}
+
+// exprLoads accumulates the variables loaded by e.
+func exprLoads(e Expr, out *VarSet) {
+	switch x := e.(type) {
+	case Lit:
+	case Load:
+		out.add(x.X)
+	case Un:
+		exprLoads(x.E, out)
+	case Bin:
+		exprLoads(x.L, out)
+		exprLoads(x.R, out)
+	}
+}
+
+// Target returns the unique successor command of a non-read step. For
+// read steps the successor depends on the value read (call Apply);
+// ok is false there.
+func (s Step) Target() (Com, bool) {
+	if s.Kind == StepRead {
+		return nil, false
+	}
+	return s.next, true
+}
+
+// SilentProgress reports whether the deterministic chain of silent
+// steps from c reaches a memory step or termination within limit τ
+// steps. A false result flags (possible) silent divergence — a command
+// like "while (1) { skip }" whose silent steps cycle without ever
+// touching memory. The explorer's partial-order reduction must not
+// pick such a step as a reducing singleton: every cycle of the
+// configuration graph consists of silent transitions (memory steps
+// strictly grow the event set), so reducing to a diverging silent
+// thread at every state of its cycle would postpone the other threads
+// forever — the classic "ignoring problem" of stateful partial-order
+// reduction. Requiring progress breaks exactly those cycles: any
+// all-silent cycle contains a thread whose command sequence repeats
+// without a memory step, and that thread fails this check. The limit
+// bounds the walk; chains longer than it are conservatively treated
+// as diverging (costing reduction, never soundness).
+func SilentProgress(c Com, limit int) bool {
+	for i := 0; i < limit; i++ {
+		s, ok := StepOf(c)
+		if !ok || s.Kind != StepSilent {
+			return true
+		}
+		c = s.Apply(0)
+	}
+	return false
+}
+
+// VisibleStep reports whether taking step s from command c can change
+// the label at the head of the command — the program-counter
+// observation AtLabel that safety properties such as mutual exclusion
+// read. A step is visible when the head is currently labelled (the
+// step leaves the label) or when its successor's head is labelled (the
+// step arrives at one). Read steps never expose a label: they rewrite
+// an expression in place, keeping the same head command. The
+// partial-order reduction never prunes around visible steps, so
+// label-based properties see the same interleavings as the full
+// search.
+func VisibleStep(c Com, s Step) bool {
+	if AtLabel(c) != "" {
+		return true
+	}
+	if t, ok := s.Target(); ok {
+		return AtLabel(t) != ""
+	}
+	return false
+}

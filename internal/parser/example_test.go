@@ -1,0 +1,46 @@
+package parser_test
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/parser"
+)
+
+// ExampleParse parses a litmus file (the grammar is documented in
+// docs/litmus-format.md), converts it to a runnable test and checks
+// its expectations against the RA operational semantics — the in-tree,
+// CI-verified counterpart of the examples/ quickstarts.
+func ExampleParse() {
+	src := `
+// Store buffering: both threads may read the other's initial value.
+init x=0 y=0 a=0 b=0
+thread 1 { x :=R 1; a := y^A; }
+thread 2 { y :=R 1; b := x^A; }
+observe a b
+allow a=0 b=0
+allow a=1 b=1
+`
+	f, err := parser.Parse("sb.lit", src)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	prog, err := f.Prog()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(prog)
+
+	tc, err := f.Test()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep := tc.Run(explore.Options{MaxEvents: 10, Workers: 1})
+	fmt.Printf("pass=%v outcomes=%d\n", rep.Pass(), len(rep.Outcomes))
+	// Output:
+	// x :=R 1; a := y^A ||| y :=R 1; b := x^A
+	// pass=true outcomes=4
+}

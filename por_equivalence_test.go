@@ -1,0 +1,89 @@
+package repro
+
+// Contract tests of the partial-order reduction (explore.Options.POR):
+// the CheckPOR audit must report zero divergences — identical property
+// verdicts, identical terminated-state fingerprint sets, and a reduced
+// reachable set contained in the full one — across the whole testdata
+// litmus suite on both engines; the serial and parallel engines must
+// agree on the reduced search's statistics (the sleep-mask fixpoint is
+// engine-order independent); the reduction must actually reduce (the
+// acceptance bar: ≥ 30% fewer configurations on the Peterson
+// verification workload at bound 10); and the broken Peterson variant's
+// mutual-exclusion violation — a label-visible property — must still be
+// found under reduction.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/litmus"
+)
+
+func TestCheckPORTestdata(t *testing.T) {
+	for name, cfg := range testdataConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 8} {
+				a := explore.CheckPOR(cfg, explore.Options{MaxEvents: 9, Workers: workers})
+				if !a.SetsCompared {
+					t.Fatalf("workers=%d: audit did not compare fingerprint sets", workers)
+				}
+				if n := a.Divergences(); n != 0 {
+					t.Fatalf("workers=%d: %d divergences: %s", workers, n, a)
+				}
+				if a.Reduced.Explored > a.Full.Explored {
+					t.Fatalf("workers=%d: reduced search explored more than full: %s", workers, a)
+				}
+			}
+		})
+	}
+}
+
+func TestPORSerialParallelEquivalenceLitmusSuite(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		t.Run(tc.Name, func(t *testing.T) {
+			cfg := core.NewConfig(tc.Prog, tc.Init)
+			s := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 1, POR: true})
+			p := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 8, POR: true})
+			if s.Explored != p.Explored || s.Terminated != p.Terminated ||
+				s.Depth != p.Depth || s.Truncated != p.Truncated {
+				t.Fatalf("serial %+v != parallel %+v", s, p)
+			}
+		})
+	}
+}
+
+func TestPORReductionPeterson(t *testing.T) {
+	p, vars := litmus.Peterson()
+	a := explore.CheckPOR(core.NewConfig(p, vars), explore.Options{MaxEvents: 10, Workers: 1})
+	if n := a.Divergences(); n != 0 {
+		t.Fatalf("%d divergences: %s", n, a)
+	}
+	// The acceptance bar: at least 30% fewer configurations at bound 10.
+	if limit := a.Full.Explored * 7 / 10; a.Reduced.Explored > limit {
+		t.Fatalf("reduction too weak: reduced=%d > 70%% of full=%d",
+			a.Reduced.Explored, a.Full.Explored)
+	}
+	t.Logf("%s", a)
+}
+
+func TestPORWeakTurnViolation(t *testing.T) {
+	// Mutual exclusion observes the "cs" labels; the reduction treats
+	// label-visible steps as dependent with everything, so the broken
+	// variant must still be caught with POR on, on both engines.
+	p, vars := litmus.PetersonWeakTurn()
+	for _, workers := range []int{1, 8} {
+		res := explore.Run(core.NewConfig(p, vars), explore.Options{
+			MaxEvents: 12,
+			Workers:   workers,
+			POR:       true,
+			Property:  litmus.MutualExclusion,
+		})
+		if res.Violation == nil {
+			t.Fatalf("workers=%d: mutual-exclusion violation not found under POR", workers)
+		}
+		if litmus.MutualExclusion(*res.Violation) {
+			t.Fatalf("workers=%d: reported violation does not falsify the property", workers)
+		}
+	}
+}

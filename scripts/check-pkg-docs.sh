@@ -1,0 +1,30 @@
+#!/bin/sh
+# Docs gate: every internal package must carry a package doc comment
+# ("// Package <name> ..." directly above its package clause) so
+# `go doc repro/internal/<name>` is useful. Run from the repo root;
+# exits non-zero listing the offenders.
+set -eu
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    found=0
+    for f in "$dir"*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        if grep -q "^// Package $pkg " "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "missing package doc comment: $dir" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "add a '// Package <name> ...' comment (see ARCHITECTURE.md for the package map)" >&2
+fi
+exit "$fail"
