@@ -24,7 +24,9 @@ import (
 	"repro/internal/explore"
 	"repro/internal/lang"
 	"repro/internal/litmus"
+	"repro/internal/model"
 	"repro/internal/proof"
+	"repro/internal/sc"
 )
 
 // --- E1/E2: the command language (Figures 1 and 2) ---
@@ -188,8 +190,8 @@ func benchPeterson(b *testing.B, bound, workers int, por bool) {
 			MaxEvents: bound,
 			Workers:   workers,
 			POR:       por,
-			Property: func(c core.Config) bool {
-				return len(proof.CheckPetersonInvariants(c)) == 0
+			Property: func(c model.Config) bool {
+				return len(proof.CheckPetersonInvariants(c.(core.Config))) == 0
 			},
 		})
 		if res.Violation != nil {
@@ -281,7 +283,7 @@ func BenchmarkE13_PetersonWeakTurnWitness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, found := explore.FindTrace(core.NewConfig(p, vars), explore.Options{
 			MaxEvents: 12,
-		}, func(c core.Config) bool { return !litmus.MutualExclusion(c) })
+		}, func(c model.Config) bool { return !litmus.MutualExclusion(c) })
 		if !found {
 			b.Fatal("no witness")
 		}
@@ -491,6 +493,47 @@ func BenchmarkLitmusSuiteVerdicts(b *testing.B) {
 			if rep := tc.Run(explore.Options{MaxEvents: 20}); !rep.Pass() {
 				b.Fatalf("%s failed", tc.Name)
 			}
+		}
+	}
+}
+
+// --- E17: pluggable memory models (RA vs SC on one engine) ---
+
+// BenchmarkE17_ModelPeterson runs the Peterson workload through the
+// unified engine under each backend. SC configurations carry no event
+// graph and its reads are deterministic, so the SC state space is a
+// small fraction of the RA one (PERF.md tabulates the counts).
+func BenchmarkE17_ModelPeterson(b *testing.B) {
+	p, vars := litmus.Peterson()
+	run := func(b *testing.B, m model.Model) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := explore.Run(m.New(p, vars), explore.Options{
+				MaxEvents: 10, Workers: 1, Property: litmus.MutualExclusion,
+			})
+			if res.Violation != nil {
+				b.Fatal("violation")
+			}
+		}
+	}
+	b.Run("rar", func(b *testing.B) { run(b, core.Model) })
+	b.Run("sc", func(b *testing.B) { run(b, sc.Model) })
+}
+
+// BenchmarkE17_ModelDiff measures the full differential mode: both
+// backends on one litmus test plus the outcome-set diff.
+func BenchmarkE17_ModelDiff(b *testing.B) {
+	var sb *litmus.Test
+	for _, tc := range litmus.Suite() {
+		if tc.Name == "SB+rel+acq" {
+			sb = tc
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := sb.Diff(core.Model, sc.Model, explore.Options{MaxEvents: 20})
+		if d.Agree() {
+			b.Fatal("SB must differ between RA and SC")
 		}
 	}
 }

@@ -4,13 +4,18 @@
 // size (exhaustively, then randomly at larger sizes) and checks that
 // Definition 4.2's eco-based coherence and the weak canonical RAR
 // consistency of Definition C.3 classify every candidate identically
-// (Theorem C.5).
+// (Theorem C.5). With -diff it compares whole memory models instead:
+// every litmus test of the built-in catalog runs under both the RA
+// and the SC backend, the outcome sets are diffed (the difference is
+// the test's weak behaviours), and any SC-only outcome — SC must
+// refine RA — fails the run.
 //
 // Usage:
 //
 //	c11equiv                         # default sweep
 //	c11equiv -events 4 -vars 2      # exhaustive at 4 events, 2 variables
 //	c11equiv -random 100000 -size 7 # randomized at the Alloy bound
+//	c11equiv -diff                  # RA vs SC differential on the catalog
 package main
 
 import (
@@ -21,8 +26,12 @@ import (
 	"time"
 
 	"repro/internal/axiomatic"
+	"repro/internal/core"
 	"repro/internal/enumerate"
 	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/litmus"
+	"repro/internal/sc"
 )
 
 func main() {
@@ -33,8 +42,15 @@ func main() {
 		random  = flag.Int("random", 20000, "number of randomized candidates")
 		size    = flag.Int("size", 7, "events for the randomized sweep (Alloy used bound 7)")
 		seed    = flag.Int64("seed", 0, "random seed (0 = time-based)")
+		diff    = flag.Bool("diff", false, "differential model checking: RA vs SC over the litmus catalog")
+		maxEv   = flag.Int("max", 20, "maximum non-initial events per state for -diff")
 	)
 	flag.Parse()
+
+	if *diff {
+		runModelDiff(*maxEv)
+		return
+	}
 
 	vars := make([]event.Var, *nvars)
 	for i := range vars {
@@ -91,4 +107,50 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("Theorem C.5 holds on every candidate checked")
+}
+
+// runModelDiff runs every catalog litmus test under both backends and
+// diffs the outcome sets. RA-only outcomes are the expected weak
+// behaviours; an SC-only outcome breaks the refinement SC ⊆ RA and
+// fails the run, as does an expectation failure under either model.
+func runModelDiff(maxEv int) {
+	opts := explore.Options{MaxEvents: maxEv}
+	failures, differing := 0, 0
+	for _, tc := range litmus.Suite() {
+		d := tc.Diff(core.Model, sc.Model, opts)
+		fmt.Println(d)
+		if !d.Agree() {
+			differing++
+		}
+		if d.TruncatedA || d.TruncatedB {
+			// The diff is only conclusive over complete searches; the
+			// catalog is sized to finish at the default bound, so a
+			// cut means the bound was lowered.
+			fmt.Println("    truncated search: diff relative to the bound (raise -max)")
+			failures++
+			continue
+		}
+		if len(d.OnlyB) > 0 {
+			fmt.Printf("    BUG: SC-only outcomes break refinement: %v\n", d.OnlyB)
+			failures++
+		}
+		// Verdicts come from the diff's own outcome sets — no second
+		// exploration per backend.
+		for _, mo := range []struct {
+			name     string
+			outcomes map[string]bool
+		}{{d.ModelA, d.OutcomesA}, {d.ModelB, d.OutcomesB}} {
+			missing, forbidden := tc.CheckOutcomes(mo.name, mo.outcomes)
+			if len(missing)+len(forbidden) > 0 {
+				fmt.Printf("    %s expectations FAILED: missing=%v forbidden-reached=%v\n",
+					mo.name, missing, forbidden)
+				failures++
+			}
+		}
+	}
+	fmt.Printf("%d tests, %d with RA/SC outcome differences, %d failure(s)\n",
+		len(litmus.Suite()), differing, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
 }

@@ -1,11 +1,18 @@
 // Command c11explore explores the bounded state space of a program
-// under the RA operational semantics and reports reachable terminal
-// executions, optionally rendering one execution as Graphviz dot or
-// an ASCII diagram.
+// under a pluggable memory model — the RA operational semantics
+// (-model rar, the default) or sequential consistency (-model sc) —
+// and reports reachable terminal executions, optionally rendering one
+// execution as Graphviz dot or an ASCII diagram. With -diff it runs
+// both models on the same program and reports the outcome-set
+// difference: exactly the weak-memory behaviours. With -races it
+// additionally searches for reachable non-atomic data races.
 //
 // Usage:
 //
 //	c11explore -f prog.lit            # explore, print statistics
+//	c11explore -f prog.lit -model sc  # same program under SC
+//	c11explore -f prog.lit -diff      # RA vs SC outcome difference
+//	c11explore -f prog.lit -races     # + data-race detection
 //	c11explore -f prog.lit -dot       # dot graph of one terminal state
 //	c11explore -f prog.lit -ascii     # ASCII diagram instead
 //	c11explore -example 3.2           # rebuild the paper's Example 3.2
@@ -15,30 +22,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/axiomatic"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/explore"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/model"
+	"repro/internal/model/backends"
 	"repro/internal/parser"
+	"repro/internal/races"
 	"repro/internal/vis"
 )
 
 func main() {
 	var (
-		file    = flag.String("f", "", "program file to explore")
-		example = flag.String("example", "", "rebuild a paper example (3.2)")
-		maxEv   = flag.Int("max", 20, "maximum non-initial events per state")
-		dot     = flag.Bool("dot", false, "print a dot graph of one terminal execution")
-		ascii   = flag.Bool("ascii", false, "print an ASCII diagram of one terminal execution")
+		file      = flag.String("f", "", "program file to explore")
+		example   = flag.String("example", "", "rebuild a paper example (3.2)")
+		modelName = flag.String("model", "rar",
+			"memory model: "+strings.Join(backends.Names(), " | "))
+		diff    = flag.Bool("diff", false, "run both models and report outcome-set differences")
+		maxEv   = flag.Int("max", 20, "maximum non-initial events per state (rar model)")
+		dot     = flag.Bool("dot", false, "print a dot graph of one terminal execution (rar model)")
+		ascii   = flag.Bool("ascii", false, "print an ASCII diagram of one terminal execution (rar model)")
+		racesFl = flag.Bool("races", false, "search for reachable non-atomic data races (rar model)")
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
 		por     = flag.Bool("por", true,
 			"partial-order reduction: explore commuting interleavings once (sleep sets + persistent-set heuristic)")
 		checkFP = flag.Bool("checkcollisions", false,
 			"deduplicate by exact canonical signatures (slow path) and audit the 128-bit fingerprints against them")
 		checkInc = flag.Bool("checkincremental", false,
-			"recompute every derived order (hb/eco/comb, observability sets, indexes) from scratch at each configuration and count disagreements with the incremental engine")
+			"recompute the model's incrementally maintained structures from scratch at each configuration and count disagreements")
 		checkPOR = flag.Bool("checkpor", false,
 			"run the reduced and the full search and diff reachable-state fingerprints and property verdicts (zero divergences expected)")
 	)
@@ -65,7 +83,6 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := core.NewConfig(prog, f.Init)
 	opts := explore.Options{
 		MaxEvents:        *maxEv,
 		Workers:          *workers,
@@ -73,29 +90,49 @@ func main() {
 		CheckCollisions:  *checkFP,
 		CheckIncremental: *checkInc,
 	}
+
+	m, err := backends.Get(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	// Flag validation up front, before any exploration is paid for.
+	if *racesFl && *diff {
+		fmt.Fprintln(os.Stderr, "c11explore: -races and -diff are separate modes; run them one at a time")
+		os.Exit(2)
+	}
+	if *racesFl && m.Name() != "rar" {
+		fmt.Fprintln(os.Stderr, "c11explore: -races needs the rar model (data races are defined over the C11 happens-before order)")
+		os.Exit(2)
+	}
+
+	if *diff {
+		runDiff(f, prog, opts)
+		return
+	}
+	cfg := m.New(prog, f.Init)
 	if *checkPOR {
 		audit := explore.CheckPOR(cfg, opts)
-		fmt.Println(audit)
+		fmt.Printf("model=%s %s\n", m.Name(), audit)
 		if audit.Divergences() > 0 {
 			os.Exit(1)
 		}
 		return
 	}
 	var mu sync.Mutex
-	var sample *core.State
-	opts.Property = func(c core.Config) bool {
+	var sample model.Config
+	opts.Property = func(c model.Config) bool {
 		if c.Terminated() {
 			mu.Lock()
 			if sample == nil {
-				sample = c.S
+				sample = c
 			}
 			mu.Unlock()
 		}
 		return true
 	}
 	res := explore.Run(cfg, opts)
-	fmt.Printf("explored %d configurations, %d terminated, depth %d, truncated=%v, por=%v\n",
-		res.Explored, res.Terminated, res.Depth, res.Truncated, *por)
+	fmt.Printf("model=%s explored %d configurations, %d terminated, depth %d, truncated=%v, por=%v\n",
+		m.Name(), res.Explored, res.Terminated, res.Depth, res.Truncated, *por)
 	if *checkFP {
 		fmt.Printf("fingerprint collisions: %d\n", res.FingerprintCollisions)
 	}
@@ -106,8 +143,17 @@ func main() {
 		}
 	}
 
+	if *racesFl {
+		reportRaces(core.NewConfig(prog, f.Init), explore.Options{MaxEvents: *maxEv})
+	}
+
 	if sample != nil && (*dot || *ascii) {
-		x := axiomatic.FromState(sample)
+		rc, ok := sample.(core.Config)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "c11explore: -dot/-ascii render C11 event graphs; use -model rar")
+			os.Exit(2)
+		}
+		x := axiomatic.FromState(rc.S)
 		if *dot {
 			fmt.Print(vis.Dot(x, vis.Default()))
 		}
@@ -115,6 +161,69 @@ func main() {
 			fmt.Print(vis.ASCII(x))
 		}
 	}
+}
+
+// runDiff compares the RA and SC outcome sets of the program: the
+// difference is the program's weak-memory behaviours. The observation
+// set comes from the file's observe clause, falling back to every
+// initialised variable.
+func runDiff(f *parser.File, prog lang.Prog, opts explore.Options) {
+	observe := f.Observe
+	if len(observe) == 0 {
+		for x := range f.Init {
+			observe = append(observe, x)
+		}
+		sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
+	}
+	tc := &litmus.Test{Name: f.Name, Prog: prog, Init: f.Init, Observe: observe}
+	ra, _ := backends.Get("rar")
+	sc, _ := backends.Get("sc")
+	d := tc.Diff(ra, sc, opts)
+	fmt.Println(d)
+	if len(d.OnlyA) > 0 {
+		fmt.Println("weak behaviours (reachable under rar, forbidden under sc):")
+		for _, k := range d.OnlyA {
+			fmt.Printf("    %s\n", k)
+		}
+	}
+	if d.TruncatedA || d.TruncatedB {
+		// A cut search leaves its outcome set a prefix: outcomes on
+		// either side of the diff may just not have been reached yet.
+		fmt.Println("note: a search was truncated; the diff is relative to the bound (raise -max)")
+	}
+	if len(d.OnlyB) > 0 {
+		if d.TruncatedA {
+			// The rar search was cut, so an SC-only outcome is an
+			// artefact of the bound, not a refinement violation.
+			fmt.Println("outcomes reachable under sc but missing from the truncated rar search:")
+			for _, k := range d.OnlyB {
+				fmt.Printf("    %s\n", k)
+			}
+			return
+		}
+		// Both searches complete and SC refines RA: a backend bug.
+		fmt.Println("BUG: outcomes reachable under sc but not rar:")
+		for _, k := range d.OnlyB {
+			fmt.Printf("    %s\n", k)
+		}
+		os.Exit(1)
+	}
+}
+
+// reportRaces prints a race verdict, with a shortest witness when a
+// race is reachable.
+func reportRaces(cfg core.Config, opts explore.Options) {
+	trace, rs, found := races.FindRace(cfg, opts)
+	if !found {
+		fmt.Println("data races: none reachable within the bound")
+		return
+	}
+	fmt.Printf("DATA RACE — %d racy pair(s) at a state %d steps from the root:\n", len(rs), len(trace.Configs)-1)
+	for _, r := range rs {
+		fmt.Printf("    %s\n", r)
+	}
+	fmt.Print(trace.Describe())
+	os.Exit(1)
 }
 
 // runExample rebuilds Example 3.2 through the event semantics and

@@ -1,12 +1,16 @@
-// Command c11litmus runs weak-memory litmus tests against the RA
-// operational semantics: the built-in catalog by default, or a litmus
-// file given with -f. With -x it additionally cross-checks the
+// Command c11litmus runs weak-memory litmus tests under a pluggable
+// memory model: the built-in catalog by default, or a litmus file
+// given with -f. The catalog carries per-model expected verdicts
+// (-model rar checks the RA expectations, -model sc the SC ones,
+// -model all both). With -x it additionally cross-checks the RA
 // operational outcome set against the axiomatic generate-and-test
 // baseline (loop-free tests only).
 //
 // Usage:
 //
-//	c11litmus                 # run the built-in suite
+//	c11litmus                 # run the built-in suite under RA
+//	c11litmus -model sc       # same suite under SC expectations
+//	c11litmus -model all      # both backends
 //	c11litmus -run MP         # tests whose name contains "MP"
 //	c11litmus -f test.lit     # run one litmus file
 //	c11litmus -x              # cross-check against the axiomatic model
@@ -26,24 +30,39 @@ import (
 	"repro/internal/axiomatic"
 	"repro/internal/explore"
 	"repro/internal/litmus"
+	"repro/internal/model"
+	"repro/internal/model/backends"
 	"repro/internal/parser"
 )
 
 func main() {
 	var (
-		file    = flag.String("f", "", "run a single litmus file instead of the built-in suite")
-		runPat  = flag.String("run", "", "only run tests whose name contains this substring")
-		maxEv   = flag.Int("max", 20, "maximum non-initial events per state")
-		cross   = flag.Bool("x", false, "cross-check outcomes against the axiomatic semantics")
+		file      = flag.String("f", "", "run a single litmus file instead of the built-in suite")
+		runPat    = flag.String("run", "", "only run tests whose name contains this substring")
+		maxEv     = flag.Int("max", 20, "maximum non-initial events per state")
+		modelName = flag.String("model", "rar",
+			"memory model: "+strings.Join(backends.Names(), " | ")+" | all")
+		cross   = flag.Bool("x", false, "cross-check RA outcomes against the axiomatic semantics")
 		verbose = flag.Bool("v", false, "print the full outcome set per test")
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"Usage: c11litmus [flags]\n\nRuns weak-memory litmus tests against the RA operational semantics.\nThe .lit file grammar accepted by -f is documented in docs/litmus-format.md\n(one worked example per file under testdata/).\n\nFlags:\n")
+			"Usage: c11litmus [flags]\n\nRuns weak-memory litmus tests under a pluggable memory model.\nThe .lit file grammar accepted by -f is documented in docs/litmus-format.md\n(one worked example per file under testdata/).\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	var models []model.Model
+	if *modelName == "all" {
+		models = backends.All()
+	} else {
+		m, err := backends.Get(*modelName)
+		if err != nil {
+			fatal(err)
+		}
+		models = []model.Model{m}
+	}
 
 	var tests []*litmus.Test
 	if *file != "" {
@@ -69,25 +88,27 @@ func main() {
 		if *runPat != "" && !strings.Contains(tc.Name, *runPat) {
 			continue
 		}
-		rep := tc.Run(explore.Options{MaxEvents: *maxEv, Workers: *workers})
-		fmt.Println(rep.Summary())
-		if *verbose {
-			keys := make([]string, 0, len(rep.Outcomes))
-			for k := range rep.Outcomes {
-				keys = append(keys, k)
+		for _, m := range models {
+			rep := tc.RunModel(m, explore.Options{MaxEvents: *maxEv, Workers: *workers})
+			fmt.Println(rep.Summary())
+			if *verbose {
+				keys := make([]string, 0, len(rep.Outcomes))
+				for k := range rep.Outcomes {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Printf("    %s\n", k)
+				}
 			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Printf("    %s\n", k)
-			}
-		}
-		if !rep.Pass() {
-			failures++
-			for _, m := range rep.MissingAllowed {
-				fmt.Printf("    missing allowed outcome: %s\n", m)
-			}
-			for _, r := range rep.ReachedForbidden {
-				fmt.Printf("    reached forbidden outcome: %s\n", r)
+			if !rep.Pass() {
+				failures++
+				for _, mo := range rep.MissingAllowed {
+					fmt.Printf("    missing allowed outcome: %s\n", mo)
+				}
+				for _, r := range rep.ReachedForbidden {
+					fmt.Printf("    reached forbidden outcome: %s\n", r)
+				}
 			}
 		}
 		if *cross {

@@ -4,12 +4,17 @@
 // each, and confirms mutual exclusion (Theorem 5.8) both directly and
 // via the paper's derivation. With -variant it runs the weakened
 // negative controls, reporting the invariant that breaks and a
-// violation witness if mutual exclusion fails.
+// violation witness if mutual exclusion fails. With -model sc the
+// same program runs under the sequentially consistent backend, where
+// the invariants of the RA proof have no C11 state to live in and
+// mutual exclusion is checked directly (a sanity baseline: Peterson
+// is SC-correct by construction).
 //
 // Usage:
 //
 //	c11verify                       # verify the RA Peterson lock
 //	c11verify -max 14               # deeper bound
+//	c11verify -model sc             # mutual exclusion under SC
 //	c11verify -variant weak-turn    # broken variant: plain turn writes
 //	c11verify -variant relaxed-guard
 //	c11verify -variant relaxed-reset
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -26,18 +32,22 @@ import (
 	"repro/internal/explore"
 	"repro/internal/lang"
 	"repro/internal/litmus"
+	"repro/internal/model"
+	"repro/internal/model/backends"
 	"repro/internal/proof"
 )
 
 func main() {
 	var (
-		maxEv   = flag.Int("max", 12, "maximum non-initial events per state")
-		variant = flag.String("variant", "ra", "ra | weak-turn | relaxed-guard | relaxed-reset")
+		maxEv     = flag.Int("max", 12, "maximum non-initial events per state")
+		variant   = flag.String("variant", "ra", "ra | weak-turn | relaxed-guard | relaxed-reset")
+		modelName = flag.String("model", "rar",
+			"memory model: "+strings.Join(backends.Names(), " | "))
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
 		por     = flag.Bool("por", true,
 			"partial-order reduction: explore commuting interleavings once (the invariant sweep then covers the reduced state space; run -por=false for the full one)")
 		checkInc = flag.Bool("checkincremental", false,
-			"audit the incremental derived-order engine against from-scratch recomputation at every configuration")
+			"audit the model's incrementally maintained structures against from-scratch recomputation at every configuration")
 		checkPOR = flag.Bool("checkpor", false,
 			"run the reduced and the full search and diff reachable-state fingerprints and invariant verdicts (zero divergences expected)")
 	)
@@ -61,38 +71,46 @@ func main() {
 		os.Exit(2)
 	}
 
+	m, err := backends.Get(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c11verify:", err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
-	var badInvariants []int
-	var badConfig *core.Config
+	rar := m.Name() == "rar"
 	// The property runs concurrently under a parallel explorer, so it
 	// only reports the verdict; diagnostics are recomputed from the
-	// violating configuration below.
+	// violating configuration below. Under the RA backend it checks
+	// the paper's invariants and Theorem 5.8 both directly and via the
+	// derivation; under SC only mutual exclusion is meaningful.
+	property := litmus.MutualExclusion
+	if rar {
+		property = func(c model.Config) bool {
+			cc := c.(core.Config)
+			return len(proof.CheckPetersonInvariants(cc)) == 0 &&
+				proof.Theorem58(cc) && proof.DeriveTheorem58(cc)
+		}
+	}
 	opts := explore.Options{
 		MaxEvents:        *maxEv,
 		Workers:          *workers,
 		POR:              *por,
 		CheckIncremental: *checkInc,
-		Property: func(c core.Config) bool {
-			return len(proof.CheckPetersonInvariants(c)) == 0 &&
-				proof.Theorem58(c) && proof.DeriveTheorem58(c)
-		},
+		Property:         property,
 	}
 	if *checkPOR {
-		audit := explore.CheckPOR(core.NewConfig(prog, vars), opts)
-		fmt.Println(audit)
+		audit := explore.CheckPOR(m.New(prog, vars), opts)
+		fmt.Printf("model=%s %s\n", m.Name(), audit)
 		if audit.Divergences() > 0 {
 			os.Exit(1)
 		}
 		return
 	}
-	res := explore.Run(core.NewConfig(prog, vars), opts)
-	if res.Violation != nil {
-		badConfig = res.Violation
-		badInvariants = proof.CheckPetersonInvariants(*badConfig)
-	}
+	res := explore.Run(m.New(prog, vars), opts)
 
-	fmt.Printf("variant=%s bound=%d explored=%d depth=%d truncated=%v por=%v (%.2fs)\n",
-		*variant, *maxEv, res.Explored, res.Depth, res.Truncated, *por, time.Since(start).Seconds())
+	fmt.Printf("model=%s variant=%s bound=%d explored=%d depth=%d truncated=%v por=%v (%.2fs)\n",
+		m.Name(), *variant, *maxEv, res.Explored, res.Depth, res.Truncated, *por, time.Since(start).Seconds())
 	if *checkInc {
 		fmt.Printf("closure mismatches: %d\n", res.ClosureMismatches)
 		if res.ClosureMismatches > 0 {
@@ -100,36 +118,42 @@ func main() {
 		}
 	}
 
-	if badConfig == nil {
-		if *por {
-			fmt.Println("invariants (4)-(10) hold in every explored configuration (POR-reduced state space; -por=false sweeps all of it)")
-		} else {
-			fmt.Println("invariants (4)-(10) hold in every reachable configuration")
+	if res.Violation == nil {
+		if rar {
+			if *por {
+				fmt.Println("invariants (4)-(10) hold in every explored configuration (POR-reduced state space; -por=false sweeps all of it)")
+			} else {
+				fmt.Println("invariants (4)-(10) hold in every reachable configuration")
+			}
 		}
 		fmt.Println("Theorem 5.8 (mutual exclusion): VERIFIED at this bound")
 		return
 	}
 
-	if len(badInvariants) > 0 {
-		fmt.Printf("invariants violated: %v\n", badInvariants)
-		for _, inv := range proof.PetersonInvariants() {
-			for _, id := range badInvariants {
-				if inv.ID == id {
-					fmt.Printf("  (%d) %s\n", inv.ID, inv.Name)
+	if rar {
+		badConfig := res.Violation.(core.Config)
+		if badInvariants := proof.CheckPetersonInvariants(badConfig); len(badInvariants) > 0 {
+			fmt.Printf("invariants violated: %v\n", badInvariants)
+			for _, inv := range proof.PetersonInvariants() {
+				for _, id := range badInvariants {
+					if inv.ID == id {
+						fmt.Printf("  (%d) %s\n", inv.ID, inv.Name)
+					}
 				}
 			}
 		}
 	}
 	// Mutual exclusion itself: search for a concrete double-CS state.
-	trace, found := explore.FindTrace(core.NewConfig(prog, vars), explore.Options{
+	trace, found := explore.FindTrace(m.New(prog, vars), explore.Options{
 		MaxEvents: *maxEv,
-	}, func(c core.Config) bool { return !litmus.MutualExclusion(c) })
+	}, func(c model.Config) bool { return !litmus.MutualExclusion(c) })
 	if found {
 		fmt.Printf("MUTUAL EXCLUSION VIOLATED — witness of %d steps:\n", len(trace.Configs)-1)
 		fmt.Print(trace.Describe())
-		last := trace.Configs[len(trace.Configs)-1]
-		fmt.Println("final state:")
-		fmt.Print(last.S)
+		if last, ok := trace.Configs[len(trace.Configs)-1].(core.Config); ok {
+			fmt.Println("final state:")
+			fmt.Print(last.S)
+		}
 		os.Exit(1)
 	}
 	fmt.Println("mutual exclusion still holds at this bound (only auxiliary invariants broke)")

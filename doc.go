@@ -21,15 +21,22 @@
 //	                     (the Memalloy substitution of Appendix E)
 //	internal/catdsl      cat-language evaluator with the paper's models
 //	                     (Appendix E, executable)
-//	internal/explore     bounded explicit-state model checker
+//	internal/model       the pluggable memory-model interface the
+//	                     explorer is generic over (+ model/backends,
+//	                     the named registry behind the -model flags)
+//	internal/explore     bounded explicit-state model checker: one
+//	                     sharded engine over any model backend
 //	internal/proof       determinate-value / variable-ordering assertions,
 //	                     the Figure 4 rules, the Peterson invariants (§5)
 //	internal/litmus      litmus catalog, Peterson variants, differential
 //	                     fuzzing of the two semantics
 //	internal/races       non-atomic accesses and data-race detection
 //	                     (the §2.1 extension)
-//	internal/sc          sequential consistency behind the same generic
-//	                     combination rules (§3.3)
+//	internal/sc          sequential consistency as a second full model
+//	                     backend behind the same combination rules
+//	                     (§3.3); the baseline of differential model
+//	                     checking (-diff: RAR-only outcomes are exactly
+//	                     the weak behaviours)
 //	internal/parser      textual litmus front end
 //	internal/vis         dot / ASCII execution diagrams
 //

@@ -1,13 +1,15 @@
 package repro
 
-// Serial/parallel equivalence of the explorer: the barrier-free
-// parallel engine deduplicates through a sharded fingerprint-keyed
+// Serial/parallel equivalence of the unified explorer: serial is the
+// same sharded engine at Workers=1, and the barrier-free parallel
+// configuration deduplicates through the sharded fingerprint-keyed
 // seen-set and relaxes depths as shorter paths appear, so on any
 // search that runs to completion it must report exactly the serial
-// engine's Explored, Terminated, Depth and Truncated — on the whole
-// litmus catalog and on the Peterson verification workload. Property
-// early-exit is nondeterministic in *which* violating configuration is
-// reported, so there only the verdict is compared.
+// run's Explored, Terminated, Depth and Truncated — on the whole
+// litmus catalog under both memory models, and on the Peterson
+// verification workload. Property early-exit is nondeterministic in
+// *which* violating configuration is reported, so there only the
+// verdict is compared.
 
 import (
 	"testing"
@@ -15,27 +17,31 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/litmus"
+	"repro/internal/model"
+	"repro/internal/model/backends"
 	"repro/internal/proof"
 )
 
 func TestSerialParallelEquivalenceLitmusSuite(t *testing.T) {
-	for _, tc := range litmus.Suite() {
-		t.Run(tc.Name, func(t *testing.T) {
-			cfg := core.NewConfig(tc.Prog, tc.Init)
-			s := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 1})
-			p := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 8})
-			if s.Explored != p.Explored || s.Terminated != p.Terminated ||
-				s.Depth != p.Depth || s.Truncated != p.Truncated {
-				t.Fatalf("serial %+v != parallel %+v", s, p)
-			}
-		})
+	for _, m := range backends.All() {
+		for _, tc := range litmus.Suite() {
+			t.Run(m.Name()+"/"+tc.Name, func(t *testing.T) {
+				cfg := m.New(tc.Prog, tc.Init)
+				s := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 1})
+				p := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 8})
+				if s.Explored != p.Explored || s.Terminated != p.Terminated ||
+					s.Depth != p.Depth || s.Truncated != p.Truncated {
+					t.Fatalf("serial %+v != parallel %+v", s, p)
+				}
+			})
+		}
 	}
 }
 
 func TestSerialParallelEquivalencePeterson(t *testing.T) {
 	p, vars := litmus.Peterson()
-	property := func(c core.Config) bool {
-		return len(proof.CheckPetersonInvariants(c)) == 0
+	property := func(c model.Config) bool {
+		return len(proof.CheckPetersonInvariants(c.(core.Config))) == 0
 	}
 	s := explore.Run(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 9, Workers: 1, Property: property,
@@ -44,7 +50,24 @@ func TestSerialParallelEquivalencePeterson(t *testing.T) {
 		MaxEvents: 9, Workers: 8, Property: property,
 	})
 	if s.Violation != nil || pr.Violation != nil {
-		t.Fatal("Peterson invariants must hold in both engines")
+		t.Fatal("Peterson invariants must hold in both engine configurations")
+	}
+	if s.Explored != pr.Explored || s.Terminated != pr.Terminated ||
+		s.Depth != pr.Depth || s.Truncated != pr.Truncated {
+		t.Fatalf("serial %+v != parallel %+v", s, pr)
+	}
+}
+
+func TestSerialParallelEquivalencePetersonSC(t *testing.T) {
+	p, vars := litmus.Peterson()
+	m, err := backends.Get("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := explore.Run(m.New(p, vars), explore.Options{Workers: 1, Property: litmus.MutualExclusion})
+	pr := explore.Run(m.New(p, vars), explore.Options{Workers: 8, Property: litmus.MutualExclusion})
+	if s.Violation != nil || pr.Violation != nil {
+		t.Fatal("Peterson is mutually exclusive under SC")
 	}
 	if s.Explored != pr.Explored || s.Terminated != pr.Terminated ||
 		s.Depth != pr.Depth || s.Truncated != pr.Truncated {
@@ -53,7 +76,7 @@ func TestSerialParallelEquivalencePeterson(t *testing.T) {
 }
 
 func TestSerialParallelVerdictWeakTurn(t *testing.T) {
-	// The broken variant must be caught by both engines.
+	// The broken variant must be caught at every worker count.
 	p, vars := litmus.PetersonWeakTurn()
 	for _, workers := range []int{1, 8} {
 		res := explore.Run(core.NewConfig(p, vars), explore.Options{
@@ -64,7 +87,7 @@ func TestSerialParallelVerdictWeakTurn(t *testing.T) {
 		if res.Violation == nil {
 			t.Fatalf("workers=%d: mutual-exclusion violation not found", workers)
 		}
-		if litmus.MutualExclusion(*res.Violation) {
+		if litmus.MutualExclusion(res.Violation) {
 			t.Fatalf("workers=%d: reported violation does not falsify the property", workers)
 		}
 	}

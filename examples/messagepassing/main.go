@@ -17,6 +17,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/explore"
 	"repro/internal/lang"
+	"repro/internal/model"
 	"repro/internal/proof"
 )
 
@@ -74,9 +75,10 @@ func main() {
 	res := explore.Run(core.NewConfig(p, map[event.Var]event.Val{"d": 0, "f": 0, "r": 0}),
 		explore.Options{
 			MaxEvents: 12,
-			Property: func(c core.Config) bool {
-				if lang.AtLabel(c.P.Thread(2)) == "consume" {
-					return proof.DV(c.S, 2, "d", 5)
+			Property: func(c model.Config) bool {
+				cc := c.(core.Config)
+				if lang.AtLabel(cc.P.Thread(2)) == "consume" {
+					return proof.DV(cc.S, 2, "d", 5)
 				}
 				return true
 			},

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/litmus"
+	"repro/internal/model"
 	"repro/internal/proof"
 )
 
@@ -25,13 +26,14 @@ func main() {
 	prog, vars := litmus.Peterson()
 	res := explore.Run(core.NewConfig(prog, vars), explore.Options{
 		MaxEvents: 12,
-		Property: func(c core.Config) bool {
-			return len(proof.CheckPetersonInvariants(c)) == 0 &&
-				proof.Theorem58(c)
+		Property: func(c model.Config) bool {
+			cc := c.(core.Config)
+			return len(proof.CheckPetersonInvariants(cc)) == 0 &&
+				proof.Theorem58(cc)
 		},
 	})
 	if res.Violation != nil {
-		log.Fatalf("peterson: verification failed:\n%s", (*res.Violation).P)
+		log.Fatalf("peterson: verification failed:\n%s", res.Violation.Program())
 	}
 	fmt.Printf("RA Peterson: invariants (4)-(10) and mutual exclusion hold\n")
 	fmt.Printf("  (%d configurations explored, max depth %d)\n\n", res.Explored, res.Depth)
@@ -41,7 +43,9 @@ func main() {
 	// section in every reachable state.
 	res2 := explore.Run(core.NewConfig(prog, vars), explore.Options{
 		MaxEvents: 10,
-		Property:  proof.DeriveTheorem58,
+		Property: func(c model.Config) bool {
+			return proof.DeriveTheorem58(c.(core.Config))
+		},
 	})
 	if res2.Violation != nil {
 		log.Fatal("peterson: Theorem 5.8 derivation failed")
@@ -52,12 +56,12 @@ func main() {
 	weak, wvars := litmus.PetersonWeakTurn()
 	trace, found := explore.FindTrace(core.NewConfig(weak, wvars), explore.Options{
 		MaxEvents: 12,
-	}, func(c core.Config) bool { return !litmus.MutualExclusion(c) })
+	}, func(c model.Config) bool { return !litmus.MutualExclusion(c) })
 	if !found {
 		log.Fatal("peterson: weak variant unexpectedly safe")
 	}
 	fmt.Printf("\nweak-turn Peterson: mutual exclusion VIOLATED in %d steps\n", len(trace.Configs)-1)
-	last := trace.Configs[len(trace.Configs)-1]
+	last := trace.Configs[len(trace.Configs)-1].(core.Config)
 	fmt.Printf("  both threads at the critical section label:\n  %s\n", last.P)
 	fmt.Printf("  pc_1 = %d, pc_2 = %d\n",
 		proof.PC(last.P.Thread(1)), proof.PC(last.P.Thread(2)))

@@ -6,8 +6,8 @@ package repro
 // the maintained indexes at every admitted configuration and compares
 // them with the inherited-and-extended values. The audit must count
 // zero mismatches, and the exploration statistics must be identical
-// with and without it — on the serial engine and (under -race, see CI)
-// on the parallel engine, where closure rows are shared across workers.
+// with and without it — serially and (under -race, see CI) with
+// parallel workers, where closure rows are shared across them.
 
 import (
 	"path/filepath"

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/model"
+)
+
+// This file plugs the RAR semantics into the pluggable memory-model
+// seam (internal/model): Config implements model.Config, and Model is
+// the backend the frontends select with -model rar. The typed API
+// (Successors, StepSuccessors, State accessors) remains the primary
+// surface for the axiomatic cross-checks and the proof layer; the
+// adapter below is what the generic explorer drives.
+
+// Model is the RAR backend: the paper's release-acquire fragment of
+// C11 behind the model.Model interface.
+var Model model.Model = rarModel{}
+
+type rarModel struct{}
+
+func (rarModel) Name() string { return "rar" }
+
+func (rarModel) New(p lang.Prog, vars map[event.Var]event.Val) model.Config {
+	return NewConfig(p, vars)
+}
+
+var _ model.Config = Config{}
+
+// Program returns the residual program.
+func (c Config) Program() lang.Prog { return c.P }
+
+// Progress counts the events of the state: each transition appends at
+// most one, so it is the monotone measure Options.MaxEvents bounds
+// (the engine subtracts the initial configuration's count).
+func (c Config) Progress() int { return c.S.NumEvents() }
+
+// Expand appends every enabled interpreted transition's target.
+func (c Config) Expand(out []model.Config) []model.Config {
+	for _, ps := range lang.ProgSteps(c.P) {
+		out = c.ExpandStep(out, ps)
+	}
+	return out
+}
+
+// ExpandStep appends the targets of one program step — one successor
+// per observable write the RA semantics lets the step see.
+func (c Config) ExpandStep(out []model.Config, ps lang.ProgStep) []model.Config {
+	for _, s := range c.StepSuccessors(ps) {
+		out = append(out, s.C)
+	}
+	return out
+}
+
+// StepsAcyclic: every memory step appends an event, so non-silent
+// transitions strictly grow Progress and never close a cycle.
+func (c Config) StepsAcyclic() bool { return true }
+
+// StepsCommute exposes the package-level oracle through the interface.
+func (c Config) StepsCommute(a, b lang.ProgStep) bool { return StepsCommute(a, b) }
+
+// AuditIncremental recomputes the state's derived orders from scratch
+// (see State.AuditIncremental).
+func (c Config) AuditIncremental() []string { return c.S.AuditIncremental() }
+
+// DeltaLabel renders the event the transition prev → c added, or τ
+// for a silent step.
+func (c Config) DeltaLabel(prev model.Config) string {
+	p, ok := prev.(Config)
+	if !ok || c.S.NumEvents() <= p.S.NumEvents() {
+		return "τ"
+	}
+	return c.S.Event(event.Tag(c.S.NumEvents() - 1)).String()
+}
+
+// Summarise renders the final (mo-maximal) values of the observed
+// variables in the shared cross-model outcome format.
+func (c Config) Summarise(observe []event.Var) string {
+	var b strings.Builder
+	for _, x := range observe {
+		g, ok := c.S.Last(x)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%d;", x, c.S.Event(g).WrVal())
+	}
+	return b.String()
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/fingerprint"
+	"repro/internal/model"
 )
 
 // PORAudit is the result of auditing a partial-order-reduced search
@@ -67,7 +67,7 @@ func (a PORAudit) String() string {
 }
 
 // fpCollector gathers the reachable and terminated fingerprint sets of
-// one run, mutex-guarded for the parallel engine.
+// one run, mutex-guarded for parallel workers.
 type fpCollector struct {
 	mu         sync.Mutex
 	explored   *fingerprint.Set
@@ -96,7 +96,7 @@ func (c *fpCollector) observe(fp fingerprint.FP, terminated bool) {
 // property verdicts, in the style of the CheckIncremental and
 // CheckCollisions audits. Zero Divergences certifies the reduction on
 // this workload. The cost is the full search plus the reduced one.
-func CheckPOR(c core.Config, opts Options) PORAudit {
+func CheckPOR(c model.Config, opts Options) PORAudit {
 	full := newFPCollector()
 	fo := opts
 	fo.POR = false

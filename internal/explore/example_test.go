@@ -8,6 +8,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/explore"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 // ExampleRun explores the message-passing idiom: thread 1 publishes
@@ -39,10 +40,11 @@ func ExampleRun() {
 	// interleavings but preserves every terminated configuration, so
 	// the outcome set is identical with the reduction on.
 	outcomes := explore.Outcomes(cfg, explore.Options{MaxEvents: 10, Workers: 1, POR: true},
-		func(c core.Config) string {
+		func(c model.Config) string {
+			s := c.(core.Config).S
 			val := func(x event.Var) event.Val {
-				g, _ := c.S.Last(x)
-				return c.S.Event(g).WrVal()
+				g, _ := s.Last(x)
+				return s.Event(g).WrVal()
 			}
 			return fmt.Sprintf("a=%d b=%d", val("a"), val("b"))
 		})

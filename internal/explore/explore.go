@@ -1,37 +1,43 @@
-// Package explore is a bounded explicit-state model checker for the
-// interpreted RA semantics (internal/core). It enumerates the
-// configurations reachable from an initial (P, σ) pair, deduplicating
-// by canonical 128-bit configuration fingerprints, and checks safety
-// properties at every state. Programs with loops have unbounded
-// executions (each loop iteration appends read events), so exploration
-// is bounded by a maximum number of non-initialising events per state;
-// within that bound the search is exhaustive.
+// Package explore is a bounded explicit-state model checker, generic
+// over the pluggable memory models of internal/model (the RAR
+// semantics of internal/core, the SC semantics of internal/sc). It
+// enumerates the configurations reachable from an initial one,
+// deduplicating by canonical 128-bit configuration fingerprints, and
+// checks safety properties at every state. Under the RAR backend,
+// programs with loops have unbounded executions (each loop iteration
+// appends read events), so exploration is bounded by the model's
+// Progress measure; within that bound the search is exhaustive. Under
+// SC the configuration space is finite and MaxConfigs alone bounds it.
 //
 // With Options.POR the search applies independence-based partial-order
 // reduction (por.go): a persistent-set heuristic expands only a subset
-// of the enabled threads where one is provably conflict-free, and
+// of the enabled threads where one is provably conflict-free (by the
+// model's StepsCommute oracle and static program footprints), and
 // sleep sets prune commuting interleavings that are covered elsewhere.
 // The reduced search preserves every terminated configuration and all
 // label-visible interleavings, but not every intermediate
 // configuration; CheckPOR (audit.go) diffs a reduced against a full
 // search.
 //
-// The serial engine is a FIFO breadth-first search, so a state's
-// recorded depth is its shortest distance from the root. The parallel
-// engine has no per-level barrier: workers pull configurations from a
-// shared pool and push successors as they find them, deduplicating
-// through a sharded seen-set keyed by fingerprint bits. Discovery
-// order is nondeterministic, so a state may first be reached along a
-// non-shortest path; when a shorter path is found later the state's
-// depth is relaxed and — if it was already expanded — it is re-queued
-// so the improvement propagates. Sleep masks relax the same way, by
-// intersection: re-reaching a known state with a smaller sleep set
-// weakens the stored mask and re-queues the state. Both relaxations
-// are monotone, so at quiescence every state carries its shortest-path
-// depth and its final (smallest) sleep mask, making Explored,
-// Terminated, Depth and the Truncated flag identical between the
-// serial and parallel engines whenever the search runs to completion
-// (no MaxConfigs cut, no early property exit) — with or without POR.
+// There is exactly one engine: a sharded, barrier-free search in which
+// workers pull configurations from a shared pool and push successors
+// as they find them, deduplicating through a seen-set sharded by
+// fingerprint bits. Serial exploration is the same engine at
+// Workers=1 (the single worker drains the FIFO pool in breadth-first
+// order, so a state's recorded depth is its shortest distance from the
+// root, exactly like the dedicated serial engine this replaced). With
+// more workers, discovery order is nondeterministic, so a state may
+// first be reached along a non-shortest path; when a shorter path is
+// found later the state's depth is relaxed and — if it was already
+// expanded — it is re-queued so the improvement propagates. Sleep
+// masks relax the same way, by intersection: re-reaching a known state
+// with a smaller sleep set weakens the stored mask and re-queues the
+// state. Both relaxations are monotone, so at quiescence every state
+// carries its shortest-path depth and its final (smallest) sleep mask,
+// making Explored, Terminated, Depth and the Truncated flag identical
+// across worker counts whenever the search runs to completion (no
+// MaxConfigs cut, no early property exit) — with or without POR, for
+// every backend.
 package explore
 
 import (
@@ -40,16 +46,16 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/core"
-	"repro/internal/event"
 	"repro/internal/fingerprint"
+	"repro/internal/model"
 )
 
 // Options bounds and configures an exploration.
 type Options struct {
-	// MaxEvents bounds the number of non-initialising events per
-	// state; configurations at the bound are not expanded further.
-	// Zero means 24.
+	// MaxEvents bounds the model's Progress measure per state
+	// (non-initialising events under RAR; SC configurations make no
+	// progress and are unbounded here); configurations at the bound
+	// are not expanded further. Zero means 24.
 	MaxEvents int
 	// MaxConfigs bounds the number of distinct configurations
 	// explored; once reached, no further configurations are admitted
@@ -62,10 +68,10 @@ type Options struct {
 	// Workers sets the parallelism; 0 means GOMAXPROCS, 1 is serial.
 	Workers int
 	// POR enables independence-based partial-order reduction: sleep
-	// sets plus a persistent-set heuristic driven by the per-step
-	// commutation oracle core.StepsCommute (see por.go). The reduced
-	// search reaches every terminated configuration of the full search
-	// and preserves interleavings around labelled program points, but
+	// sets plus a persistent-set heuristic driven by the model's
+	// per-step commutation oracle (see por.go). The reduced search
+	// reaches every terminated configuration of the full search and
+	// preserves interleavings around labelled program points, but
 	// skips intermediate configurations whose interleavings commute —
 	// a Property that inspects arbitrary state components may
 	// therefore miss violations that only occur at skipped
@@ -77,22 +83,22 @@ type Options struct {
 	// returns false is reported as a violation and stops the search.
 	// With Workers > 1 the property is called concurrently from
 	// multiple workers and must be safe for concurrent use.
-	Property func(core.Config) bool
+	Property func(model.Config) bool
 	// CheckCollisions switches deduplication to the exact canonical
-	// string keys (core.Config.Key) and audits the fingerprints
+	// string keys (model.Config.Key) and audits the fingerprints
 	// against them, counting distinct keys whose 128-bit fingerprints
 	// coincide in Result.FingerprintCollisions. This is a debug mode:
 	// it restores the allocation-heavy slow path the fingerprints
 	// replaced.
 	CheckCollisions bool
-	// CheckIncremental audits the incremental derived-order engine: at
-	// every admitted configuration the state's hb/eco/comb closures,
-	// observability sets and maintained indexes are recomputed from
-	// first principles and compared with the inherited-and-extended
-	// values (core.State.AuditIncremental), accumulating the number of
-	// disagreements in Result.ClosureMismatches. This is a debug mode:
-	// it restores the from-scratch Floyd–Warshall cost per state. The
-	// expected mismatch count is always zero.
+	// CheckIncremental audits the model's incrementally maintained
+	// derived structures: at every admitted configuration
+	// model.Config.AuditIncremental recomputes them from first
+	// principles, and the number of disagreements accumulates in
+	// Result.ClosureMismatches. Under the RAR backend this restores
+	// the from-scratch Floyd–Warshall cost per state (hb/eco/comb
+	// closures, observability sets, indexes); under SC it re-hashes
+	// the store. The expected mismatch count is always zero.
 	CheckIncremental bool
 
 	// collect, when non-nil, observes every admitted configuration's
@@ -130,12 +136,13 @@ type Result struct {
 	// Terminated counts configurations where every thread has
 	// terminated.
 	Terminated int
-	// Truncated reports whether the event or configuration bound cut
-	// the search (so absence of a violation is relative to the bound).
+	// Truncated reports whether the progress or configuration bound
+	// cut the search (so absence of a violation is relative to the
+	// bound).
 	Truncated bool
 	// Violation is a configuration falsifying the property, nil if
 	// none was found.
-	Violation *core.Config
+	Violation model.Config
 	// Depth is the maximum over explored configurations of the
 	// shortest transition distance from the initial configuration
 	// (under POR: the shortest distance in the reduced graph).
@@ -143,25 +150,81 @@ type Result struct {
 	// FingerprintCollisions counts distinct canonical keys that
 	// shared a fingerprint; only populated under CheckCollisions.
 	FingerprintCollisions int
-	// ClosureMismatches counts disagreements between the incremental
-	// derived orders and their from-scratch recomputation across all
-	// admitted configurations; only populated under CheckIncremental.
+	// ClosureMismatches counts disagreements between the model's
+	// incrementally maintained structures and their from-scratch
+	// recomputation across all admitted configurations; only
+	// populated under CheckIncremental.
 	ClosureMismatches int
 }
 
 // Run explores the state space of c under the given options.
-func Run(c core.Config, opts Options) Result {
-	if opts.workers() <= 1 {
-		return runSerial(c, opts)
+func Run(c model.Config, opts Options) Result {
+	r := &run{
+		opts:   opts,
+		nInit:  c.Progress(),
+		maxEv:  opts.maxEvents(),
+		maxCfg: opts.maxConfigs(),
 	}
-	return runParallel(c, opts)
+	r.pool.cond = sync.NewCond(&r.pool.mu)
+	for i := range r.shards {
+		if opts.CheckCollisions {
+			r.shards[i].byKey = make(map[string]*entry)
+			r.shards[i].fpOf = make(map[fingerprint.FP]string)
+		} else {
+			r.shards[i].byFP = make(map[fingerprint.FP]*entry)
+		}
+	}
+
+	r.admit(c, 0, 0)
+	if w := opts.workers(); w <= 1 {
+		// Serial is the same engine with the one worker run inline:
+		// the FIFO pool makes the search breadth-first and the
+		// truncated prefix deterministic.
+		r.worker()
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.worker()
+			}()
+		}
+		wg.Wait()
+	}
+
+	var res Result
+	res.Explored = int(r.explored.Load())
+	res.Terminated = int(r.terminated.Load())
+	res.Truncated = r.truncated.Load()
+	if v := r.violation.Load(); v != nil {
+		res.Violation = *v
+	}
+	res.FingerprintCollisions = int(r.collisions.Load())
+	res.ClosureMismatches = int(r.mismatches.Load())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		if opts.CheckCollisions {
+			for _, e := range sh.byKey {
+				if int(e.depth) > res.Depth {
+					res.Depth = int(e.depth)
+				}
+			}
+		} else {
+			for _, e := range sh.byFP {
+				if int(e.depth) > res.Depth {
+					res.Depth = int(e.depth)
+				}
+			}
+		}
+	}
+	return res
 }
 
-// entry is one seen-set record, shared by both engines: the best
-// depth and smallest sleep mask the configuration has been reached
-// with, and the values it was last expanded at (expandedAt -1 if
-// never). Non-expandable configurations (terminated or at the event
-// bound) only track depth.
+// entry is one seen-set record: the best depth and smallest sleep mask
+// the configuration has been reached with, and the values it was last
+// expanded at (expandedAt -1 if never). Non-expandable configurations
+// (terminated or at the progress bound) only track depth.
 type entry struct {
 	depth         int32
 	expandedAt    int32
@@ -192,172 +255,9 @@ func (e *entry) expanded() bool {
 	return e.expandedAt >= 0 && e.expandedAt <= e.depth && e.expandedSleep&^e.sleep == 0
 }
 
-func runSerial(c core.Config, opts Options) Result {
-	var res Result
-	nInit := c.S.NumEvents()
-	maxEv := opts.maxEvents()
-	maxCfg := opts.maxConfigs()
-
-	// Deduplication: fingerprints on the fast path, exact canonical
-	// keys (with fingerprint auditing) under CheckCollisions.
-	var (
-		byFP  map[fingerprint.FP]*entry
-		byKey map[string]*entry
-		fpOf  map[fingerprint.FP]string
-	)
-	if opts.CheckCollisions {
-		byKey = make(map[string]*entry, 1024)
-		fpOf = make(map[fingerprint.FP]string, 1024)
-	} else {
-		byFP = make(map[fingerprint.FP]*entry, 1024)
-	}
-
-	type sitem struct {
-		cfg core.Config
-		e   *entry
-	}
-	var queue []sitem
-	head := 0
-
-	// visit admits one configuration: dedup, count, check the
-	// property, and enqueue it when expandable. Revisits relax the
-	// stored depth and sleep mask and re-queue already-expanded
-	// entries so the improvements propagate (without POR the sleep
-	// masks are all zero and FIFO order makes first discoveries
-	// shortest, so revisits are no-ops, exactly as before). It returns
-	// false when the search must stop (property violation).
-	visit := func(cfg core.Config, depth int32, sleep threadMask) bool {
-		fp := cfg.Fingerprint()
-		var e *entry
-		var key string
-		if opts.CheckCollisions {
-			key = cfg.Key()
-			e = byKey[key]
-		} else {
-			e = byFP[fp]
-		}
-		if e != nil {
-			if e.relax(depth, sleep) {
-				queue = append(queue, sitem{cfg: cfg, e: e})
-			}
-			return true
-		}
-		if res.Explored >= maxCfg {
-			res.Truncated = true
-			return true
-		}
-		res.Explored++
-		if opts.CheckIncremental {
-			res.ClosureMismatches += len(cfg.S.AuditIncremental())
-		}
-		term := cfg.Terminated()
-		atBound := cfg.S.NumEvents()-nInit >= maxEv
-		e = &entry{depth: depth, expandedAt: -1, sleep: sleep, expandable: !term && !atBound}
-		if opts.CheckCollisions {
-			byKey[key] = e
-			if prev, ok := fpOf[fp]; ok {
-				if prev != key {
-					res.FingerprintCollisions++
-				}
-			} else {
-				fpOf[fp] = key
-			}
-		} else {
-			byFP[fp] = e
-		}
-		if opts.collect != nil {
-			opts.collect(fp, term)
-		}
-		if opts.Property != nil && !opts.Property(cfg) {
-			res.Violation = &cfg
-			return false
-		}
-		if term {
-			res.Terminated++
-			return true
-		}
-		if atBound {
-			res.Truncated = true
-			return true
-		}
-		queue = append(queue, sitem{cfg: cfg, e: e})
-		return true
-	}
-
-	finishDepth := func() {
-		if opts.CheckCollisions {
-			for _, e := range byKey {
-				if int(e.depth) > res.Depth {
-					res.Depth = int(e.depth)
-				}
-			}
-		} else {
-			for _, e := range byFP {
-				if int(e.depth) > res.Depth {
-					res.Depth = int(e.depth)
-				}
-			}
-		}
-	}
-
-	if !visit(c, 0, 0) {
-		finishDepth()
-		return res
-	}
-	for head < len(queue) {
-		// Once the configuration cap has both filled and rejected an
-		// admission, no further expansion can change any result field
-		// (fresh successors are rejected before the property runs,
-		// duplicates only relax metadata), so the remaining queue is
-		// abandoned.
-		if res.Truncated && res.Explored >= maxCfg {
-			break
-		}
-		// Keep the backing array proportional to the live frontier.
-		if head > 1024 && head > len(queue)/2 {
-			n := copy(queue, queue[head:])
-			queue = queue[:n]
-			head = 0
-		}
-		it := queue[head]
-		queue[head] = sitem{} // release the config for GC
-		head++
-		e := it.e
-		if e.expanded() { // stale re-queue
-			continue
-		}
-		d, sl := e.depth, e.sleep
-		e.expandedAt, e.expandedSleep = d, sl
-
-		stop := false
-		emit := func(s core.Succ, cs threadMask) bool {
-			if !visit(s.C, d+1, cs) {
-				stop = true
-				return false
-			}
-			return true
-		}
-		if !opts.POR || !forEachReducedSucc(it.cfg, sl, emit) {
-			for _, s := range it.cfg.Successors() {
-				if !emit(s, 0) {
-					break
-				}
-			}
-		}
-		if stop {
-			finishDepth()
-			return res
-		}
-	}
-	finishDepth()
-	return res
-}
-
-// --- parallel engine ---
-
 const numShards = 64
 
-type pshard struct {
+type shard struct {
 	mu   sync.Mutex
 	byFP map[fingerprint.FP]*entry
 	// Collision-check mode state (nil otherwise).
@@ -365,24 +265,24 @@ type pshard struct {
 	fpOf  map[fingerprint.FP]string
 }
 
-type pitem struct {
-	cfg core.Config
+type item struct {
+	cfg model.Config
 	fp  fingerprint.FP
 	key string // only set under CheckCollisions
 }
 
-// ppool is the shared work pool: a FIFO of discovered configurations
+// pool is the shared work pool: a FIFO of discovered configurations
 // plus the in-flight counter that detects quiescence.
-type ppool struct {
+type pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []pitem
+	queue   []item
 	head    int
 	pending int // queued + currently-processing items
 	stopped bool
 }
 
-func (p *ppool) push(it pitem) {
+func (p *pool) push(it item) {
 	p.mu.Lock()
 	p.pending++
 	p.queue = append(p.queue, it)
@@ -392,17 +292,17 @@ func (p *ppool) push(it pitem) {
 
 // pop blocks until an item is available, the pool quiesces, or the
 // search is stopped. ok=false means the worker should exit.
-func (p *ppool) pop() (pitem, bool) {
+func (p *pool) pop() (item, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.head == len(p.queue) && p.pending > 0 && !p.stopped {
 		p.cond.Wait()
 	}
 	if p.stopped || p.head == len(p.queue) {
-		return pitem{}, false
+		return item{}, false
 	}
 	it := p.queue[p.head]
-	p.queue[p.head] = pitem{} // release the config for GC
+	p.queue[p.head] = item{} // release the config for GC
 	p.head++
 	// Keep the backing array proportional to the live frontier.
 	if p.head > 1024 && p.head > len(p.queue)/2 {
@@ -413,7 +313,7 @@ func (p *ppool) pop() (pitem, bool) {
 	return it, true
 }
 
-func (p *ppool) done() {
+func (p *pool) done() {
 	p.mu.Lock()
 	p.pending--
 	quiesced := p.pending == 0
@@ -423,31 +323,31 @@ func (p *ppool) done() {
 	}
 }
 
-func (p *ppool) stop() {
+func (p *pool) stop() {
 	p.mu.Lock()
 	p.stopped = true
 	p.mu.Unlock()
 	p.cond.Broadcast()
 }
 
-type prun struct {
+type run struct {
 	opts   Options
 	nInit  int
 	maxEv  int
 	maxCfg int
 
-	shards [numShards]pshard
-	pool   ppool
+	shards [numShards]shard
+	pool   pool
 
 	explored   atomic.Int64
 	terminated atomic.Int64
 	truncated  atomic.Bool
 	collisions atomic.Int64
 	mismatches atomic.Int64
-	violation  atomic.Pointer[core.Config]
+	violation  atomic.Pointer[model.Config]
 }
 
-func (r *prun) shardOf(fp fingerprint.FP) *pshard {
+func (r *run) shardOf(fp fingerprint.FP) *shard {
 	return &r.shards[fp.Lo%numShards]
 }
 
@@ -456,7 +356,7 @@ func (r *prun) shardOf(fp fingerprint.FP) *pshard {
 // Re-discoveries at a shorter depth or with a smaller sleep mask relax
 // the recorded values and re-queue already-expanded entries so the
 // improvements propagate.
-func (r *prun) admit(cfg core.Config, d int32, sleep threadMask) {
+func (r *run) admit(cfg model.Config, d int32, sleep threadMask) {
 	fp := cfg.Fingerprint()
 	var key string
 	if r.opts.CheckCollisions {
@@ -476,7 +376,7 @@ func (r *prun) admit(cfg core.Config, d int32, sleep threadMask) {
 		requeue := e.relax(d, sleep)
 		sh.mu.Unlock()
 		if requeue {
-			r.pool.push(pitem{cfg: cfg, fp: fp, key: key})
+			r.pool.push(item{cfg: cfg, fp: fp, key: key})
 		}
 		return
 	}
@@ -487,17 +387,19 @@ func (r *prun) admit(cfg core.Config, d int32, sleep threadMask) {
 		r.truncated.Store(true)
 		sh.mu.Unlock()
 		// The cap has both filled and rejected an admission: no
-		// further expansion can change any result field, so the
-		// remaining work is abandoned (mirrors the serial engine).
+		// further expansion can change any result field (fresh
+		// successors are rejected before the property runs,
+		// duplicates only relax metadata), so the remaining work is
+		// abandoned.
 		r.pool.stop()
 		return
 	}
 	term := cfg.Terminated()
-	atBound := cfg.S.NumEvents()-r.nInit >= r.maxEv
+	atBound := cfg.Progress()-r.nInit >= r.maxEv
 	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term && !atBound}
 	if r.opts.CheckCollisions {
 		sh.byKey[key] = e
-		// Audit once per distinct canonical key, matching runSerial.
+		// Audit once per distinct canonical key.
 		if prev, ok := sh.fpOf[fp]; ok {
 			if prev != key {
 				r.collisions.Add(1)
@@ -522,7 +424,7 @@ func (r *prun) admit(cfg core.Config, d int32, sleep threadMask) {
 		r.opts.collect(fp, term)
 	}
 	if r.opts.CheckIncremental {
-		if bad := cfg.S.AuditIncremental(); len(bad) > 0 {
+		if bad := cfg.AuditIncremental(); len(bad) > 0 {
 			r.mismatches.Add(int64(len(bad)))
 		}
 	}
@@ -535,7 +437,7 @@ func (r *prun) admit(cfg core.Config, d int32, sleep threadMask) {
 		return
 	}
 	if e.expandable {
-		r.pool.push(pitem{cfg: cfg, fp: fp, key: key})
+		r.pool.push(item{cfg: cfg, fp: fp, key: key})
 	}
 }
 
@@ -543,7 +445,7 @@ func (r *prun) admit(cfg core.Config, d int32, sleep threadMask) {
 // mask to expand at, or ok=false when the entry has already been
 // expanded at its current best depth and sleep mask (a stale
 // re-queue).
-func (r *prun) claim(it pitem) (int32, threadMask, bool) {
+func (r *run) claim(it item) (int32, threadMask, bool) {
 	sh := r.shardOf(it.fp)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -562,113 +464,63 @@ func (r *prun) claim(it pitem) (int32, threadMask, bool) {
 }
 
 // expand generates the successors of cfg at depth d under sleep mask
-// sl, applying the POR plan when enabled.
-func (r *prun) expand(cfg core.Config, d int32, sl threadMask) {
-	emit := func(s core.Succ, cs threadMask) bool {
+// sl, applying the POR plan when enabled. scratch is the worker's
+// reusable successor buffer; the (possibly regrown) buffer is
+// returned for the next expansion.
+func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.Config) []model.Config {
+	emit := func(s model.Config, cs threadMask) bool {
 		if r.violation.Load() != nil {
 			return false
 		}
-		r.admit(s.C, d+1, cs)
+		r.admit(s, d+1, cs)
 		return true
 	}
-	if !r.opts.POR || !forEachReducedSucc(cfg, sl, emit) {
-		for _, s := range cfg.Successors() {
-			if !emit(s, 0) {
-				return
-			}
+	if r.opts.POR && forEachReducedSucc(cfg, sl, emit) {
+		return scratch
+	}
+	scratch = cfg.Expand(scratch[:0])
+	for i, s := range scratch {
+		scratch[i] = nil // release for GC once admitted
+		if !emit(s, 0) {
+			break
 		}
 	}
+	return scratch[:0]
 }
 
-func (r *prun) worker() {
+func (r *run) worker() {
+	var scratch []model.Config
 	for {
 		it, ok := r.pool.pop()
 		if !ok {
 			return
 		}
 		if d, sl, live := r.claim(it); live {
-			r.expand(it.cfg, d, sl)
+			scratch = r.expand(it.cfg, d, sl, scratch)
 		}
 		r.pool.done()
 	}
 }
 
-func runParallel(c core.Config, opts Options) Result {
-	r := &prun{
-		opts:   opts,
-		nInit:  c.S.NumEvents(),
-		maxEv:  opts.maxEvents(),
-		maxCfg: opts.maxConfigs(),
-	}
-	r.pool.cond = sync.NewCond(&r.pool.mu)
-	for i := range r.shards {
-		if opts.CheckCollisions {
-			r.shards[i].byKey = make(map[string]*entry)
-			r.shards[i].fpOf = make(map[fingerprint.FP]string)
-		} else {
-			r.shards[i].byFP = make(map[fingerprint.FP]*entry)
-		}
-	}
-
-	r.admit(c, 0, 0)
-	var wg sync.WaitGroup
-	for i := 0; i < opts.workers(); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r.worker()
-		}()
-	}
-	wg.Wait()
-
-	var res Result
-	res.Explored = int(r.explored.Load())
-	res.Terminated = int(r.terminated.Load())
-	res.Truncated = r.truncated.Load()
-	res.Violation = r.violation.Load()
-	res.FingerprintCollisions = int(r.collisions.Load())
-	res.ClosureMismatches = int(r.mismatches.Load())
-	for i := range r.shards {
-		sh := &r.shards[i]
-		if opts.CheckCollisions {
-			for _, e := range sh.byKey {
-				if int(e.depth) > res.Depth {
-					res.Depth = int(e.depth)
-				}
-			}
-		} else {
-			for _, e := range sh.byFP {
-				if int(e.depth) > res.Depth {
-					res.Depth = int(e.depth)
-				}
-			}
-		}
-	}
-	return res
-}
-
 // Trace is a witness path through the state space.
 type Trace struct {
-	Configs []core.Config
+	Configs []model.Config
 }
 
 // Describe renders the trace step by step: for each transition, the
-// event added (or τ) and the resulting per-thread residual programs.
+// model's label for it (the event added under RAR, the store entry
+// written under SC, τ otherwise) and the resulting per-thread residual
+// programs.
 func (tr Trace) Describe() string {
 	var b []byte
 	appendLine := func(s string) { b = append(b, s...); b = append(b, '\n') }
 	for i, c := range tr.Configs {
 		if i == 0 {
-			appendLine("start: " + c.P.String())
+			appendLine("start: " + c.Program().String())
 			continue
 		}
-		prev := tr.Configs[i-1]
-		label := "τ"
-		if c.S.NumEvents() > prev.S.NumEvents() {
-			e := c.S.Event(event.Tag(c.S.NumEvents() - 1))
-			label = e.String()
-		}
-		appendLine(fmt.Sprintf("%3d. %-22s %s", i, label, c.P))
+		label := c.DeltaLabel(tr.Configs[i-1])
+		appendLine(fmt.Sprintf("%3d. %-22s %s", i, label, c.Program()))
 	}
 	return string(b)
 }
@@ -678,45 +530,47 @@ func (tr Trace) Describe() string {
 // intermediate configuration) for a configuration satisfying pred and
 // returns the shortest witness trace to it. found is false when no
 // such configuration exists within the bounds.
-func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace, bool) {
-	nInit := c.S.NumEvents()
+func FindTrace(c model.Config, opts Options, pred func(model.Config) bool) (Trace, bool) {
+	nInit := c.Progress()
 	maxEv := opts.maxEvents()
 	maxCfg := opts.maxConfigs()
 
 	type node struct {
-		cfg    core.Config
+		cfg    model.Config
 		parent int
 	}
 	nodes := []node{{cfg: c, parent: -1}}
 	seen := map[fingerprint.FP]bool{c.Fingerprint(): true}
 
 	mk := func(i int) Trace {
-		var rev []core.Config
+		var rev []model.Config
 		for j := i; j >= 0; j = nodes[j].parent {
 			rev = append(rev, nodes[j].cfg)
 		}
-		out := Trace{Configs: make([]core.Config, 0, len(rev))}
+		out := Trace{Configs: make([]model.Config, 0, len(rev))}
 		for k := len(rev) - 1; k >= 0; k-- {
 			out.Configs = append(out.Configs, rev[k])
 		}
 		return out
 	}
 
+	var succ []model.Config
 	for i := 0; i < len(nodes); i++ {
 		n := nodes[i]
 		if pred(n.cfg) {
 			return mk(i), true
 		}
-		if n.cfg.S.NumEvents()-nInit >= maxEv || len(nodes) >= maxCfg {
+		if n.cfg.Progress()-nInit >= maxEv || len(nodes) >= maxCfg {
 			continue
 		}
-		for _, s := range n.cfg.Successors() {
-			k := s.C.Fingerprint()
+		succ = n.cfg.Expand(succ[:0])
+		for _, s := range succ {
+			k := s.Fingerprint()
 			if seen[k] {
 				continue
 			}
 			seen[k] = true
-			nodes = append(nodes, node{cfg: s.C, parent: i})
+			nodes = append(nodes, node{cfg: s, parent: i})
 		}
 	}
 	return Trace{}, false
@@ -727,11 +581,11 @@ func FindTrace(c core.Config, opts Options, pred func(core.Config) bool) (Trace,
 // summarise. Terminated configurations are preserved by the
 // partial-order reduction, so Outcomes is reduction-safe: opts.POR
 // changes the work, not the answer.
-func Outcomes(c core.Config, opts Options, summarise func(core.Config) string) map[string]bool {
+func Outcomes(c model.Config, opts Options, summarise func(model.Config) string) map[string]bool {
 	out := map[string]bool{}
 	var mu sync.Mutex
 	o := opts
-	o.Property = func(cfg core.Config) bool {
+	o.Property = func(cfg model.Config) bool {
 		if cfg.Terminated() {
 			key := summarise(cfg)
 			mu.Lock()

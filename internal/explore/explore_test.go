@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 func mpConfig() core.Config {
@@ -61,18 +62,18 @@ func TestCheckCollisionsMatchesFastPath(t *testing.T) {
 func TestPropertyViolationStopsSearch(t *testing.T) {
 	res := Run(mpConfig(), Options{
 		Workers:  1,
-		Property: func(c core.Config) bool { return c.S.NumEvents() < 6 },
+		Property: func(c model.Config) bool { return c.(core.Config).S.NumEvents() < 6 },
 	})
 	if res.Violation == nil {
 		t.Fatal("expected a violation")
 	}
-	if (*res.Violation).S.NumEvents() < 6 {
+	if res.Violation.(core.Config).S.NumEvents() < 6 {
 		t.Fatal("violation config does not falsify the property")
 	}
 	// Parallel flavour too.
 	res2 := Run(mpConfig(), Options{
 		Workers:  4,
-		Property: func(c core.Config) bool { return c.S.NumEvents() < 6 },
+		Property: func(c model.Config) bool { return c.(core.Config).S.NumEvents() < 6 },
 	})
 	if res2.Violation == nil {
 		t.Fatal("parallel run missed the violation")
@@ -108,13 +109,13 @@ func TestFindTraceShortestWitness(t *testing.T) {
 	// Find a terminated state; trace must start at the root and end at
 	// a terminated configuration, with strictly growing event counts
 	// on non-silent steps.
-	trace, found := FindTrace(mpConfig(), Options{}, func(c core.Config) bool {
+	trace, found := FindTrace(mpConfig(), Options{}, func(c model.Config) bool {
 		return c.Terminated()
 	})
 	if !found {
 		t.Fatal("no terminated state found")
 	}
-	first := trace.Configs[0]
+	first := trace.Configs[0].(core.Config)
 	if first.S.NumEvents() != 4 {
 		t.Fatalf("trace does not start at the root: %d events", first.S.NumEvents())
 	}
@@ -128,18 +129,19 @@ func TestFindTraceShortestWitness(t *testing.T) {
 }
 
 func TestFindTraceAbsent(t *testing.T) {
-	if _, found := FindTrace(mpConfig(), Options{}, func(c core.Config) bool {
-		return c.S.NumEvents() > 1000
+	if _, found := FindTrace(mpConfig(), Options{}, func(c model.Config) bool {
+		return c.(core.Config).S.NumEvents() > 1000
 	}); found {
 		t.Fatal("found impossible goal")
 	}
 }
 
 func TestOutcomes(t *testing.T) {
-	out := Outcomes(mpConfig(), Options{}, func(c core.Config) string {
-		ga, _ := c.S.Last("a")
-		gb, _ := c.S.Last("b")
-		return c.S.Event(ga).Act.String() + c.S.Event(gb).Act.String()
+	out := Outcomes(mpConfig(), Options{}, func(c model.Config) string {
+		s := c.(core.Config).S
+		ga, _ := s.Last("a")
+		gb, _ := s.Last("b")
+		return s.Event(ga).Act.String() + s.Event(gb).Act.String()
 	})
 	if len(out) != 3 {
 		t.Fatalf("outcomes = %v", out)
@@ -161,7 +163,7 @@ func TestDefaultOptionValues(t *testing.T) {
 }
 
 func TestTraceDescribe(t *testing.T) {
-	trace, found := FindTrace(mpConfig(), Options{}, func(c core.Config) bool {
+	trace, found := FindTrace(mpConfig(), Options{}, func(c model.Config) bool {
 		return c.Terminated()
 	})
 	if !found {

@@ -1,13 +1,14 @@
 package explore
 
-// Independence-based partial-order reduction. The explorer's state
-// count blows up factorially in thread interleavings even when most of
-// them are equivalent: two transitions on different threads that touch
-// no common variable with a write commute (core.StepsCommute), so the
-// n! orders of n pairwise-independent steps all reach the same
-// canonical configuration through 2^n intermediate ones. The reduction
-// avoids generating the redundant interleavings in the first place,
-// with the classic pair of techniques:
+// Independence-based partial-order reduction, generic over the memory
+// model. The explorer's state count blows up factorially in thread
+// interleavings even when most of them are equivalent: two transitions
+// on different threads that commute under the model's oracle
+// (model.Config.StepsCommute) reach the same canonical configuration
+// in either order, so the n! orders of n pairwise-independent steps
+// all converge through 2^n intermediate states. The reduction avoids
+// generating the redundant interleavings in the first place, with the
+// classic pair of techniques:
 //
 //   - a persistent-set heuristic chooses, per configuration, a subset
 //     of the enabled threads whose exploration provably suffices. The
@@ -16,21 +17,34 @@ package explore
 //     do: a silent step (touches no memory), or a memory step on a
 //     variable outside every other thread's static may-access
 //     footprint (lang.MayAccess). Nothing another thread does can
-//     disable, alter or conflict with such a step — in this semantics
-//     a live thread is never disabled at all, and OW(t)|x / CW|x are
-//     invariant under events on other variables — so exploring it
-//     first and the rest after it covers every behaviour. When no
-//     thread qualifies, the full enabled set is used.
+//     disable, alter or conflict with such a step — in these
+//     semantics a live thread is never disabled by another thread,
+//     and the step's choices are invariant under events on other
+//     variables — so exploring it first and the rest after it covers
+//     every behaviour. When no thread qualifies, the full enabled set
+//     is used.
 //   - sleep sets prune transitions whose interleavings are covered
 //     elsewhere: when threads u1 < u2 are explored at a configuration
 //     and their steps commute, the u2-successor need not explore u1
 //     again — the u1·u2 order already covers it. Sleep masks ride the
-//     work items, are filtered through StepsCommute on every edge, and
-//     interact with deduplication by intersection: re-reaching a known
-//     configuration with a smaller sleep set weakens the stored mask
-//     and re-queues the configuration, exactly like depth relaxation
-//     (the stored mask only ever shrinks, so the fixpoint — and with
-//     it the explored set — is engine-order independent).
+//     work items, are filtered through the commutation oracle on every
+//     edge, and interact with deduplication by intersection:
+//     re-reaching a known configuration with a smaller sleep set
+//     weakens the stored mask and re-queues the configuration, exactly
+//     like depth relaxation (the stored mask only ever shrinks, so the
+//     fixpoint — and with it the explored set — is engine-order
+//     independent).
+//
+// The ignoring problem: reducing to a singleton thread that can cycle
+// solo through the configuration graph would postpone every other
+// thread around that cycle forever. Which steps can close cycles is a
+// model property (model.Config.StepsAcyclic). Under RAR every memory
+// step appends an event, so only all-silent cycles exist and silent
+// singletons require a bounded progress walk (lang.SilentProgress).
+// Under SC a spin loop re-reads an unchanged store and revisits
+// configurations, so memory-step singletons additionally require the
+// thread's residual program to be loop-free (loopFree below) — a
+// static, conservative guard.
 //
 // Label-visibility guard: safety properties observe program counters
 // through lang.AtLabel (e.g. mutual exclusion at the "cs" label), so
@@ -49,9 +63,9 @@ package explore
 // point.
 
 import (
-	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 // threadMask is a bitmask over program threads (thread t at bit t-1).
@@ -66,7 +80,7 @@ func maskBit(t event.Thread) threadMask { return 1 << uint(t-1) }
 // porPlan is the reduction decision at one configuration.
 type porPlan struct {
 	// steps are the enabled program steps, in thread order (the fixed
-	// exploration order both engines share, so successor sleep masks
+	// exploration order every worker shares, so successor sleep masks
 	// are deterministic).
 	steps []lang.ProgStep
 	// persist marks the threads to expand: a singleton when the
@@ -82,13 +96,31 @@ type porPlan struct {
 // longer silent chains are conservatively treated as diverging.
 const silentProgressLimit = 32
 
+// loopFree reports whether the command contains no While — the static
+// guard against memory-step cycles in models whose non-silent
+// transitions can revisit configurations.
+func loopFree(c lang.Com) bool {
+	switch c := c.(type) {
+	case lang.Seq:
+		return loopFree(c.C1) && loopFree(c.C2)
+	case lang.If:
+		return loopFree(c.Then) && loopFree(c.Else)
+	case lang.While:
+		return false
+	case lang.Label:
+		return loopFree(c.C)
+	}
+	return true
+}
+
 // planPOR computes the reduction at c: the enabled steps, their
 // visibility, and a persistent set. The plan is a function of the
 // configuration alone (never of the path or sleep mask reaching it),
-// which keeps the serial and parallel engines' fixpoints identical.
-func planPOR(c core.Config) porPlan {
-	pl := porPlan{steps: lang.ProgSteps(c.P), ok: true}
-	if len(c.P) > maxPORThreads {
+// which keeps the engine's fixpoint identical across worker counts.
+func planPOR(c model.Config) porPlan {
+	p := c.Program()
+	pl := porPlan{steps: lang.ProgSteps(p), ok: true}
+	if len(p) > maxPORThreads {
 		pl.ok = false
 		return pl
 	}
@@ -96,21 +128,21 @@ func planPOR(c core.Config) porPlan {
 	for _, ps := range pl.steps {
 		b := maskBit(ps.T)
 		all |= b
-		if lang.VisibleStep(c.P.Thread(ps.T), ps.S) {
+		if lang.VisibleStep(p.Thread(ps.T), ps.S) {
 			pl.visible |= b
 		}
 	}
 
 	// Singleton 1: an invisible silent step commutes with everything
 	// and is untouchable by other threads. The step must provably make
-	// progress (reach a memory step or terminate): every cycle of the
-	// configuration graph is all-silent, so reducing to a diverging
-	// silent thread would postpone every other thread around that
-	// cycle forever (the ignoring problem). A progressing chain ends
-	// within silentProgressLimit steps, after which the plan changes.
+	// progress (reach a memory step or terminate): all-silent cycles
+	// exist under every model, so reducing to a diverging silent
+	// thread would postpone every other thread around that cycle
+	// forever (the ignoring problem). A progressing chain ends within
+	// silentProgressLimit steps, after which the plan changes.
 	for _, ps := range pl.steps {
 		if ps.S.Kind == lang.StepSilent && pl.visible&maskBit(ps.T) == 0 &&
-			lang.SilentProgress(c.P.Thread(ps.T), silentProgressLimit) {
+			lang.SilentProgress(p.Thread(ps.T), silentProgressLimit) {
 			pl.persist = maskBit(ps.T)
 			return pl
 		}
@@ -120,15 +152,19 @@ func planPOR(c core.Config) porPlan {
 	// live thread may ever access conflictingly. Footprints are static
 	// over-approximations of the residual programs, so the independence
 	// covers every future transition of the other threads, not just the
-	// currently enabled ones. Memory steps grow the event set, so they
-	// never close a cycle and need no progress check. Footprints are
-	// computed once per live thread, lazily — this stage only runs
-	// when no silent singleton exists.
-	fps := make([]lang.Footprint, len(c.P))
-	fpsOK := make([]bool, len(c.P))
+	// currently enabled ones. Under models with StepsAcyclic, memory
+	// steps grow the progress measure and never close a cycle; under
+	// the others (SC) the thread's residual must additionally be
+	// loop-free, or a private spin loop could cycle solo and starve
+	// the rest (the ignoring problem again). Footprints are computed
+	// once per live thread, lazily — this stage only runs when no
+	// silent singleton exists.
+	acyclic := c.StepsAcyclic()
+	fps := make([]lang.Footprint, len(p))
+	fpsOK := make([]bool, len(p))
 	footprint := func(i int) lang.Footprint {
 		if !fpsOK[i] {
-			fps[i] = lang.MayAccess(c.P[i])
+			fps[i] = lang.MayAccess(p[i])
 			fpsOK[i] = true
 		}
 		return fps[i]
@@ -137,11 +173,14 @@ func planPOR(c core.Config) porPlan {
 		if ps.S.Kind == lang.StepSilent || pl.visible&maskBit(ps.T) != 0 {
 			continue
 		}
+		if !acyclic && !loopFree(p.Thread(ps.T)) {
+			continue
+		}
 		wr := ps.S.Kind != lang.StepRead
 		conflict := false
-		for i := range c.P {
+		for i := range p {
 			u := event.Thread(i + 1)
-			if u == ps.T || lang.Terminated(c.P[i]) {
+			if u == ps.T || lang.Terminated(p[i]) {
 				continue
 			}
 			if footprint(i).ConflictsWith(ps.S.Loc, wr) {
@@ -161,24 +200,25 @@ func planPOR(c core.Config) porPlan {
 
 // forEachReducedSucc expands cfg under its POR plan: for every
 // selected step (persistent, not slept under sl) it generates the
-// interpreted successors and calls emit with each successor and its
-// child sleep mask. emit returns false to stop the expansion early.
-// ok is false when the plan cannot be applied (program too wide for
-// masks); callers fall back to full expansion. This is the one
-// reduction loop shared by the serial and parallel engines, so a
-// change to the pruning logic cannot desynchronise their fixpoints.
-func forEachReducedSucc(cfg core.Config, sl threadMask, emit func(core.Succ, threadMask) bool) (ok bool) {
+// model's successors and calls emit with each successor and its child
+// sleep mask. emit returns false to stop the expansion early. ok is
+// false when the plan cannot be applied (program too wide for masks);
+// callers fall back to full expansion. This is the one reduction loop
+// of the one engine, for every backend.
+func forEachReducedSucc(cfg model.Config, sl threadMask, emit func(model.Config, threadMask) bool) (ok bool) {
 	pl := planPOR(cfg)
 	if !pl.ok {
 		return false
 	}
+	var succ []model.Config
 	for j, ps := range pl.steps {
 		b := maskBit(ps.T)
 		if pl.persist&b == 0 || sl&b != 0 {
 			continue
 		}
-		cs := childSleep(pl, sl, j)
-		for _, s := range cfg.StepSuccessors(ps) {
+		cs := childSleep(cfg, pl, sl, j)
+		succ = cfg.ExpandStep(succ[:0], ps)
+		for _, s := range succ {
 			if !emit(s, cs) {
 				return true
 			}
@@ -190,10 +230,11 @@ func forEachReducedSucc(cfg core.Config, sl threadMask, emit func(core.Succ, thr
 // childSleep computes the sleep mask of successors generated by step j
 // of the plan: the threads already covered at the parent — the
 // parent's sleep plus the persistent threads ordered before j — whose
-// steps commute with step j. Visible steps are never slept and wake
-// everything when taken. Monotone in the parent mask, which makes the
-// dedup-by-intersection fixpoint well-defined.
-func childSleep(pl porPlan, sleep threadMask, j int) threadMask {
+// steps commute with step j under the model's oracle. Visible steps
+// are never slept and wake everything when taken. Monotone in the
+// parent mask, which makes the dedup-by-intersection fixpoint
+// well-defined.
+func childSleep(cfg model.Config, pl porPlan, sleep threadMask, j int) threadMask {
 	uj := pl.steps[j]
 	if pl.visible&maskBit(uj.T) != 0 {
 		return 0
@@ -210,7 +251,7 @@ func childSleep(pl porPlan, sleep threadMask, j int) threadMask {
 		if cand&b == 0 || pl.visible&b != 0 {
 			continue
 		}
-		if core.StepsCommute(ps, uj) {
+		if cfg.StepsCommute(ps, uj) {
 			out |= b
 		}
 	}

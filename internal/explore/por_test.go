@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 func mkConfig(vars map[event.Var]event.Val, coms ...lang.Com) core.Config {
@@ -81,10 +82,10 @@ func TestChildSleep(t *testing.T) {
 	// Both writers are footprint-independent, so the heuristic picks a
 	// singleton; force the full set to exercise the sleep arithmetic.
 	pl.persist = maskBit(1) | maskBit(2)
-	if got := childSleep(pl, 0, 0); got != 0 {
+	if got := childSleep(c, pl, 0, 0); got != 0 {
 		t.Fatalf("first child sleep = %b, want 0", got)
 	}
-	if got := childSleep(pl, 0, 1); got != maskBit(1) {
+	if got := childSleep(c, pl, 0, 1); got != maskBit(1) {
 		t.Fatalf("second child sleep = %b, want {1}", got)
 	}
 
@@ -97,7 +98,7 @@ func TestChildSleep(t *testing.T) {
 	if dl.persist != (maskBit(1) | maskBit(2)) {
 		t.Fatalf("conflicting writers: persist=%b, want full set", dl.persist)
 	}
-	if got := childSleep(dl, 0, 1); got != 0 {
+	if got := childSleep(d, dl, 0, 1); got != 0 {
 		t.Fatalf("dependent step slept: %b", got)
 	}
 }
@@ -124,8 +125,8 @@ func TestPORSilentDivergenceNotReduced(t *testing.T) {
 	}
 
 	// Thread 2 reaching its critical-section label must be observable
-	// under reduction, on both engines.
-	property := func(c core.Config) bool { return lang.AtLabel(c.P.Thread(2)) != "cs" }
+	// under reduction, at every worker count.
+	property := func(c model.Config) bool { return lang.AtLabel(c.Program().Thread(2)) != "cs" }
 	for _, workers := range []int{1, 8} {
 		res := Run(cfg, Options{MaxEvents: 8, Workers: workers, POR: true, Property: property})
 		if res.Violation == nil {
@@ -149,14 +150,15 @@ func TestPORReductionOutcomesPreserved(t *testing.T) {
 		lang.AssignC("y", lang.V(3)),
 	}
 	vars := map[event.Var]event.Val{"x": 0, "y": 0, "f": 0, "a": 0, "b": 0}
-	sum := func(c core.Config) string {
+	sum := func(c model.Config) string {
+		s := c.(core.Config).S
 		out := ""
 		for _, x := range []event.Var{"a", "b"} {
-			g, ok := c.S.Last(x)
+			g, ok := s.Last(x)
 			if !ok {
 				continue
 			}
-			out += string(x) + string(rune('0'+c.S.Event(g).WrVal())) + ";"
+			out += string(x) + string(rune('0'+s.Event(g).WrVal())) + ";"
 		}
 		return out
 	}

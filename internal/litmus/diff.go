@@ -1,0 +1,92 @@
+package litmus
+
+// Differential model checking: run the same test under two memory
+// models and diff the reachable outcome sets. Because every backend
+// renders outcomes through the shared model.Config.Summarise format,
+// the sets are directly comparable; the difference RAR \ SC is
+// exactly the test's weak behaviours (store buffering, the stale read
+// of relaxed message passing, IRIW disagreement, …), and SC \ RAR
+// must always be empty — SC refines RAR, so a non-empty right column
+// is a bug in one of the backends, not a property of the program.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// DiffReport is the outcome-set comparison of one test under two
+// models.
+type DiffReport struct {
+	Test *Test
+	// ModelA and ModelB name the compared backends.
+	ModelA, ModelB string
+	// OutcomesA and OutcomesB are the reachable outcome sets.
+	OutcomesA, OutcomesB map[string]bool
+	// OnlyA and OnlyB list outcomes reachable under exactly one
+	// model, sorted. With A=rar and B=sc, OnlyA are the weak
+	// behaviours and OnlyB must be empty.
+	OnlyA, OnlyB []string
+	// ExploredA and ExploredB count distinct configurations each
+	// search visited (the state-space cost of the weaker model).
+	ExploredA, ExploredB int
+	// TruncatedA and TruncatedB report bound cuts; a truncated search
+	// makes the diff relative to the bound.
+	TruncatedA, TruncatedB bool
+}
+
+// Agree reports whether the models produced identical outcome sets.
+func (d DiffReport) Agree() bool { return len(d.OnlyA) == 0 && len(d.OnlyB) == 0 }
+
+// String renders a one-line summary.
+func (d DiffReport) String() string {
+	status := "AGREE"
+	if !d.Agree() {
+		status = "DIFFER"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %s  %s=%d outcomes (%d states), %s=%d outcomes (%d states)",
+		d.Test.Name, status,
+		d.ModelA, len(d.OutcomesA), d.ExploredA,
+		d.ModelB, len(d.OutcomesB), d.ExploredB)
+	if len(d.OnlyA) > 0 {
+		fmt.Fprintf(&b, "  only-%s: %s", d.ModelA, strings.Join(d.OnlyA, " "))
+	}
+	if len(d.OnlyB) > 0 {
+		fmt.Fprintf(&b, "  only-%s: %s", d.ModelB, strings.Join(d.OnlyB, " "))
+	}
+	return b.String()
+}
+
+// Diff runs the test under both models and compares the outcome sets.
+// Expectations are not checked (use RunModel for verdicts); the diff
+// is purely observational.
+func (t *Test) Diff(a, b model.Model, opts explore.Options) DiffReport {
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = t.MaxEvents
+	}
+	d := DiffReport{Test: t, ModelA: a.Name(), ModelB: b.Name()}
+
+	resA, outA := runOutcomes(a.New(t.Prog, t.Init), t.Observe, opts)
+	resB, outB := runOutcomes(b.New(t.Prog, t.Init), t.Observe, opts)
+	d.OutcomesA, d.OutcomesB = outA, outB
+	d.ExploredA, d.ExploredB = resA.Explored, resB.Explored
+	d.TruncatedA, d.TruncatedB = resA.Truncated, resB.Truncated
+
+	for k := range outA {
+		if !outB[k] {
+			d.OnlyA = append(d.OnlyA, k)
+		}
+	}
+	for k := range outB {
+		if !outA[k] {
+			d.OnlyB = append(d.OnlyB, k)
+		}
+	}
+	sort.Strings(d.OnlyA)
+	sort.Strings(d.OnlyB)
+	return d
+}

@@ -1,10 +1,13 @@
 // Package litmus provides the classic weak-memory litmus tests
 // expressed in the paper's command language, with their expected
-// verdicts under the RAR fragment, plus the Peterson mutual-exclusion
+// verdicts per memory model — the RAR fragment of internal/core and
+// the SC backend of internal/sc — plus the Peterson mutual-exclusion
 // programs of Algorithm 1 (and deliberately weakened variants used as
-// negative controls). Each test runs both through the operational
-// explorer and — at litmus sizes — through the axiomatic
-// generate-and-test baseline, and the two verdicts are cross-checked.
+// negative controls). Each test runs through the model-generic
+// explorer under a chosen backend; Diff runs two backends on the same
+// test and reports the outcome-set difference (the weak behaviours).
+// At litmus sizes the RAR verdicts are additionally cross-checked
+// against the axiomatic generate-and-test baseline.
 package litmus
 
 import (
@@ -17,6 +20,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/explore"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 // Outcome is an assignment of final values to observed variables. The
@@ -44,16 +48,40 @@ type Test struct {
 	Init map[event.Var]event.Val
 	// Observe lists the variables whose final values form an outcome.
 	Observe []event.Var
-	// Allowed outcomes must be reachable; Forbidden must not.
+	// Allowed outcomes must be reachable; Forbidden must not. These
+	// are the expectations under the RAR model (the paper's
+	// semantics, the default backend).
 	Allowed   []Outcome
 	Forbidden []Outcome
-	// MaxEvents bounds exploration (0: default).
+	// SCAllowed and SCForbidden are the expectations under the SC
+	// backend where they differ from (or sharpen) the RAR ones. SC
+	// refines RAR, so under SC every Forbidden outcome stays
+	// forbidden and SCForbidden adds the weak outcomes SC rules out;
+	// SCAllowed lists outcomes that must still be reachable. Tests
+	// with nil SC fields are checked for refinement only.
+	SCAllowed   []Outcome
+	SCForbidden []Outcome
+	// MaxEvents bounds exploration (0: default; ignored by backends
+	// whose configurations make no progress, like SC).
 	MaxEvents int
+}
+
+// Expectations returns the allowed and forbidden outcome sets for the
+// named model ("rar", "sc"): the catalog's per-model verdicts.
+func (t *Test) Expectations(modelName string) (allowed, forbidden []Outcome) {
+	if modelName == "sc" {
+		allowed = t.SCAllowed
+		forbidden = append(append([]Outcome(nil), t.Forbidden...), t.SCForbidden...)
+		return allowed, forbidden
+	}
+	return t.Allowed, t.Forbidden
 }
 
 // Report is the verdict of running a test.
 type Report struct {
-	Test     *Test
+	Test *Test
+	// Model names the backend the test ran under.
+	Model    string
 	Outcomes map[string]bool // reachable outcome keys
 	// MissingAllowed and ReachedForbidden list violated expectations.
 	MissingAllowed   []string
@@ -81,63 +109,74 @@ func (r Report) Summary() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	return fmt.Sprintf("%-24s %s  outcomes=%d explored=%d %s",
-		r.Test.Name, verdict, len(r.Outcomes), r.Explored, strings.Join(keys, " "))
+	return fmt.Sprintf("%-24s %-4s %s  outcomes=%d explored=%d %s",
+		r.Test.Name, r.Model, verdict, len(r.Outcomes), r.Explored, strings.Join(keys, " "))
 }
 
-// Run explores the test operationally and checks expectations.
+// Run explores the test under the RAR backend and checks the RAR
+// expectations. Shorthand for RunModel(core.Model, opts).
 func (t *Test) Run(opts explore.Options) Report {
+	return t.RunModel(core.Model, opts)
+}
+
+// RunModel explores the test under the given memory model and checks
+// the model's expectations from the catalog.
+func (t *Test) RunModel(m model.Model, opts explore.Options) Report {
 	if opts.MaxEvents == 0 {
 		opts.MaxEvents = t.MaxEvents
 	}
-	cfg := core.NewConfig(t.Prog, t.Init)
-	rep := Report{Test: t, Outcomes: map[string]bool{}}
+	rep := Report{Test: t, Model: m.Name()}
 
-	summarise := func(c core.Config) string {
-		o := Outcome{}
-		for _, x := range t.Observe {
-			g, ok := c.S.Last(x)
-			if !ok {
-				continue
-			}
-			o[x] = c.S.Event(g).WrVal()
-		}
-		return o.key(t.Observe)
-	}
-
-	// The property runs concurrently under a parallel explorer; the
-	// outcome set is the only shared state and is mutex-guarded.
-	var mu sync.Mutex
-	res := explore.Run(cfg, explore.Options{
-		MaxEvents:       opts.MaxEvents,
-		MaxConfigs:      opts.MaxConfigs,
-		Workers:         opts.Workers,
-		CheckCollisions: opts.CheckCollisions,
-		Property: func(c core.Config) bool {
-			if c.Terminated() {
-				key := summarise(c)
-				mu.Lock()
-				rep.Outcomes[key] = true
-				mu.Unlock()
-			}
-			return true
-		},
-	})
+	cfg := m.New(t.Prog, t.Init)
+	res, outcomes := runOutcomes(cfg, t.Observe, opts)
+	rep.Outcomes = outcomes
 	rep.Explored = res.Explored
 	rep.Truncated = res.Truncated
 	rep.FingerprintCollisions = res.FingerprintCollisions
 
-	for _, o := range t.Allowed {
-		if !rep.Outcomes[o.key(t.Observe)] {
-			rep.MissingAllowed = append(rep.MissingAllowed, o.key(t.Observe))
-		}
-	}
-	for _, o := range t.Forbidden {
-		if rep.Outcomes[o.key(t.Observe)] {
-			rep.ReachedForbidden = append(rep.ReachedForbidden, o.key(t.Observe))
-		}
-	}
+	rep.MissingAllowed, rep.ReachedForbidden = t.CheckOutcomes(m.Name(), rep.Outcomes)
 	return rep
+}
+
+// CheckOutcomes evaluates the named model's catalog expectations
+// against an already-computed outcome set (keys in the Summarise
+// format), returning the violated ones. Lets differential callers
+// check verdicts from a Diff's outcome sets without re-exploring.
+func (t *Test) CheckOutcomes(modelName string, outcomes map[string]bool) (missingAllowed, reachedForbidden []string) {
+	allowed, forbidden := t.Expectations(modelName)
+	for _, o := range allowed {
+		if !outcomes[o.key(t.Observe)] {
+			missingAllowed = append(missingAllowed, o.key(t.Observe))
+		}
+	}
+	for _, o := range forbidden {
+		if outcomes[o.key(t.Observe)] {
+			reachedForbidden = append(reachedForbidden, o.key(t.Observe))
+		}
+	}
+	return missingAllowed, reachedForbidden
+}
+
+// runOutcomes explores cfg and gathers the terminated outcome set
+// over the observed variables, through the model's shared Summarise
+// format so keys are comparable across backends.
+func runOutcomes(cfg model.Config, observe []event.Var, opts explore.Options) (explore.Result, map[string]bool) {
+	outcomes := map[string]bool{}
+	var mu sync.Mutex
+	o := opts
+	// The property runs concurrently under a parallel explorer; the
+	// outcome set is the only shared state and is mutex-guarded.
+	o.Property = func(c model.Config) bool {
+		if c.Terminated() {
+			key := c.Summarise(observe)
+			mu.Lock()
+			outcomes[key] = true
+			mu.Unlock()
+		}
+		return true
+	}
+	res := explore.Run(cfg, o)
+	return res, outcomes
 }
 
 // seqAsn builds var := e chains tersely.
@@ -168,6 +207,11 @@ func Suite() []*Test {
 				{"a": 0, "b": 0}, {"a": 0, "b": 5}, {"a": 1, "b": 5},
 			},
 			Forbidden: []Outcome{{"a": 1, "b": 0}},
+			// Release/acquire already restores message passing, so the
+			// models agree on this test.
+			SCAllowed: []Outcome{
+				{"a": 0, "b": 0}, {"a": 0, "b": 5}, {"a": 1, "b": 5},
+			},
 		},
 		{
 			Name: "MP+rlx+rlx",
@@ -181,6 +225,10 @@ func Suite() []*Test {
 				{"a": 1, "b": 0}, // the stale read is allowed relaxed
 				{"a": 1, "b": 5},
 			},
+			// SC restores message passing even without annotations:
+			// the stale read is the RA/SC divergence on this test.
+			SCAllowed:   []Outcome{{"a": 1, "b": 5}, {"a": 0, "b": 0}},
+			SCForbidden: []Outcome{{"a": 1, "b": 0}},
 		},
 		{
 			Name: "SB+rel+acq",
@@ -196,6 +244,12 @@ func Suite() []*Test {
 				{"a": 0, "b": 1},
 				{"a": 1, "b": 0},
 			},
+			// Store buffering is *the* RA/SC divergence: under SC one
+			// of the two writes is always visible to the later read.
+			SCAllowed: []Outcome{
+				{"a": 1, "b": 1}, {"a": 0, "b": 1}, {"a": 1, "b": 0},
+			},
+			SCForbidden: []Outcome{{"a": 0, "b": 0}},
 		},
 		{
 			Name: "LB+rlx+rlx",
@@ -207,6 +261,8 @@ func Suite() []*Test {
 			Observe:   []event.Var{"a", "b"},
 			Allowed:   []Outcome{{"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}},
 			Forbidden: []Outcome{{"a": 1, "b": 1}}, // sb ∪ rf acyclic
+			// RAR already forbids load buffering, so the models agree.
+			SCAllowed: []Outcome{{"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}},
 		},
 		{
 			Name: "CoRR",
@@ -255,6 +311,12 @@ func Suite() []*Test {
 				{"x": 1, "y": 2},
 				{"x": 2, "y": 1},
 			},
+			// Under SC both "early" finals would need each thread's
+			// second write to precede the other's first: a cycle.
+			SCAllowed: []Outcome{
+				{"x": 2, "y": 2}, {"x": 1, "y": 2}, {"x": 2, "y": 1},
+			},
+			SCForbidden: []Outcome{{"x": 1, "y": 1}},
 		},
 		{
 			Name: "IRIW+rel+acq",
@@ -269,6 +331,9 @@ func Suite() []*Test {
 			// The two readers may disagree on the write order: RA does
 			// not guarantee multi-copy atomicity.
 			Allowed: []Outcome{{"a": 1, "b": 0, "c": 1, "d": 0}},
+			// SC is multi-copy atomic: the readers must agree.
+			SCAllowed:   []Outcome{{"a": 1, "b": 1, "c": 1, "d": 1}},
+			SCForbidden: []Outcome{{"a": 1, "b": 0, "c": 1, "d": 0}},
 		},
 		{
 			Name: "RMW-atomicity",
@@ -306,6 +371,9 @@ func Suite() []*Test {
 			Observe: []event.Var{"a", "b", "c"},
 			// Without synchronisation the causality chain is gone.
 			Allowed: []Outcome{{"a": 1, "b": 1, "c": 0}},
+			// SC has causality built in, annotations or not.
+			SCAllowed:   []Outcome{{"a": 1, "b": 1, "c": 1}},
+			SCForbidden: []Outcome{{"a": 1, "b": 1, "c": 0}},
 		},
 		{
 			Name: "S+rel+acq",
@@ -450,7 +518,11 @@ func petersonWith(ts turnStyle, gs guardStyle, rs resetStyle) lang.Prog {
 }
 
 // MutualExclusion is the safety property of Theorem 5.8: the two
-// threads are never both at the critical-section label.
-func MutualExclusion(c core.Config) bool {
-	return !(lang.AtLabel(c.P.Thread(1)) == "cs" && lang.AtLabel(c.P.Thread(2)) == "cs")
+// threads are never both at the critical-section label. It observes
+// only program counters, so it is meaningful under every memory model
+// (and preserved by the partial-order reduction, which keeps
+// label-visible interleavings).
+func MutualExclusion(c model.Config) bool {
+	p := c.Program()
+	return !(lang.AtLabel(p.Thread(1)) == "cs" && lang.AtLabel(p.Thread(2)) == "cs")
 }

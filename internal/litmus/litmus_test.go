@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 func TestSuiteAllPass(t *testing.T) {
@@ -73,8 +74,8 @@ func TestPetersonMutualExclusion(t *testing.T) {
 		Property:  MutualExclusion,
 	})
 	if res.Violation != nil {
-		t.Fatalf("mutual exclusion violated:\n%s\n%s",
-			(*res.Violation).P, (*res.Violation).S)
+		bad := res.Violation.(core.Config)
+		t.Fatalf("mutual exclusion violated:\n%s\n%s", bad.P, bad.S)
 	}
 	if res.Explored < 100 {
 		t.Fatalf("suspiciously small exploration: %d", res.Explored)
@@ -87,7 +88,7 @@ func TestPetersonWeakTurnViolates(t *testing.T) {
 	p, vars := PetersonWeakTurn()
 	trace, found := explore.FindTrace(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 14,
-	}, func(c core.Config) bool { return !MutualExclusion(c) })
+	}, func(c model.Config) bool { return !MutualExclusion(c) })
 	if !found {
 		t.Fatal("weak-turn Peterson should violate mutual exclusion")
 	}
@@ -108,7 +109,7 @@ func TestPetersonGuardAnnotationAblation(t *testing.T) {
 	p, vars := PetersonRelaxedGuard()
 	_, found := explore.FindTrace(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-	}, func(c core.Config) bool { return !MutualExclusion(c) })
+	}, func(c model.Config) bool { return !MutualExclusion(c) })
 	// The paper's proof uses the acquire annotation only through the
 	// Transfer rule; the mutual-exclusion argument rests on the RA
 	// swap (invariants 5, 8, 9). At this bound the relaxed-guard
@@ -161,10 +162,10 @@ func TestPetersonSoundness(t *testing.T) {
 	checked := 0
 	explore.Run(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 9,
-		Property: func(c core.Config) bool {
+		Property: func(c model.Config) bool {
 			checked++
 			if checked%17 == 0 { // sample: full validation is O(n³) per state
-				if v := axiomatic.FromState(c.S).Check(); v != nil {
+				if v := axiomatic.FromState(c.(core.Config).S).Check(); v != nil {
 					t.Fatalf("reachable state invalid: %v", v)
 				}
 			}

@@ -1,0 +1,34 @@
+// Package backends names the memory-model implementations of
+// internal/model for the frontends: the -model flag on the binaries
+// resolves through Get, and flag help text enumerates Names. The
+// registry is explicit (a switch, not init-time side effects) so the
+// dependency from frontend to backend stays visible in the imports.
+package backends
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sc"
+)
+
+// Get resolves a backend by flag name. "rar" (aliases "ra", "c11") is
+// the paper's release-acquire fragment; "sc" is sequential
+// consistency.
+func Get(name string) (model.Model, error) {
+	switch strings.ToLower(name) {
+	case "rar", "ra", "c11":
+		return core.Model, nil
+	case "sc":
+		return sc.Model, nil
+	}
+	return nil, fmt.Errorf("unknown memory model %q (have: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists the canonical backend names.
+func Names() []string { return []string{"rar", "sc"} }
+
+// All returns every backend, in Names order.
+func All() []model.Model { return []model.Model{core.Model, sc.Model} }

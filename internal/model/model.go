@@ -1,0 +1,117 @@
+// Package model defines the pluggable memory-model interface the
+// explorer is generic over. The paper's interpreted semantics (§3.3)
+// couples the uninterpreted command language of internal/lang with an
+// event semantics through a small set of combination rules, precisely
+// so that different memory models can be swapped in under the same
+// program semantics. This package is that seam made explicit: a model
+// is a factory for configurations, and a configuration knows how to
+// expand its enabled transitions, identify itself canonically, and
+// answer the independence queries the partial-order reduction needs.
+//
+// Two backends implement the interface: internal/core (the paper's
+// release-acquire RAR fragment of C11) and internal/sc (sequential
+// consistency, a single global store — the classic strongest model).
+// internal/model/backends names them for the frontends, and
+// internal/explore runs one engine over either. Contrasting the two
+// on the same program isolates exactly the weak-memory behaviours:
+// outcomes reachable under RAR but not under SC (store buffering,
+// message passing with relaxed accesses, IRIW disagreement, …).
+package model
+
+import (
+	"repro/internal/event"
+	"repro/internal/fingerprint"
+	"repro/internal/lang"
+)
+
+// Config is one configuration (P, σ) of some memory model: a residual
+// program paired with a model-specific memory state. Configurations
+// are immutable values; expansion returns fresh ones. All methods must
+// be safe for concurrent use (the engine calls them from multiple
+// workers on shared configurations).
+type Config interface {
+	// Program returns the residual program. The explorer's
+	// partial-order reduction plans over the program alone (enabled
+	// steps, label visibility, static footprints), so the plan is
+	// model-independent; only the commutation oracle below is not.
+	Program() lang.Prog
+
+	// Progress is a monotone measure of how far the configuration is
+	// from the initial one, in the units Options.MaxEvents bounds.
+	// The RAR backend counts events (each loop iteration appends read
+	// events, so exploration must be cut); an SC configuration is just
+	// (program, store) — a finite space — so the SC backend returns 0
+	// and is bounded by MaxConfigs alone.
+	Progress() int
+
+	// Terminated reports whether every thread has terminated.
+	Terminated() bool
+
+	// Fingerprint is the canonical 128-bit identity the engine
+	// deduplicates by: equal futures must imply equal fingerprints up
+	// to the interleaving that built the configuration.
+	Fingerprint() fingerprint.FP
+
+	// Key is the exact canonical string behind Fingerprint — the slow
+	// path the engine's collision-checking debug mode audits against.
+	Key() string
+
+	// Expand appends every enabled transition's target configuration
+	// to out and returns the extended slice.
+	Expand(out []Config) []Config
+
+	// ExpandStep appends the targets of one enabled program step —
+	// each memory-model choice for that step (one per observable
+	// write under RAR; exactly one under SC). The union of ExpandStep
+	// over lang.ProgSteps(Program()) is Expand; the partial-order
+	// reduction calls this per persistent thread so pruned threads
+	// never pay successor construction.
+	ExpandStep(out []Config, ps lang.ProgStep) []Config
+
+	// StepsAcyclic reports whether non-silent transitions can never
+	// revisit a configuration. The RAR backend returns true (every
+	// memory step appends an event, so the measure Progress strictly
+	// grows); the SC backend returns false (a spin loop re-reads the
+	// same store and closes a cycle). When false, the partial-order
+	// reduction applies an extra loop-freedom guard before reducing
+	// to a memory-step singleton — otherwise the singleton thread
+	// could cycle solo and postpone every other thread forever (the
+	// ignoring problem, which the RAR backend only exhibits on
+	// all-silent cycles).
+	StepsAcyclic() bool
+
+	// StepsCommute is the model's independence oracle: it reports
+	// whether two enabled program steps of different threads commute —
+	// executing them in either order reaches the same canonical
+	// configuration and neither changes the other's enabled choices.
+	// The oracle must be sound (only true when the above provably
+	// holds); the engine's sleep sets and persistent-set heuristic
+	// prune with it, and CheckPOR audits the resulting reduction.
+	StepsCommute(a, b lang.ProgStep) bool
+
+	// AuditIncremental recomputes the configuration's incrementally
+	// maintained derived structures from first principles and returns
+	// one description per disagreement (nil when everything agrees,
+	// or when the model maintains nothing incrementally). Drives the
+	// engine's CheckIncremental debug mode.
+	AuditIncremental() []string
+
+	// DeltaLabel renders the observable difference from prev — the
+	// label of the transition prev → c — for trace output ("τ" for a
+	// silent step).
+	DeltaLabel(prev Config) string
+
+	// Summarise renders the final values of the observed variables as
+	// a canonical outcome key ("a=1;b=0;"). The format is shared by
+	// every backend so outcome sets are comparable across models —
+	// the basis of differential model checking.
+	Summarise(observe []event.Var) string
+}
+
+// Model is a named memory-model backend: a configuration factory.
+type Model interface {
+	// Name is the backend's flag-friendly identifier ("rar", "sc").
+	Name() string
+	// New pairs a program with an initial memory valuation.
+	New(p lang.Prog, vars map[event.Var]event.Val) Config
+}

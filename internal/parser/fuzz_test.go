@@ -1,0 +1,50 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParse fuzzes the parse → print → reparse round trip: any input
+// the parser accepts must print back into the grammar such that the
+// reprint parses, reaches a printing fixed point immediately, and
+// preserves the program and expectations — and nothing may panic.
+func FuzzParse(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.lit"))
+	for _, fn := range files {
+		if src, err := os.ReadFile(fn); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Add("init x = 1\nthread 1 { x := x^A + 1; }\nobserve x\nallow x = 2\n")
+	f.Add("thread 1 { while (!(f^A == 0)) { skip; } label cs { t.swap(-3); } }")
+	f.Add("thread 2 { if (x < 2 && y != 0 || !z) { x :=NA 1; } else { y :=R 0; } }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		f1, err := Parse("fuzz.lit", src)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		txt := f1.Format()
+		f2, err := Parse("fuzz.lit", txt)
+		if err != nil {
+			t.Fatalf("printed file does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, txt)
+		}
+		if txt2 := f2.Format(); txt2 != txt {
+			t.Fatalf("printing is not a fixed point:\nfirst:\n%s\nsecond:\n%s", txt, txt2)
+		}
+		if !reflect.DeepEqual(f1.Init, f2.Init) {
+			t.Fatalf("init drifted: %v vs %v", f1.Init, f2.Init)
+		}
+		p1, err1 := f1.Prog()
+		p2, err2 := f2.Prog()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Prog validity drifted: %v vs %v", err1, err2)
+		}
+		if err1 == nil && p1.String() != p2.String() {
+			t.Fatalf("program drifted:\n%s\nvs\n%s", p1, p2)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package parser
+
+// Printing: the inverse of Parse. Format renders a File back into the
+// .lit grammar of docs/litmus-format.md, deterministically (threads in
+// id order, outcome variables sorted), so that Parse∘Format is the
+// identity on parser-producible files — the round-trip contract the
+// FuzzParse fuzz target enforces. lang's own String methods render a
+// debugging syntax (labels as "@name:", unfolded while guards) that
+// the parser does not accept; this printer stays inside the grammar.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+)
+
+// Format renders the file in the .lit grammar.
+func (f *File) Format() string {
+	var b strings.Builder
+	if len(f.Init) > 0 {
+		b.WriteString("init")
+		for _, x := range sortedVars(f.Init) {
+			fmt.Fprintf(&b, " %s = %d", x, f.Init[x])
+		}
+		b.WriteString("\n")
+	}
+	ids := make([]int, 0, len(f.Threads))
+	for id := range f.Threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "thread %d {\n", id)
+		formatStmts(&b, f.Threads[id], "  ")
+		b.WriteString("}\n")
+	}
+	if len(f.Observe) > 0 {
+		b.WriteString("observe")
+		for _, x := range f.Observe {
+			fmt.Fprintf(&b, " %s", x)
+		}
+		b.WriteString("\n")
+	}
+	for _, o := range f.Allow {
+		formatOutcome(&b, "allow", o)
+	}
+	for _, o := range f.Forbid {
+		formatOutcome(&b, "forbid", o)
+	}
+	return b.String()
+}
+
+func sortedVars[V any](m map[event.Var]V) []event.Var {
+	out := make([]event.Var, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func formatOutcome(b *strings.Builder, kind string, o litmus.Outcome) {
+	b.WriteString(kind)
+	for _, x := range sortedVars(o) {
+		fmt.Fprintf(b, " %s = %d", x, o[x])
+	}
+	b.WriteString("\n")
+}
+
+// formatStmts flattens Seq chains into the grammar's statement list.
+func formatStmts(b *strings.Builder, c lang.Com, indent string) {
+	if s, ok := c.(lang.Seq); ok {
+		formatStmts(b, s.C1, indent)
+		formatStmts(b, s.C2, indent)
+		return
+	}
+	formatStmt(b, c, indent)
+}
+
+func formatStmt(b *strings.Builder, c lang.Com, indent string) {
+	switch c := c.(type) {
+	case lang.Skip:
+		fmt.Fprintf(b, "%sskip;\n", indent)
+	case lang.Assign:
+		op := ":="
+		switch {
+		case c.Rel:
+			op = ":=R"
+		case c.NA:
+			op = ":=NA"
+		}
+		fmt.Fprintf(b, "%s%s %s %s;\n", indent, c.X, op, formatExpr(c.E))
+	case lang.Swap:
+		fmt.Fprintf(b, "%s%s.swap(%d);\n", indent, c.X, c.N)
+	case lang.If:
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, formatExpr(c.B))
+		formatStmts(b, c.Then, indent+"  ")
+		if _, skip := c.Else.(lang.Skip); !skip {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			formatStmts(b, c.Else, indent+"  ")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case lang.While:
+		// Guard, not Cur: a parsed while is un-unfolded, and the
+		// grammar has no syntax for the unfolding state.
+		fmt.Fprintf(b, "%swhile (%s) {\n", indent, formatExpr(c.Guard))
+		formatStmts(b, c.Body, indent+"  ")
+		fmt.Fprintf(b, "%s}\n", indent)
+	case lang.Label:
+		fmt.Fprintf(b, "%slabel %s {\n", indent, c.Name)
+		formatStmts(b, c.C, indent+"  ")
+		fmt.Fprintf(b, "%s}\n", indent)
+	default:
+		// Every Com the parser produces is covered above.
+		fmt.Fprintf(b, "%sskip; // unprintable %T\n", indent, c)
+	}
+}
+
+func formatExpr(e lang.Expr) string {
+	switch e := e.(type) {
+	case lang.Lit:
+		return fmt.Sprintf("%d", e.V)
+	case lang.Load:
+		switch {
+		case e.Acq:
+			return string(e.X) + "^A"
+		case e.NA:
+			return string(e.X) + "^NA"
+		}
+		return string(e.X)
+	case lang.Un:
+		op := "!"
+		if e.Op == lang.OpNeg {
+			op = "-"
+		}
+		return op + formatExpr(e.E)
+	case lang.Bin:
+		var op string
+		switch e.Op {
+		case lang.OpAnd:
+			op = " && "
+		case lang.OpOr:
+			op = " || "
+		case lang.OpEq:
+			op = " == "
+		case lang.OpNe:
+			op = " != "
+		case lang.OpLt:
+			op = " < "
+		case lang.OpAdd:
+			op = " + "
+		case lang.OpSub:
+			op = " - "
+		}
+		return "(" + formatExpr(e.L) + op + formatExpr(e.R) + ")"
+	}
+	return "0"
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/lang"
 	"repro/internal/litmus"
+	"repro/internal/model"
 )
 
 func TestPCClassifier(t *testing.T) {
@@ -41,15 +42,15 @@ func TestPetersonInvariantsInductive(t *testing.T) {
 	p, vars := litmus.Peterson()
 	res := explore.Run(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-		Property: func(c core.Config) bool {
-			return len(CheckPetersonInvariants(c)) == 0
+		Property: func(c model.Config) bool {
+			return len(CheckPetersonInvariants(c.(core.Config))) == 0
 		},
 	})
 	if res.Violation != nil {
-		bad := CheckPetersonInvariants(*res.Violation)
+		v := res.Violation.(core.Config)
+		bad := CheckPetersonInvariants(v)
 		t.Fatalf("invariants %v violated in reachable state:\npc1=%d pc2=%d\n%s",
-			bad, PC((*res.Violation).P.Thread(1)), PC((*res.Violation).P.Thread(2)),
-			(*res.Violation).S)
+			bad, PC(v.P.Thread(1)), PC(v.P.Thread(2)), v.S)
 	}
 	if res.Explored < 500 {
 		t.Fatalf("exploration too small to be meaningful: %d", res.Explored)
@@ -63,12 +64,13 @@ func TestTheorem58(t *testing.T) {
 	p, vars := litmus.Peterson()
 	res := explore.Run(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-		Property: func(c core.Config) bool {
-			return Theorem58(c) && DeriveTheorem58(c)
+		Property: func(c model.Config) bool {
+			cc := c.(core.Config)
+			return Theorem58(cc) && DeriveTheorem58(cc)
 		},
 	})
 	if res.Violation != nil {
-		t.Fatalf("mutual exclusion or its derivation failed:\n%s", (*res.Violation).P)
+		t.Fatalf("mutual exclusion or its derivation failed:\n%s", res.Violation.Program())
 	}
 }
 
@@ -80,13 +82,13 @@ func TestWeakPetersonBreaksInvariants(t *testing.T) {
 	p, vars := litmus.PetersonWeakTurn()
 	trace, found := explore.FindTrace(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-	}, func(c core.Config) bool {
-		return len(CheckPetersonInvariants(c)) > 0
+	}, func(c model.Config) bool {
+		return len(CheckPetersonInvariants(c.(core.Config))) > 0
 	})
 	if !found {
 		t.Fatal("weak Peterson satisfies all invariants — proof would go through")
 	}
-	last := trace.Configs[len(trace.Configs)-1]
+	last := trace.Configs[len(trace.Configs)-1].(core.Config)
 	t.Logf("weak Peterson violates invariants %v after %d steps",
 		CheckPetersonInvariants(last), len(trace.Configs)-1)
 }
@@ -99,9 +101,9 @@ func TestPetersonInvariantGuardsReachable(t *testing.T) {
 	reached := map[int]bool{}
 	explore.Run(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-		Property: func(c core.Config) bool {
+		Property: func(c model.Config) bool {
 			for _, th := range []event.Thread{1, 2} {
-				reached[PC(c.P.Thread(th))] = true
+				reached[PC(c.Program().Thread(th))] = true
 			}
 			return true
 		},
@@ -131,23 +133,25 @@ func TestExample57MessagePassing(t *testing.T) {
 	vars := map[event.Var]event.Val{"d": 0, "f": 0, "r": 0}
 	res := explore.Run(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-		Property: func(c core.Config) bool {
-			if lang.AtLabel(c.P.Thread(2)) == "consume" {
-				return DV(c.S, 2, "d", 5)
+		Property: func(c model.Config) bool {
+			cc := c.(core.Config)
+			if lang.AtLabel(cc.P.Thread(2)) == "consume" {
+				return DV(cc.S, 2, "d", 5)
 			}
 			return true
 		},
 	})
 	if res.Violation != nil {
-		t.Fatalf("d =_2 5 fails past the loop:\n%s", (*res.Violation).S)
+		t.Fatalf("d =_2 5 fails past the loop:\n%s", res.Violation.(core.Config).S)
 	}
 	// And the intermediate assertions of the proof sketch hold after
 	// thread 1 finishes: d =_1 5 and d ↪ f.
 	res2 := explore.Run(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-		Property: func(c core.Config) bool {
-			if lang.Terminated(c.P.Thread(1)) {
-				return DV(c.S, 1, "d", 5) && VO(c.S, "d", "f")
+		Property: func(c model.Config) bool {
+			cc := c.(core.Config)
+			if lang.Terminated(cc.P.Thread(1)) {
+				return DV(cc.S, 1, "d", 5) && VO(cc.S, "d", "f")
 			}
 			return true
 		},
@@ -173,8 +177,9 @@ func TestExample57RelaxedLosesProperty(t *testing.T) {
 	vars := map[event.Var]event.Val{"d": 0, "f": 0, "r": 0}
 	_, found := explore.FindTrace(core.NewConfig(p, vars), explore.Options{
 		MaxEvents: 12,
-	}, func(c core.Config) bool {
-		return lang.AtLabel(c.P.Thread(2)) == "consume" && !DV(c.S, 2, "d", 5)
+	}, func(c model.Config) bool {
+		cc := c.(core.Config)
+		return lang.AtLabel(cc.P.Thread(2)) == "consume" && !DV(cc.S, 2, "d", 5)
 	})
 	if !found {
 		t.Fatal("relaxed MP unexpectedly preserves the determinate value")

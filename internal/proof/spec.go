@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/explore"
+	"repro/internal/model"
 )
 
 // This file packages the paper's verification method (§5) as reusable
@@ -72,9 +73,10 @@ func CheckAnnotations(cfg core.Config, anns []Annotation, opts explore.Options) 
 	// The property may be evaluated concurrently by a parallel
 	// explorer, so it only reports the verdict; the failing annotation
 	// is recovered from the violating configuration afterwards.
-	o.Property = func(c core.Config) bool {
+	o.Property = func(c model.Config) bool {
+		cc := c.(core.Config)
 		for i := range anns {
-			if !anns[i].holds(c) {
+			if !anns[i].holds(cc) {
 				return false
 			}
 		}
@@ -83,10 +85,11 @@ func CheckAnnotations(cfg core.Config, anns []Annotation, opts explore.Options) 
 	res := explore.Run(cfg, o)
 	out.Explored = res.Explored
 	out.Truncated = res.Truncated
-	out.At = res.Violation
 	if res.Violation != nil {
+		bad := res.Violation.(core.Config)
+		out.At = &bad
 		for i := range anns {
-			if !anns[i].holds(*res.Violation) {
+			if !anns[i].holds(bad) {
 				out.Failed = &anns[i]
 				break
 			}

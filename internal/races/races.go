@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/explore"
+	"repro/internal/model"
 )
 
 // Race is one racy pair of events.
@@ -72,15 +73,17 @@ func RacyState(s *core.State) bool { return Racy(axiomatic.FromState(s)) }
 
 // FindRace explores the program's bounded state space for a reachable
 // racy state and returns the shortest witness trace. A program with a
-// reachable race has undefined behaviour under C11.
+// reachable race has undefined behaviour under C11. Race detection is
+// specific to the RAR backend: the happens-before order that renders
+// a conflicting pair benign lives in the C11 state.
 func FindRace(cfg core.Config, opts explore.Options) (explore.Trace, []Race, bool) {
-	trace, found := explore.FindTrace(cfg, opts, func(c core.Config) bool {
-		return RacyState(c.S)
+	trace, found := explore.FindTrace(cfg, opts, func(c model.Config) bool {
+		return RacyState(c.(core.Config).S)
 	})
 	if !found {
 		return explore.Trace{}, nil, false
 	}
-	last := trace.Configs[len(trace.Configs)-1]
+	last := trace.Configs[len(trace.Configs)-1].(core.Config)
 	return trace, Of(axiomatic.FromState(last.S)), true
 }
 
@@ -89,7 +92,7 @@ func FindRace(cfg core.Config, opts explore.Options) (explore.Trace, []Race, boo
 // of races is then relative to the bound).
 func RaceFree(cfg core.Config, opts explore.Options) (bool, bool) {
 	o := opts
-	o.Property = func(c core.Config) bool { return !RacyState(c.S) }
+	o.Property = func(c model.Config) bool { return !RacyState(c.(core.Config).S) }
 	res := explore.Run(cfg, o)
 	return res.Violation == nil, res.Truncated
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/explore"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 // naMP builds message passing with non-atomic data accesses: the data
@@ -181,8 +182,8 @@ func TestNALanguageIntegration(t *testing.T) {
 	res := explore.Run(cfg, explore.Options{
 		MaxEvents: 8,
 		Workers:   1,
-		Property: func(c core.Config) bool {
-			for _, e := range c.S.Events() {
+		Property: func(c model.Config) bool {
+			for _, e := range c.(core.Config).S.Events() {
 				switch e.Act.Kind {
 				case event.WrNA:
 					sawNAWrite = true

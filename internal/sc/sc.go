@@ -1,26 +1,69 @@
-// Package sc plugs a sequentially consistent memory model into the
-// interpreted semantics — the paper's §3.3 defines the combination
-// rules generically over an event semantics precisely so different
-// models can be swapped in, and SC (a single global store) is the
-// classic strongest instance. Contrasting RA-C11 with SC on the same
+// Package sc is the sequentially consistent backend of the pluggable
+// memory-model interface (internal/model) — the paper's §3.3 defines
+// the combination rules generically over an event semantics precisely
+// so different models can be swapped in, and SC (a single global
+// store) is the classic strongest instance. The same engine
+// (internal/explore) that checks the RAR semantics of internal/core
+// runs unchanged over this package; contrasting the two on the same
 // programs isolates the weak-memory behaviours: outcomes reachable
-// under internal/core but not under sc are exactly the "weak"
-// outcomes (store buffering, IRIW disagreement, …).
+// under RAR but not under sc are exactly the "weak" outcomes (store
+// buffering, message passing with relaxed accesses, IRIW
+// disagreement, …).
+//
+// An SC configuration is (P, store): no event graph, no per-thread
+// views. Reads are deterministic (the current store value), so the
+// state space is finite whatever the program — Progress is constantly
+// zero and exploration is bounded by MaxConfigs alone. Annotations
+// (release/acquire/non-atomic) are irrelevant under SC.
 package sc
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/event"
+	"repro/internal/fingerprint"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
+// Model is the SC backend behind the model.Model interface.
+var Model model.Model = scModel{}
+
+type scModel struct{}
+
+func (scModel) Name() string { return "sc" }
+
+func (scModel) New(p lang.Prog, vars map[event.Var]event.Val) model.Config {
+	return NewConfig(p, vars)
+}
+
 // State is an SC memory: one global store mapping variables to values.
-// The zero value is unusable; use Init.
+// States are immutable once built (write returns a copy) and carry an
+// eagerly maintained commutative multiset hash of their entries, so a
+// configuration fingerprint costs O(1) in the store size. The zero
+// value is unusable; use Init.
 type State struct {
 	store map[event.Var]event.Val
+	acc   fingerprint.Acc // multiset hash over (var, val) entries
+
+	// wx/wv record the write that produced this state (wrote false
+	// for Init). Trace labelling only — two states differing solely
+	// here deliberately share a fingerprint, and a same-value
+	// overwrite leaves the store equal to the parent's, so the label
+	// cannot be recovered by diffing entries.
+	wx    event.Var
+	wv    event.Val
+	wrote bool
+}
+
+func entryItem(x event.Var, v event.Val) fingerprint.FP {
+	h := fingerprint.NewHasher()
+	h.String(string(x))
+	h.Word(uint64(v))
+	return h.Sum()
 }
 
 // Init returns the store with the given initial values.
@@ -28,6 +71,7 @@ func Init(vars map[event.Var]event.Val) *State {
 	s := &State{store: make(map[event.Var]event.Val, len(vars))}
 	for x, v := range vars {
 		s.store[x] = v
+		s.acc.Add(entryItem(x, v))
 	}
 	return s
 }
@@ -40,11 +84,23 @@ func (s *State) Read(x event.Var) (event.Val, bool) {
 
 // write returns a copy of s with x set to v.
 func (s *State) write(x event.Var, v event.Val) *State {
-	out := &State{store: make(map[event.Var]event.Val, len(s.store))}
+	out := &State{
+		store: make(map[event.Var]event.Val, len(s.store)+1),
+		acc:   s.acc,
+		wx:    x, wv: v, wrote: true,
+	}
 	for k, val := range s.store {
 		out.store[k] = val
 	}
+	if old, ok := out.store[x]; ok {
+		// The multiset hash is additive per lane, so replacing an
+		// entry is one subtraction and one addition.
+		it := entryItem(x, old)
+		out.acc.Hi -= it.Hi
+		out.acc.Lo -= it.Lo
+	}
 	out.store[x] = v
+	out.acc.Add(entryItem(x, v))
 	return out
 }
 
@@ -62,88 +118,172 @@ func (s *State) Signature() string {
 	return b.String()
 }
 
-// Config is a configuration (P, σ) over the SC model.
+// Config is a configuration (P, store) over the SC model.
 type Config struct {
 	P lang.Prog
 	S *State
 }
+
+var _ model.Config = Config{}
 
 // NewConfig pairs a program with an initial SC store.
 func NewConfig(p lang.Prog, vars map[event.Var]event.Val) Config {
 	return Config{P: p, S: Init(vars)}
 }
 
-// Key identifies the configuration for deduplication.
+// Program returns the residual program.
+func (c Config) Program() lang.Prog { return c.P }
+
+// Progress is constantly zero: an SC configuration carries no growing
+// event set, the (program, store) space is finite, and exploration is
+// bounded by MaxConfigs alone.
+func (c Config) Progress() int { return 0 }
+
+// Key identifies the configuration exactly, for deduplication audits.
 func (c Config) Key() string { return c.P.String() + "\x00" + c.S.Signature() }
+
+// progBufPool recycles the scratch buffers for program signatures.
+var progBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// Fingerprint returns a 128-bit identity of the configuration: the
+// store's multiset hash combined with the binary program signature.
+// Equal keys always have equal fingerprints; distinct keys collide
+// only with 128-bit hash probability (auditable via the engine's
+// collision-check mode).
+func (c Config) Fingerprint() fingerprint.FP {
+	st := fingerprint.Finalize(c.S.acc, len(c.S.store))
+	h := fingerprint.NewHasher()
+	h.Word(st.Hi)
+	h.Word(st.Lo)
+	bp := progBufPool.Get().(*[]byte)
+	buf := lang.AppendProgSig((*bp)[:0], c.P)
+	h.Bytes(buf)
+	*bp = buf
+	progBufPool.Put(bp)
+	return h.Sum()
+}
 
 // Terminated reports whether every thread has terminated.
 func (c Config) Terminated() bool { return c.P.Terminated() }
 
-// Successors returns the enabled SC transitions: reads are
-// deterministic (the global store), writes update it in place, and an
-// update atomically reads and writes. Annotations are irrelevant under
-// SC.
-func (c Config) Successors() []Config {
-	var out []Config
+// Expand appends every enabled SC transition's target: reads are
+// deterministic (the global store), writes update it, and an update
+// atomically reads and writes.
+func (c Config) Expand(out []model.Config) []model.Config {
 	for _, ps := range lang.ProgSteps(c.P) {
-		t, s := ps.T, ps.S
-		switch s.Kind {
-		case lang.StepSilent:
-			out = append(out, Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S})
-		case lang.StepRead:
-			v, ok := c.S.Read(s.Loc)
-			if !ok {
-				continue // uninitialised variable: stuck
-			}
-			out = append(out, Config{P: c.P.WithThread(t, s.Apply(v)), S: c.S})
-		case lang.StepWrite:
-			out = append(out, Config{
-				P: c.P.WithThread(t, s.Apply(0)),
-				S: c.S.write(s.Loc, s.WVal),
-			})
-		case lang.StepUpdate:
-			v, ok := c.S.Read(s.Loc)
-			if !ok {
-				continue
-			}
-			out = append(out, Config{
-				P: c.P.WithThread(t, s.Apply(v)),
-				S: c.S.write(s.Loc, s.WVal),
-			})
-		}
+		out = c.ExpandStep(out, ps)
 	}
 	return out
 }
 
-// Outcomes explores the SC state space to termination (bounded by
-// maxConfigs) and returns the set of final-store summaries over the
-// observed variables, formatted like litmus outcome keys.
-func Outcomes(c Config, observe []event.Var, maxConfigs int) map[string]bool {
-	if maxConfigs <= 0 {
-		maxConfigs = 1 << 20
-	}
-	out := map[string]bool{}
-	seen := map[string]bool{c.Key(): true}
-	stack := []Config{c}
-	for len(stack) > 0 && len(seen) < maxConfigs {
-		cfg := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if cfg.Terminated() {
-			var b strings.Builder
-			for _, x := range observe {
-				v, _ := cfg.S.Read(x)
-				fmt.Fprintf(&b, "%s=%d;", x, v)
-			}
-			out[b.String()] = true
-			continue
+// ExpandStep appends the targets of one program step — at most one
+// under SC (zero when a read's variable is uninitialised: stuck).
+func (c Config) ExpandStep(out []model.Config, ps lang.ProgStep) []model.Config {
+	t, s := ps.T, ps.S
+	switch s.Kind {
+	case lang.StepSilent:
+		out = append(out, Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S})
+	case lang.StepRead:
+		v, ok := c.S.Read(s.Loc)
+		if !ok {
+			return out // uninitialised variable: stuck
 		}
-		for _, n := range cfg.Successors() {
-			k := n.Key()
-			if !seen[k] {
-				seen[k] = true
-				stack = append(stack, n)
-			}
+		out = append(out, Config{P: c.P.WithThread(t, s.Apply(v)), S: c.S})
+	case lang.StepWrite:
+		out = append(out, Config{
+			P: c.P.WithThread(t, s.Apply(0)),
+			S: c.S.write(s.Loc, s.WVal),
+		})
+	case lang.StepUpdate:
+		v, ok := c.S.Read(s.Loc)
+		if !ok {
+			return out
 		}
+		out = append(out, Config{
+			P: c.P.WithThread(t, s.Apply(v)),
+			S: c.S.write(s.Loc, s.WVal),
+		})
 	}
 	return out
+}
+
+// Successors returns the enabled SC transitions (the typed
+// counterpart of Expand, kept for direct users of the package).
+func (c Config) Successors() []Config {
+	ms := c.Expand(nil)
+	out := make([]Config, len(ms))
+	for i, m := range ms {
+		out[i] = m.(Config)
+	}
+	return out
+}
+
+// StepsAcyclic: an SC configuration is just (program, store), so a
+// spin loop re-reading an unchanged store revisits configurations —
+// memory steps can close cycles, and the partial-order reduction must
+// guard its memory-step singletons against solo cycling.
+func (c Config) StepsAcyclic() bool { return false }
+
+// StepsCommute reports whether two enabled steps of different threads
+// commute under SC. The rule coincides with the RAR oracle — and is
+// sound here for the same structural reasons: a silent step touches no
+// memory; steps on distinct variables read and write disjoint store
+// entries, so the store updates compose in either order and neither
+// read value changes; two reads of the same variable change nothing.
+// Everything else (same variable, at least one write) is dependent:
+// the write changes what the other step reads or the final store.
+func (c Config) StepsCommute(a, b lang.ProgStep) bool {
+	if a.T == b.T {
+		return false
+	}
+	if a.S.Kind == lang.StepSilent || b.S.Kind == lang.StepSilent {
+		return true
+	}
+	if a.S.Loc != b.S.Loc {
+		return true
+	}
+	return a.S.Kind == lang.StepRead && b.S.Kind == lang.StepRead
+}
+
+// AuditIncremental cross-checks the eagerly maintained store hash
+// against a from-scratch recomputation (the SC analogue of the RAR
+// backend's derived-order audit — everything else about an SC
+// configuration is stored directly, not derived).
+func (c Config) AuditIncremental() []string {
+	var fresh fingerprint.Acc
+	for x, v := range c.S.store {
+		fresh.Add(entryItem(x, v))
+	}
+	if fresh != c.S.acc {
+		return []string{fmt.Sprintf("store hash drifted: maintained=%x/%x fresh=%x/%x",
+			c.S.acc.Hi, c.S.acc.Lo, fresh.Hi, fresh.Lo)}
+	}
+	return nil
+}
+
+// DeltaLabel renders the write the transition prev → c performed, or
+// τ when the store is untouched (silent steps and reads). Silent and
+// read successors share the parent's *State, so a fresh state always
+// carries its producing write — including a same-value overwrite,
+// which a store diff could not see.
+func (c Config) DeltaLabel(prev model.Config) string {
+	p, ok := prev.(Config)
+	if !ok || c.S == p.S || !c.S.wrote {
+		return "τ"
+	}
+	return fmt.Sprintf("wr(%s,%d)", c.S.wx, c.S.wv)
+}
+
+// Summarise renders the store values of the observed variables in the
+// shared cross-model outcome format.
+func (c Config) Summarise(observe []event.Var) string {
+	var b strings.Builder
+	for _, x := range observe {
+		v, ok := c.S.Read(x)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%d;", x, v)
+	}
+	return b.String()
 }

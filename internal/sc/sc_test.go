@@ -7,9 +7,18 @@ import (
 	"repro/internal/explore"
 	"repro/internal/lang"
 	"repro/internal/litmus"
+	"repro/internal/model"
 
 	coremodel "repro/internal/core"
 )
+
+// outcomes explores a config under the unified engine and returns the
+// terminated outcome set over the observed variables.
+func outcomes(c model.Config, observe []event.Var) map[string]bool {
+	return explore.Outcomes(c, explore.Options{MaxEvents: 20}, func(cfg model.Config) string {
+		return cfg.Summarise(observe)
+	})
+}
 
 func TestStoreBasics(t *testing.T) {
 	s := Init(map[event.Var]event.Val{"x": 3})
@@ -28,6 +37,46 @@ func TestStoreBasics(t *testing.T) {
 	}
 	if s.Signature() == s2.Signature() {
 		t.Fatal("signatures identical across write")
+	}
+}
+
+func TestFingerprintTracksStore(t *testing.T) {
+	p := lang.Prog{lang.SkipC()}
+	a := Config{P: p, S: Init(map[event.Var]event.Val{"x": 1, "y": 2})}
+	b := Config{P: p, S: Init(map[event.Var]event.Val{"y": 2, "x": 1})}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on store construction order")
+	}
+	c := Config{P: p, S: a.S.write("x", 5)}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("fingerprint blind to store change")
+	}
+	// Write-back restores the identity (the multiset hash subtracts).
+	d := Config{P: p, S: c.S.write("x", 1)}
+	if d.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not restored after write-back")
+	}
+	if got := d.AuditIncremental(); len(got) != 0 {
+		t.Fatalf("store-hash audit: %v", got)
+	}
+}
+
+// A same-value overwrite leaves the store equal to the parent's but
+// is still a write transition; DeltaLabel must not render it as τ.
+func TestDeltaLabelSameValueWrite(t *testing.T) {
+	c := NewConfig(lang.Prog{lang.AssignC("x", lang.V(0))}, map[event.Var]event.Val{"x": 0})
+	succ := c.Successors()
+	if len(succ) != 1 {
+		t.Fatalf("want 1 successor, got %d", len(succ))
+	}
+	if got := succ[0].DeltaLabel(c); got != "wr(x,0)" {
+		t.Fatalf("DeltaLabel = %q, want wr(x,0)", got)
+	}
+	// And reads/silent steps stay τ.
+	r := NewConfig(lang.Prog{lang.AssignC("r", lang.X("x"))}, map[event.Var]event.Val{"x": 7, "r": 0})
+	rs := r.Successors()
+	if got := rs[0].DeltaLabel(r); got != "τ" {
+		t.Fatalf("read DeltaLabel = %q, want τ", got)
 	}
 }
 
@@ -50,7 +99,7 @@ func TestSuccessorsDeterministicReads(t *testing.T) {
 
 func TestUpdateAtomicUnderSC(t *testing.T) {
 	p := lang.Prog{lang.SwapC("t", 1), lang.SwapC("t", 2)}
-	out := Outcomes(NewConfig(p, map[event.Var]event.Val{"t": 0}), []event.Var{"t"}, 0)
+	out := outcomes(NewConfig(p, map[event.Var]event.Val{"t": 0}), []event.Var{"t"})
 	if len(out) != 2 || !out["t=1;"] || !out["t=2;"] {
 		t.Fatalf("outcomes = %v", out)
 	}
@@ -66,7 +115,7 @@ func TestSBDiffersBetweenSCAndRA(t *testing.T) {
 	vars := map[event.Var]event.Val{"x": 0, "y": 0, "a": 0, "b": 0}
 	observe := []event.Var{"a", "b"}
 
-	scOut := Outcomes(NewConfig(p, vars), observe, 0)
+	scOut := outcomes(NewConfig(p, vars), observe)
 	if scOut["a=0;b=0;"] {
 		t.Fatal("SC allowed the SB weak outcome")
 	}
@@ -74,15 +123,7 @@ func TestSBDiffersBetweenSCAndRA(t *testing.T) {
 		t.Fatalf("SC outcomes degenerate: %v", scOut)
 	}
 
-	raOut := explore.Outcomes(coremodel.NewConfig(p, vars), explore.Options{MaxEvents: 16},
-		func(c coremodel.Config) string {
-			s := ""
-			for _, x := range observe {
-				g, _ := c.S.Last(x)
-				s += string(x) + "=" + itoa(int(c.S.Event(g).WrVal())) + ";"
-			}
-			return s
-		})
+	raOut := outcomes(coremodel.NewConfig(p, vars), observe)
 	if !raOut["a=0;b=0;"] {
 		t.Fatal("RA forbade the SB weak outcome")
 	}
@@ -96,75 +137,46 @@ func TestSBDiffersBetweenSCAndRA(t *testing.T) {
 
 // Every litmus test's SC outcome set is contained in its RA outcome
 // set (SC refines RA), and the explicitly forbidden RA outcomes are
-// absent under SC too.
+// absent under SC too — via the litmus diff machinery, so this also
+// exercises the differential mode end to end.
 func TestSCRefinesRAOnSuite(t *testing.T) {
 	for _, tc := range litmus.Suite() {
 		tc := tc
 		t.Run(tc.Name, func(t *testing.T) {
 			t.Parallel()
-			scOut := Outcomes(NewConfig(tc.Prog, tc.Init), tc.Observe, 0)
-			rep := tc.Run(explore.Options{MaxEvents: 20})
-			for k := range scOut {
-				if !rep.Outcomes[k] {
-					t.Fatalf("SC outcome %q missing under RA", k)
-				}
+			d := tc.Diff(coremodel.Model, Model, explore.Options{MaxEvents: 20})
+			if len(d.OnlyB) != 0 {
+				t.Fatalf("SC-only outcomes break refinement: %v", d.OnlyB)
 			}
 			for _, o := range tc.Forbidden {
-				if scOut[o.Key(tc.Observe)] {
-					t.Fatalf("forbidden outcome reachable under SC")
+				if d.OutcomesB[o.Key(tc.Observe)] {
+					t.Fatal("forbidden outcome reachable under SC")
 				}
 			}
 		})
 	}
 }
 
-// Peterson under SC: trivially mutually exclusive (sanity check that
-// the property is about the algorithm, not an artifact of the model).
+// Peterson under SC: trivially mutually exclusive, via the same
+// engine and property the RA verification uses (sanity check that the
+// property is about the algorithm, not an artifact of the model).
 func TestPetersonSafeUnderSC(t *testing.T) {
 	p, vars := litmus.Peterson()
-	seen := map[string]bool{}
-	stack := []Config{NewConfig(p, vars)}
-	seen[stack[0].Key()] = true
-	checked := 0
-	for len(stack) > 0 && checked < 200000 {
-		c := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		checked++
-		if lang.AtLabel(c.P.Thread(1)) == "cs" && lang.AtLabel(c.P.Thread(2)) == "cs" {
-			t.Fatal("mutual exclusion violated under SC")
+	for _, workers := range []int{1, 8} {
+		res := explore.Run(NewConfig(p, vars), explore.Options{
+			Workers:  workers,
+			Property: litmus.MutualExclusion,
+		})
+		if res.Violation != nil {
+			t.Fatalf("workers=%d: mutual exclusion violated under SC", workers)
 		}
-		for _, n := range c.Successors() {
-			if k := n.Key(); !seen[k] {
-				seen[k] = true
-				stack = append(stack, n)
-			}
+		if res.Truncated {
+			t.Fatalf("workers=%d: SC state space must be finite, search truncated", workers)
+		}
+		if res.Explored == 0 || res.Terminated == 0 {
+			t.Fatalf("workers=%d: degenerate exploration %+v", workers, res)
 		}
 	}
-	if checked == 0 {
-		t.Fatal("nothing explored")
-	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	var buf [12]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
 }
 
 func BenchmarkSCOutcomes(b *testing.B) {
@@ -173,9 +185,10 @@ func BenchmarkSCOutcomes(b *testing.B) {
 		lang.SeqC(lang.AssignC("y", lang.V(1)), lang.AssignC("b", lang.X("x"))),
 	}
 	vars := map[event.Var]event.Val{"x": 0, "y": 0, "a": 0, "b": 0}
+	observe := []event.Var{"a", "b"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if len(Outcomes(NewConfig(p, vars), []event.Var{"a", "b"}, 0)) == 0 {
+		if len(outcomes(NewConfig(p, vars), observe)) == 0 {
 			b.Fatal("no outcomes")
 		}
 	}

@@ -1,23 +1,32 @@
 package repro
 
-// Contract tests of the partial-order reduction (explore.Options.POR):
-// the CheckPOR audit must report zero divergences — identical property
-// verdicts, identical terminated-state fingerprint sets, and a reduced
-// reachable set contained in the full one — across the whole testdata
-// litmus suite on both engines; the serial and parallel engines must
-// agree on the reduced search's statistics (the sleep-mask fixpoint is
-// engine-order independent); the reduction must actually reduce (the
-// acceptance bar: ≥ 30% fewer configurations on the Peterson
-// verification workload at bound 10); and the broken Peterson variant's
-// mutual-exclusion violation — a label-visible property — must still be
-// found under reduction.
+// Contract tests of the partial-order reduction (explore.Options.POR)
+// over both memory-model backends: the CheckPOR audit must report
+// zero divergences — identical property verdicts, identical
+// terminated-state fingerprint sets, and a reduced reachable set
+// contained in the full one — across the whole testdata litmus suite,
+// serial and parallel, under RAR and under SC; the worker counts must
+// agree on the reduced search's statistics (the sleep-mask fixpoint
+// is engine-order independent); the reduction must actually reduce
+// (the acceptance bar: ≥ 30% fewer configurations on the Peterson
+// verification workload at bound 10); and the broken Peterson
+// variant's mutual-exclusion violation — a label-visible property —
+// must still be found under reduction. The SC backend additionally
+// regression-tests the ignoring problem specific to models whose
+// memory steps can close cycles: a private spin loop must not be
+// chosen as a reducing singleton.
 
 import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/explore"
+	"repro/internal/lang"
 	"repro/internal/litmus"
+	"repro/internal/model"
+	"repro/internal/model/backends"
+	"repro/internal/sc"
 )
 
 func TestCheckPORTestdata(t *testing.T) {
@@ -39,17 +48,55 @@ func TestCheckPORTestdata(t *testing.T) {
 	}
 }
 
-func TestPORSerialParallelEquivalenceLitmusSuite(t *testing.T) {
-	for _, tc := range litmus.Suite() {
-		t.Run(tc.Name, func(t *testing.T) {
-			cfg := core.NewConfig(tc.Prog, tc.Init)
-			s := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 1, POR: true})
-			p := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 8, POR: true})
-			if s.Explored != p.Explored || s.Terminated != p.Terminated ||
-				s.Depth != p.Depth || s.Truncated != p.Truncated {
-				t.Fatalf("serial %+v != parallel %+v", s, p)
+// TestCheckPORTestdataSC is the same reduced-vs-full contract over
+// the SC backend: reduced ⊆ full reachability, identical terminated
+// sets and verdicts, zero divergences, on every testdata program,
+// serial and parallel. SC state spaces are finite, so no MaxEvents
+// bound is needed.
+func TestCheckPORTestdataSC(t *testing.T) {
+	m, err := backends.Get("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range testdataConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			scCfg := m.New(cfg.P, scInitOf(t, name))
+			for _, workers := range []int{1, 8} {
+				a := explore.CheckPOR(scCfg, explore.Options{Workers: workers})
+				if !a.SetsCompared {
+					t.Fatalf("workers=%d: audit did not compare fingerprint sets", workers)
+				}
+				if n := a.Divergences(); n != 0 {
+					t.Fatalf("workers=%d: %d divergences: %s", workers, n, a)
+				}
+				if a.Reduced.Explored > a.Full.Explored {
+					t.Fatalf("workers=%d: reduced explored more than full: %s", workers, a)
+				}
 			}
 		})
+	}
+}
+
+// scInitOf re-parses the testdata file to recover its init map (the
+// RAR configs of testdataConfigs embed it in the C11 state).
+func scInitOf(t *testing.T, name string) map[event.Var]event.Val {
+	t.Helper()
+	return parseFile(t, name).Init
+}
+
+func TestPORSerialParallelEquivalenceLitmusSuite(t *testing.T) {
+	for _, m := range backends.All() {
+		for _, tc := range litmus.Suite() {
+			t.Run(m.Name()+"/"+tc.Name, func(t *testing.T) {
+				cfg := m.New(tc.Prog, tc.Init)
+				s := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 1, POR: true})
+				p := explore.Run(cfg, explore.Options{MaxEvents: 10, Workers: 8, POR: true})
+				if s.Explored != p.Explored || s.Terminated != p.Terminated ||
+					s.Depth != p.Depth || s.Truncated != p.Truncated {
+					t.Fatalf("serial %+v != parallel %+v", s, p)
+				}
+			})
+		}
 	}
 }
 
@@ -67,10 +114,22 @@ func TestPORReductionPeterson(t *testing.T) {
 	t.Logf("%s", a)
 }
 
+func TestPORReductionPetersonSC(t *testing.T) {
+	p, vars := litmus.Peterson()
+	a := explore.CheckPOR(sc.NewConfig(p, vars), explore.Options{Workers: 1})
+	if n := a.Divergences(); n != 0 {
+		t.Fatalf("%d divergences: %s", n, a)
+	}
+	if a.Reduced.Explored > a.Full.Explored {
+		t.Fatalf("reduced=%d > full=%d", a.Reduced.Explored, a.Full.Explored)
+	}
+	t.Logf("%s", a)
+}
+
 func TestPORWeakTurnViolation(t *testing.T) {
 	// Mutual exclusion observes the "cs" labels; the reduction treats
 	// label-visible steps as dependent with everything, so the broken
-	// variant must still be caught with POR on, on both engines.
+	// variant must still be caught with POR on, at every worker count.
 	p, vars := litmus.PetersonWeakTurn()
 	for _, workers := range []int{1, 8} {
 		res := explore.Run(core.NewConfig(p, vars), explore.Options{
@@ -82,8 +141,42 @@ func TestPORWeakTurnViolation(t *testing.T) {
 		if res.Violation == nil {
 			t.Fatalf("workers=%d: mutual-exclusion violation not found under POR", workers)
 		}
-		if litmus.MutualExclusion(*res.Violation) {
+		if litmus.MutualExclusion(res.Violation) {
 			t.Fatalf("workers=%d: reported violation does not falsify the property", workers)
 		}
+	}
+}
+
+// TestPORSCSpinLoopNotIgnored regression-tests the SC-specific
+// ignoring problem: a thread spinning on a variable no other thread
+// touches conflictingly cycles through the same (program, store)
+// configurations, so reducing to it as a memory-step singleton would
+// postpone the other threads forever and lose their terminated
+// states. The loop-freedom guard must keep the search complete.
+func TestPORSCSpinLoopNotIgnored(t *testing.T) {
+	prog := lang.Prog{
+		// Spins forever: x is never written by anyone.
+		lang.WhileC(lang.Eq(lang.X("x"), lang.V(0)), lang.SkipC()),
+		// Must still reach its terminated residual and the cs label.
+		lang.SeqC(
+			lang.AssignC("y", lang.V(1)),
+			lang.LabelC("cs", lang.AssignC("y", lang.V(2))),
+		),
+	}
+	vars := map[event.Var]event.Val{"x": 0, "y": 0}
+	cfg := sc.NewConfig(prog, vars)
+
+	for _, workers := range []int{1, 8} {
+		a := explore.CheckPOR(cfg, explore.Options{Workers: workers})
+		if n := a.Divergences(); n != 0 {
+			t.Fatalf("workers=%d: %d divergences: %s", workers, n, a)
+		}
+	}
+	// The label must be observable under reduction.
+	res := explore.Run(cfg, explore.Options{POR: true, Property: func(c model.Config) bool {
+		return lang.AtLabel(c.Program().Thread(2)) != "cs"
+	}})
+	if res.Violation == nil {
+		t.Fatal("label-visible state hidden by the reduction under SC")
 	}
 }

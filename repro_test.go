@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/litmus"
+	"repro/internal/model"
 	"repro/internal/parser"
 	"repro/internal/proof"
 	"repro/internal/races"
@@ -78,8 +79,9 @@ func TestTestdataPetersonVerifies(t *testing.T) {
 	}
 	res := explore.Run(core.NewConfig(prog, vars), explore.Options{
 		MaxEvents: 10,
-		Property: func(c core.Config) bool {
-			return len(proof.CheckPetersonInvariants(c)) == 0 && proof.Theorem58(c)
+		Property: func(c model.Config) bool {
+			cc := c.(core.Config)
+			return len(proof.CheckPetersonInvariants(cc)) == 0 && proof.Theorem58(cc)
 		},
 	})
 	if res.Violation != nil {
