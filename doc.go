@@ -38,10 +38,13 @@
 //	                     checking (-diff: RAR-only outcomes are exactly
 //	                     the weak behaviours)
 //	internal/parser      textual litmus front end
+//	internal/gen         random litmus-program generator, delta-
+//	                     debugging shrinker and differential-fuzzing
+//	                     oracle battery (cmd/c11fuzz; docs/fuzzing.md)
 //	internal/vis         dot / ASCII execution diagrams
 //
 // The executables under cmd/ (c11litmus, c11explore, c11equiv,
-// c11verify) and the programs under examples/ exercise the public
+// c11verify, c11fuzz) and the programs under examples/ exercise the public
 // surface; bench_test.go at this root regenerates every experiment,
 // and PERF.md records the exploration hot-path numbers and how to
 // reproduce them. ARCHITECTURE.md is the top-to-bottom tour: the

@@ -19,13 +19,39 @@ import (
 // validation is benchmarked.
 
 // ValueDomain returns every value a read of the program could be
-// justified with: the initial values plus every literal written by the
-// program (writes are the only producers of values in the language).
+// justified with: the initial values plus every literal written by
+// the program, closed under the arithmetic the program applies to
+// loaded values. Writes are the only producers of values in the
+// language, but a written expression like x^A + 1 derives a value
+// outside the literal set — the random-program fuzzer surfaced
+// exactly this gap, with operational executions writing values the
+// candidate enumeration could not guess. The closure runs one round
+// per arithmetic node — each node fires once per evaluation of its
+// expression, so straight-line derivation chains (more nodes, more
+// rounds) are covered exactly. Loop-carried accumulation (a node
+// re-evaluated per unfolding, like a counter increment) is NOT fully
+// covered: any static round count would be; callers enumerating
+// loopy programs remain bound-relative, as they already are through
+// their maxEvents cut. The domain is capped at domainCap values
+// (derivers applied in collection order over a sorted base, so the
+// truncation is deterministic) — non-literal ⊗ non-literal nodes
+// close pairwise and would otherwise grow doubly-exponentially.
 func ValueDomain(p lang.Prog, vars map[event.Var]event.Val) []event.Val {
 	seen := map[event.Val]bool{}
 	for _, v := range vars {
 		seen[v] = true
 	}
+	// arith collects the value-deriving operator applications: +lit,
+	// -lit (in either operand order) and unary negation. comparisons
+	// and logical operators only ever derive 0 or 1.
+	type deriver struct {
+		op  lang.BinOp
+		lit event.Val
+		neg bool // unary negation
+		any bool // non-literal ⊗ non-literal: pairwise closure
+	}
+	var arith []deriver
+	bool01 := false
 	var walkCom func(c lang.Com)
 	var walkExpr func(e lang.Expr)
 	walkExpr = func(e lang.Expr) {
@@ -33,8 +59,25 @@ func ValueDomain(p lang.Prog, vars map[event.Var]event.Val) []event.Val {
 		case lang.Lit:
 			seen[x.V] = true
 		case lang.Un:
+			if x.Op == lang.OpNeg {
+				arith = append(arith, deriver{neg: true})
+			} else {
+				bool01 = true
+			}
 			walkExpr(x.E)
 		case lang.Bin:
+			switch x.Op {
+			case lang.OpAdd, lang.OpSub:
+				if l, ok := x.L.(lang.Lit); ok {
+					arith = append(arith, deriver{op: x.Op, lit: l.V})
+				} else if r, ok := x.R.(lang.Lit); ok {
+					arith = append(arith, deriver{op: x.Op, lit: r.V})
+				} else {
+					arith = append(arith, deriver{op: x.Op, any: true})
+				}
+			default:
+				bool01 = true
+			}
 			walkExpr(x.L)
 			walkExpr(x.R)
 		}
@@ -61,6 +104,48 @@ func ValueDomain(p lang.Prog, vars map[event.Var]event.Val) []event.Val {
 	}
 	for _, c := range p {
 		walkCom(c)
+	}
+	if bool01 {
+		seen[0] = true
+		seen[1] = true
+	}
+	// Close: one round per collected node (a node fires once per
+	// evaluation; deeper chains consist of more nodes and get more
+	// rounds), stopping deterministically at the cap.
+	const domainCap = 512
+	add := func(v event.Val) {
+		if len(seen) < domainCap {
+			seen[v] = true
+		}
+	}
+	for round := 0; round < len(arith) && len(seen) < domainCap; round++ {
+		base := make([]event.Val, 0, len(seen))
+		for v := range seen {
+			base = append(base, v)
+		}
+		sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+		for _, d := range arith {
+			for _, v := range base {
+				switch {
+				case d.neg:
+					add(-v)
+				case d.any:
+					for _, w := range base {
+						if d.op == lang.OpAdd {
+							add(v + w)
+						} else {
+							add(v - w)
+						}
+					}
+				case d.op == lang.OpAdd:
+					add(v + d.lit)
+					add(d.lit + v)
+				default: // OpSub, literal on one side
+					add(v - d.lit)
+					add(d.lit - v)
+				}
+			}
+		}
 	}
 	out := make([]event.Val, 0, len(seen))
 	for v := range seen {

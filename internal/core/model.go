@@ -38,10 +38,18 @@ func (c Config) Program() lang.Prog { return c.P }
 // (the engine subtracts the initial configuration's count).
 func (c Config) Progress() int { return c.S.NumEvents() }
 
-// Expand appends every enabled interpreted transition's target.
+// Expand appends every enabled interpreted transition's target. The
+// per-thread steps are taken via StepOf directly (no ProgSteps slice)
+// and the successor configurations are constructed straight into out
+// — the engine calls this once per explored state, so the transient
+// []ProgStep and []Succ boxes the convenience API builds were a
+// measurable slice of the exploration allocation profile (see the
+// interface-seam note in PERF.md).
 func (c Config) Expand(out []model.Config) []model.Config {
-	for _, ps := range lang.ProgSteps(c.P) {
-		out = c.ExpandStep(out, ps)
+	for i, com := range c.P {
+		if s, ok := lang.StepOf(com); ok {
+			out = c.appendConfigSuccessors(out, lang.ProgStep{T: event.Thread(i + 1), S: s})
+		}
 	}
 	return out
 }
@@ -49,10 +57,7 @@ func (c Config) Expand(out []model.Config) []model.Config {
 // ExpandStep appends the targets of one program step — one successor
 // per observable write the RA semantics lets the step see.
 func (c Config) ExpandStep(out []model.Config, ps lang.ProgStep) []model.Config {
-	for _, s := range c.StepSuccessors(ps) {
-		out = append(out, s.C)
-	}
-	return out
+	return c.appendConfigSuccessors(out, ps)
 }
 
 // StepsAcyclic: every memory step appends an event, so non-silent

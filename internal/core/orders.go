@@ -256,33 +256,44 @@ func (s *State) scratchCW() bits.Set {
 // i.e. OW_σ(t)|ₓ, as sorted tags. These are the legal reads-from
 // choices for a read of x by t (rule READ).
 func (s *State) ObservableFor(t event.Thread, x event.Var) []event.Tag {
+	return s.AppendObservableFor(nil, t, x)
+}
+
+// AppendObservableFor is ObservableFor into a caller-provided buffer —
+// the successor hot path calls it once per read step per state, and
+// the fresh slice the convenience form allocates was measurable.
+func (s *State) AppendObservableFor(dst []event.Tag, t event.Thread, x event.Var) []event.Tag {
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
 	ow := s.observableLocked(t)
-	out := make([]event.Tag, 0, ow.Count())
 	for i := ow.Next(0); i >= 0; i = ow.Next(i + 1) {
 		if s.events[i].Var() == x {
-			out = append(out, event.Tag(i))
+			dst = append(dst, event.Tag(i))
 		}
 	}
-	return out
+	return dst
 }
 
 // InsertionPointsFor returns (OW_σ(t) \ CW_σ)|ₓ: the writes after
 // which thread t may insert a new write or update to x in mo (rules
 // WRITE and RMW).
 func (s *State) InsertionPointsFor(t event.Thread, x event.Var) []event.Tag {
+	return s.AppendInsertionPointsFor(nil, t, x)
+}
+
+// AppendInsertionPointsFor is InsertionPointsFor into a caller-provided
+// buffer.
+func (s *State) AppendInsertionPointsFor(dst []event.Tag, t event.Thread, x event.Var) []event.Tag {
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
 	ow := s.observableLocked(t)
 	cw := s.coveredLocked()
-	out := make([]event.Tag, 0, ow.Count())
 	for i := ow.Next(0); i >= 0; i = ow.Next(i + 1) {
 		if !cw.Test(i) && s.events[i].Var() == x {
-			out = append(out, event.Tag(i))
+			dst = append(dst, event.Tag(i))
 		}
 	}
-	return out
+	return dst
 }
 
 // Last returns σ.last(x): the mo-maximal write to x (well-defined in

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/event"
 	"repro/internal/lang"
+	"repro/internal/model"
 )
 
 // This file exposes the independence structure of the interpreted
@@ -79,6 +82,75 @@ func Commutes(a, b Succ) bool {
 // pay successor construction.
 func (c Config) StepSuccessors(ps lang.ProgStep) []Succ {
 	return c.appendStepSuccessors(nil, ps)
+}
+
+// tagBufPool recycles the observed-write scratch buffers of the
+// successor hot path: one Get/Put per memory step instead of one
+// slice allocation per step per state.
+var tagBufPool = sync.Pool{New: func() any { b := make([]event.Tag, 0, 16); return &b }}
+
+// appendConfigSuccessors is appendStepSuccessors for the engine-facing
+// model seam: it constructs the successor configurations directly into
+// the model.Config slice, skipping the Succ metadata (observed write,
+// event, thread) the engine never reads and drawing the observed-write
+// candidates into a pooled buffer. One interface box per successor is
+// the only allocation besides the states themselves.
+func (c Config) appendConfigSuccessors(out []model.Config, ps lang.ProgStep) []model.Config {
+	t, s := ps.T, ps.S
+	if s.Kind == lang.StepSilent {
+		return append(out, Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S})
+	}
+	bp := tagBufPool.Get().(*[]event.Tag)
+	tags := (*bp)[:0]
+	switch s.Kind {
+	case lang.StepRead:
+		k := event.RdX
+		switch {
+		case s.Acq:
+			k = event.RdAcq
+		case s.NA:
+			k = event.RdNA
+		}
+		tags = c.S.AppendObservableFor(tags, t, s.Loc)
+		for _, w := range tags {
+			v := c.S.Event(w).WrVal()
+			ns, _, err := c.S.StepReadKind(t, k, s.Loc, w)
+			if err != nil {
+				continue // unreachable: w drawn from OW
+			}
+			out = append(out, Config{P: c.P.WithThread(t, s.Apply(v)), S: ns})
+		}
+
+	case lang.StepWrite:
+		k := event.WrX
+		switch {
+		case s.Rel:
+			k = event.WrRel
+		case s.NA:
+			k = event.WrNA
+		}
+		tags = c.S.AppendInsertionPointsFor(tags, t, s.Loc)
+		for _, w := range tags {
+			ns, _, err := c.S.StepWriteKind(t, k, s.Loc, s.WVal, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Config{P: c.P.WithThread(t, s.Apply(0)), S: ns})
+		}
+
+	case lang.StepUpdate:
+		tags = c.S.AppendInsertionPointsFor(tags, t, s.Loc)
+		for _, w := range tags {
+			ns, _, err := c.S.StepRMW(t, s.Loc, s.WVal, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Config{P: c.P.WithThread(t, s.Apply(c.S.Event(w).WrVal())), S: ns})
+		}
+	}
+	*bp = tags
+	tagBufPool.Put(bp)
+	return out
 }
 
 func (c Config) appendStepSuccessors(out []Succ, ps lang.ProgStep) []Succ {

@@ -90,6 +90,83 @@ func (c *fpCollector) observe(fp fingerprint.FP, terminated bool) {
 	c.mu.Unlock()
 }
 
+// WorkersAudit is the result of auditing the engine's serial/parallel
+// equivalence contract on one workload (CheckWorkers): at quiescence
+// the sharded engine's results are documented to be independent of the
+// worker count whenever no MaxConfigs cut occurred. Explored and
+// Truncated must agree even under a cut; Terminated, Depth and the
+// terminated-state fingerprint sets are only compared (SetsCompared)
+// when both runs completed.
+type WorkersAudit struct {
+	// Serial and Parallel are the Workers=1 and Workers=N results.
+	Serial, Parallel Result
+	// StatsDiverged lists the result fields that disagreed.
+	StatsDiverged []string
+	// MissingTerminated and ExtraTerminated count terminated-state
+	// fingerprints reached by exactly one of the runs (must be zero).
+	MissingTerminated, ExtraTerminated int
+	// SetsCompared reports whether the full comparison ran (false when
+	// a violation or the MaxConfigs cap stopped a run).
+	SetsCompared bool
+}
+
+// Divergences returns the total number of contract violations.
+func (a WorkersAudit) Divergences() int {
+	return len(a.StatsDiverged) + a.MissingTerminated + a.ExtraTerminated
+}
+
+// String renders a one-line audit summary.
+func (a WorkersAudit) String() string {
+	return fmt.Sprintf(
+		"workers audit: serial=%d parallel=%d divergences=%d (stats=%v missing-term=%d extra-term=%d)",
+		a.Serial.Explored, a.Parallel.Explored, a.Divergences(),
+		a.StatsDiverged, a.MissingTerminated, a.ExtraTerminated)
+}
+
+// CheckWorkers runs the workload serially (Workers=1) and with the
+// given parallelism and diffs the results — the oracle behind the
+// fuzzing harness's serial-vs-parallel equivalence check, and the
+// programmatic form of the equivalence the repository's root tests
+// assert on the hand-written suite. workers ≤ 1 defaults to
+// GOMAXPROCS-sized parallelism (Options.Workers = 0).
+func CheckWorkers(c model.Config, opts Options, workers int) WorkersAudit {
+	serialFPs := newFPCollector()
+	so := opts
+	so.Workers = 1
+	so.collect = serialFPs.observe
+	parFPs := newFPCollector()
+	po := opts
+	po.Workers = workers
+	if workers <= 1 {
+		po.Workers = 0
+	}
+	po.collect = parFPs.observe
+
+	var a WorkersAudit
+	a.Serial = Run(c, so)
+	a.Parallel = Run(c, po)
+
+	diverged := func(field string, ok bool) {
+		if !ok {
+			a.StatsDiverged = append(a.StatsDiverged, field)
+		}
+	}
+	diverged("explored", a.Serial.Explored == a.Parallel.Explored)
+	diverged("truncated", a.Serial.Truncated == a.Parallel.Truncated)
+	diverged("verdict", (a.Serial.Violation == nil) == (a.Parallel.Violation == nil))
+
+	complete := a.Serial.Violation == nil && a.Parallel.Violation == nil &&
+		a.Serial.Explored < opts.maxConfigs() && a.Parallel.Explored < opts.maxConfigs()
+	if complete {
+		a.SetsCompared = true
+		diverged("terminated", a.Serial.Terminated == a.Parallel.Terminated)
+		diverged("depth", a.Serial.Depth == a.Parallel.Depth)
+		a.MissingTerminated = serialFPs.terminated.MissingFrom(parFPs.terminated)
+		a.ExtraTerminated = parFPs.terminated.MissingFrom(serialFPs.terminated)
+	}
+	return a
+}
+
 // CheckPOR runs the workload twice — once with partial-order reduction
 // and once without, both under the given options — and diffs the
 // searches: reachable- and terminated-state fingerprint sets and the

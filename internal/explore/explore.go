@@ -396,7 +396,15 @@ func (r *run) admit(cfg model.Config, d int32, sleep threadMask) {
 	}
 	term := cfg.Terminated()
 	atBound := cfg.Progress()-r.nInit >= r.maxEv
-	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term && !atBound}
+	// Configurations at the progress bound stay expandable: their
+	// memory successors are suppressed (expand filters them), but
+	// silent steps add no events and must keep draining — otherwise
+	// whether a terminated configuration at exactly the bound is found
+	// would depend on which interleaving the search (full or reduced)
+	// happens to take to it, since only some orders leave silent steps
+	// for last. Draining makes the bounded terminated set a function
+	// of the bound alone, which the POR and worker audits rely on.
+	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term}
 	if r.opts.CheckCollisions {
 		sh.byKey[key] = e
 		// Audit once per distinct canonical key.
@@ -464,9 +472,13 @@ func (r *run) claim(it item) (int32, threadMask, bool) {
 }
 
 // expand generates the successors of cfg at depth d under sleep mask
-// sl, applying the POR plan when enabled. scratch is the worker's
-// reusable successor buffer; the (possibly regrown) buffer is
-// returned for the next expansion.
+// sl, applying the POR plan when enabled. At the progress bound only
+// silent successors (same Progress) are admitted — the bound
+// suppresses memory steps but silent chains drain to termination, in
+// the full and the reduced search alike (the reduction is bypassed
+// there: the handful of silent-only frontier states is not worth
+// planning over). scratch is the worker's reusable successor buffer;
+// the (possibly regrown) buffer is returned for the next expansion.
 func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.Config) []model.Config {
 	emit := func(s model.Config, cs threadMask) bool {
 		if r.violation.Load() != nil {
@@ -474,6 +486,20 @@ func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.C
 		}
 		r.admit(s, d+1, cs)
 		return true
+	}
+	if atBound := cfg.Progress()-r.nInit >= r.maxEv; atBound {
+		base := cfg.Progress()
+		scratch = cfg.Expand(scratch[:0])
+		for i, s := range scratch {
+			scratch[i] = nil
+			if s.Progress() > base {
+				continue // memory step: suppressed by the bound
+			}
+			if !emit(s, 0) {
+				break
+			}
+		}
+		return scratch[:0]
 	}
 	if r.opts.POR && forEachReducedSucc(cfg, sl, emit) {
 		return scratch
@@ -560,11 +586,19 @@ func FindTrace(c model.Config, opts Options, pred func(model.Config) bool) (Trac
 		if pred(n.cfg) {
 			return mk(i), true
 		}
-		if n.cfg.Progress()-nInit >= maxEv || len(nodes) >= maxCfg {
+		if len(nodes) >= maxCfg {
 			continue
 		}
+		// Like the engine, at the progress bound only silent
+		// successors are followed (memory steps are suppressed, silent
+		// chains drain), so the witness search sees the same bounded
+		// graph as Run.
+		atBound := n.cfg.Progress()-nInit >= maxEv
 		succ = n.cfg.Expand(succ[:0])
 		for _, s := range succ {
+			if atBound && s.Progress() > n.cfg.Progress() {
+				continue
+			}
 			k := s.Fingerprint()
 			if seen[k] {
 				continue

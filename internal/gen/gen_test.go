@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// Same seed ⇒ byte-identical program; different seeds diverge.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := Generate(seed, Params{})
+		b := Generate(seed, Params{})
+		if a.File.Format() != b.File.Format() {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+		if a.Bound != b.Bound {
+			t.Fatalf("seed %d: bound drifted %d vs %d", seed, a.Bound, b.Bound)
+		}
+	}
+	if Generate(1, Params{}).File.Format() == Generate(2, Params{}).File.Format() {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+// Every generated program round-trips parse → print → reparse and is
+// runnable (threads contiguous, everything initialised, observables
+// declared).
+func TestGenerateRoundTripsAndRuns(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		p := Generate(seed, Params{})
+		if fail := roundTrip(p.File); fail != nil {
+			t.Fatalf("seed %d: %s\n%s", seed, fail, p.File.Format())
+		}
+		tc, err := p.File.Test()
+		if err != nil {
+			t.Fatalf("seed %d: not runnable: %v", seed, err)
+		}
+		if len(tc.Observe) == 0 {
+			t.Fatalf("seed %d: nothing observed", seed)
+		}
+		used := map[event.Var]bool{}
+		for _, c := range tc.Prog {
+			collectComVars(c, used)
+		}
+		for x := range used {
+			if _, ok := tc.Init[x]; !ok {
+				t.Fatalf("seed %d: variable %s used but not initialised", seed, x)
+			}
+		}
+	}
+}
+
+// The static Bound dominates the actual worst-case event count:
+// exploring with a bound above it never truncates on the progress
+// measure, so generated loops provably terminate within the budget.
+func TestGenerateBoundIsSound(t *testing.T) {
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		p := Generate(seed, Params{})
+		tc, err := p.File.Test()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.NewConfig(tc.Prog, tc.Init)
+		nInit := cfg.Progress()
+		var mu sync.Mutex
+		maxP := 0
+		res := explore.Run(cfg, explore.Options{
+			MaxEvents: p.Bound + 8, MaxConfigs: 1 << 17,
+			Property: func(c model.Config) bool {
+				mu.Lock()
+				if v := c.Progress() - nInit; v > maxP {
+					maxP = v
+				}
+				mu.Unlock()
+				return true
+			},
+		})
+		if res.Truncated && res.Explored < 1<<17 {
+			t.Fatalf("seed %d: truncated below the generous bound", seed)
+		}
+		if maxP > p.Bound {
+			t.Fatalf("seed %d: static bound %d < actual %d", seed, p.Bound, maxP)
+		}
+	}
+}
+
+// Loop counters are thread-private (only their own thread mentions
+// them) and never observed — the termination argument rests on it.
+func TestGenerateCountersPrivate(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := Generate(seed, Params{PWhile: 60})
+		for _, x := range p.File.Observe {
+			if strings.HasPrefix(string(x), "c") {
+				t.Fatalf("seed %d: loop counter %s observed", seed, x)
+			}
+		}
+		for _, id := range threadIDs(p.File) {
+			used := map[event.Var]bool{}
+			collectComVars(p.File.Threads[id], used)
+			for x := range used {
+				s := string(x)
+				if !strings.HasPrefix(s, "c") {
+					continue
+				}
+				if !strings.HasPrefix(s, "c"+itoa(id)+"_") {
+					t.Fatalf("seed %d: thread %d touches foreign counter %s", seed, id, s)
+				}
+			}
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }

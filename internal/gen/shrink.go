@@ -1,0 +1,299 @@
+package gen
+
+// Greedy delta-debugging shrinker. Shrink repeatedly enumerates every
+// single-step reduction of the current file — drop a thread, delete a
+// statement, collapse a branch or loop, weaken an annotation, simplify
+// an expression — in a fixed deterministic order, takes the first one
+// that still satisfies the caller's predicate (".. still fails"), and
+// restarts. At the fixpoint no enumerated edit preserves the
+// predicate, so the result is 1-minimal with respect to the edit set,
+// and the whole procedure is deterministic: the same input and
+// predicate always produce the same (byte-identical) minimal file.
+//
+// Every candidate is normalised before the predicate runs: skips are
+// pruned out of sequences, threads reduced to skip are dropped (with
+// the remaining threads renumbered contiguously), and the init and
+// observe clauses are trimmed to the variables the program still
+// mentions — so the minimal file carries no dead declarations.
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/parser"
+)
+
+// Shrink greedily minimises f while keep holds. keep must hold on f
+// itself (otherwise f is returned unchanged). The predicate is
+// re-evaluated on whole candidate files, so it may run arbitrary
+// oracles; determinism of the result requires determinism of keep.
+func Shrink(f *parser.File, keep func(*parser.File) bool) *parser.File {
+	if !keep(f) {
+		return f
+	}
+	if n := normalize(f); keep(n) {
+		f = n
+	}
+	for {
+		improved := false
+		for _, cand := range fileVariants(f) {
+			cand = normalize(cand)
+			if keep(cand) {
+				f = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return f
+		}
+	}
+}
+
+// fileVariants enumerates every single-step reduction of the file, in
+// a fixed order: thread drops first (the biggest cuts), then per-
+// thread command reductions in thread order.
+func fileVariants(f *parser.File) []*parser.File {
+	var out []*parser.File
+	ids := threadIDs(f)
+	if len(ids) > 1 {
+		for _, id := range ids {
+			out = append(out, withoutThread(f, id))
+		}
+	}
+	for _, id := range ids {
+		for _, v := range comVariants(f.Threads[id]) {
+			out = append(out, withThread(f, id, v))
+		}
+	}
+	return out
+}
+
+func threadIDs(f *parser.File) []int {
+	ids := make([]int, 0, len(f.Threads))
+	for id := range f.Threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func withoutThread(f *parser.File, drop int) *parser.File {
+	out := shallow(f)
+	for _, id := range threadIDs(f) {
+		if id == drop {
+			continue
+		}
+		nid := id
+		if id > drop {
+			nid = id - 1
+		}
+		out.Threads[nid] = f.Threads[id]
+	}
+	return out
+}
+
+func withThread(f *parser.File, id int, c lang.Com) *parser.File {
+	out := shallow(f)
+	for oid, oc := range f.Threads {
+		out.Threads[oid] = oc
+	}
+	out.Threads[id] = c
+	return out
+}
+
+func shallow(f *parser.File) *parser.File {
+	return &parser.File{
+		Name:    f.Name,
+		Init:    f.Init,
+		Threads: map[int]lang.Com{},
+		Observe: f.Observe,
+		Allow:   f.Allow,
+		Forbid:  f.Forbid,
+	}
+}
+
+// comVariants enumerates single-step reductions of a command: the
+// whole command replaced by skip, then node-specific collapses, then
+// reductions inside each child, left to right.
+func comVariants(c lang.Com) []lang.Com {
+	var out []lang.Com
+	switch x := c.(type) {
+	case lang.Skip:
+		return nil
+
+	case lang.Seq:
+		// Statement deletion is "replace with skip" on a child plus
+		// skip pruning during normalisation; the Seq node itself only
+		// recurses.
+		for _, v := range comVariants(x.C1) {
+			out = append(out, lang.Seq{C1: v, C2: x.C2})
+		}
+		for _, v := range comVariants(x.C2) {
+			out = append(out, lang.Seq{C1: x.C1, C2: v})
+		}
+
+	case lang.Assign:
+		out = append(out, lang.Skip{})
+		if x.Rel || x.NA {
+			out = append(out, lang.Assign{X: x.X, E: x.E})
+		}
+		for _, e := range exprVariants(x.E) {
+			out = append(out, lang.Assign{X: x.X, E: e, Rel: x.Rel, NA: x.NA})
+		}
+
+	case lang.Swap:
+		out = append(out,
+			lang.Skip{},
+			// Weaken the RMW to a plain write of the same value.
+			lang.Assign{X: x.X, E: lang.V(x.N)})
+
+	case lang.If:
+		out = append(out, lang.Skip{}, x.Then, x.Else)
+		for _, e := range exprVariants(x.B) {
+			out = append(out, lang.If{B: e, Then: x.Then, Else: x.Else})
+		}
+		for _, v := range comVariants(x.Then) {
+			out = append(out, lang.If{B: x.B, Then: v, Else: x.Else})
+		}
+		for _, v := range comVariants(x.Else) {
+			out = append(out, lang.If{B: x.B, Then: x.Then, Else: v})
+		}
+
+	case lang.While:
+		out = append(out, lang.Skip{}, x.Body)
+		for _, e := range exprVariants(x.Guard) {
+			out = append(out, lang.WhileC(e, x.Body))
+		}
+		for _, v := range comVariants(x.Body) {
+			out = append(out, lang.WhileC(x.Guard, v))
+		}
+
+	case lang.Label:
+		out = append(out, lang.Skip{}, x.C)
+		for _, v := range comVariants(x.C) {
+			out = append(out, lang.Label{Name: x.Name, C: v})
+		}
+	}
+	return out
+}
+
+// exprVariants enumerates single-step simplifications of an
+// expression: the whole expression to a literal, annotation drops on
+// loads, operand hoisting, then recursion into operands.
+func exprVariants(e lang.Expr) []lang.Expr {
+	var out []lang.Expr
+	switch x := e.(type) {
+	case lang.Lit:
+		return nil
+	case lang.Load:
+		out = append(out, lang.V(0), lang.V(1))
+		if x.Acq || x.NA {
+			out = append(out, lang.X(x.X))
+		}
+	case lang.Un:
+		out = append(out, lang.V(0), x.E)
+		for _, v := range exprVariants(x.E) {
+			out = append(out, lang.Un{Op: x.Op, E: v})
+		}
+	case lang.Bin:
+		out = append(out, lang.V(0), lang.V(1), x.L, x.R)
+		for _, v := range exprVariants(x.L) {
+			out = append(out, lang.Bin{Op: x.Op, L: v, R: x.R})
+		}
+		for _, v := range exprVariants(x.R) {
+			out = append(out, lang.Bin{Op: x.Op, L: x.L, R: v})
+		}
+	}
+	return out
+}
+
+// normalize prunes skips, drops skip-only threads (keeping at least
+// one, renumbered contiguously) and trims init/observe to the
+// variables the residual program mentions.
+func normalize(f *parser.File) *parser.File {
+	out := shallow(f)
+	used := map[event.Var]bool{}
+	live := make([]lang.Com, 0, len(f.Threads))
+	for _, id := range threadIDs(f) {
+		c := pruneSkips(f.Threads[id])
+		if lang.Terminated(c) && len(f.Threads) > 1 {
+			continue
+		}
+		live = append(live, c)
+		collectComVars(c, used)
+	}
+	if len(live) == 0 {
+		live = append(live, lang.SkipC())
+	}
+	for i, c := range live {
+		out.Threads[i+1] = c
+	}
+
+	out.Init = map[event.Var]event.Val{}
+	for x, v := range f.Init {
+		if used[x] {
+			out.Init[x] = v
+		}
+	}
+	out.Observe = nil
+	for _, x := range f.Observe {
+		if used[x] {
+			out.Observe = append(out.Observe, x)
+		}
+	}
+	return out
+}
+
+// pruneSkips removes skip units from sequence spines.
+func pruneSkips(c lang.Com) lang.Com {
+	switch x := c.(type) {
+	case lang.Seq:
+		c1, c2 := pruneSkips(x.C1), pruneSkips(x.C2)
+		if lang.Terminated(c1) {
+			return c2
+		}
+		if lang.Terminated(c2) {
+			return c1
+		}
+		return lang.Seq{C1: c1, C2: c2}
+	case lang.If:
+		return lang.If{B: x.B, Then: pruneSkips(x.Then), Else: pruneSkips(x.Else)}
+	case lang.While:
+		return lang.WhileC(x.Guard, pruneSkips(x.Body))
+	case lang.Label:
+		return lang.Label{Name: x.Name, C: pruneSkips(x.C)}
+	default:
+		return c
+	}
+}
+
+// collectComVars accumulates every variable the command mentions.
+func collectComVars(c lang.Com, out map[event.Var]bool) {
+	switch x := c.(type) {
+	case lang.Assign:
+		out[x.X] = true
+		for v := range lang.FreeVars(x.E) {
+			out[v] = true
+		}
+	case lang.Swap:
+		out[x.X] = true
+	case lang.Seq:
+		collectComVars(x.C1, out)
+		collectComVars(x.C2, out)
+	case lang.If:
+		for v := range lang.FreeVars(x.B) {
+			out[v] = true
+		}
+		collectComVars(x.Then, out)
+		collectComVars(x.Else, out)
+	case lang.While:
+		for v := range lang.FreeVars(x.Guard) {
+			out[v] = true
+		}
+		collectComVars(x.Body, out)
+	case lang.Label:
+		collectComVars(x.C, out)
+	}
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// assertMinimal checks 1-minimality: no single enumerated edit of f
+// still satisfies keep.
+func assertMinimal(t *testing.T, f *parser.File, keep func(*parser.File) bool) {
+	t.Helper()
+	for _, cand := range fileVariants(f) {
+		if keep(normalize(cand)) {
+			t.Fatalf("not minimal: an edit preserves the predicate\nminimal:\n%s\nedit:\n%s",
+				f.Format(), normalize(cand).Format())
+		}
+	}
+}
+
+// Shrinking against a syntactic predicate: the result is minimal,
+// still failing, and deterministic.
+func TestShrinkSyntacticPredicate(t *testing.T) {
+	keep := func(f *parser.File) bool {
+		s := f.Format()
+		return strings.Contains(s, ":=R") && strings.Contains(s, "^A")
+	}
+	p := Generate(8, Params{PRel: 70, PAcq: 70, Stmts: 5})
+	if !keep(p.File) {
+		t.Skip("seed lost the required annotations; pick another seed")
+	}
+	m1 := Shrink(p.File, keep)
+	if !keep(m1) {
+		t.Fatal("shrunk program no longer satisfies the predicate")
+	}
+	if len(m1.Format()) >= len(p.File.Format()) {
+		t.Fatalf("shrinking did not shrink:\n%s", m1.Format())
+	}
+	assertMinimal(t, m1, keep)
+
+	m2 := Shrink(p.File, keep)
+	if m1.Format() != m2.Format() {
+		t.Fatalf("shrinking is not deterministic:\n%s\nvs\n%s", m1.Format(), m2.Format())
+	}
+}
+
+// Shrinking against a semantic predicate (the program exhibits a weak
+// behaviour: an outcome reachable under RA but not SC): the shrinker
+// preserves it, the result is minimal, and re-running is
+// byte-identical — the determinism contract for real oracle failures.
+func TestShrinkWeakBehaviourPredicate(t *testing.T) {
+	weak := func(f *parser.File) bool {
+		tc, err := f.Test()
+		if err != nil || len(tc.Observe) == 0 {
+			return false
+		}
+		rep := Check(f, CheckOpts{MaxEvents: 24, Workers: 2})
+		return rep.Failure == nil && len(rep.Weak) > 0 && !rep.TruncatedRA
+	}
+
+	// Find a seed with a weak behaviour (they are common).
+	var prog Program
+	found := false
+	for seed := int64(1); seed <= 40; seed++ {
+		prog = Generate(seed, Params{})
+		if weak(prog.File) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no weakly-behaving program in the first 40 seeds")
+	}
+
+	m1 := Shrink(prog.File, weak)
+	if !weak(m1) {
+		t.Fatal("shrunk program lost its weak behaviour")
+	}
+	assertMinimal(t, m1, weak)
+	m2 := Shrink(prog.File, weak)
+	if m1.Format() != m2.Format() {
+		t.Fatalf("semantic shrink not deterministic:\n%s\nvs\n%s", m1.Format(), m2.Format())
+	}
+}
+
+// The shrinker returns the input unchanged when the predicate fails on
+// it, and normalisation drops dead declarations.
+func TestShrinkEdgeCases(t *testing.T) {
+	p := Generate(3, Params{})
+	same := Shrink(p.File, func(*parser.File) bool { return false })
+	if same != p.File {
+		t.Fatal("failing predicate must return the input")
+	}
+
+	src := "init x = 0 y = 3 z = 9\nthread 1 { skip; x := 1; skip; }\nthread 2 { skip; }\nobserve x y\n"
+	f, err := parser.Parse("n.lit", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := normalize(f)
+	if len(n.Threads) != 1 {
+		t.Fatalf("skip-only thread not dropped: %v", n.Threads)
+	}
+	if _, ok := n.Init["y"]; ok {
+		t.Fatal("dead init entry survived")
+	}
+	if len(n.Observe) != 1 || n.Observe[0] != "x" {
+		t.Fatalf("observe not trimmed: %v", n.Observe)
+	}
+	if out := n.Format(); strings.Contains(out, "skip") {
+		t.Fatalf("skips survived normalisation:\n%s", out)
+	}
+}

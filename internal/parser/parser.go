@@ -448,6 +448,14 @@ func (p *parser) parseUnary() (lang.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Fold -<literal> into a negative literal, mirroring parseInt
+		// in init/outcome position. Without this, a programmatically
+		// built Lit{-1} (the generator emits them) prints as "-1" but
+		// reparses as Un{OpNeg, Lit{1}} — an AST drift the round-trip
+		// oracle rejects.
+		if l, ok := e.(lang.Lit); ok {
+			return lang.Lit{V: -l.V}, nil
+		}
 		return lang.Un{Op: lang.OpNeg, E: e}, nil
 	}
 	return p.parsePrimary()

@@ -117,12 +117,14 @@ func TestExpressionPrecedence(t *testing.T) {
 	if got != want {
 		t.Fatalf("precedence: got %q, want %q", got, want)
 	}
-	// Arithmetic and comparison.
+	// Arithmetic and comparison; the literal -2 is folded to a
+	// negative literal (matching parseInt in init/outcome position),
+	// not kept as a unary negation.
 	f2, err := Parse("t", `thread 1 { r := a + 1 < b - -2; }`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(f2.Threads[1].String(), "((a+1)<(b--(2)))") {
+	if !strings.Contains(f2.Threads[1].String(), "((a+1)<(b--2))") {
 		t.Fatalf("arith: %q", f2.Threads[1])
 	}
 }

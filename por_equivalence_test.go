@@ -100,6 +100,32 @@ func TestPORSerialParallelEquivalenceLitmusSuite(t *testing.T) {
 	}
 }
 
+// TestPORDrainRegression pins the silent-drain fix the fuzzer forced:
+// testdata/gen-por-drain.lit is a shrunk c11fuzz reproducer on which,
+// before the fix, the reduced search missed terminated configurations
+// at truncating bounds (11 and 13 among the ones below) — their final
+// silent steps were frozen at the progress bound in the reduced
+// representative order but not in some full-search order. With
+// at-bound silent draining the audit must be clean at every bound,
+// serial and parallel.
+func TestPORDrainRegression(t *testing.T) {
+	cfg, ok := testdataConfigs(t)["gen-por-drain.lit"]
+	if !ok {
+		t.Fatal("testdata/gen-por-drain.lit missing")
+	}
+	for bound := 6; bound <= 16; bound++ {
+		for _, workers := range []int{1, 4} {
+			a := explore.CheckPOR(cfg, explore.Options{MaxEvents: bound, Workers: workers})
+			if !a.SetsCompared {
+				t.Fatalf("bound=%d workers=%d: sets not compared", bound, workers)
+			}
+			if n := a.Divergences(); n != 0 {
+				t.Fatalf("bound=%d workers=%d: %d divergences: %s", bound, workers, n, a)
+			}
+		}
+	}
+}
+
 func TestPORReductionPeterson(t *testing.T) {
 	p, vars := litmus.Peterson()
 	a := explore.CheckPOR(core.NewConfig(p, vars), explore.Options{MaxEvents: 10, Workers: 1})
