@@ -185,6 +185,7 @@ func BenchmarkE10_RuleChecks(b *testing.B) {
 func benchPeterson(b *testing.B, bound, workers int, por bool) {
 	p, vars := litmus.Peterson()
 	b.ReportAllocs()
+	var explored int
 	for i := 0; i < b.N; i++ {
 		res := explore.Run(core.NewConfig(p, vars), explore.Options{
 			MaxEvents: bound,
@@ -197,7 +198,12 @@ func benchPeterson(b *testing.B, bound, workers int, por bool) {
 		if res.Violation != nil {
 			b.Fatal("invariant violated")
 		}
+		explored = res.Explored
 	}
+	// The search is deterministic, so states/op is the same every
+	// iteration; reporting it makes ns-per-state comparable across
+	// bounds and machines (bench-snapshot.sh keys on it).
+	b.ReportMetric(float64(explored), "states/op")
 }
 
 func BenchmarkE13_PetersonVerify(b *testing.B) {
@@ -262,6 +268,7 @@ func BenchmarkE13_ThreeThreadPeterson(b *testing.B) {
 			}
 			b.Run(bn, func(b *testing.B) {
 				b.ReportAllocs()
+				var explored int
 				for i := 0; i < b.N; i++ {
 					res := explore.Run(core.NewConfig(p, vars), explore.Options{
 						MaxEvents: 10,
@@ -271,7 +278,9 @@ func BenchmarkE13_ThreeThreadPeterson(b *testing.B) {
 					if res.Explored == 0 {
 						b.Fatal("nothing explored")
 					}
+					explored = res.Explored
 				}
+				b.ReportMetric(float64(explored), "states/op")
 			})
 		}
 	}
@@ -507,6 +516,7 @@ func BenchmarkE17_ModelPeterson(b *testing.B) {
 	p, vars := litmus.Peterson()
 	run := func(b *testing.B, m model.Model) {
 		b.ReportAllocs()
+		var explored int
 		for i := 0; i < b.N; i++ {
 			res := explore.Run(m.New(p, vars), explore.Options{
 				MaxEvents: 10, Workers: 1, Property: litmus.MutualExclusion,
@@ -514,7 +524,9 @@ func BenchmarkE17_ModelPeterson(b *testing.B) {
 			if res.Violation != nil {
 				b.Fatal("violation")
 			}
+			explored = res.Explored
 		}
+		b.ReportMetric(float64(explored), "states/op")
 	}
 	b.Run("rar", func(b *testing.B) { run(b, core.Model) })
 	b.Run("sc", func(b *testing.B) { run(b, sc.Model) })

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/axiomatic"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/enumerate"
 	"repro/internal/event"
@@ -45,11 +46,33 @@ func main() {
 		diff    = flag.Bool("diff", false, "differential model checking: RA vs SC over the litmus catalog")
 		maxEv   = flag.Int("max", 20, "maximum non-initial events per state for -diff")
 	)
-	flag.Parse()
+	var budget cli.Budget
+	budget.Register(flag.CommandLine)
+	flag.Usage = cli.Usage(flag.CommandLine,
+		"Usage: c11equiv [flags]\n\nChecks Definition 4.2 against Definition C.3 over enumerated candidate\nexecutions (Theorem C.5), or with -diff runs the RA-vs-SC differential\nover the litmus catalog.")
+	cli.Parse()
+	if err := budget.Validate(); err != nil {
+		cli.Fatal("c11equiv", err)
+	}
+	if budget.Resume != "" || budget.Checkpoint != "" {
+		cli.Fatalf("c11equiv", "checkpointing applies to a single search; use c11explore for one program")
+	}
 
 	if *diff {
-		runModelDiff(*maxEv)
+		runModelDiff(*maxEv, budget)
 		return
+	}
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = time.Now().Add(budget.Timeout)
+	}
+	cut := false
+	pastDeadline := func() bool {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			cut = true
+			return true
+		}
+		return false
 	}
 
 	vars := make([]event.Var, *nvars)
@@ -64,6 +87,9 @@ func main() {
 	enumerate.Candidates(enumerate.Params{
 		Threads: *threads, Vars: vars, Events: *events,
 	}, func(x axiomatic.Exec) bool {
+		if pastDeadline() {
+			return false
+		}
 		total++
 		a, b := x.CoherentDef42(), x.WeakCanonicalConsistent()
 		if a != b {
@@ -87,6 +113,9 @@ func main() {
 	start = time.Now()
 	rconsistent, rmismatch := 0, 0
 	for i := 0; i < *random; i++ {
+		if pastDeadline() {
+			break
+		}
 		x := enumerate.Random(rng, enumerate.Params{
 			Threads: 3, Vars: []event.Var{"x", "y"}, Events: *size,
 		})
@@ -104,7 +133,11 @@ func main() {
 
 	if mismatches+rmismatch > 0 {
 		fmt.Println("Theorem C.5 FALSIFIED at these bounds")
-		os.Exit(1)
+		os.Exit(cli.ExitViolation)
+	}
+	if cut {
+		fmt.Println("Theorem C.5 holds on every candidate checked (sweep cut by -timeout)")
+		os.Exit(cli.ExitBounded)
 	}
 	fmt.Println("Theorem C.5 holds on every candidate checked")
 }
@@ -113,9 +146,10 @@ func main() {
 // diffs the outcome sets. RA-only outcomes are the expected weak
 // behaviours; an SC-only outcome breaks the refinement SC ⊆ RA and
 // fails the run, as does an expectation failure under either model.
-func runModelDiff(maxEv int) {
+func runModelDiff(maxEv int, budget cli.Budget) {
 	opts := explore.Options{MaxEvents: maxEv}
-	failures, differing := 0, 0
+	budget.Apply(&opts)
+	failures, differing, bounded := 0, 0, 0
 	for _, tc := range litmus.Suite() {
 		d := tc.Diff(core.Model, sc.Model, opts)
 		fmt.Println(d)
@@ -124,10 +158,10 @@ func runModelDiff(maxEv int) {
 		}
 		if d.TruncatedA || d.TruncatedB {
 			// The diff is only conclusive over complete searches; the
-			// catalog is sized to finish at the default bound, so a
-			// cut means the bound was lowered.
-			fmt.Println("    truncated search: diff relative to the bound (raise -max)")
-			failures++
+			// catalog is sized to finish at the default bound, so a cut
+			// means the bound was lowered or a budget bit.
+			fmt.Println("    truncated search: diff relative to the bound/budget (raise -max or the budget)")
+			bounded++
 			continue
 		}
 		if len(d.OnlyB) > 0 {
@@ -148,9 +182,12 @@ func runModelDiff(maxEv int) {
 			}
 		}
 	}
-	fmt.Printf("%d tests, %d with RA/SC outcome differences, %d failure(s)\n",
-		len(litmus.Suite()), differing, failures)
+	fmt.Printf("%d tests, %d with RA/SC outcome differences, %d inconclusive, %d failure(s)\n",
+		len(litmus.Suite()), differing, bounded, failures)
 	if failures > 0 {
-		os.Exit(1)
+		os.Exit(cli.ExitViolation)
+	}
+	if bounded > 0 {
+		os.Exit(cli.ExitBounded)
 	}
 }

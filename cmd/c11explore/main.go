@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/axiomatic"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/explore"
@@ -60,27 +61,30 @@ func main() {
 		checkPOR = flag.Bool("checkpor", false,
 			"run the reduced and the full search and diff reachable-state fingerprints and property verdicts (zero divergences expected)")
 	)
-	flag.Parse()
+	var budget cli.Budget
+	budget.Register(flag.CommandLine)
+	flag.Usage = cli.Usage(flag.CommandLine,
+		"Usage: c11explore [flags]\n\nExplores the bounded state space of a program under a pluggable memory model.")
+	cli.Parse()
+	if err := budget.Validate(); err != nil {
+		cli.Fatal("c11explore", err)
+	}
 
 	if *example != "" {
 		runExample(*example, *dot)
 		return
 	}
-	if *file == "" {
-		fmt.Fprintln(os.Stderr, "c11explore: need -f FILE or -example N")
-		os.Exit(2)
-	}
-	src, err := os.ReadFile(*file)
+
+	m, err := backends.Get(*modelName)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("c11explore", err)
 	}
-	f, err := parser.Parse(*file, string(src))
-	if err != nil {
-		fatal(err)
+	// Flag validation up front, before any exploration is paid for.
+	if *racesFl && *diff {
+		cli.Fatalf("c11explore", "-races and -diff are separate modes; run them one at a time")
 	}
-	prog, err := f.Prog()
-	if err != nil {
-		fatal(err)
+	if *racesFl && m.Name() != "rar" {
+		cli.Fatalf("c11explore", "-races needs the rar model (data races are defined over the C11 happens-before order)")
 	}
 
 	opts := explore.Options{
@@ -91,30 +95,43 @@ func main() {
 		CheckIncremental: *checkInc,
 	}
 
-	m, err := backends.Get(*modelName)
-	if err != nil {
-		fatal(err)
-	}
-	// Flag validation up front, before any exploration is paid for.
-	if *racesFl && *diff {
-		fmt.Fprintln(os.Stderr, "c11explore: -races and -diff are separate modes; run them one at a time")
-		os.Exit(2)
-	}
-	if *racesFl && m.Name() != "rar" {
-		fmt.Fprintln(os.Stderr, "c11explore: -races needs the rar model (data races are defined over the C11 happens-before order)")
-		os.Exit(2)
+	var (
+		f    *parser.File
+		prog lang.Prog
+		cfg  model.Config
+	)
+	if budget.Resume == "" {
+		// A fresh search needs a program; a resumed one restores its
+		// state (and bounds) from the checkpoint.
+		if *file == "" {
+			cli.Fatalf("c11explore", "need -f FILE, -example N or -resume CHECKPOINT")
+		}
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			cli.Fatal("c11explore", fmt.Errorf("read program: %w", err))
+		}
+		if f, err = parser.Parse(*file, string(src)); err != nil {
+			cli.Fatal("c11explore", err)
+		}
+		if prog, err = f.Prog(); err != nil {
+			cli.Fatal("c11explore", err)
+		}
+		cfg = m.New(prog, f.Init)
+	} else if *diff || *racesFl || *checkPOR {
+		cli.Fatalf("c11explore", "-resume continues a plain exploration; it cannot drive -diff, -races or -checkpor")
 	}
 
 	if *diff {
+		budget.Apply(&opts)
 		runDiff(f, prog, opts)
 		return
 	}
-	cfg := m.New(prog, f.Init)
 	if *checkPOR {
+		budget.Apply(&opts)
 		audit := explore.CheckPOR(cfg, opts)
 		fmt.Printf("model=%s %s\n", m.Name(), audit)
 		if audit.Divergences() > 0 {
-			os.Exit(1)
+			os.Exit(cli.ExitViolation)
 		}
 		return
 	}
@@ -130,28 +147,32 @@ func main() {
 		}
 		return true
 	}
-	res := explore.Run(cfg, opts)
+	res, err := budget.Execute(m, cfg, opts)
+	if err != nil {
+		cli.Fatal("c11explore", err)
+	}
 	fmt.Printf("model=%s explored %d configurations, %d terminated, depth %d, truncated=%v, por=%v\n",
 		m.Name(), res.Explored, res.Terminated, res.Depth, res.Truncated, *por)
+	fmt.Println(cli.Describe(res))
 	if *checkFP {
 		fmt.Printf("fingerprint collisions: %d\n", res.FingerprintCollisions)
 	}
 	if *checkInc {
 		fmt.Printf("closure mismatches: %d\n", res.ClosureMismatches)
 		if res.ClosureMismatches > 0 {
-			os.Exit(1)
+			os.Exit(cli.ExitViolation)
 		}
 	}
 
 	if *racesFl {
-		reportRaces(core.NewConfig(prog, f.Init), explore.Options{MaxEvents: *maxEv})
+		ro := explore.Options{MaxEvents: *maxEv, Timeout: budget.Timeout}
+		reportRaces(core.NewConfig(prog, f.Init), ro)
 	}
 
 	if sample != nil && (*dot || *ascii) {
 		rc, ok := sample.(core.Config)
 		if !ok {
-			fmt.Fprintln(os.Stderr, "c11explore: -dot/-ascii render C11 event graphs; use -model rar")
-			os.Exit(2)
+			cli.Fatalf("c11explore", "-dot/-ascii render C11 event graphs; use -model rar")
 		}
 		x := axiomatic.FromState(rc.S)
 		if *dot {
@@ -160,6 +181,9 @@ func main() {
 		if *ascii {
 			fmt.Print(vis.ASCII(x))
 		}
+	}
+	if code := cli.ExitCode(res); code != cli.ExitProved {
+		os.Exit(code)
 	}
 }
 
@@ -206,7 +230,7 @@ func runDiff(f *parser.File, prog lang.Prog, opts explore.Options) {
 		for _, k := range d.OnlyB {
 			fmt.Printf("    %s\n", k)
 		}
-		os.Exit(1)
+		os.Exit(cli.ExitViolation)
 	}
 }
 
@@ -223,15 +247,14 @@ func reportRaces(cfg core.Config, opts explore.Options) {
 		fmt.Printf("    %s\n", r)
 	}
 	fmt.Print(trace.Describe())
-	os.Exit(1)
+	os.Exit(cli.ExitViolation)
 }
 
 // runExample rebuilds Example 3.2 through the event semantics and
 // renders it.
 func runExample(name string, asDot bool) {
 	if name != "3.2" {
-		fmt.Fprintf(os.Stderr, "c11explore: unknown example %q (have: 3.2)\n", name)
-		os.Exit(2)
+		cli.Fatalf("c11explore", "unknown example %q (have: 3.2)", name)
 	}
 	s := core.Init(map[event.Var]event.Val{"x": 0, "y": 0, "z": 0})
 	ix, _ := s.InitialFor("x")
@@ -300,6 +323,5 @@ func runExample(name string, asDot bool) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "c11explore:", err)
-	os.Exit(1)
+	cli.Fatal("c11explore", err)
 }

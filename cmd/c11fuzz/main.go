@@ -18,7 +18,9 @@
 //	c11fuzz -seed 39 -n 1 -keep out/    # regenerate one program
 //	c11fuzz -replay testdata/corpus     # re-judge checked-in files
 //
-// Exit status: 0 when every program passed every oracle, 1 otherwise.
+// Exit status: 0 when every program passed every oracle, 1 on any
+// oracle failure, 2 when -budget cut the run before all -n programs
+// were judged, 3 on internal errors.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/gen"
 )
 
@@ -38,7 +41,7 @@ func main() {
 		corpus = flag.String("corpus", "fuzz-corpus", "directory for shrunk reproducers")
 		replay = flag.String("replay", "", "re-judge every .lit file in this directory instead of generating")
 		keep   = flag.String("keep", "", "also write every generated program (failing or not) into this directory")
-		budget = flag.Duration("budget", 0, "stop generating after this much wall-clock time (0 = no limit)")
+		budget = flag.Duration("budget", 0, "wall-clock budget: an engine deadline for every oracle search, and no new programs start past it (0 = no limit)")
 		v      = flag.Bool("v", false, "per-program progress lines")
 
 		threads   = flag.Int("threads", 0, "max threads per program (default 3)")
@@ -61,7 +64,9 @@ func main() {
 		maxConfigs = flag.Int("maxconfigs", 0, "per-search configuration cap (default 32768)")
 		workers    = flag.Int("workers", 0, "parallel width of the serial-vs-parallel oracle (default 8)")
 	)
-	flag.Parse()
+	flag.Usage = cli.Usage(flag.CommandLine,
+		"Usage: c11fuzz [flags]\n\nDifferentially fuzzes the memory-model backends with randomly generated\nlitmus programs, shrinking any failure into a corpus reproducer.")
+	cli.Parse()
 
 	params := gen.Params{
 		Threads: *threads, Vars: *vars, Stmts: *stmts, Values: *values,
@@ -81,6 +86,14 @@ func main() {
 // failure, and prints a run summary. Returns the exit status.
 func fuzz(seed int64, n int, params gen.Params, opts gen.CheckOpts, corpus, keep string, budget time.Duration, verbose bool) int {
 	start := time.Now()
+	if budget > 0 {
+		// The budget is enforced by the engine itself: every oracle
+		// search carries the deadline, so one pathological program
+		// cannot blow through the budget mid-search — it is cut and
+		// its bound-sensitive oracles degrade to budget-cut (skipped)
+		// comparisons.
+		opts.Deadline = start.Add(budget)
+	}
 	failures, weak, truncated := 0, 0, 0
 	ran := 0
 	for i := 0; i < n; i++ {
@@ -122,7 +135,7 @@ func fuzz(seed int64, n int, params gen.Params, opts gen.CheckOpts, corpus, keep
 			Shrunk: shrunk, Orig: prog.File,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "c11fuzz: write reproducer:", err)
+			fmt.Fprintf(os.Stderr, "c11fuzz: write reproducer: %v\n", err)
 		} else {
 			fmt.Printf("seed %d reproducer: %s\n%s", s, path, shrunk.Format())
 		}
@@ -130,9 +143,14 @@ func fuzz(seed int64, n int, params gen.Params, opts gen.CheckOpts, corpus, keep
 	fmt.Printf("c11fuzz: %d programs in %v: %d failed, %d with weak behaviours, %d truncated\n",
 		ran, time.Since(start).Round(time.Millisecond), failures, weak, truncated)
 	if failures > 0 {
-		return 1
+		return cli.ExitViolation
 	}
-	return 0
+	if ran < n {
+		// The wall-clock budget cut the run: nothing failed, but not
+		// every requested program was judged.
+		return cli.ExitBounded
+	}
+	return cli.ExitProved
 }
 
 func failTag(f *gen.Failure) string {
@@ -147,12 +165,12 @@ func failTag(f *gen.Failure) string {
 func replayDir(dir string, opts gen.CheckOpts, verbose bool) int {
 	files, err := gen.LoadCorpus(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "c11fuzz:", err)
-		return 1
+		fmt.Fprintf(os.Stderr, "c11fuzz: load corpus: %v\n", err)
+		return cli.ExitInternal
 	}
 	if len(files) == 0 {
 		fmt.Printf("c11fuzz: no corpus files under %s\n", dir)
-		return 0
+		return cli.ExitProved
 	}
 	failures := 0
 	for _, f := range files {
@@ -168,9 +186,9 @@ func replayDir(dir string, opts gen.CheckOpts, verbose bool) int {
 	}
 	fmt.Printf("c11fuzz: replayed %d corpus files, %d failing\n", len(files), failures)
 	if failures > 0 {
-		return 1
+		return cli.ExitViolation
 	}
-	return 0
+	return cli.ExitProved
 }
 
 // writeKept archives one generated program (pre-judgement) for corpus

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/axiomatic"
+	"repro/internal/cli"
 	"repro/internal/explore"
 	"repro/internal/litmus"
 	"repro/internal/model"
@@ -46,12 +47,17 @@ func main() {
 		verbose = flag.Bool("v", false, "print the full outcome set per test")
 		workers = flag.Int("workers", 0, "explorer parallelism (0 = GOMAXPROCS)")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"Usage: c11litmus [flags]\n\nRuns weak-memory litmus tests under a pluggable memory model.\nThe .lit file grammar accepted by -f is documented in docs/litmus-format.md\n(one worked example per file under testdata/).\n\nFlags:\n")
-		flag.PrintDefaults()
+	var budget cli.Budget
+	budget.Register(flag.CommandLine)
+	flag.Usage = cli.Usage(flag.CommandLine,
+		"Usage: c11litmus [flags]\n\nRuns weak-memory litmus tests under a pluggable memory model.\nThe .lit file grammar accepted by -f is documented in docs/litmus-format.md\n(one worked example per file under testdata/).")
+	cli.Parse()
+	if err := budget.Validate(); err != nil {
+		cli.Fatal("c11litmus", err)
 	}
-	flag.Parse()
+	if budget.Resume != "" || budget.Checkpoint != "" {
+		cli.Fatalf("c11litmus", "checkpointing applies to a single search; use c11explore -f for one program")
+	}
 
 	var models []model.Model
 	if *modelName == "all" {
@@ -83,13 +89,18 @@ func main() {
 		tests = litmus.Suite()
 	}
 
-	failures := 0
+	failures, bounded := 0, 0
 	for _, tc := range tests {
 		if *runPat != "" && !strings.Contains(tc.Name, *runPat) {
 			continue
 		}
 		for _, m := range models {
-			rep := tc.RunModel(m, explore.Options{MaxEvents: *maxEv, Workers: *workers})
+			eopts := explore.Options{MaxEvents: *maxEv, Workers: *workers}
+			budget.Apply(&eopts)
+			rep := tc.RunModel(m, eopts)
+			if rep.Truncated {
+				bounded++
+			}
 			fmt.Println(rep.Summary())
 			if *verbose {
 				keys := make([]string, 0, len(rep.Outcomes))
@@ -131,11 +142,16 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Printf("%d failure(s)\n", failures)
-		os.Exit(1)
+		os.Exit(cli.ExitViolation)
+	}
+	if bounded > 0 {
+		// No expectation failed, but some search was cut by a bound or
+		// budget: the pass is relative to what was explored.
+		fmt.Printf("%d truncated search(es): verdicts are relative to the bound/budget\n", bounded)
+		os.Exit(cli.ExitBounded)
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "c11litmus:", err)
-	os.Exit(1)
+	cli.Fatal("c11litmus", err)
 }

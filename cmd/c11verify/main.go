@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/explore"
@@ -51,7 +52,14 @@ func main() {
 		checkPOR = flag.Bool("checkpor", false,
 			"run the reduced and the full search and diff reachable-state fingerprints and invariant verdicts (zero divergences expected)")
 	)
-	flag.Parse()
+	var budget cli.Budget
+	budget.Register(flag.CommandLine)
+	flag.Usage = cli.Usage(flag.CommandLine,
+		"Usage: c11verify [flags]\n\nMachine-checks the paper's Peterson verification (invariants (4)-(10), Theorem 5.8).")
+	cli.Parse()
+	if err := budget.Validate(); err != nil {
+		cli.Fatal("c11verify", err)
+	}
 
 	var (
 		prog lang.Prog
@@ -67,14 +75,12 @@ func main() {
 	case "relaxed-reset":
 		prog, vars = litmus.PetersonRelaxedReset()
 	default:
-		fmt.Fprintf(os.Stderr, "c11verify: unknown variant %q\n", *variant)
-		os.Exit(2)
+		cli.Fatalf("c11verify", "unknown variant %q", *variant)
 	}
 
 	m, err := backends.Get(*modelName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "c11verify:", err)
-		os.Exit(2)
+		cli.Fatal("c11verify", err)
 	}
 
 	start := time.Now()
@@ -100,25 +106,36 @@ func main() {
 		Property:         property,
 	}
 	if *checkPOR {
+		budget.Apply(&opts)
 		audit := explore.CheckPOR(m.New(prog, vars), opts)
 		fmt.Printf("model=%s %s\n", m.Name(), audit)
 		if audit.Divergences() > 0 {
-			os.Exit(1)
+			os.Exit(cli.ExitViolation)
 		}
 		return
 	}
-	res := explore.Run(m.New(prog, vars), opts)
+	res, err := budget.Execute(m, m.New(prog, vars), opts)
+	if err != nil {
+		cli.Fatal("c11verify", err)
+	}
 
 	fmt.Printf("model=%s variant=%s bound=%d explored=%d depth=%d truncated=%v por=%v (%.2fs)\n",
 		m.Name(), *variant, *maxEv, res.Explored, res.Depth, res.Truncated, *por, time.Since(start).Seconds())
+	fmt.Println(cli.Describe(res))
 	if *checkInc {
 		fmt.Printf("closure mismatches: %d\n", res.ClosureMismatches)
 		if res.ClosureMismatches > 0 {
-			os.Exit(1)
+			os.Exit(cli.ExitViolation)
 		}
 	}
 
 	if res.Violation == nil {
+		if res.Verdict == explore.VerdictBounded {
+			// The budget (or a panic) cut the sweep: no violation was
+			// seen, but the bound was not exhausted — inconclusive.
+			fmt.Println("Theorem 5.8 (mutual exclusion): INCONCLUSIVE — the search was cut before the bound was exhausted")
+			os.Exit(cli.ExitBounded)
+		}
 		if rar {
 			if *por {
 				fmt.Println("invariants (4)-(10) hold in every explored configuration (POR-reduced state space; -por=false sweeps all of it)")
@@ -154,8 +171,8 @@ func main() {
 			fmt.Println("final state:")
 			fmt.Print(last.S)
 		}
-		os.Exit(1)
+		os.Exit(cli.ExitViolation)
 	}
 	fmt.Println("mutual exclusion still holds at this bound (only auxiliary invariants broke)")
-	os.Exit(1)
+	os.Exit(cli.ExitViolation)
 }

@@ -66,6 +66,13 @@ func (a PORAudit) String() string {
 		a.UnsoundExplored, a.VerdictDiverged)
 }
 
+// budgetCut reports whether the run was cut at a scheduling-dependent
+// point — by a timing-dependent budget or by isolated panics — making
+// its statistics incomparable to another run's.
+func budgetCut(res Result) bool {
+	return res.Stop.TimingDependent() || len(res.Panics) > 0
+}
+
 // fpCollector gathers the reachable and terminated fingerprint sets of
 // one run, mutex-guarded for parallel workers.
 type fpCollector struct {
@@ -146,6 +153,14 @@ func CheckWorkers(c model.Config, opts Options, workers int) WorkersAudit {
 	a.Serial = Run(c, so)
 	a.Parallel = Run(c, po)
 
+	// A timing-dependent budget cut (deadline, cancellation, memory)
+	// or a degraded run stops each search at an arbitrary,
+	// scheduling-dependent point: no statistic is comparable, so the
+	// audit reports nothing rather than noise.
+	if budgetCut(a.Serial) || budgetCut(a.Parallel) {
+		return a
+	}
+
 	diverged := func(field string, ok bool) {
 		if !ok {
 			a.StatsDiverged = append(a.StatsDiverged, field)
@@ -156,7 +171,7 @@ func CheckWorkers(c model.Config, opts Options, workers int) WorkersAudit {
 	diverged("verdict", (a.Serial.Violation == nil) == (a.Parallel.Violation == nil))
 
 	complete := a.Serial.Violation == nil && a.Parallel.Violation == nil &&
-		a.Serial.Explored < opts.maxConfigs() && a.Parallel.Explored < opts.maxConfigs()
+		a.Serial.Stop == StopNone && a.Parallel.Stop == StopNone
 	if complete {
 		a.SetsCompared = true
 		diverged("terminated", a.Serial.Terminated == a.Parallel.Terminated)
@@ -186,13 +201,20 @@ func CheckPOR(c model.Config, opts Options) PORAudit {
 	var a PORAudit
 	a.Full = Run(c, fo)
 	a.Reduced = Run(c, ro)
+
+	// Under a timing-dependent budget cut or a degraded run the
+	// verdicts legitimately differ (one search may be cut before the
+	// violation); report nothing.
+	if budgetCut(a.Full) || budgetCut(a.Reduced) {
+		return a
+	}
 	a.VerdictDiverged = (a.Full.Violation == nil) != (a.Reduced.Violation == nil)
 
 	// Set diffs only make sense when both searches ran to their bound:
 	// an early stop (violation, MaxConfigs) leaves the sets arbitrary
 	// prefixes.
 	complete := a.Full.Violation == nil && a.Reduced.Violation == nil &&
-		a.Full.Explored < opts.maxConfigs() && a.Reduced.Explored < opts.maxConfigs()
+		a.Full.Stop == StopNone && a.Reduced.Stop == StopNone
 	if complete {
 		a.SetsCompared = true
 		a.MissingTerminated = full.terminated.MissingFrom(reduced.terminated)

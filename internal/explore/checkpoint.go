@@ -1,0 +1,261 @@
+package explore
+
+// Checkpoint/resume: a search can persist its sharded seen-set and
+// frontier to disk and be continued later — across process restarts —
+// by Resume. The checkpoint is written at a consistent cut: the pool
+// is suspended (periodic checkpoints) or has stopped (final
+// checkpoint), so every seen entry is either fully expanded or has its
+// configuration on the frontier, and the frontier configurations are
+// serialised through the model's snapshot support
+// (model.Config.AppendSnapshot / model.Model.Restore).
+//
+// Resuming reaches the same fixpoint as an uninterrupted run: the
+// engine's depth and sleep-mask relaxations are monotone and
+// re-admission is idempotent, so the terminated-state fingerprint set,
+// Explored, Depth and the verdict are functions of the search
+// parameters alone, not of where (or how often) the search was
+// interrupted. The checkpoint/resume equivalence test asserts exactly
+// this on the E13 workload.
+//
+// Format: a gob stream of one checkpointFile value, versioned, keyed
+// by 128-bit fingerprints. Entry metadata (depth, sleep mask,
+// expansion state) restores the relaxation fixpoint-in-progress;
+// frontier snapshots restore the pending configurations; a recorded
+// violation restores the verdict. Writes are atomic (temp file +
+// rename), so a crash mid-write leaves the previous checkpoint intact.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/model"
+)
+
+// checkpointVersion is bumped on any incompatible format change;
+// Resume rejects other versions.
+const checkpointVersion = 1
+
+// checkpointEntry is one serialised seen-set record.
+type checkpointEntry struct {
+	FP            fingerprint.FP
+	Depth         int32
+	ExpandedAt    int32
+	Sleep         uint64
+	ExpandedSleep uint64
+	Expandable    bool
+	Term          bool
+}
+
+// checkpointItem is one serialised frontier configuration.
+type checkpointItem struct {
+	FP       fingerprint.FP
+	Snapshot []byte
+}
+
+// checkpointFile is the on-disk checkpoint container.
+type checkpointFile struct {
+	Version    int
+	NInit      int
+	MaxEvents  int
+	POR        bool
+	Truncated  bool
+	Explored   int
+	Terminated int
+	// Violation is the snapshot of the violating configuration (nil
+	// if none): a violated search resumes to its final verdict
+	// immediately.
+	Violation []byte
+	Entries   []checkpointEntry
+	Frontier  []checkpointItem
+}
+
+// writeCheckpoint persists the current search state to
+// opts.CheckpointPath. Only called while the pool is stopped or
+// suspended (no workers running), so the shards and queue are stable.
+func (r *run) writeCheckpoint() error {
+	if r.opts.CheckpointPath == "" {
+		return nil
+	}
+	panicked := make(map[fingerprint.FP]bool, len(r.panicItems))
+	for _, it := range r.panicItems {
+		panicked[it.fp] = true
+	}
+	ck := checkpointFile{
+		Version:    checkpointVersion,
+		NInit:      r.nInit,
+		MaxEvents:  r.maxEv,
+		POR:        r.opts.POR,
+		Truncated:  r.truncated.Load(),
+		Explored:   int(r.explored.Load()),
+		Terminated: int(r.terminated.Load()),
+	}
+	if v := r.violation.Load(); v != nil {
+		ck.Violation = (*v).AppendSnapshot(nil)
+	}
+	for i := range r.shards {
+		for fp, e := range r.shards[i].byFP {
+			ce := checkpointEntry{
+				FP:            fp,
+				Depth:         e.depth,
+				ExpandedAt:    e.expandedAt,
+				Sleep:         uint64(e.sleep),
+				ExpandedSleep: uint64(e.expandedSleep),
+				Expandable:    e.expandable,
+				Term:          e.term,
+			}
+			if panicked[fp] {
+				// The live run does not retry a panicked expansion,
+				// but a resume (after a fix) should: re-open it.
+				ce.ExpandedAt, ce.ExpandedSleep = -1, 0
+			}
+			ck.Entries = append(ck.Entries, ce)
+		}
+	}
+	for _, it := range r.frontierItems() {
+		ck.Frontier = append(ck.Frontier, checkpointItem{
+			FP:       it.fp,
+			Snapshot: it.cfg.AppendSnapshot(nil),
+		})
+	}
+	return writeCheckpointFile(r.opts.CheckpointPath, &ck)
+}
+
+func writeCheckpointFile(path string, ck *checkpointFile) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("explore: checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("explore: checkpoint encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("explore: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("explore: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+func loadCheckpointFile(path string) (*checkpointFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("explore: checkpoint: %w", err)
+	}
+	defer f.Close()
+	var ck checkpointFile
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("explore: checkpoint decode %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("explore: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.Explored != len(ck.Entries) {
+		return nil, fmt.Errorf("explore: checkpoint %s is inconsistent: %d entries for Explored=%d",
+			path, len(ck.Entries), ck.Explored)
+	}
+	return &ck, nil
+}
+
+// Resume continues a checkpointed search of model m under opts. The
+// search-identity parameters (MaxEvents, POR) are taken from the
+// checkpoint — they are part of what the seen-set means — while
+// budgets, worker count, property, hooks and checkpoint settings come
+// from opts. Frontier snapshots are restored through m.Restore and
+// verified against their recorded fingerprints, so a checkpoint from a
+// different backend or a corrupted file fails loudly. Resuming a
+// finished checkpoint is idempotent; resuming a violated one returns
+// the violated result immediately.
+func Resume(path string, m model.Model, opts Options) (Result, error) {
+	if opts.CheckCollisions {
+		return Result{}, fmt.Errorf("explore: CheckCollisions is incompatible with checkpointing")
+	}
+	ck, err := loadCheckpointFile(path)
+	if err != nil {
+		return Result{}, err
+	}
+	opts.MaxEvents = ck.MaxEvents
+	opts.POR = ck.POR
+	r := newRun(opts)
+	r.nInit = ck.NInit
+	nTerm := 0
+	for _, ce := range ck.Entries {
+		e := &entry{
+			depth:         ce.Depth,
+			expandedAt:    ce.ExpandedAt,
+			sleep:         threadMask(ce.Sleep),
+			expandedSleep: threadMask(ce.ExpandedSleep),
+			expandable:    ce.Expandable,
+			term:          ce.Term,
+		}
+		sh := r.shardOf(ce.FP)
+		if _, dup := sh.byFP[ce.FP]; dup {
+			return Result{}, fmt.Errorf("explore: checkpoint %s has duplicate entry %v", path, ce.FP)
+		}
+		sh.byFP[ce.FP] = e
+		if ce.Term {
+			nTerm++
+		}
+	}
+	if nTerm != ck.Terminated {
+		return Result{}, fmt.Errorf("explore: checkpoint %s is inconsistent: %d terminated entries for Terminated=%d",
+			path, nTerm, ck.Terminated)
+	}
+	r.explored.Store(int64(ck.Explored))
+	r.terminated.Store(int64(nTerm))
+	r.truncated.Store(ck.Truncated)
+	// Replay the seen-set into the collector so audits built on
+	// Resume observe the complete reachable set, not just the portion
+	// explored after the interruption.
+	if r.opts.collect != nil {
+		for _, ce := range ck.Entries {
+			r.opts.collect(ce.FP, ce.Term)
+		}
+	}
+	for _, fi := range ck.Frontier {
+		c, err := m.Restore(fi.Snapshot)
+		if err != nil {
+			return Result{}, fmt.Errorf("explore: checkpoint %s frontier: %w", path, err)
+		}
+		if got := c.Fingerprint(); got != fi.FP {
+			return Result{}, fmt.Errorf("explore: checkpoint %s frontier snapshot drifted: restored %v, recorded %v",
+				path, got, fi.FP)
+		}
+		if e := r.shardOf(fi.FP).byFP[fi.FP]; e == nil {
+			return Result{}, fmt.Errorf("explore: checkpoint %s frontier config %v has no seen-set entry", path, fi.FP)
+		}
+		r.pool.push(item{cfg: c, fp: fi.FP})
+	}
+	if len(ck.Violation) > 0 {
+		c, err := m.Restore(ck.Violation)
+		if err != nil {
+			return Result{}, fmt.Errorf("explore: checkpoint %s violation: %w", path, err)
+		}
+		r.violation.Store(&c)
+		r.requested.Store(int32(StopViolation))
+		r.stop.Store(int32(StopViolation))
+		// The verdict is final; nothing further runs.
+		return r.finalize(), nil
+	}
+	r.execute()
+	return r.finalize(), nil
+}
+
+// CheckpointInterval is a convenience guard for CLI flag plumbing: it
+// validates that a periodic interval has a path to write to.
+func CheckpointInterval(path string, every time.Duration) error {
+	if every > 0 && path == "" {
+		return fmt.Errorf("explore: a checkpoint interval needs a checkpoint path")
+	}
+	return nil
+}

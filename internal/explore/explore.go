@@ -36,15 +36,28 @@
 // carries its shortest-path depth and its final (smallest) sleep mask,
 // making Explored, Terminated, Depth and the Truncated flag identical
 // across worker counts whenever the search runs to completion (no
-// MaxConfigs cut, no early property exit) — with or without POR, for
+// budget cut, no early property exit) — with or without POR, for
 // every backend.
+//
+// The engine is resource-governed (budget.go): wall-clock deadlines,
+// context cancellation, state and memory budgets all cut the search at
+// a safe point and yield a sound partial Result with a tri-state
+// Verdict; worker panics in model code are isolated per configuration
+// while the remaining shards finish in degraded mode; and a search can
+// periodically checkpoint its seen-set and frontier to disk and later
+// resume (checkpoint.go), provably reaching the same fixpoint as an
+// uninterrupted run — the relaxation fixpoint is monotone and
+// re-admission idempotent, so where the search stopped does not matter.
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fingerprint"
 	"repro/internal/model"
@@ -58,12 +71,14 @@ type Options struct {
 	// are not expanded further. Zero means 24.
 	MaxEvents int
 	// MaxConfigs bounds the number of distinct configurations
-	// explored; once reached, no further configurations are admitted
-	// and the search is reported truncated. Zero means 1 << 20. When
-	// the cap cuts a parallel search, *which* configurations were
-	// admitted depends on scheduling, so Terminated and Depth (unlike
-	// Explored and Truncated) may vary between runs; use Workers 1
-	// for a deterministic truncated prefix.
+	// explored; once reached, no further configurations are admitted,
+	// the search stops with StopMaxConfigs and the configuration whose
+	// expansion was rejected stays on the frontier (so a resumed run
+	// with a larger budget loses nothing). When the cap cuts a
+	// parallel search, *which* configurations were admitted depends on
+	// scheduling, so Terminated and Depth (unlike Explored and
+	// Truncated) may vary between runs; use Workers 1 for a
+	// deterministic truncated prefix.
 	MaxConfigs int
 	// Workers sets the parallelism; 0 means GOMAXPROCS, 1 is serial.
 	Workers int
@@ -84,6 +99,43 @@ type Options struct {
 	// With Workers > 1 the property is called concurrently from
 	// multiple workers and must be safe for concurrent use.
 	Property func(model.Config) bool
+
+	// Context, when non-nil, cancels the search: when it is done the
+	// engine stops with StopCancelled and returns a sound partial
+	// Result.
+	Context context.Context
+	// Timeout, when positive, bounds the wall-clock time of the
+	// search relative to its start; Deadline, when non-zero, bounds it
+	// absolutely. The earlier of the two applies; exceeding it stops
+	// the search with StopDeadline.
+	Timeout time.Duration
+	// Deadline is the absolute form of Timeout.
+	Deadline time.Time
+	// MaxMemBytes, when positive, bounds the process heap: a watcher
+	// polls runtime.MemStats every MemPoll and stops the search with
+	// StopMemory when HeapAlloc exceeds the bound. The bound is
+	// process-global and advisory (polling can overshoot by up to one
+	// interval of allocation).
+	MaxMemBytes uint64
+	// MemPoll is the MemStats polling interval; zero means 25ms.
+	MemPoll time.Duration
+	// Hooks, when non-nil, observes the engine on the expansion path
+	// (see Hooks); internal/faultinject implements it to inject worker
+	// panics, latency and allocation pressure.
+	Hooks Hooks
+	// CheckpointPath, when non-empty, makes the engine write a
+	// checkpoint of the sharded seen-set and frontier to this path
+	// when the search ends (for whatever cause), atomically via a
+	// temp-file rename. With CheckpointEvery > 0 the engine also
+	// suspends periodically and snapshots mid-search. Resume continues
+	// a checkpointed search and provably reaches the same fixpoint as
+	// an uninterrupted run. Incompatible with CheckCollisions (the
+	// exact-key seen-set is not serialised).
+	CheckpointPath string
+	// CheckpointEvery is the periodic checkpoint interval; zero means
+	// only the final checkpoint is written.
+	CheckpointEvery time.Duration
+
 	// CheckCollisions switches deduplication to the exact canonical
 	// string keys (model.Config.Key) and audits the fingerprints
 	// against them, counting distinct keys whose 128-bit fingerprints
@@ -104,7 +156,8 @@ type Options struct {
 	// collect, when non-nil, observes every admitted configuration's
 	// fingerprint and whether it is terminated. Used by CheckPOR to
 	// gather reachable sets; must be safe for concurrent use when
-	// Workers > 1.
+	// Workers > 1. On Resume it is replayed over the checkpointed
+	// seen-set before exploration continues.
 	collect func(fp fingerprint.FP, terminated bool)
 }
 
@@ -131,6 +184,13 @@ func (o Options) workers() int {
 
 // Result summarises an exploration.
 type Result struct {
+	// Verdict is the tri-state outcome: PROVED (space exhausted within
+	// the progress bound, no violation), VIOLATED (violation found) or
+	// BOUNDED (a resource budget cut the search or panics degraded
+	// it). A degraded or budget-cut search never reports PROVED.
+	Verdict Verdict
+	// Stop records which budget (if any) stopped the search.
+	Stop StopCause
 	// Explored counts distinct configurations visited.
 	Explored int
 	// Terminated counts configurations where every thread has
@@ -141,12 +201,28 @@ type Result struct {
 	// bound).
 	Truncated bool
 	// Violation is a configuration falsifying the property, nil if
-	// none was found.
+	// none was found. It is always a really-reached configuration —
+	// replayable by FindTrace with no budget — whatever budgets were
+	// in force.
 	Violation model.Config
 	// Depth is the maximum over explored configurations of the
 	// shortest transition distance from the initial configuration
 	// (under POR: the shortest distance in the reduced graph).
 	Depth int
+	// Frontier counts configurations admitted but not yet (fully)
+	// expanded when the search ended: zero at quiescence, positive
+	// after a budget cut. Together with Explored it is the coverage
+	// statistic of a partial result.
+	Frontier int
+	// ShardDepths is the per-shard maximum depth (numShards entries),
+	// the coverage profile of the sharded seen-set.
+	ShardDepths []int
+	// Panics holds one repro artifact per isolated worker panic; the
+	// rest of the search continued in degraded mode.
+	Panics []PanicRecord
+	// CheckpointErr reports a failure to write a requested checkpoint
+	// (the exploration result itself is unaffected).
+	CheckpointErr error
 	// FingerprintCollisions counts distinct canonical keys that
 	// shared a fingerprint; only populated under CheckCollisions.
 	FingerprintCollisions int
@@ -157,14 +233,14 @@ type Result struct {
 	ClosureMismatches int
 }
 
-// Run explores the state space of c under the given options.
-func Run(c model.Config, opts Options) Result {
+// newRun builds the engine state for opts without admitting anything.
+func newRun(opts Options) *run {
 	r := &run{
 		opts:   opts,
-		nInit:  c.Progress(),
 		maxEv:  opts.maxEvents(),
 		maxCfg: opts.maxConfigs(),
 	}
+	r.deadline = opts.effectiveDeadline(time.Now())
 	r.pool.cond = sync.NewCond(&r.pool.mu)
 	for i := range r.shards {
 		if opts.CheckCollisions {
@@ -174,51 +250,21 @@ func Run(c model.Config, opts Options) Result {
 			r.shards[i].byFP = make(map[fingerprint.FP]*entry)
 		}
 	}
+	return r
+}
 
+// Run explores the state space of c under the given options.
+func Run(c model.Config, opts Options) Result {
+	if opts.CheckCollisions && opts.CheckpointPath != "" {
+		// The exact-key seen-set is not serialised; fail loudly rather
+		// than write a checkpoint that cannot restore the debug mode.
+		return Result{CheckpointErr: fmt.Errorf("explore: CheckCollisions is incompatible with checkpointing")}
+	}
+	r := newRun(opts)
+	r.nInit = c.Progress()
 	r.admit(c, 0, 0)
-	if w := opts.workers(); w <= 1 {
-		// Serial is the same engine with the one worker run inline:
-		// the FIFO pool makes the search breadth-first and the
-		// truncated prefix deterministic.
-		r.worker()
-	} else {
-		var wg sync.WaitGroup
-		for i := 0; i < w; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				r.worker()
-			}()
-		}
-		wg.Wait()
-	}
-
-	var res Result
-	res.Explored = int(r.explored.Load())
-	res.Terminated = int(r.terminated.Load())
-	res.Truncated = r.truncated.Load()
-	if v := r.violation.Load(); v != nil {
-		res.Violation = *v
-	}
-	res.FingerprintCollisions = int(r.collisions.Load())
-	res.ClosureMismatches = int(r.mismatches.Load())
-	for i := range r.shards {
-		sh := &r.shards[i]
-		if opts.CheckCollisions {
-			for _, e := range sh.byKey {
-				if int(e.depth) > res.Depth {
-					res.Depth = int(e.depth)
-				}
-			}
-		} else {
-			for _, e := range sh.byFP {
-				if int(e.depth) > res.Depth {
-					res.Depth = int(e.depth)
-				}
-			}
-		}
-	}
-	return res
+	r.execute()
+	return r.finalize()
 }
 
 // entry is one seen-set record: the best depth and smallest sleep mask
@@ -231,6 +277,7 @@ type entry struct {
 	sleep         threadMask
 	expandedSleep threadMask
 	expandable    bool
+	term          bool
 }
 
 // relax folds a re-discovery at depth d with sleep mask sleep into
@@ -330,11 +377,23 @@ func (p *pool) stop() {
 	p.cond.Broadcast()
 }
 
+// resume clears the stop flag after a checkpoint suspension; the
+// re-started workers drain the queue the suspension left behind
+// (pending == queued items again, since every in-flight item was
+// either completed or unclaimed and re-queued before the workers
+// exited).
+func (p *pool) resume() {
+	p.mu.Lock()
+	p.stopped = false
+	p.mu.Unlock()
+}
+
 type run struct {
-	opts   Options
-	nInit  int
-	maxEv  int
-	maxCfg int
+	opts     Options
+	nInit    int
+	maxEv    int
+	maxCfg   int
+	deadline time.Time
 
 	shards [numShards]shard
 	pool   pool
@@ -345,32 +404,56 @@ type run struct {
 	collisions atomic.Int64
 	mismatches atomic.Int64
 	violation  atomic.Pointer[model.Config]
+
+	// requested is the sticky first real stop cause; stop is the live
+	// signal workers poll (may transiently hold stopCheckpoint). See
+	// budget.go.
+	requested atomic.Int32
+	stop      atomic.Int32
+
+	panicMu    sync.Mutex
+	panics     []PanicRecord
+	panicItems []item
+
+	ckErr error
 }
 
 func (r *run) shardOf(fp fingerprint.FP) *shard {
 	return &r.shards[fp.Lo%numShards]
 }
 
+// lookup returns the seen-set entry for it (nil if absent). The
+// caller must hold the item's shard lock.
+func (sh *shard) lookup(it item, checkCollisions bool) *entry {
+	if checkCollisions {
+		return sh.byKey[it.key]
+	}
+	return sh.byFP[it.fp]
+}
+
 // admit deduplicates and registers cfg at depth d with sleep mask
 // sleep, updating counters and queueing it when expandable.
 // Re-discoveries at a shorter depth or with a smaller sleep mask relax
 // the recorded values and re-queue already-expanded entries so the
-// improvements propagate.
-func (r *run) admit(cfg model.Config, d int32, sleep threadMask) {
+// improvements propagate. It reports whether the caller may continue
+// expanding: false when the admission was rejected by the MaxConfigs
+// budget or cfg violated the property — either way the search is
+// stopping and the parent must stay on the frontier.
+func (r *run) admit(cfg model.Config, d int32, sleep threadMask) bool {
+	// Everything that calls into model code runs outside the shard
+	// lock: model methods may be expensive, and under fault injection
+	// they may panic — a panic below never wedges a shard mutex.
 	fp := cfg.Fingerprint()
 	var key string
 	if r.opts.CheckCollisions {
 		key = cfg.Key()
 	}
+	term := cfg.Terminated()
+	atBound := cfg.Progress()-r.nInit >= r.maxEv
 	sh := r.shardOf(fp)
 
 	sh.mu.Lock()
-	var e *entry
-	if r.opts.CheckCollisions {
-		e = sh.byKey[key]
-	} else {
-		e = sh.byFP[fp]
-	}
+	e := sh.lookup(item{fp: fp, key: key}, r.opts.CheckCollisions)
 	if e != nil {
 		// Known configuration: relax depth and sleep mask.
 		requeue := e.relax(d, sleep)
@@ -378,7 +461,7 @@ func (r *run) admit(cfg model.Config, d int32, sleep threadMask) {
 		if requeue {
 			r.pool.push(item{cfg: cfg, fp: fp, key: key})
 		}
-		return
+		return true
 	}
 	// Fresh configuration: honour the MaxConfigs admission cap.
 	n := r.explored.Add(1)
@@ -386,16 +469,13 @@ func (r *run) admit(cfg model.Config, d int32, sleep threadMask) {
 		r.explored.Add(-1)
 		r.truncated.Store(true)
 		sh.mu.Unlock()
-		// The cap has both filled and rejected an admission: no
-		// further expansion can change any result field (fresh
-		// successors are rejected before the property runs,
-		// duplicates only relax metadata), so the remaining work is
-		// abandoned.
-		r.pool.stop()
-		return
+		// The rejected configuration is not recorded anywhere, so the
+		// parent's expansion is incomplete: the caller re-queues it,
+		// keeping the frontier sound for checkpoint/resume under a
+		// larger budget.
+		r.stopWith(StopMaxConfigs)
+		return false
 	}
-	term := cfg.Terminated()
-	atBound := cfg.Progress()-r.nInit >= r.maxEv
 	// Configurations at the progress bound stay expandable: their
 	// memory successors are suppressed (expand filters them), but
 	// silent steps add no events and must keep draining — otherwise
@@ -404,7 +484,7 @@ func (r *run) admit(cfg model.Config, d int32, sleep threadMask) {
 	// happens to take to it, since only some orders leave silent steps
 	// for last. Draining makes the bounded terminated set a function
 	// of the bound alone, which the POR and worker audits rely on.
-	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term}
+	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term, term: term}
 	if r.opts.CheckCollisions {
 		sh.byKey[key] = e
 		// Audit once per distinct canonical key.
@@ -441,12 +521,16 @@ func (r *run) admit(cfg model.Config, d int32, sleep threadMask) {
 	if r.opts.Property != nil && !r.opts.Property(cfg) {
 		c := cfg
 		r.violation.CompareAndSwap(nil, &c)
-		r.pool.stop()
-		return
+		r.stopWith(StopViolation)
+		// The violating configuration is admitted (it is in the seen
+		// set), but the parent's remaining successors are not: the
+		// parent returns to the frontier with the rest of its work.
+		return false
 	}
 	if e.expandable {
 		r.pool.push(item{cfg: cfg, fp: fp, key: key})
 	}
+	return true
 }
 
 // claim marks it as being expanded and returns the depth and sleep
@@ -457,18 +541,53 @@ func (r *run) claim(it item) (int32, threadMask, bool) {
 	sh := r.shardOf(it.fp)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	var e *entry
-	if r.opts.CheckCollisions {
-		e = sh.byKey[it.key]
-	} else {
-		e = sh.byFP[it.fp]
-	}
+	e := sh.lookup(it, r.opts.CheckCollisions)
 	if e == nil || e.expanded() {
 		return 0, 0, false
 	}
 	e.expandedAt = e.depth
 	e.expandedSleep = e.sleep
 	return e.depth, e.sleep, true
+}
+
+// unclaim reverts a claim whose expansion did not complete (stop
+// signal or budget rejection mid-expansion): the entry becomes
+// unexpanded again so a re-queued item — or a resumed run — picks it
+// back up. Monotonicity is preserved: un-expanding never invalidates
+// relaxations already propagated through admitted successors.
+func (r *run) unclaim(it item) {
+	sh := r.shardOf(it.fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.lookup(it, r.opts.CheckCollisions); e != nil {
+		e.expandedAt = -1
+		e.expandedSleep = 0
+	}
+}
+
+// recordPanic captures an isolated worker panic as a repro artifact.
+// The entry stays claimed, so the live run does not retry what is
+// likely a deterministic panic; the checkpoint writer re-opens it (and
+// queues its snapshot) so an operator resume retries it after a fix.
+func (r *run) recordPanic(it item, d int32, v any) {
+	rec := PanicRecord{
+		FP:      it.fp,
+		Depth:   int(d),
+		Program: it.cfg.Program().String(),
+		Err:     fmt.Sprint(v),
+		Stack:   string(debug.Stack()),
+	}
+	// Snapshotting calls model code on a configuration whose expansion
+	// just panicked; guard it so one bad state cannot take down the
+	// degraded-mode guarantee.
+	func() {
+		defer func() { recover() }() //nolint:errcheck // best-effort artifact
+		rec.Snapshot = it.cfg.AppendSnapshot(nil)
+	}()
+	r.panicMu.Lock()
+	r.panics = append(r.panics, rec)
+	r.panicItems = append(r.panicItems, it)
+	r.panicMu.Unlock()
 }
 
 // expand generates the successors of cfg at depth d under sleep mask
@@ -478,13 +597,16 @@ func (r *run) claim(it item) (int32, threadMask, bool) {
 // the full and the reduced search alike (the reduction is bypassed
 // there: the handful of silent-only frontier states is not worth
 // planning over). scratch is the worker's reusable successor buffer;
-// the (possibly regrown) buffer is returned for the next expansion.
-func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.Config) []model.Config {
+// the (possibly regrown) buffer is returned for the next expansion,
+// along with whether every successor was admitted (false when a stop
+// signal or budget rejection aborted the expansion).
+func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.Config) ([]model.Config, bool) {
+	complete := true
 	emit := func(s model.Config, cs threadMask) bool {
-		if r.violation.Load() != nil {
+		if r.stop.Load() != 0 || !r.admit(s, d+1, cs) {
+			complete = false
 			return false
 		}
-		r.admit(s, d+1, cs)
 		return true
 	}
 	if atBound := cfg.Progress()-r.nInit >= r.maxEv; atBound {
@@ -499,10 +621,10 @@ func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.C
 				break
 			}
 		}
-		return scratch[:0]
+		return scratch[:0], complete
 	}
 	if r.opts.POR && forEachReducedSucc(cfg, sl, emit) {
-		return scratch
+		return scratch, complete
 	}
 	scratch = cfg.Expand(scratch[:0])
 	for i, s := range scratch {
@@ -511,7 +633,34 @@ func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.C
 			break
 		}
 	}
-	return scratch[:0]
+	return scratch[:0], complete
+}
+
+// process claims and expands one item, isolating panics from model
+// code: a panic is captured as a repro artifact (the entry stays
+// claimed) and the worker moves on — the rest of the search finishes
+// in degraded mode. An expansion aborted by a stop signal or budget
+// rejection is unclaimed and re-queued so the frontier stays sound.
+func (r *run) process(it item, scratch *[]model.Config) {
+	d, sl, live := r.claim(it)
+	if !live {
+		return
+	}
+	completed := false
+	defer func() {
+		if v := recover(); v != nil {
+			r.recordPanic(it, d, v)
+			return
+		}
+		if !completed {
+			r.unclaim(it)
+			r.pool.push(it)
+		}
+	}()
+	if r.opts.Hooks != nil {
+		r.opts.Hooks.BeforeExpand(it.fp, int(d))
+	}
+	*scratch, completed = r.expand(it.cfg, d, sl, *scratch)
 }
 
 func (r *run) worker() {
@@ -521,11 +670,166 @@ func (r *run) worker() {
 		if !ok {
 			return
 		}
-		if d, sl, live := r.claim(it); live {
-			scratch = r.expand(it.cfg, d, sl, scratch)
+		if r.stop.Load() != 0 {
+			// A stop signal raced past the pool flag (e.g. it fired in
+			// the narrow window of a checkpoint resume): hand the item
+			// back untouched, re-stop and exit.
+			r.pool.push(it)
+			r.pool.done()
+			r.pool.stop()
+			return
 		}
+		r.process(it, &scratch)
 		r.pool.done()
 	}
+}
+
+// runWorkers runs one pool-draining leg: the workers exit when the
+// pool quiesces or a stop signal drains it.
+func (r *run) runWorkers() {
+	if w := r.opts.workers(); w <= 1 {
+		// Serial is the same engine with the one worker run inline:
+		// the FIFO pool makes the search breadth-first and the
+		// truncated prefix deterministic.
+		r.worker()
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < r.opts.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker()
+		}()
+	}
+	wg.Wait()
+}
+
+// execute drives worker legs until quiescence or a real stop,
+// suspending and resuming around periodic checkpoints. The budget
+// monitor (if any budget is set) runs across all legs.
+func (r *run) execute() {
+	var monDone chan struct{}
+	if r.needMonitor() {
+		monDone = make(chan struct{})
+		go r.monitor(monDone)
+	}
+	for {
+		r.runWorkers()
+		if StopCause(r.stop.Load()) != stopCheckpoint {
+			break
+		}
+		// Periodic checkpoint: the pool is suspended and every entry
+		// is either fully expanded or back on the queue, so the
+		// snapshot is a consistent cut of the search.
+		if err := r.writeCheckpoint(); err != nil && r.ckErr == nil {
+			r.ckErr = err
+		}
+		// A real cause may have fired during the suspension: adopt it
+		// instead of resuming. stopWith cannot overwrite the live
+		// stopCheckpoint signal, so requested is the one place a raced
+		// cause can be.
+		if req := r.requested.Load(); req != 0 {
+			r.stop.Store(req)
+			break
+		}
+		r.stop.Store(0)
+		if req := r.requested.Load(); req != 0 {
+			// stopWith raced into the cleared window; re-adopt.
+			r.stop.Store(req)
+			break
+		}
+		r.pool.resume()
+	}
+	if monDone != nil {
+		close(monDone)
+	}
+	if r.opts.CheckpointPath != "" {
+		if err := r.writeCheckpoint(); err != nil && r.ckErr == nil {
+			r.ckErr = err
+		}
+	}
+}
+
+// finalize computes the Result after all workers have exited.
+func (r *run) finalize() Result {
+	var res Result
+	res.Explored = int(r.explored.Load())
+	res.Terminated = int(r.terminated.Load())
+	res.Truncated = r.truncated.Load()
+	if v := r.violation.Load(); v != nil {
+		res.Violation = *v
+	}
+	res.Stop = StopCause(r.requested.Load())
+	res.Panics = r.panics
+	res.CheckpointErr = r.ckErr
+	res.FingerprintCollisions = int(r.collisions.Load())
+	res.ClosureMismatches = int(r.mismatches.Load())
+	res.ShardDepths = make([]int, numShards)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		scan := func(e *entry) {
+			if int(e.depth) > res.ShardDepths[i] {
+				res.ShardDepths[i] = int(e.depth)
+			}
+		}
+		if r.opts.CheckCollisions {
+			for _, e := range sh.byKey {
+				scan(e)
+			}
+		} else {
+			for _, e := range sh.byFP {
+				scan(e)
+			}
+		}
+		if res.ShardDepths[i] > res.Depth {
+			res.Depth = res.ShardDepths[i]
+		}
+	}
+	res.Frontier = len(r.frontierItems())
+	switch {
+	case res.Violation != nil:
+		res.Verdict = VerdictViolated
+	case res.Stop != StopNone || len(res.Panics) > 0:
+		res.Verdict = VerdictBounded
+	default:
+		res.Verdict = VerdictProved
+	}
+	return res
+}
+
+// frontierItems returns the configurations admitted but not fully
+// expanded, deduplicated by fingerprint: the queue remainder (minus
+// stale re-queues) plus panicked configurations. Only called after
+// the workers have exited — it reads the pool and shards unlocked.
+func (r *run) frontierItems() []item {
+	seen := make(map[fingerprint.FP]bool)
+	var out []item
+	add := func(it item) {
+		if seen[it.fp] {
+			return
+		}
+		sh := r.shardOf(it.fp)
+		e := sh.lookup(it, r.opts.CheckCollisions)
+		if e == nil || !e.expandable {
+			return
+		}
+		seen[it.fp] = true
+		out = append(out, it)
+	}
+	for _, it := range r.pool.queue[r.pool.head:] {
+		sh := r.shardOf(it.fp)
+		if e := sh.lookup(it, r.opts.CheckCollisions); e != nil && e.expanded() {
+			continue // stale re-queue
+		}
+		add(it)
+	}
+	// Panicked configurations stay claimed in the live run (no retry),
+	// but they are unexpanded work: a resume retries them.
+	for _, it := range r.panicItems {
+		add(it)
+	}
+	return out
 }
 
 // Trace is a witness path through the state space.
@@ -614,7 +918,8 @@ func FindTrace(c model.Config, opts Options, pred func(model.Config) bool) (Trac
 // set of summaries of terminated configurations, as produced by
 // summarise. Terminated configurations are preserved by the
 // partial-order reduction, so Outcomes is reduction-safe: opts.POR
-// changes the work, not the answer.
+// changes the work, not the answer. A budget-cut run yields a partial
+// set; inspect Run's Result directly when that matters.
 func Outcomes(c model.Config, opts Options, summarise func(model.Config) string) map[string]bool {
 	out := map[string]bool{}
 	var mu sync.Mutex

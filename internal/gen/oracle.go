@@ -9,6 +9,7 @@ package gen
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/explore"
 	"repro/internal/model"
@@ -65,6 +66,13 @@ type CheckOpts struct {
 	// Workers is the parallel width of the serial-vs-parallel oracle
 	// (default 8).
 	Workers int
+	// Deadline, when non-zero, bounds every oracle exploration by
+	// wall-clock time through the engine's budget machinery. A search
+	// the deadline cuts reports through the audits as budget-cut: the
+	// set comparisons are skipped rather than reported as spurious
+	// divergences, and the refinement check is relative to what was
+	// explored (Report.TruncatedRA).
+	Deadline time.Time
 }
 
 func (o CheckOpts) withDefaults() CheckOpts {
@@ -110,7 +118,7 @@ func Check(f *parser.File, opts CheckOpts) (rep Report) {
 	}
 	rar, _ := backends.Get("rar")
 	sc, _ := backends.Get("sc")
-	eopts := explore.Options{MaxEvents: opts.MaxEvents, MaxConfigs: opts.MaxConfigs}
+	eopts := explore.Options{MaxEvents: opts.MaxEvents, MaxConfigs: opts.MaxConfigs, Deadline: opts.Deadline}
 
 	for _, m := range []model.Model{rar, sc} {
 		cfg := m.New(test.Prog, test.Init)

@@ -1,0 +1,94 @@
+package lang
+
+import (
+	"bytes"
+	"testing"
+)
+
+// codecPrograms covers every node kind, both annotation flags on
+// loads and assigns, nesting, and multi-thread programs.
+func codecPrograms() []Prog {
+	return []Prog{
+		{},
+		{Skip{}},
+		{AssignC("x", V(1))},
+		{AssignRelC("y", Add(X("x"), V(2)))},
+		{AssignNAC("d", XNA("d"))},
+		{SwapC("l", 1), SwapC("l", -3)},
+		{SeqC(AssignC("x", V(1)), AssignRelC("y", V(1)), SkipC())},
+		{IfC(Eq(XA("y"), V(1)), AssignC("a", X("x")), SkipC())},
+		{WhileC(Ne(XA("f"), V(0)), AssignC("x", Add(X("x"), V(1))))},
+		{LabelC("cs", AssignC("x", V(7)))},
+		{
+			SeqC(
+				AssignC("x", V(1)),
+				WhileC(Not(And(Eq(X("a"), V(0)), Or(X("b"), Un{Op: OpNeg, E: V(5)}))),
+					LabelC("body", SeqC(SwapC("m", 1), AssignNAC("z", XNA("z"))))),
+			),
+			IfC(Bin{Op: OpLt, L: X("i"), R: Bin{Op: OpSub, L: V(10), R: V(3)}},
+				SeqC(AssignRelC("y", V(2)), SkipC()),
+				LabelC("else", SkipC())),
+		},
+	}
+}
+
+func TestProgSigRoundTrip(t *testing.T) {
+	for i, p := range codecPrograms() {
+		enc := AppendProgSig(nil, p)
+		dec, rest, err := DecodeProgSig(enc)
+		if err != nil {
+			t.Fatalf("program %d: decode: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("program %d: %d unconsumed bytes", i, len(rest))
+		}
+		// The encoding is canonical, so round-tripping must reproduce
+		// it byte for byte — this is stronger than structural equality
+		// and is exactly what fingerprint stability needs.
+		re := AppendProgSig(nil, dec)
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("program %d: re-encoding differs\n  orig %x\n  re   %x", i, enc, re)
+		}
+		if got, want := dec.String(), p.String(); got != want {
+			t.Fatalf("program %d: rendering differs: got %q want %q", i, got, want)
+		}
+	}
+}
+
+// TestProgSigRoundTripWhileMidIteration checks the partially evaluated
+// loop guard (While.Cur ≠ While.Guard) survives the round trip — mid-
+// exploration configurations carry exactly this shape.
+func TestProgSigRoundTripWhileMidIteration(t *testing.T) {
+	w := While{Guard: Ne(XA("f"), V(0)), Cur: Ne(V(1), V(0)), Body: SkipC()}
+	p := Prog{w}
+	dec, rest, err := DecodeProgSig(AppendProgSig(nil, p))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: err=%v rest=%d", err, len(rest))
+	}
+	got, ok := dec[0].(While)
+	if !ok {
+		t.Fatalf("decoded %T, want While", dec[0])
+	}
+	if got.Cur.String() != w.Cur.String() || got.Guard.String() != w.Guard.String() {
+		t.Fatalf("guard state lost: got cur=%q guard=%q", got.Cur, got.Guard)
+	}
+}
+
+func TestDecodeProgSigRejectsCorruption(t *testing.T) {
+	enc := AppendProgSig(nil, codecPrograms()[10])
+	// Truncation at every prefix length must error, never panic.
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := DecodeProgSig(enc[:n]); err == nil {
+			// A strict prefix can only decode cleanly if the dropped
+			// suffix was a whole trailing unit — impossible here since
+			// the thread count pins the number of commands.
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	// Flipping a kind tag to garbage must error.
+	bad := append([]byte(nil), enc...)
+	bad[1] = 0xff
+	if _, _, err := DecodeProgSig(bad); err == nil {
+		t.Fatal("corrupted tag decoded without error")
+	}
+}

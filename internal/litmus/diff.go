@@ -33,8 +33,11 @@ type DiffReport struct {
 	// ExploredA and ExploredB count distinct configurations each
 	// search visited (the state-space cost of the weaker model).
 	ExploredA, ExploredB int
-	// TruncatedA and TruncatedB report bound cuts; a truncated search
-	// makes the diff relative to the bound.
+	// TruncatedA and TruncatedB report that a search did not cover its
+	// full bounded space — a progress/configuration bound cut it, or a
+	// resource budget (deadline, cancellation, memory) stopped it
+	// early. A truncated search makes the diff relative to what was
+	// explored.
 	TruncatedA, TruncatedB bool
 }
 
@@ -74,7 +77,8 @@ func (t *Test) Diff(a, b model.Model, opts explore.Options) DiffReport {
 	resB, outB := runOutcomes(b.New(t.Prog, t.Init), t.Observe, opts)
 	d.OutcomesA, d.OutcomesB = outA, outB
 	d.ExploredA, d.ExploredB = resA.Explored, resB.Explored
-	d.TruncatedA, d.TruncatedB = resA.Truncated, resB.Truncated
+	d.TruncatedA = resA.Truncated || resA.Stop != explore.StopNone
+	d.TruncatedB = resB.Truncated || resB.Stop != explore.StopNone
 
 	for k := range outA {
 		if !outB[k] {

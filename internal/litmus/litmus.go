@@ -131,7 +131,9 @@ func (t *Test) RunModel(m model.Model, opts explore.Options) Report {
 	res, outcomes := runOutcomes(cfg, t.Observe, opts)
 	rep.Outcomes = outcomes
 	rep.Explored = res.Explored
-	rep.Truncated = res.Truncated
+	// A budget stop leaves the outcome set partial exactly like a bound
+	// cut does; expectations are then relative to what was explored.
+	rep.Truncated = res.Truncated || res.Stop != explore.StopNone
 	rep.FingerprintCollisions = res.FingerprintCollisions
 
 	rep.MissingAllowed, rep.ReachedForbidden = t.CheckOutcomes(m.Name(), rep.Outcomes)

@@ -106,6 +106,15 @@ type Config interface {
 	// every backend so outcome sets are comparable across models —
 	// the basis of differential model checking.
 	Summarise(observe []event.Var) string
+
+	// AppendSnapshot appends a self-contained binary serialization of
+	// the configuration to buf and returns the extended slice. The
+	// blob starts with a backend tag and version byte and must restore
+	// (via the owning Model.Restore) to a configuration with the same
+	// Key and Fingerprint — the contract the explorer's checkpoint
+	// layer verifies at load time. Trace-only decoration (e.g. the
+	// label of the producing transition) need not survive.
+	AppendSnapshot(buf []byte) []byte
 }
 
 // Model is a named memory-model backend: a configuration factory.
@@ -114,4 +123,9 @@ type Model interface {
 	Name() string
 	// New pairs a program with an initial memory valuation.
 	New(p lang.Prog, vars map[event.Var]event.Val) Config
+	// Restore inverts Config.AppendSnapshot: it rebuilds the
+	// configuration a snapshot blob serialises. The whole blob must be
+	// consumed; a blob produced by a different backend, a different
+	// format version, or corrupted in transit is an error.
+	Restore(data []byte) (Config, error)
 }

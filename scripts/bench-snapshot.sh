@@ -1,0 +1,72 @@
+#!/bin/sh
+# Bench snapshot: runs the top-level benchmark harness and writes a
+# machine-readable BENCH_<label>.json next to PERF.md, so perf numbers
+# can be tracked across commits and diffed by tooling instead of being
+# copied into prose by hand.
+#
+# Usage (from the repo root):
+#
+#   sh scripts/bench-snapshot.sh                 # full harness, label = short commit
+#   sh scripts/bench-snapshot.sh -bench 'E13'    # one family
+#   BENCH_LABEL=baseline sh scripts/bench-snapshot.sh
+#
+# Extra arguments are passed through to `go test` (e.g. -benchtime 3x).
+# The output JSON carries one record per benchmark with every metric Go
+# reported (ns/op, B/op, allocs/op, states/op, ...) plus run metadata.
+# Only POSIX sh + awk + git + go are required.
+set -eu
+
+pattern='.'
+args=''
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -bench)
+        pattern="$2"
+        shift 2
+        ;;
+    *)
+        args="$args $1"
+        shift
+        ;;
+    esac
+done
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+label="${BENCH_LABEL:-$commit}"
+out="BENCH_${label}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# shellcheck disable=SC2086  # $args is intentionally word-split
+go test -run='^$' -bench="$pattern" -benchtime="${BENCH_TIME:-1x}" $args . | tee "$raw"
+
+awk -v commit="$commit" -v label="$label" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go env GOVERSION)" -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+function jsonstr(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+/^cpu: /  { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    # "BenchmarkName-8  N  v1 unit1  v2 unit2 ..." — every value/unit
+    # pair after the iteration count is a metric.
+    name = $1; sub(/-[0-9]+$/, "", name)
+    rec = sprintf("    {\"name\": \"%s\", \"iterations\": %s", jsonstr(name), $2)
+    for (i = 3; i + 1 <= NF; i += 2)
+        rec = rec sprintf(", \"%s\": %s", jsonstr($(i + 1)), $i)
+    rec = rec "}"
+    recs[++n] = rec
+}
+END {
+    printf "{\n"
+    printf "  \"label\": \"%s\",\n", jsonstr(label)
+    printf "  \"commit\": \"%s\",\n", jsonstr(commit)
+    printf "  \"date\": \"%s\",\n", jsonstr(date)
+    printf "  \"go\": \"%s\",\n", jsonstr(goversion)
+    printf "  \"os\": \"%s\",\n", jsonstr(goos)
+    printf "  \"arch\": \"%s\",\n", jsonstr(goarch)
+    printf "  \"cpu\": \"%s\",\n", jsonstr(cpu)
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++)
+        printf "%s%s\n", recs[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
