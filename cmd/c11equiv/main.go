@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -57,6 +58,9 @@ func main() {
 	if budget.Resume != "" || budget.Checkpoint != "" {
 		cli.Fatalf("c11equiv", "checkpointing applies to a single search; use c11explore for one program")
 	}
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	budget.Context = ctx
 
 	if *diff {
 		runModelDiff(*maxEv, budget)
@@ -68,6 +72,12 @@ func main() {
 	}
 	cut := false
 	pastDeadline := func() bool {
+		// The enumeration loops run no engine search, so the signal
+		// context is checked here, alongside the wall-clock budget.
+		if ctx.Err() != nil {
+			cut = true
+			return true
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			cut = true
 			return true
@@ -136,7 +146,7 @@ func main() {
 		os.Exit(cli.ExitViolation)
 	}
 	if cut {
-		fmt.Println("Theorem C.5 holds on every candidate checked (sweep cut by -timeout)")
+		fmt.Println("Theorem C.5 holds on every candidate checked (sweep cut by -timeout or signal)")
 		os.Exit(cli.ExitBounded)
 	}
 	fmt.Println("Theorem C.5 holds on every candidate checked")

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +70,9 @@ func main() {
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11explore", err)
 	}
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	budget.Context = ctx
 
 	if *example != "" {
 		runExample(*example, *dot)

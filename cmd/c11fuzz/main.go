@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +75,9 @@ func main() {
 		PSwap: *pswap, PIf: *pif, PWhile: *pwhile, PRel: *prel,
 		PAcq: *pacq, PNA: *pna, PNeg: *pneg, PExpr: *pexpr,
 	}
-	opts := gen.CheckOpts{MaxEvents: *maxEv, MaxConfigs: *maxConfigs, Workers: *workers}
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	opts := gen.CheckOpts{MaxEvents: *maxEv, MaxConfigs: *maxConfigs, Workers: *workers, Context: ctx}
 
 	if *replay != "" {
 		os.Exit(replayDir(*replay, opts, *v))
@@ -97,6 +100,10 @@ func fuzz(seed int64, n int, params gen.Params, opts gen.CheckOpts, corpus, keep
 	failures, weak, truncated := 0, 0, 0
 	ran := 0
 	for i := 0; i < n; i++ {
+		if opts.Context != nil && opts.Context.Err() != nil {
+			fmt.Printf("interrupted after %d programs\n", ran)
+			break
+		}
 		if budget > 0 && time.Since(start) > budget {
 			fmt.Printf("time budget %v exhausted after %d programs\n", budget, ran)
 			break

@@ -1,0 +1,101 @@
+// Command c11serve runs the verification service: an HTTP/JSON API
+// over the exploration engine. Clients POST litmus programs and get
+// the tri-state verdict (PROVED / VIOLATED / BOUNDED) with outcome
+// sets, expectation checks and coverage statistics back; the server
+// enforces admission control, per-request budget ceilings, a
+// fingerprint-keyed result cache, panic isolation and graceful drain
+// (see docs/service.md for the API).
+//
+// Usage:
+//
+//	c11serve -addr :8411                      # serve with defaults
+//	c11serve -workers 8 -queue 128            # bigger pool
+//	c11serve -spill /var/spool/c11serve       # enable drain checkpoints
+//	curl -s localhost:8411/v1/verify --data-binary @prog.lit
+//	curl -s localhost:8411/statz
+//
+// On SIGINT/SIGTERM the server stops admitting, drains in-flight
+// searches under -drain, checkpoints whatever had to be cut (when
+// -spill is set), and exits 0. A later c11serve over the same spill
+// directory finishes those searches via {"resume": "<artifact>"}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8411", "listen address")
+		workers = flag.Int("workers", 4, "concurrent searches")
+		queue   = flag.Int("queue", 64, "admission queue depth (beyond it, requests are shed)")
+		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		maxEv   = flag.Int("max-events", 16, "ceiling for a request's per-thread event bound")
+		maxSt   = flag.Int("max-states", 1<<20, "ceiling for a request's explored-state budget")
+		maxTo   = flag.Duration("max-timeout", 30*time.Second, "ceiling for a request's wall-clock budget")
+		maxMem  = flag.Int("max-mem-mb", 0, "process heap watermark per search in MiB (0 = off)")
+		spill   = flag.String("spill", "", "directory for drain checkpoints and panic artifacts (empty = off)")
+		drain   = flag.Duration("drain", 10*time.Second, "grace for in-flight searches at shutdown")
+	)
+	flag.Usage = cli.Usage(flag.CommandLine,
+		"Usage: c11serve [flags]\n\nServes bounded weak-memory verification over HTTP/JSON.")
+	cli.Parse()
+
+	if *spill != "" {
+		if err := os.MkdirAll(*spill, 0o755); err != nil {
+			cli.Fatal("c11serve", err)
+		}
+	}
+	s := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheEntries: func() int {
+			if *cache == 0 {
+				return -1
+			}
+			return *cache
+		}(),
+		MaxEvents:  *maxEv,
+		MaxStates:  *maxSt,
+		MaxTimeout: *maxTo,
+		MaxMemMB:   *maxMem,
+		SpillDir:   *spill,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "c11serve: listening on %s (workers=%d queue=%d spill=%q)\n",
+		*addr, *workers, *queue, *spill)
+
+	select {
+	case err := <-errc:
+		cli.Fatal("c11serve", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "c11serve: signal received, draining (grace %s)\n", *drain)
+	clean := s.Drain(*drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "c11serve: shutdown: %v\n", err)
+	}
+	if clean {
+		fmt.Fprintln(os.Stderr, "c11serve: drained clean")
+	} else {
+		fmt.Fprintln(os.Stderr, "c11serve: drain grace expired; cut searches checkpointed")
+	}
+}

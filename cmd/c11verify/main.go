@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +61,9 @@ func main() {
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11verify", err)
 	}
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	budget.Context = ctx
 
 	var (
 		prog lang.Prog

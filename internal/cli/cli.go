@@ -8,6 +8,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,6 +75,11 @@ type Budget struct {
 	// Resume is a checkpoint path to continue from instead of starting
 	// fresh.
 	Resume string
+	// Context, when non-nil, cancels every engine search the tool runs
+	// (set programmatically, not by a flag — frontends thread
+	// SignalContext here so SIGINT/SIGTERM cuts the search like any
+	// other budget).
+	Context context.Context
 }
 
 // Register installs the budget flags on fs (use flag.CommandLine for
@@ -107,6 +113,9 @@ func (b *Budget) Validate() error {
 // Apply folds the budget into engine options.
 func (b *Budget) Apply(o *explore.Options) {
 	o.Timeout = b.Timeout
+	if b.Context != nil {
+		o.Context = b.Context
+	}
 	if b.MaxStates > 0 {
 		o.MaxConfigs = b.MaxStates
 	}

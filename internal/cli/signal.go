@@ -1,0 +1,19 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM (and
+// a stop function restoring default signal behaviour). Every frontend
+// threads it into explore.Options.Context, so an interrupted search
+// stops at its next admission check with StopCancelled: the run is
+// reported as a normal budget-cut result — partial statistics, a
+// final checkpoint when -checkpoint is set — and the tool exits with
+// ExitBounded (2), same as any other inconclusive cut.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,129 @@
+package cli_test
+
+// Child-process harness for the frontends' signal handling: a real
+// binary gets a real SIGINT/SIGTERM mid-search and must cut the
+// search like a budget (exit 2, stop=cancelled), writing its final
+// checkpoint first when -checkpoint is set.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+)
+
+// slowLit is a three-thread cross-coupled counter: at bound 22 the
+// RAR search runs for tens of seconds, so the child is reliably
+// mid-search when the signal lands.
+const slowLit = `init x=0 y=0 g=0
+thread 1 { while (g == 0) { x := y + 1; } }
+thread 2 { while (g == 0) { y := x + 1; } }
+thread 3 { while (g == 0) { x := x + y; } }
+observe x y
+`
+
+// buildTool compiles one of the cmd binaries into dir.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// interrupt starts cmd, waits for it to be well into its work, sends
+// sig, and returns the exit code and combined output.
+func interrupt(t *testing.T, cmd *exec.Cmd, after time.Duration, sig os.Signal) (int, string) {
+	t.Helper()
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(after)
+	if err := cmd.Process.Signal(sig); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0, out.String()
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), out.String()
+		}
+		t.Fatalf("wait: %v\n%s", err, out.String())
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("child ignored %v and hung\n%s", sig, out.String())
+	}
+	return -1, ""
+}
+
+func TestExploreSIGINTCheckpointsAndExitsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and interrupts child processes")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "c11explore")
+	lit := filepath.Join(dir, "slow.lit")
+	if err := os.WriteFile(lit, []byte(slowLit), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "search.ckpt")
+
+	code, out := interrupt(t,
+		exec.Command(bin, "-f", lit, "-max", "22", "-workers", "2", "-checkpoint", ckpt),
+		500*time.Millisecond, os.Interrupt)
+	if code != cli.ExitBounded {
+		t.Fatalf("exit code %d after SIGINT, want %d\n%s", code, cli.ExitBounded, out)
+	}
+	if !strings.Contains(out, "stop=cancelled") {
+		t.Fatalf("output does not report the cancellation:\n%s", out)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no final checkpoint after SIGINT: %v", err)
+	}
+
+	// The checkpoint is loadable: a resumed run (under a small state
+	// budget, so it returns promptly) continues instead of failing.
+	resume := exec.Command(bin, "-resume", ckpt, "-max-states", "50")
+	rout, _ := resume.CombinedOutput()
+	if code := resume.ProcessState.ExitCode(); code != cli.ExitBounded {
+		t.Fatalf("resume of the interrupt checkpoint exited %d:\n%s", code, rout)
+	}
+	if !strings.Contains(string(rout), "verdict=BOUNDED") {
+		t.Fatalf("resume output:\n%s", rout)
+	}
+}
+
+func TestFuzzSIGTERMExitsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and interrupts child processes")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "c11fuzz")
+
+	// Enough programs that the run is still going when the signal
+	// lands; the corpus directory stays inside the temp dir.
+	code, out := interrupt(t,
+		exec.Command(bin, "-seed", "1", "-n", "1000000", "-corpus", filepath.Join(dir, "corpus")),
+		500*time.Millisecond, syscall.SIGTERM)
+	if code != cli.ExitBounded {
+		t.Fatalf("exit code %d after SIGTERM, want %d\n%s", code, cli.ExitBounded, out)
+	}
+	if !strings.Contains(out, "interrupted after") {
+		t.Fatalf("output does not report the interruption:\n%s", out)
+	}
+}

@@ -36,8 +36,9 @@ import (
 )
 
 // checkpointVersion is bumped on any incompatible format change;
-// Resume rejects other versions.
-const checkpointVersion = 1
+// Resume rejects other versions. Version 2 added the opaque Extra
+// caller blob (Options.CheckpointExtra/ResumeExtra).
+const checkpointVersion = 2
 
 // checkpointEntry is one serialised seen-set record.
 type checkpointEntry struct {
@@ -71,6 +72,10 @@ type checkpointFile struct {
 	Violation []byte
 	Entries   []checkpointEntry
 	Frontier  []checkpointItem
+	// Extra is the opaque caller blob of Options.CheckpointExtra,
+	// handed back verbatim through Options.ResumeExtra. The engine
+	// never interprets it.
+	Extra []byte
 }
 
 // writeCheckpoint persists the current search state to
@@ -121,8 +126,19 @@ func (r *run) writeCheckpoint() error {
 			Snapshot: it.cfg.AppendSnapshot(nil),
 		})
 	}
+	if r.opts.CheckpointExtra != nil {
+		ck.Extra = r.opts.CheckpointExtra()
+	}
 	return writeCheckpointFile(r.opts.CheckpointPath, &ck)
 }
+
+// ckWriteFault, when non-nil, runs after the gob stream is written to
+// the temp file and before it is synced and renamed into place. It is
+// a fault-injection seam for the checkpoint tests: returning an error
+// simulates a write killed mid-stream (the test may also corrupt or
+// truncate the temp file first), and the write path must then remove
+// the temp file and leave any previous checkpoint untouched.
+var ckWriteFault func(tmp string) error
 
 func writeCheckpointFile(path string, ck *checkpointFile) error {
 	dir := filepath.Dir(path)
@@ -135,6 +151,21 @@ func writeCheckpointFile(path string, ck *checkpointFile) error {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("explore: checkpoint encode: %w", err)
+	}
+	if ckWriteFault != nil {
+		if err := ckWriteFault(tmp); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("explore: checkpoint write: %w", err)
+		}
+	}
+	// Sync before rename: the rename must never make a checkpoint
+	// visible whose bytes could still be lost to a crash — a resumed
+	// run trusts whatever sits at path.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("explore: checkpoint sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -167,6 +198,19 @@ func loadCheckpointFile(path string) (*checkpointFile, error) {
 	return &ck, nil
 }
 
+// PeekExtra returns the opaque caller blob stored in the checkpoint
+// at path (nil when none was recorded) without restoring the search.
+// Callers whose blob determines how to resume — the verification
+// service stores the original request there, and needs it to pick the
+// model and budgets before calling Resume — read it with this first.
+func PeekExtra(path string) ([]byte, error) {
+	ck, err := loadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ck.Extra, nil
+}
+
 // Resume continues a checkpointed search of model m under opts. The
 // search-identity parameters (MaxEvents, POR) are taken from the
 // checkpoint — they are part of what the seen-set means — while
@@ -183,6 +227,9 @@ func Resume(path string, m model.Model, opts Options) (Result, error) {
 	ck, err := loadCheckpointFile(path)
 	if err != nil {
 		return Result{}, err
+	}
+	if opts.ResumeExtra != nil {
+		opts.ResumeExtra(ck.Extra)
 	}
 	opts.MaxEvents = ck.MaxEvents
 	opts.POR = ck.POR

@@ -135,6 +135,28 @@ type Options struct {
 	// CheckpointEvery is the periodic checkpoint interval; zero means
 	// only the final checkpoint is written.
 	CheckpointEvery time.Duration
+	// CheckpointOnCut, when true, suppresses the final checkpoint
+	// unless the search was actually cut short with unexpanded work —
+	// a budget stop, a cancellation, or isolated panics. A run that
+	// reached quiescence or a definite violation has nothing a resume
+	// could add, so callers that checkpoint only as a drain/crash
+	// safety net (the verification service) skip the serialisation
+	// cost on every clean completion. Periodic checkpoints
+	// (CheckpointEvery) are unaffected.
+	CheckpointOnCut bool
+	// CheckpointExtra, when non-nil, contributes an opaque caller blob
+	// to every checkpoint written (periodic and final). It is called
+	// at the checkpoint's quiescent cut — no workers are running — so
+	// it may read state the Property mutates without extra locking.
+	// Resume hands the blob back through ResumeExtra; the engine never
+	// interprets it. Callers use it to persist search-adjacent state
+	// the seen-set cannot reconstruct (e.g. the outcome set a property
+	// accumulated before the interruption).
+	CheckpointExtra func() []byte
+	// ResumeExtra, when non-nil, receives the CheckpointExtra blob of
+	// the checkpoint being resumed (nil when the checkpoint carried
+	// none) before exploration continues.
+	ResumeExtra func([]byte)
 
 	// CheckCollisions switches deduplication to the exact canonical
 	// string keys (model.Config.Key) and audits the fingerprints
@@ -744,11 +766,27 @@ func (r *run) execute() {
 	if monDone != nil {
 		close(monDone)
 	}
-	if r.opts.CheckpointPath != "" {
+	if r.opts.CheckpointPath != "" && r.wantFinalCheckpoint() {
 		if err := r.writeCheckpoint(); err != nil && r.ckErr == nil {
 			r.ckErr = err
 		}
 	}
+}
+
+// wantFinalCheckpoint decides whether the end-of-run checkpoint is
+// written: always, unless CheckpointOnCut restricts it to runs that
+// ended with resumable unexpanded work (a budget/cancellation stop or
+// isolated panics). Quiescent and violated runs are then skipped —
+// their verdict is final and a resume would be a no-op.
+func (r *run) wantFinalCheckpoint() bool {
+	if !r.opts.CheckpointOnCut {
+		return true
+	}
+	switch StopCause(r.requested.Load()) {
+	case StopMaxConfigs, StopDeadline, StopCancelled, StopMemory:
+		return true
+	}
+	return len(r.panics) > 0
 }
 
 // finalize computes the Result after all workers have exited.

@@ -7,6 +7,7 @@ package gen
 // preserves and the corpus files record.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -73,6 +74,10 @@ type CheckOpts struct {
 	// divergences, and the refinement check is relative to what was
 	// explored (Report.TruncatedRA).
 	Deadline time.Time
+	// Context, when non-nil, cancels every oracle exploration — the
+	// frontend threads its signal context here so an interrupted fuzz
+	// run stops at the engine's next admission check.
+	Context context.Context
 }
 
 func (o CheckOpts) withDefaults() CheckOpts {
@@ -118,7 +123,7 @@ func Check(f *parser.File, opts CheckOpts) (rep Report) {
 	}
 	rar, _ := backends.Get("rar")
 	sc, _ := backends.Get("sc")
-	eopts := explore.Options{MaxEvents: opts.MaxEvents, MaxConfigs: opts.MaxConfigs, Deadline: opts.Deadline}
+	eopts := explore.Options{MaxEvents: opts.MaxEvents, MaxConfigs: opts.MaxConfigs, Deadline: opts.Deadline, Context: opts.Context}
 
 	for _, m := range []model.Model{rar, sc} {
 		cfg := m.New(test.Prog, test.Init)

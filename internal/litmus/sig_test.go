@@ -1,0 +1,67 @@
+package litmus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+)
+
+// TestSigIdentity: the signature separates every test in the catalog,
+// ignores the name, and reacts to each semantic component.
+func TestSigIdentity(t *testing.T) {
+	seen := map[string]string{}
+	for _, tc := range Suite() {
+		sig := string(tc.AppendSig(nil))
+		if prev, dup := seen[sig]; dup {
+			t.Fatalf("catalog tests %s and %s share a signature", prev, tc.Name)
+		}
+		seen[sig] = tc.Name
+	}
+
+	base := func() *Test {
+		return &Test{
+			Name: "base",
+			Prog: lang.Prog{
+				lang.AssignC("x", lang.V(1)),
+				lang.AssignC("a", lang.X("x")),
+			},
+			Init:      map[event.Var]event.Val{"x": 0, "a": 0},
+			Observe:   []event.Var{"a"},
+			Allowed:   []Outcome{{"a": 0}, {"a": 1}},
+			Forbidden: []Outcome{{"a": 2}},
+			MaxEvents: 10,
+		}
+	}
+	ref := base().AppendSig(nil)
+
+	renamed := base()
+	renamed.Name = "renamed"
+	if !bytes.Equal(renamed.AppendSig(nil), ref) {
+		t.Fatal("renaming a test changed its signature")
+	}
+
+	// Expectation order is canonicalised away.
+	reordered := base()
+	reordered.Allowed = []Outcome{{"a": 1}, {"a": 0}}
+	if !bytes.Equal(reordered.AppendSig(nil), ref) {
+		t.Fatal("reordering the allowed set changed the signature")
+	}
+
+	mutations := map[string]func(*Test){
+		"program":   func(tc *Test) { tc.Prog[0] = lang.AssignRelC("x", lang.V(1)) },
+		"init":      func(tc *Test) { tc.Init["x"] = 1 },
+		"observe":   func(tc *Test) { tc.Observe = []event.Var{"a", "x"} },
+		"allowed":   func(tc *Test) { tc.Allowed = tc.Allowed[:1] },
+		"forbidden": func(tc *Test) { tc.Forbidden = nil },
+		"maxevents": func(tc *Test) { tc.MaxEvents = 11 },
+	}
+	for name, mutate := range mutations {
+		tc := base()
+		mutate(tc)
+		if bytes.Equal(tc.AppendSig(nil), ref) {
+			t.Errorf("mutating %s did not change the signature", name)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Result cache and singleflight, hand-rolled on the standard library
+// (the service takes no dependencies beyond it). The cache is a
+// bounded LRU keyed by the canonical query identity — the litmus
+// test's signature hashed together with the model name and effective
+// search options — so identical queries are answered from memory and
+// retries are idempotent. Only results whose stop cause is
+// reproducible are admitted: a deadline- or cancellation-cut search
+// says something about this run's timing, not about the query, and
+// caching it would pin a transient answer (see cacheable).
+
+// lruCache is a fixed-capacity LRU map from cache key to Response.
+// Cached responses are shared: callers must treat them as immutable
+// and respond with a shallow copy (the slices inside are never
+// mutated after construction).
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *Response
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) (*Response, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+func (c *lruCache) put(key string, resp *Response) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).resp = resp
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup deduplicates concurrent identical queries: the first
+// caller for a key runs the search, later callers for the same key
+// block on its completion and share the answer instead of burning a
+// second worker slot on the same work.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done   chan struct{}
+	resp   *Response
+	status int
+}
+
+// do runs fn for key, unless an identical call is already in flight,
+// in which case it waits for that call and returns its result with
+// shared=true. A waiting caller whose context ends first gets
+// (nil, 0, false) and must answer for itself.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Response, int)) (resp *Response, status int, shared, abandoned bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.resp, f.status, true, false
+		case <-ctx.Done():
+			return nil, 0, false, true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.resp, f.status = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.resp, f.status, false, false
+}

@@ -1,0 +1,475 @@
+// Package serve implements verification-as-a-service: an HTTP/JSON
+// front end over the exploration engine that accepts litmus programs,
+// runs the bounded search under a chosen memory model and returns the
+// tri-state verdict with outcome and coverage detail. It is built for
+// hostile load, not just correct answers:
+//
+//   - Admission control. A bounded worker pool runs the searches; a
+//     bounded queue holds the overflow; anything beyond that is shed
+//     immediately with 503 + Retry-After. The server never spawns an
+//     unbounded goroutine per request.
+//   - Budget clamping. Client-requested event bounds, state budgets
+//     and timeouts are clamped to server-configured ceilings before
+//     they reach explore.Options, so one request cannot monopolise
+//     the process.
+//   - Result cache + singleflight. Queries are identified by the
+//     canonical test signature × model × effective options; identical
+//     concurrent queries share one search, and reproducible results
+//     are answered from a bounded LRU.
+//   - Request isolation. A panic while serving one request is caught,
+//     written to a replayable .lit artifact, and answered with 500;
+//     the server stays up.
+//   - Graceful drain. Shutdown stops admitting, lets in-flight
+//     searches finish under a deadline, then cancels the rest — which
+//     checkpoint their partial state (with the original request and
+//     outcome set embedded) so a restarted server can resume them to
+//     the same verdict an uninterrupted run would have produced.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// working default (see New).
+type Config struct {
+	// Workers bounds how many searches run concurrently. Default 4.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker slot; beyond Workers+QueueDepth requests are shed.
+	// Default 64.
+	QueueDepth int
+	// EngineWorkers is the worker count inside each search. The pool
+	// provides cross-request parallelism, so the default is 1, which
+	// also keeps per-query results deterministic.
+	EngineWorkers int
+	// CacheEntries bounds the result cache; 0 means the default
+	// (1024), negative disables caching.
+	CacheEntries int
+
+	// MaxEvents is the ceiling (and default) for a request's
+	// per-thread event bound. Default 16.
+	MaxEvents int
+	// MaxStates is the ceiling (and default) for a request's explored
+	// configuration budget. Default 1<<20.
+	MaxStates int
+	// MaxTimeout is the ceiling (and default) for a request's
+	// wall-clock budget. Default 30s.
+	MaxTimeout time.Duration
+	// MaxMemMB, when positive, sets a process-heap watermark
+	// (explore.Options.MaxMemBytes) on every search.
+	MaxMemMB int
+
+	// SpillDir is where panic artifacts and drain checkpoints are
+	// written. Empty disables both (panics are still isolated; cut
+	// searches are still answered, just without a resumable artifact).
+	SpillDir string
+
+	// Hooks, when non-nil, is installed into every search. It exists
+	// so tests can inject faults (internal/faultinject) under the full
+	// service stack.
+	Hooks explore.Hooks
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = 1
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 16
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 1 << 20
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the verification service. Create with New, mount
+// Handler, and call Drain before exit.
+type Server struct {
+	cfg     Config
+	cache   *lruCache
+	flights flightGroup
+
+	sem      chan struct{} // worker slots; len(sem) = running searches
+	admitted admitGate     // queued + running; Drain waits for zero
+	draining atomic.Bool
+
+	// hardCtx is cancelled when the drain grace expires: every
+	// running search stops (StopCancelled) and checkpoints.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	start time.Time
+	stats stats
+}
+
+// stats are the service counters behind /statz.
+type stats struct {
+	requests    atomic.Int64 // verification queries received (incl. batch items)
+	completed   atomic.Int64 // searches run to a terminal response
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	sharedHits  atomic.Int64 // answered by joining an in-flight identical query
+	shed        atomic.Int64 // rejected by admission control
+	panics      atomic.Int64 // request-level panics caught
+	checkpoints atomic.Int64 // drain/cut checkpoints written
+	resumes     atomic.Int64 // searches resumed from a checkpoint
+	badRequests atomic.Int64
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newLRUCache(cfg.CacheEntries),
+		sem:   make(chan struct{}, cfg.Workers),
+		start: time.Now(),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+// maxBodyBytes bounds request bodies; litmus programs are tiny, and
+// an unbounded read is a free memory bomb.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Error: err.Error()})
+		return
+	}
+	resp, status := s.execute(r.Context(), req)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchResponse is the body of a batch reply: one Response per
+// request, in order. Items that were shed or failed carry their error
+// inline; the batch itself is 200 whenever it was well-formed.
+type BatchResponse struct {
+	Responses []*Response `json:"responses"`
+}
+
+// maxBatch bounds the fan-out a single batch request may ask for.
+const maxBatch = 256
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Error: "read body: " + err.Error()})
+		return
+	}
+	var batch BatchRequest
+	if err := json.Unmarshal(body, &batch); err != nil {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Error: "parse batch: " + err.Error()})
+		return
+	}
+	if len(batch.Requests) == 0 {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Error: "empty batch"})
+		return
+	}
+	if len(batch.Requests) > maxBatch {
+		s.stats.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(batch.Requests), maxBatch)})
+		return
+	}
+	// Fan out; each item passes admission control individually, so a
+	// big batch degrades into per-item shedding, never into unbounded
+	// concurrency: the waiters here are bounded by maxBatch and the
+	// searches by the worker pool.
+	out := make([]*Response, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := s.execute(r.Context(), &batch.Requests[i])
+			out[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Responses: out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// Statz is the JSON shape of GET /statz.
+type Statz struct {
+	UptimeSec    int64   `json:"uptime_sec"`
+	Draining     bool    `json:"draining"`
+	Workers      int     `json:"workers"`
+	QueueDepth   int     `json:"queue_depth"`
+	Running      int     `json:"running"`
+	Queued       int     `json:"queued"`
+	Requests     int64   `json:"requests"`
+	Completed    int64   `json:"completed"`
+	Shed         int64   `json:"shed"`
+	BadRequests  int64   `json:"bad_requests"`
+	Panics       int64   `json:"panics"`
+	Checkpoints  int64   `json:"checkpoints"`
+	Resumes      int64   `json:"resumes"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheShared  int64   `json:"cache_shared"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Stats snapshots the service counters (the /statz payload).
+func (s *Server) Stats() Statz {
+	running := len(s.sem)
+	queued := s.admitted.count() - running
+	if queued < 0 {
+		queued = 0
+	}
+	st := Statz{
+		UptimeSec:    int64(time.Since(s.start).Seconds()),
+		Draining:     s.draining.Load(),
+		Workers:      s.cfg.Workers,
+		QueueDepth:   s.cfg.QueueDepth,
+		Running:      running,
+		Queued:       queued,
+		Requests:     s.stats.requests.Load(),
+		Completed:    s.stats.completed.Load(),
+		Shed:         s.stats.shed.Load(),
+		BadRequests:  s.stats.badRequests.Load(),
+		Panics:       s.stats.panics.Load(),
+		Checkpoints:  s.stats.checkpoints.Load(),
+		Resumes:      s.stats.resumes.Load(),
+		CacheHits:    s.stats.cacheHits.Load(),
+		CacheMisses:  s.stats.cacheMisses.Load(),
+		CacheShared:  s.stats.sharedHits.Load(),
+		CacheEntries: s.cache.len(),
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return st
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// admitGate counts admitted (queued + running) requests and lets the
+// drain path wait for the count to reach zero. A plain WaitGroup
+// cannot do this: Add would race Wait whenever the pool momentarily
+// empties mid-drain.
+type admitGate struct {
+	mu   sync.Mutex
+	n    int
+	zero chan struct{} // non-nil while someone waits for n == 0
+}
+
+// tryAdd admits one request unless the count is at limit.
+func (g *admitGate) tryAdd(limit int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n >= limit {
+		return false
+	}
+	g.n++
+	return true
+}
+
+func (g *admitGate) done() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+	if g.n == 0 && g.zero != nil {
+		close(g.zero)
+		g.zero = nil
+	}
+}
+
+func (g *admitGate) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// idle returns a channel closed when the admitted count is (or
+// becomes) zero.
+func (g *admitGate) idle() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n == 0 {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	if g.zero == nil {
+		g.zero = make(chan struct{})
+	}
+	return g.zero
+}
+
+// errShed is returned by acquire when admission control rejects.
+var errShed = errors.New("serve: overloaded")
+
+// errDraining is returned by acquire once drain has begun.
+var errDraining = errors.New("serve: draining")
+
+// acquire admits the caller into the worker pool, waiting in the
+// bounded queue if all slots are busy. It fails fast when the queue
+// is full, the server is draining, or the caller's context ends.
+func (s *Server) acquire(ctx context.Context) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	if !s.admitted.tryAdd(s.cfg.Workers + s.cfg.QueueDepth) {
+		return errShed
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.admitted.done()
+		return ctx.Err()
+	case <-s.hardCtx.Done():
+		s.admitted.done()
+		return errDraining
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.admitted.done()
+}
+
+// StartDrain flips the server to draining: /readyz turns 503 and new
+// queries are shed. In-flight and already-queued work keeps running.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// CancelSearches cuts every running search: each stops at its next
+// admission check with StopCancelled and — when a spill directory is
+// configured — writes a resumable checkpoint before its handler
+// responds.
+func (s *Server) CancelSearches() { s.hardCancel() }
+
+// Drain performs the graceful-shutdown sequence: stop admitting, wait
+// up to grace for admitted (queued and running) searches to finish on
+// their own, then cancel the stragglers and wait for them to
+// checkpoint and respond. It returns true when everything finished
+// within grace (nothing was cut). Call it before shutting the HTTP
+// listener down; once Drain returns, every handler has its response
+// ready.
+func (s *Server) Drain(grace time.Duration) (clean bool) {
+	s.StartDrain()
+	select {
+	case <-s.admitted.idle():
+		return true
+	case <-time.After(grace):
+	}
+	s.CancelSearches()
+	<-s.admitted.idle()
+	return false
+}
+
+// newID mints a request/artifact identifier: URL- and path-safe by
+// construction (hex only).
+func (s *Server) newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// coarse uniqueness source rather than taking the service down.
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// decodeRequest reads a verify request. JSON bodies carry the full
+// Request shape; any other content type is taken as a raw litmus
+// program with server defaults, so `curl --data-binary @mp.lit` works
+// without wrapping.
+func decodeRequest(r *http.Request) (*Request, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") || (ct == "" && looksLikeJSON(body)) {
+		var req Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("parse request: %w", err)
+		}
+		return &req, nil
+	}
+	return &Request{Program: string(body)}, nil
+}
+
+func looksLikeJSON(body []byte) bool {
+	trimmed := strings.TrimLeft(string(body), " \t\r\n")
+	return strings.HasPrefix(trimmed, "{")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,216 @@
+package serve
+
+// Soak: the acceptance drill for the service. Over a hundred
+// concurrent mixed queries run against a server with injected worker
+// panics and aggressive budget cuts; every one of them must come back
+// with a terminal response, nothing may claim PROVED that the clean
+// ground truth does not prove, identical queries must hit the cache,
+// and a drain mid-flight must leave checkpoints a restarted server
+// resumes to the ground-truth verdict. Run it under -race: the whole
+// point is the concurrent path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// soakProg builds one of a family of distinct litmus programs:
+// message passing with a per-index payload (distinct cache keys),
+// synchronised for even i (ground truth PROVED) and relaxed for odd i
+// (ground truth VIOLATED under RAR).
+func soakProg(i int) string {
+	payload := i + 1
+	if i%2 == 0 {
+		return fmt.Sprintf(`init d=0 f=0 a=0 b=0
+thread 1 { d := %d; f :=R 1; }
+thread 2 { a := f^A; b := d; }
+observe a b
+allow a=0 b=0
+allow a=0 b=%d
+allow a=1 b=%d
+forbid a=1 b=0
+`, payload, payload, payload)
+	}
+	return fmt.Sprintf(`init d=0 f=0 a=0 b=0
+thread 1 { d := %d; f := 1; }
+thread 2 { a := f; b := d; }
+observe a b
+forbid a=1 b=0
+`, payload)
+}
+
+func soakPost(t *testing.T, url string, req Request) (*Response, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	hr, err := client.Post(url+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return &resp, hr.StatusCode
+}
+
+func TestSoakConcurrentFaultyLoad(t *testing.T) {
+	const nProgs = 12
+
+	// Phase 0: clean ground truth per program, from a fault-free
+	// server with generous budgets.
+	_, cleanTS := newTestServer(t, Config{Workers: 4})
+	truth := make([]*Response, nProgs)
+	for i := range truth {
+		resp, status := soakPost(t, cleanTS.URL, Request{Program: soakProg(i)})
+		if status != http.StatusOK || resp.Verdict == "BOUNDED" {
+			t.Fatalf("ground truth %d: status %d, %+v", i, status, resp)
+		}
+		truth[i] = resp
+	}
+
+	// Phase 1: ≥100 concurrent mixed requests against a server with
+	// injected panics and latency, under per-request budget cuts.
+	spill := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		Workers:    8,
+		QueueDepth: 200, // soak measures isolation, not shedding
+		SpillDir:   spill,
+		Hooks: faultinject.New(faultinject.Spec{
+			Seed:         7,
+			PanicEvery:   3,
+			LatencyEvery: 4,
+			Latency:      200 * time.Microsecond,
+		}),
+	})
+	const nReqs = 120
+	type outcome struct {
+		resp   *Response
+		status int
+	}
+	results := make([]outcome, nReqs)
+	var wg sync.WaitGroup
+	for i := 0; i < nReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{Name: fmt.Sprintf("soak-%d", i), Program: soakProg(i % nProgs)}
+			switch i % 3 {
+			case 1:
+				req.MaxStates = 4 // state-budget cut
+			case 2:
+				req.TimeoutMS = 1 // deadline cut
+			}
+			resp, status := soakPost(t, ts.URL, req)
+			results[i] = outcome{resp, status}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.resp == nil {
+			t.Fatalf("request %d got no terminal response", i)
+		}
+		switch r.status {
+		case http.StatusOK, http.StatusServiceUnavailable:
+		default:
+			t.Errorf("request %d: status %d (%+v)", i, r.status, r.resp)
+		}
+		if r.status != http.StatusOK {
+			continue
+		}
+		// No spurious PROVED: a degraded or cut search must stay
+		// BOUNDED, and a PROVED answer must agree with ground truth.
+		gt := truth[i%nProgs]
+		if r.resp.Verdict == "PROVED" {
+			if r.resp.Panics > 0 || r.resp.Stop != "none" {
+				t.Errorf("request %d: PROVED from a degraded search (%+v)", i, r.resp)
+			}
+			if gt.Verdict != "PROVED" {
+				t.Errorf("request %d: PROVED but ground truth is %s", i, gt.Verdict)
+			}
+		}
+		if r.resp.Verdict == "VIOLATED" && gt.Verdict != "VIOLATED" {
+			t.Errorf("request %d: VIOLATED but ground truth is %s", i, gt.Verdict)
+		}
+	}
+	if st := s.Stats(); st.Requests < nReqs || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("pool did not quiesce: %+v", st)
+	}
+
+	// Phase 2: identical queries are cache hits. On the clean server
+	// the first pass populated the cache; a second identical request
+	// must be answered from it.
+	again, _ := soakPost(t, cleanTS.URL, Request{Program: soakProg(0)})
+	if !again.Cached {
+		t.Fatal("second identical request missed the cache")
+	}
+	if again.Verdict != truth[0].Verdict {
+		t.Fatalf("cached verdict %s, ground truth %s", again.Verdict, truth[0].Verdict)
+	}
+
+	// Phase 3: drain mid-flight (the SIGTERM path), restart on the
+	// same spill directory, resume every artifact to the ground-truth
+	// verdict.
+	spill2 := t.TempDir()
+	s3, ts3 := newTestServer(t, Config{
+		Workers:  4,
+		SpillDir: spill2,
+		Hooks:    faultinject.New(faultinject.Spec{LatencyEvery: 1, Latency: 20 * time.Millisecond}),
+	})
+	const nSlow = 4
+	type drained struct {
+		resp *Response
+		prog int
+	}
+	slow := make(chan drained, nSlow)
+	for i := 0; i < nSlow; i++ {
+		go func(i int) {
+			prog := (2 * i) % nProgs
+			resp, _ := soakPost(t, ts3.URL, Request{Program: soakProg(prog)})
+			slow <- drained{resp, prog}
+		}(i)
+	}
+	waitFor(t, func() bool { return s3.Stats().Running >= nSlow })
+	if clean := s3.Drain(time.Millisecond); clean {
+		t.Fatal("drain claims clean with slow searches in flight")
+	}
+	cut := make([]drained, 0, nSlow)
+	for i := 0; i < nSlow; i++ {
+		d := <-slow
+		if d.resp.Verdict != "BOUNDED" || d.resp.Artifact == "" {
+			t.Fatalf("drained search for program %d: %+v", d.prog, d.resp)
+		}
+		cut = append(cut, d)
+	}
+
+	// Restart: a clean server over the same spill directory resumes
+	// every artifact to the verdict the uninterrupted run produces.
+	_, ts4 := newTestServer(t, Config{Workers: 4, SpillDir: spill2})
+	for _, d := range cut {
+		resumed, status := soakPost(t, ts4.URL, Request{Resume: d.resp.Artifact})
+		if status != http.StatusOK || !resumed.Resumed {
+			t.Fatalf("resume %s: status %d, %+v", d.resp.Artifact, status, resumed)
+		}
+		gt := truth[d.prog]
+		if resumed.Verdict != gt.Verdict {
+			t.Fatalf("artifact %s resumed to %s, ground truth %s",
+				d.resp.Artifact, resumed.Verdict, gt.Verdict)
+		}
+		if gt.Pass != nil && (resumed.Pass == nil || *resumed.Pass != *gt.Pass) {
+			t.Fatalf("artifact %s resumed pass %v, ground truth %v",
+				d.resp.Artifact, resumed.Pass, *gt.Pass)
+		}
+	}
+}

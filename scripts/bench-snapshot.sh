@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Bench snapshot: runs the top-level benchmark harness and writes a
 # machine-readable BENCH_<label>.json next to PERF.md, so perf numbers
 # can be tracked across commits and diffed by tooling instead of being
@@ -6,15 +6,17 @@
 #
 # Usage (from the repo root):
 #
-#   sh scripts/bench-snapshot.sh                 # full harness, label = short commit
-#   sh scripts/bench-snapshot.sh -bench 'E13'    # one family
-#   BENCH_LABEL=baseline sh scripts/bench-snapshot.sh
+#   bash scripts/bench-snapshot.sh                 # full harness, label = short commit
+#   bash scripts/bench-snapshot.sh -bench 'E13'    # one family
+#   BENCH_LABEL=baseline bash scripts/bench-snapshot.sh
 #
 # Extra arguments are passed through to `go test` (e.g. -benchtime 3x).
 # The output JSON carries one record per benchmark with every metric Go
 # reported (ns/op, B/op, allocs/op, states/op, ...) plus run metadata.
-# Only POSIX sh + awk + git + go are required.
-set -eu
+# The script fails loudly — pipefail, an empty-output check, and a JSON
+# validation of the snapshot — instead of committing a truncated or
+# malformed file when the bench run breaks.
+set -euo pipefail
 
 pattern='.'
 args=''
@@ -39,6 +41,14 @@ trap 'rm -f "$raw"' EXIT
 
 # shellcheck disable=SC2086  # $args is intentionally word-split
 go test -run='^$' -bench="$pattern" -benchtime="${BENCH_TIME:-1x}" $args . | tee "$raw"
+
+# A bench run that produced no benchmark lines (bad -bench pattern,
+# build drift, go test quirk) must not write an empty snapshot.
+nbench=$(grep -c '^Benchmark' "$raw" || true)
+if [ "$nbench" -eq 0 ]; then
+    echo "bench-snapshot: no benchmark output for pattern '$pattern' — refusing to write $out" >&2
+    exit 1
+fi
 
 awk -v commit="$commit" -v label="$label" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go env GOVERSION)" -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
@@ -69,4 +79,12 @@ END {
     printf "  ]\n}\n"
 }' "$raw" >"$out"
 
-echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+# Never publish a malformed snapshot: the file must parse as one JSON
+# value before we report success.
+if ! go run ./scripts/jsonlint <"$out"; then
+    echo "bench-snapshot: generated $out is not valid JSON — removing it" >&2
+    rm -f "$out"
+    exit 1
+fi
+
+echo "wrote $out ($nbench benchmarks)"

@@ -1,0 +1,26 @@
+// Command jsonlint validates that stdin is one well-formed JSON value
+// (with nothing trailing) and exits non-zero otherwise. It is the
+// bench-snapshot script's guard against committing a malformed
+// BENCH_*.json: the snapshot is built by awk, so a quoting slip would
+// otherwise go unnoticed until a downstream diff tool choked on it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	dec := json.NewDecoder(os.Stdin)
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		fmt.Fprintf(os.Stderr, "jsonlint: %v\n", err)
+		os.Exit(1)
+	}
+	if err := dec.Decode(new(any)); err != io.EOF {
+		fmt.Fprintln(os.Stderr, "jsonlint: trailing data after the JSON value")
+		os.Exit(1)
+	}
+}
