@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/axiomatic"
 	"repro/internal/core"
+	"repro/internal/ds"
 	"repro/internal/enumerate"
 	"repro/internal/event"
 	"repro/internal/explore"
@@ -502,6 +503,39 @@ func BenchmarkLitmusSuiteVerdicts(b *testing.B) {
 			if rep := tc.Run(explore.Options{MaxEvents: 20}); !rep.Pass() {
 				b.Fatalf("%s failed", tc.Name)
 			}
+		}
+	}
+}
+
+// --- Data-structure tier (testdata/ds) under both backends ---
+
+// BenchmarkDSSuite runs every data-structure scenario — Treiber stack,
+// MS-style queue, ticket lock, CAS set, lazylist — at its pinned event
+// bound under each backend, checking the catalog expectations and the
+// linearizability-style outcome properties on every iteration. The
+// searches are deterministic, so states/op is stable and ns-per-state
+// is comparable across scenarios and models (the SC spaces are a small
+// fraction of the RAR ones; PERF.md tabulates the counts).
+func BenchmarkDSSuite(b *testing.B) {
+	for _, s := range ds.Suite() {
+		s := s
+		for _, m := range []model.Model{core.Model, sc.Model} {
+			m := m
+			b.Run(s.Test.Name+"/"+m.Name(), func(b *testing.B) {
+				b.ReportAllocs()
+				var explored int
+				for i := 0; i < b.N; i++ {
+					rep := s.Test.RunModel(m, explore.Options{POR: true, Workers: 1})
+					if !rep.Pass() {
+						b.Fatalf("%s/%s: expectations failed", s.Test.Name, m.Name())
+					}
+					if v := s.CheckProps(rep.Outcomes); len(v) != 0 {
+						b.Fatalf("%s/%s: property violations: %v", s.Test.Name, m.Name(), v)
+					}
+					explored = rep.Explored
+				}
+				b.ReportMetric(float64(explored), "states/op")
+			})
 		}
 	}
 }

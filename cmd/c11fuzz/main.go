@@ -52,6 +52,7 @@ func main() {
 		evbudget  = flag.Int("evbudget", 0, "per-thread worst-case memory-event budget (default 6)")
 		depth     = flag.Int("depth", 0, "max if/while nesting (default 2)")
 		loopiters = flag.Int("loopiters", 0, "bounded-loop iterations (default 2)")
+		arrlen    = flag.Int("arrlen", 0, "shared-array cell count (default 2)")
 		pswap     = flag.Int("pswap", 0, "RMW density percent (default 15)")
 		pif       = flag.Int("pif", 0, "branch density percent (default 20)")
 		pwhile    = flag.Int("pwhile", 0, "loop density percent (default 10)")
@@ -60,6 +61,8 @@ func main() {
 		pna       = flag.Int("pna", 0, "non-atomic density percent (default 10)")
 		pneg      = flag.Int("pneg", 0, "negative-value density percent (default 5)")
 		pexpr     = flag.Int("pexpr", 0, "compound-expression density percent (default 15)")
+		pcas      = flag.Int("pcas", 0, "CAS statement/branch/retry-loop density percent (default 10)")
+		parr      = flag.Int("parr", 0, "array-access density percent (default 10)")
 
 		maxEv      = flag.Int("max", 0, "RAR exploration bound (default: derived per program)")
 		maxConfigs = flag.Int("maxconfigs", 0, "per-search configuration cap (default 32768)")
@@ -71,9 +74,10 @@ func main() {
 
 	params := gen.Params{
 		Threads: *threads, Vars: *vars, Stmts: *stmts, Values: *values,
-		Budget: *evbudget, Depth: *depth, LoopIters: *loopiters,
+		Budget: *evbudget, Depth: *depth, LoopIters: *loopiters, ArrLen: *arrlen,
 		PSwap: *pswap, PIf: *pif, PWhile: *pwhile, PRel: *prel,
 		PAcq: *pacq, PNA: *pna, PNeg: *pneg, PExpr: *pexpr,
+		PCas: *pcas, PArr: *parr,
 	}
 	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/axiomatic"
 	"repro/internal/cli"
+	"repro/internal/ds"
 	"repro/internal/explore"
 	"repro/internal/litmus"
 	"repro/internal/model"
@@ -75,6 +76,10 @@ func main() {
 	}
 
 	var tests []*litmus.Test
+	// The data-structure tier rides along with the catalog: each
+	// scenario carries linearizability-style outcome properties on top
+	// of its allow/forbid expectations, checked after the run.
+	scenarios := map[*litmus.Test]ds.Scenario{}
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
@@ -91,6 +96,10 @@ func main() {
 		tests = []*litmus.Test{tc}
 	} else {
 		tests = litmus.Suite()
+		for _, s := range ds.Suite() {
+			tests = append(tests, s.Test)
+			scenarios[s.Test] = s
+		}
 	}
 
 	failures, bounded := 0, 0
@@ -104,11 +113,20 @@ func main() {
 			fmt.Println("interrupted: remaining tests skipped")
 			break
 		}
+		s, isDS := scenarios[tc]
 		for _, m := range models {
 			eopts := explore.Options{MaxEvents: *maxEv, Workers: *workers}
+			if isDS && tc.MaxEvents > 0 {
+				// A scenario's expectations are exact *at* its pinned
+				// bound (the .lit maxevents clause); -max does not apply.
+				eopts.MaxEvents = tc.MaxEvents
+			}
 			budget.Apply(&eopts)
 			rep := tc.RunModel(m, eopts)
-			if rep.Truncated {
+			if rep.Truncated && !isDS {
+				// DS scenarios with retry/spin loops truncate at their
+				// pinned bound by design — the bound is part of the
+				// scenario, so the verdict is not "relative" to it.
 				bounded++
 			}
 			fmt.Println(rep.Summary())
@@ -137,8 +155,18 @@ func main() {
 					fmt.Printf("    reached forbidden outcome: %s\n", r)
 				}
 			}
+			if isDS {
+				if v := s.CheckProps(rep.Outcomes); len(v) != 0 {
+					failures++
+					for _, p := range v {
+						fmt.Printf("    property violated: %s\n", p)
+					}
+				}
+			}
 		}
-		if *cross {
+		if *cross && !isDS {
+			// The axiomatic baseline enumerates loop-free programs; the
+			// DS scenarios all carry retry or spin loops.
 			ax := axiomatic.ValidExecutions(tc.Prog, tc.Init, 2**maxEv)
 			op := axiomatic.OperationalExecutions(tc.Prog, tc.Init)
 			status := "AGREE"

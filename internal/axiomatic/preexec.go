@@ -58,6 +58,8 @@ func ValueDomain(p lang.Prog, vars map[event.Var]event.Val) []event.Val {
 		switch x := e.(type) {
 		case lang.Lit:
 			seen[x.V] = true
+		case lang.IdxLoad:
+			walkExpr(x.I)
 		case lang.Un:
 			if x.Op == lang.OpNeg {
 				arith = append(arith, deriver{neg: true})
@@ -85,9 +87,20 @@ func ValueDomain(p lang.Prog, vars map[event.Var]event.Val) []event.Val {
 	walkCom = func(c lang.Com) {
 		switch x := c.(type) {
 		case lang.Assign:
+			if x.Idx != nil {
+				walkExpr(x.Idx)
+			}
 			walkExpr(x.E)
 		case lang.Swap:
 			seen[x.N] = true
+		case lang.Cas:
+			if x.Idx != nil {
+				walkExpr(x.Idx)
+			}
+			walkExpr(x.Old)
+			walkExpr(x.New)
+			walkCom(x.Then)
+			walkCom(x.Else)
 		case lang.Seq:
 			walkCom(x.C1)
 			walkCom(x.C2)
@@ -259,7 +272,9 @@ func PreExecutions(p lang.Prog, vars map[event.Var]event.Val, domain []event.Val
 				perThread[ti] = append(perThread[ti], a)
 				dfs(prog.WithThread(ps.T, ps.S.Apply(0)))
 				perThread[ti] = perThread[ti][:len(perThread[ti])-1]
-			case lang.StepRead, lang.StepUpdate:
+			case lang.StepRead, lang.StepUpdate, lang.StepCas:
+				// A CAS's Action internally picks its face per value:
+				// updRA when v equals the expected value, rdA otherwise.
 				for _, v := range domain {
 					a, _ := ps.S.Action(v)
 					perThread[ti] = append(perThread[ti], a)

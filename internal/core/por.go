@@ -147,6 +147,38 @@ func (c Config) appendConfigSuccessors(out []model.Config, ps lang.ProgStep) []m
 			}
 			out = append(out, Config{P: c.P.WithThread(t, s.Apply(c.S.Event(w).WrVal())), S: ns})
 		}
+
+	case lang.StepCas:
+		// Success face: the CAS reads its expected value from a write it
+		// can atomically follow, producing updRA — only insertion points
+		// whose write value matches Exp qualify (a matching observable
+		// write that cannot be immediately followed in mo is simply not
+		// readable by an update; it does not turn into a failure).
+		tags = c.S.AppendInsertionPointsFor(tags, t, s.Loc)
+		for _, w := range tags {
+			if c.S.Event(w).WrVal() != s.Exp {
+				continue
+			}
+			ns, _, err := c.S.StepRMW(t, s.Loc, s.WVal, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Config{P: c.P.WithThread(t, s.Apply(s.Exp)), S: ns})
+		}
+		// Failure face: reading any non-matching observable write is an
+		// acquiring load (strong CAS: a matching value can never fail).
+		tags = c.S.AppendObservableFor(tags[:0], t, s.Loc)
+		for _, w := range tags {
+			v := c.S.Event(w).WrVal()
+			if v == s.Exp {
+				continue
+			}
+			ns, _, err := c.S.StepReadKind(t, event.RdAcq, s.Loc, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Config{P: c.P.WithThread(t, s.Apply(v)), S: ns})
+		}
 	}
 	*bp = tags
 	tagBufPool.Put(bp)
@@ -210,6 +242,38 @@ func (c Config) appendStepSuccessors(out []Succ, ps lang.ProgStep) []Succ {
 			}
 			out = append(out, Succ{
 				C: Config{P: c.P.WithThread(t, s.Apply(c.S.Event(w).WrVal())), S: ns},
+				W: w, E: e, T: t,
+			})
+		}
+
+	case lang.StepCas:
+		// Mirrors appendConfigSuccessors: success = updRA from a
+		// matching insertion point, failure = acquiring read of a
+		// non-matching observable write.
+		for _, w := range c.S.InsertionPointsFor(t, s.Loc) {
+			if c.S.Event(w).WrVal() != s.Exp {
+				continue
+			}
+			ns, e, err := c.S.StepRMW(t, s.Loc, s.WVal, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Succ{
+				C: Config{P: c.P.WithThread(t, s.Apply(s.Exp)), S: ns},
+				W: w, E: e, T: t,
+			})
+		}
+		for _, w := range c.S.ObservableFor(t, s.Loc) {
+			v := c.S.Event(w).WrVal()
+			if v == s.Exp {
+				continue
+			}
+			ns, e, err := c.S.StepReadKind(t, event.RdAcq, s.Loc, w)
+			if err != nil {
+				continue
+			}
+			out = append(out, Succ{
+				C: Config{P: c.P.WithThread(t, s.Apply(v)), S: ns},
 				W: w, E: e, T: t,
 			})
 		}

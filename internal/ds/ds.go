@@ -1,0 +1,220 @@
+// Package ds is the concurrent-data-structure workload tier: a
+// builder API that assembles small N-thread client histories over
+// classic lock-free structures — Treiber stack, Michael-Scott-style
+// queue, ticket lock, CAS-probed set, lazylist-style set — into
+// litmus tests with linearizability-style expectations.
+//
+// The structures are laid out in the command language's bounded
+// arrays (internal/lang): nodes are 1-based cell indexes, 0 is nil,
+// and pointers are cells holding indexes, so a traversal is a
+// symbolically indexed load (nxt[p] with p a register). Operations
+// are idiomatic CAS-retry loops over the language's strong CAS. Every
+// scenario carries three layers of expectation:
+//
+//   - allow lines pin the *exact* reachable outcome set under the RAR
+//     model at the scenario's event bound (a regression pin, in the
+//     style of the generator catalog tests);
+//   - forbid lines name the canonical property-violation outcomes —
+//     the lost push, the duplicated dequeue, the torn read;
+//   - proof.OutcomeProp properties state the linearizability-style
+//     argument generically, so the same property is checked under
+//     both the RAR and SC backends.
+//
+// Relaxed variants of the queue and lazylist scenarios deliberately
+// drop the release/acquire annotations: their weak outcomes are
+// allowed under RAR and forbidden under SC (forbid_sc), making the
+// pair a model-differentiating regression test.
+package ds
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/litmus"
+	"repro/internal/parser"
+	"repro/internal/proof"
+)
+
+// Scenario is one assembled workload: a runnable litmus test, its
+// rendered .lit source, and the linearizability-style properties to
+// check over the reachable outcome set of any backend.
+type Scenario struct {
+	Test  *litmus.Test
+	Props []proof.OutcomeProp
+	// MutexLabel, when non-empty, asks for the exploration-time check
+	// that no two client threads sit at this label simultaneously.
+	MutexLabel string
+
+	file *parser.File
+}
+
+// Lit renders the scenario in the .lit grammar (the bytes committed
+// under testdata/ds; TestFilesInSync pins the correspondence).
+func (s Scenario) Lit() string { return s.file.Format() }
+
+// CheckProps evaluates the scenario's outcome properties over a
+// reachable-outcome set (litmus.Report.Outcomes of either backend).
+func (s Scenario) CheckProps(outcomes map[string]bool) []string {
+	return proof.CheckOutcomeProps(outcomes, s.Props)
+}
+
+// Builder accumulates one scenario. Methods return the receiver for
+// chaining; Scenario() seals it.
+type Builder struct {
+	name      string
+	init      map[event.Var]event.Val
+	threads   []lang.Com
+	observe   []event.Var
+	maxEvents int
+
+	allow, forbid, allowSC, forbidSC []litmus.Outcome
+
+	props      []proof.OutcomeProp
+	mutexLabel string
+}
+
+// New starts a scenario with the given name.
+func New(name string) *Builder {
+	return &Builder{name: name, init: map[event.Var]event.Val{}}
+}
+
+// Init sets one initial memory value.
+func (b *Builder) Init(x event.Var, v event.Val) *Builder {
+	b.init[x] = v
+	return b
+}
+
+// InitZero zero-initialises the given variables (cells included).
+func (b *Builder) InitZero(xs ...event.Var) *Builder {
+	for _, x := range xs {
+		b.init[x] = 0
+	}
+	return b
+}
+
+// Thread appends one client thread running the given operations in
+// sequence. Threads are numbered 1..n in call order.
+func (b *Builder) Thread(ops ...lang.Com) *Builder {
+	b.threads = append(b.threads, lang.SeqC(ops...))
+	return b
+}
+
+// Observe lists the variables whose final values form an outcome.
+func (b *Builder) Observe(xs ...event.Var) *Builder {
+	b.observe = append(b.observe, xs...)
+	return b
+}
+
+// MaxEvents pins the exploration bound the expectations hold under.
+// Scenarios with CAS-retry or spin loops are unbounded programs;
+// their exact outcome sets are bound-relative and the bound is part
+// of the scenario (recorded as the .lit maxevents clause).
+func (b *Builder) MaxEvents(n int) *Builder {
+	b.maxEvents = n
+	return b
+}
+
+// Allow pins outcomes reachable under RAR. The ds tests assert the
+// allow set is *exactly* the reachable set at the scenario bound.
+func (b *Builder) Allow(os ...litmus.Outcome) *Builder {
+	b.allow = append(b.allow, os...)
+	return b
+}
+
+// Forbid names outcomes that must stay unreachable under RAR (and a
+// fortiori under SC, which refines it).
+func (b *Builder) Forbid(os ...litmus.Outcome) *Builder {
+	b.forbid = append(b.forbid, os...)
+	return b
+}
+
+// AllowSC pins outcomes that must stay reachable under SC.
+func (b *Builder) AllowSC(os ...litmus.Outcome) *Builder {
+	b.allowSC = append(b.allowSC, os...)
+	return b
+}
+
+// ForbidSC names outcomes SC rules out on top of the RAR forbid set —
+// the weak behaviours of the relaxed scenario variants.
+func (b *Builder) ForbidSC(os ...litmus.Outcome) *Builder {
+	b.forbidSC = append(b.forbidSC, os...)
+	return b
+}
+
+// Prop attaches a linearizability-style outcome property.
+func (b *Builder) Prop(ps ...proof.OutcomeProp) *Builder {
+	b.props = append(b.props, ps...)
+	return b
+}
+
+// Mutex asks for the exploration-time mutual-exclusion check at the
+// given label over all client threads.
+func (b *Builder) Mutex(label string) *Builder {
+	b.mutexLabel = label
+	return b
+}
+
+// Scenario seals the builder into a runnable scenario.
+func (b *Builder) Scenario() Scenario {
+	threads := map[int]lang.Com{}
+	for i, c := range b.threads {
+		threads[i+1] = c
+	}
+	f := &parser.File{
+		Name:      b.name,
+		Init:      b.init,
+		Threads:   threads,
+		Observe:   b.observe,
+		Allow:     sortedOutcomes(b.allow, b.observe),
+		Forbid:    sortedOutcomes(b.forbid, b.observe),
+		AllowSC:   sortedOutcomes(b.allowSC, b.observe),
+		ForbidSC:  sortedOutcomes(b.forbidSC, b.observe),
+		MaxEvents: b.maxEvents,
+	}
+	t, err := f.Test()
+	if err != nil {
+		panic("ds: " + err.Error()) // threads are numbered 1..n by construction
+	}
+	return Scenario{Test: t, Props: b.props, MutexLabel: b.mutexLabel, file: f}
+}
+
+// sortedOutcomes orders outcome lines by their key so the rendered
+// .lit file and the in-memory catalog are deterministic.
+func sortedOutcomes(os []litmus.Outcome, observe []event.Var) []litmus.Outcome {
+	out := append([]litmus.Outcome(nil), os...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Key(observe) < out[j].Key(observe)
+	})
+	return out
+}
+
+// O is outcome-literal shorthand: O("a", 1, "b", 0).
+func O(kv ...any) litmus.Outcome {
+	if len(kv)%2 != 0 {
+		panic("ds: O needs var/value pairs")
+	}
+	o := litmus.Outcome{}
+	for i := 0; i < len(kv); i += 2 {
+		x, ok := kv[i].(event.Var)
+		if !ok {
+			x = event.Var(kv[i].(string))
+		}
+		o[x] = event.Val(kv[i+1].(int))
+	}
+	return o
+}
+
+// Suite returns every data-structure scenario, in a fixed order.
+func Suite() []Scenario {
+	return []Scenario{
+		CasSetScenario(),
+		TreiberPushScenario(),
+		TreiberPushPopScenario(),
+		QueueScenario(true),
+		QueueScenario(false),
+		TicketLockScenario(),
+		LazyListScenario(true),
+		LazyListScenario(false),
+	}
+}

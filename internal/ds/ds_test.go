@@ -1,0 +1,202 @@
+package ds
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/model"
+	"repro/internal/parser"
+	"repro/internal/proof"
+	"repro/internal/sc"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/ds from the scenario suite")
+
+const litDir = "../../testdata/ds"
+
+func models() []model.Model { return []model.Model{core.Model, sc.Model} }
+
+func runOpts() explore.Options {
+	return explore.Options{POR: true, Workers: 4}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDumpOutcomes prints every scenario's reachable outcome set per
+// model — the calibration tool that produced the committed allow
+// lines. Skipped unless DS_DUMP is set.
+func TestDumpOutcomes(t *testing.T) {
+	if os.Getenv("DS_DUMP") == "" {
+		t.Skip("set DS_DUMP=1 to dump reachable outcome sets")
+	}
+	for _, s := range Suite() {
+		for _, m := range models() {
+			rep := s.Test.RunModel(m, runOpts())
+			t.Logf("%s/%s explored=%d truncated=%v outcomes=%v",
+				s.Test.Name, m.Name(), rep.Explored, rep.Truncated, sortedKeys(rep.Outcomes))
+		}
+	}
+}
+
+// TestScenarioExpectations is the linearizability tier proper: under
+// both backends every scenario passes its catalog expectations, the
+// outcome properties hold over the reachable set, and under RAR the
+// allow lines pin the reachable outcome set *exactly* (the regression
+// pin — any semantics change that adds or removes a behaviour at the
+// scenario bound trips it). The SC allow lines are checked for
+// exactness too: the suite's SC sets are total by construction.
+func TestScenarioExpectations(t *testing.T) {
+	for _, s := range Suite() {
+		s := s
+		t.Run(s.Test.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, m := range models() {
+				rep := s.Test.RunModel(m, runOpts())
+				if !rep.Pass() {
+					t.Errorf("%s: missing allowed %v, reached forbidden %v",
+						m.Name(), rep.MissingAllowed, rep.ReachedForbidden)
+				}
+				if v := s.CheckProps(rep.Outcomes); len(v) != 0 {
+					t.Errorf("%s: property violations: %v", m.Name(), v)
+				}
+				allowed, _ := s.Test.Expectations(m.Name())
+				want := map[string]bool{}
+				for _, o := range allowed {
+					want[o.Key(s.Test.Observe)] = true
+				}
+				for k := range rep.Outcomes {
+					if !want[k] {
+						t.Errorf("%s: reachable outcome %s not in the allow pin", m.Name(), k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMutexLabels drives the exploration-time mutual-exclusion check
+// for scenarios that declare a protected label: no reachable
+// configuration of either backend has two clients inside it.
+func TestMutexLabels(t *testing.T) {
+	checked := 0
+	for _, s := range Suite() {
+		if s.MutexLabel == "" {
+			continue
+		}
+		checked++
+		threads := proof.ClientThreads(len(s.Test.Prog))
+		for _, m := range models() {
+			opts := runOpts()
+			opts.MaxEvents = s.Test.MaxEvents
+			opts.Property = proof.MutexAtLabel(s.MutexLabel, threads...)
+			res := explore.Run(m.New(s.Test.Prog, s.Test.Init), opts)
+			if res.Violation != nil {
+				t.Errorf("%s/%s: mutual exclusion at %q violated: %v",
+					s.Test.Name, m.Name(), s.MutexLabel, res.Violation.Program())
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no scenario declares a mutex label")
+	}
+}
+
+// TestFilesInSync pins testdata/ds to the builder output: the .lit
+// files on disk are exactly what the suite renders. Run with -update
+// to regenerate.
+func TestFilesInSync(t *testing.T) {
+	want := map[string]string{}
+	for _, s := range Suite() {
+		want[s.Test.Name+".lit"] = s.Lit()
+	}
+	if *update {
+		if err := os.MkdirAll(litDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range want {
+			if err := os.WriteFile(filepath.Join(litDir, name), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	onDisk, err := filepath.Glob(filepath.Join(litDir, "*.lit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, path := range onDisk {
+		name := filepath.Base(path)
+		got[name] = true
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[name] == "" {
+			t.Errorf("%s: on disk but not in the suite", name)
+			continue
+		}
+		if string(src) != want[name] {
+			t.Errorf("%s: out of sync with the builder (rerun with -update)", name)
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("%s: in the suite but missing on disk (rerun with -update)", name)
+		}
+	}
+}
+
+// TestLitRoundTrip checks the rendered scenarios against the parser:
+// Parse∘Format is the identity on the rendered source, and the
+// reparsed test runs to the same verdicts — the array/CAS grammar
+// extension carries the whole tier.
+func TestLitRoundTrip(t *testing.T) {
+	for _, s := range Suite() {
+		src := s.Lit()
+		f, err := parser.Parse(s.Test.Name, src)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", s.Test.Name, err, src)
+		}
+		if again := f.Format(); again != src {
+			t.Errorf("%s: Format∘Parse drifted:\n--- built ---\n%s\n--- reparsed ---\n%s",
+				s.Test.Name, src, again)
+		}
+		parsed, err := f.Test()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := parsed.AppendSig(nil), s.Test.AppendSig(nil); string(got) != string(want) {
+			t.Errorf("%s: reparsed test signature differs from the built test", s.Test.Name)
+		}
+		if parsed.MaxEvents != s.Test.MaxEvents {
+			t.Errorf("%s: maxevents dropped in round trip", s.Test.Name)
+		}
+	}
+}
+
+// TestSuiteNamesUnique guards the file mapping.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Suite() {
+		if seen[s.Test.Name] {
+			t.Errorf("duplicate scenario name %s", s.Test.Name)
+		}
+		seen[s.Test.Name] = true
+		if !strings.HasPrefix(s.Test.Name, "ds-") {
+			t.Errorf("scenario %s: names are ds-prefixed", s.Test.Name)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package ds
+
+import (
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/proof"
+)
+
+// Queue is a Michael-Scott-style array queue: Buf holds the elements
+// (buf[1], buf[2], …), Tail publishes the index of the last filled
+// slot, and Head is the dequeue cursor competitors CAS forward. The
+// producer writes the slot before swinging Tail — the release on that
+// swing is exactly the publication edge the MS queue's tail update
+// provides; the relaxed variant drops it to expose the weak outcome.
+type Queue struct {
+	Head event.Var
+	Tail event.Var
+	Buf  event.Var
+}
+
+// Enq returns the producer's enqueue of v into slot: buf[slot] := v,
+// then publish tail := slot (release when rel).
+func (q Queue) Enq(slot, v event.Val, rel bool) lang.Com {
+	pub := lang.AssignC(q.Tail, lang.V(slot))
+	if rel {
+		pub = lang.AssignRelC(q.Tail, lang.V(slot))
+	}
+	return lang.SeqC(
+		lang.AssignAtC(q.Buf, lang.V(slot), lang.V(v)),
+		pub,
+	)
+}
+
+// DeqFirst returns a consumer's attempt to dequeue the first element:
+//
+//	obs := tail^A;
+//	if (0 < obs) {
+//	  if (head.cas(0, 1)) { out := buf[1]; }
+//	}
+//
+// The head CAS arbitrates between consumers: exactly one can move the
+// cursor off 0, so a duplicated dequeue is a linearizability
+// violation whatever the model. out keeps its sentinel initial value
+// when the attempt loses or sees an empty queue.
+func (q Queue) DeqFirst(obs, out event.Var) lang.Com {
+	return lang.SeqC(
+		lang.AssignC(obs, lang.XA(q.Tail)),
+		lang.IfC(lang.Bin{Op: lang.OpLt, L: lang.V(0), R: lang.X(obs)},
+			lang.CasC(q.Head, lang.V(0), lang.V(1),
+				lang.AssignC(out, lang.XAt(q.Buf, lang.V(1))),
+				lang.SkipC()),
+			lang.SkipC()),
+	)
+}
+
+// NoDuplicateDeq: no two consumers dequeue the same element.
+func (q Queue) NoDuplicateDeq(outs ...event.Var) proof.OutcomeProp {
+	return proof.OutcomeProp{
+		Name: "queue-no-duplicate-deq",
+		Doc:  "the head CAS hands each element to at most one consumer",
+		Violated: func(o map[event.Var]event.Val) bool {
+			seen := map[event.Val]bool{}
+			for _, x := range outs {
+				v := o[x]
+				if v == deqNone || v == deqStale {
+					continue
+				}
+				if seen[v] {
+					return true
+				}
+				seen[v] = true
+			}
+			return false
+		},
+	}
+}
+
+// NoStaleDeq: a successful dequeue returns the enqueued value, never
+// the unwritten slot (the publication edge makes the slot write
+// visible). Only the release variant attaches this — dropping the
+// annotation makes the stale read a genuine RAR behaviour.
+func (q Queue) NoStaleDeq(outs ...event.Var) proof.OutcomeProp {
+	return proof.OutcomeProp{
+		Name: "queue-no-stale-deq",
+		Doc:  "a won dequeue observes the slot write published before the tail swing",
+		Violated: func(o map[event.Var]event.Val) bool {
+			for _, x := range outs {
+				if o[x] == deqStale {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// Dequeue result encoding: consumers initialise out to the sentinel
+// deqNone; a stale read of the unwritten slot yields deqStale (the
+// cell's zero initial value); a correct dequeue of slot 1 yields 1.
+const (
+	deqNone  event.Val = 9
+	deqStale event.Val = 0
+)
+
+// QueueScenario: one producer enqueues 1 then 2; two consumers race
+// to dequeue the first element. The head CAS forbids a duplicate
+// under every model. With the release tail swing the winner always
+// reads the element (allow set has no stale outcome); relaxed, the
+// winner may read the unwritten slot under RAR — allowed there,
+// forbidden under SC (forbid_sc), the model-differentiating pair.
+func QueueScenario(rel bool) Scenario {
+	q := Queue{Head: "head", Tail: "tail", Buf: "buf"}
+	b1, b2 := lang.Cell("buf", 1), lang.Cell("buf", 2)
+	name := "ds-msq-deq-rel"
+	if !rel {
+		name = "ds-msq-deq-rlx"
+	}
+	bld := New(name).
+		InitZero("head", "tail", b1, b2, "t2", "t3").
+		Init("r2", deqNone).
+		Init("r3", deqNone).
+		Thread(q.Enq(1, 1, rel), q.Enq(2, 2, rel)).
+		Thread(q.DeqFirst("t2", "r2")).
+		Thread(q.DeqFirst("t3", "r3")).
+		Observe("r2", "r3").
+		MaxEvents(24).
+		Allow(
+			O("r2", 1, "r3", 9), // consumer 2 won
+			O("r2", 9, "r3", 1), // consumer 3 won
+			O("r2", 9, "r3", 9), // both saw the empty queue
+		).
+		Forbid(
+			O("r2", 1, "r3", 1), // duplicated dequeue
+			O("r2", 0, "r3", 1),
+			O("r2", 1, "r3", 0),
+			O("r2", 0, "r3", 0),
+		).
+		AllowSC(
+			O("r2", 1, "r3", 9),
+			O("r2", 9, "r3", 1),
+			O("r2", 9, "r3", 9),
+		).
+		Prop(q.NoDuplicateDeq("r2", "r3"))
+	if rel {
+		bld.Forbid(
+			O("r2", 0, "r3", 9), // stale read: forbidden with the release swing
+			O("r2", 9, "r3", 0),
+		).Prop(q.NoStaleDeq("r2", "r3"))
+	} else {
+		bld.Allow(
+			O("r2", 0, "r3", 9), // the weak outcome: tail seen, slot not
+			O("r2", 9, "r3", 0),
+		).ForbidSC(
+			O("r2", 0, "r3", 9),
+			O("r2", 9, "r3", 0),
+		)
+	}
+	return bld.Scenario()
+}

@@ -1,0 +1,185 @@
+package ds
+
+import (
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/proof"
+)
+
+// CasSet is an open-addressing set: Size slots, each claimed by a
+// CAS from the empty marker 0 to the inserted key. Insert probes the
+// slots in order; losing a slot's CAS means another key claimed it,
+// so the probe moves on — the unrolled if-else chain is the bounded
+// analogue of the linear-probe loop.
+type CasSet struct {
+	Slot event.Var
+	Size int
+}
+
+// Insert returns the probe chain inserting v. The insert is dropped
+// (skip) when every slot loses — a full-table outcome the scenarios
+// size their tables to avoid.
+func (s CasSet) Insert(v event.Val) lang.Com {
+	c := lang.SkipC()
+	for i := s.Size - 1; i >= 0; i-- {
+		c = lang.CasAtC(s.Slot, lang.V(event.Val(i)), lang.V(0), lang.V(v),
+			lang.SkipC(), c)
+	}
+	return c
+}
+
+// Cells returns the slot cell names, for init/observe lists.
+func (s CasSet) Cells() []event.Var {
+	out := make([]event.Var, s.Size)
+	for i := range out {
+		out[i] = lang.Cell(s.Slot, event.Val(i))
+	}
+	return out
+}
+
+// ExactlyOnce: the final slots hold exactly the inserted keys, each
+// once — no lost insert (a key missing) and no duplicate (a key in
+// two slots, the torn-arbitration witness).
+func (s CasSet) ExactlyOnce(keys ...event.Val) proof.OutcomeProp {
+	return proof.OutcomeProp{
+		Name: "set-insert-exactly-once",
+		Doc:  "slot CAS arbitration places every inserted key in exactly one slot",
+		Violated: func(o map[event.Var]event.Val) bool {
+			count := map[event.Val]int{}
+			for _, x := range s.Cells() {
+				if v := o[x]; v != 0 {
+					count[v]++
+				}
+			}
+			if len(count) != len(keys) {
+				return true
+			}
+			for _, k := range keys {
+				if count[k] != 1 {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// CasSetScenario: two clients insert distinct keys into a two-slot
+// set. Slot 0's CAS arbitrates: exactly one client claims it and the
+// other falls through to slot 1, so exactly the two placements are
+// reachable — under RAR the loser's failing CAS is an acquiring read
+// of the winner's update, never of a stale value that would send both
+// keys to the same slot.
+func CasSetScenario() Scenario {
+	s := CasSet{Slot: "slot", Size: 2}
+	s0, s1 := lang.Cell("slot", 0), lang.Cell("slot", 1)
+	return New("ds-cas-set").
+		InitZero(s0, s1).
+		Thread(s.Insert(7)).
+		Thread(s.Insert(9)).
+		Observe(s0, s1).
+		MaxEvents(12).
+		Allow(
+			O(string(s0), 7, string(s1), 9),
+			O(string(s0), 9, string(s1), 7),
+		).
+		Forbid(
+			O(string(s0), 7, string(s1), 7), // duplicated key
+			O(string(s0), 9, string(s1), 9),
+			O(string(s0), 7, string(s1), 0), // lost insert
+			O(string(s0), 9, string(s1), 0),
+			O(string(s0), 0, string(s1), 0),
+		).
+		AllowSC(
+			O(string(s0), 7, string(s1), 9),
+			O(string(s0), 9, string(s1), 7),
+		).
+		Prop(s.ExactlyOnce(7, 9)).
+		Scenario()
+}
+
+// LazyList is a lazylist-style linked set: Nxt is the successor
+// array, Val the payloads; node 0 is nil. An insert writes the new
+// node's payload, then splices it in with a release store (the
+// lazylist's unlock-publish); a lock-free contains scan chases Nxt
+// with acquiring loads and reads the payload through the register it
+// found — the symbolic indexed load val[p].
+type LazyList struct {
+	Nxt event.Var
+	Val event.Var
+}
+
+// Append returns the insert of node (payload v) after prev: the
+// payload store, then the splice nxt[prev] := node, release when rel.
+func (l LazyList) Append(prev, node, v event.Val, rel bool) lang.Com {
+	splice := lang.AssignAtC(l.Nxt, lang.V(prev), lang.V(node))
+	if rel {
+		splice = lang.AssignAtRelC(l.Nxt, lang.V(prev), lang.V(node))
+	}
+	return lang.SeqC(
+		lang.AssignAtC(l.Val, lang.V(node), lang.V(v)),
+		splice,
+	)
+}
+
+// ReadFrom returns the scan step from prev: p := nxt[prev]^A; if the
+// successor exists, out := val[p] — the payload read through the
+// just-discovered index.
+func (l LazyList) ReadFrom(prev event.Val, p, out event.Var) lang.Com {
+	return lang.SeqC(
+		lang.AssignC(p, lang.XAtA(l.Nxt, lang.V(prev))),
+		lang.IfC(lang.Ne(lang.X(p), lang.V(0)),
+			lang.AssignC(out, lang.XAt(l.Val, lang.X(p))),
+			lang.SkipC()),
+	)
+}
+
+// NoTornScan: a scan that observed the splice reads the payload the
+// inserter wrote before splicing — seeing the node but not its value
+// is the torn observation the release/acquire pair excludes.
+func (l LazyList) NoTornScan(p, out event.Var, payload event.Val) proof.OutcomeProp {
+	return proof.OutcomeProp{
+		Name: "lazylist-no-torn-scan",
+		Doc:  "a scan observing the splice observes the payload written before it",
+		Violated: func(o map[event.Var]event.Val) bool {
+			return o[p] != 0 && o[out] != payload
+		},
+	}
+}
+
+// LazyListScenario: one client splices node 2 (payload 20) after node
+// 1 while another scans from node 1. With the release splice the scan
+// either misses the node or sees payload 20. Relaxed, RAR admits the
+// torn observation p=2, r=0 — allowed there, forbidden under SC.
+func LazyListScenario(rel bool) Scenario {
+	l := LazyList{Nxt: "nxt", Val: "val"}
+	n1, n2 := lang.Cell("nxt", 1), lang.Cell("nxt", 2)
+	v1, v2 := lang.Cell("val", 1), lang.Cell("val", 2)
+	name := "ds-lazylist-scan-rel"
+	if !rel {
+		name = "ds-lazylist-scan-rlx"
+	}
+	bld := New(name).
+		InitZero(n1, n2, v2, "p2", "r2").
+		Init(v1, 10).
+		Thread(l.Append(1, 2, 20, rel)).
+		Thread(l.ReadFrom(1, "p2", "r2")).
+		Observe("p2", "r2").
+		MaxEvents(14).
+		Allow(
+			O("p2", 0, "r2", 0),  // scan ran before the splice
+			O("p2", 2, "r2", 20), // scan saw node and payload
+		).
+		AllowSC(
+			O("p2", 0, "r2", 0),
+			O("p2", 2, "r2", 20),
+		)
+	if rel {
+		bld.Forbid(O("p2", 2, "r2", 0)). // torn: forbidden by the release splice
+							Prop(l.NoTornScan("p2", "r2", 20))
+	} else {
+		bld.Allow(O("p2", 2, "r2", 0)). // the weak outcome
+						ForbidSC(O("p2", 2, "r2", 0))
+	}
+	return bld.Scenario()
+}

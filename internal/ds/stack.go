@@ -1,0 +1,162 @@
+package ds
+
+import (
+	"repro/internal/event"
+	"repro/internal/lang"
+	"repro/internal/proof"
+)
+
+// Stack is a Treiber stack: Top holds the index of the top node (0 =
+// empty) and Nxt is the next-pointer array, nxt[i] = index below node
+// i. Node payloads are the indexes themselves — litmus-scale
+// histories push distinct nodes, so a separate value array would only
+// widen the state space.
+type Stack struct {
+	Top event.Var
+	Nxt event.Var
+}
+
+// Push returns the idiomatic CAS-retry push of the given node:
+//
+//	while (done == 0) {
+//	  obs := top;
+//	  nxt[node] := obs;
+//	  if (top.cas(obs, node)) { done := 1; }
+//	}
+//
+// obs and done are thread-private registers (scalar variables written
+// by this thread only — deterministic under RA coherence).
+func (s Stack) Push(node event.Val, obs, done event.Var) lang.Com {
+	return lang.WhileC(lang.Eq(lang.X(done), lang.V(0)), lang.SeqC(
+		lang.AssignC(obs, lang.X(s.Top)),
+		lang.AssignAtC(s.Nxt, lang.V(node), lang.X(obs)),
+		lang.CasC(s.Top, lang.X(obs), lang.V(node),
+			lang.AssignC(done, lang.V(1)), lang.SkipC()),
+	))
+}
+
+// Pop returns the CAS-retry pop:
+//
+//	while (done == 0) {
+//	  obs := top^A;                           // sync with the push's updRA
+//	  if (obs == 0) { done := 1; }            // empty: out stays 0
+//	  else {
+//	    below := nxt[obs];                    // symbolic indexed load
+//	    if (top.cas(obs, below)) { out := obs; done := 1; }
+//	  }
+//	}
+//
+// The nxt[obs] load is the register-indexed traversal the array layer
+// exists for: the cell read is only known once obs resolves.
+func (s Stack) Pop(obs, below, out, done event.Var) lang.Com {
+	return lang.WhileC(lang.Eq(lang.X(done), lang.V(0)), lang.SeqC(
+		lang.AssignC(obs, lang.XA(s.Top)),
+		lang.IfC(lang.Eq(lang.X(obs), lang.V(0)),
+			lang.AssignC(done, lang.V(1)),
+			lang.SeqC(
+				lang.AssignC(below, lang.XAt(s.Nxt, lang.X(obs))),
+				lang.CasC(s.Top, lang.X(obs), lang.X(below),
+					lang.SeqC(
+						lang.AssignC(out, lang.X(obs)),
+						lang.AssignC(done, lang.V(1)),
+					),
+					lang.SkipC()),
+			)),
+	))
+}
+
+// NoLostPush is the linearizability-style reachability property: in
+// the final state, walking Nxt from Top visits exactly the given
+// nodes (minus any in excluded — nodes a client popped), with no
+// cycle. A push that lost the race without retrying would leave its
+// node unreachable.
+func (s Stack) NoLostPush(nodes []event.Val, excluded ...event.Var) proof.OutcomeProp {
+	return proof.OutcomeProp{
+		Name: "stack-no-lost-push",
+		Doc:  "every pushed node is reachable from Top via Nxt (popped nodes excepted)",
+		Violated: func(o map[event.Var]event.Val) bool {
+			popped := map[event.Val]bool{}
+			for _, x := range excluded {
+				if v := o[x]; v != 0 {
+					popped[v] = true
+				}
+			}
+			reached := map[event.Val]bool{}
+			cur := o[s.Top]
+			for hops := 0; cur != 0; hops++ {
+				if hops > len(nodes) || reached[cur] {
+					return true // longer than ever pushed, or cyclic
+				}
+				reached[cur] = true
+				cur = o[lang.Cell(s.Nxt, cur)]
+			}
+			for _, n := range nodes {
+				if !reached[n] && !popped[n] {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// TreiberPushScenario: two clients concurrently push one node each
+// through CAS-retry loops. Whatever the interleaving — including the
+// loser retrying against the winner's published top — both nodes end
+// up threaded on the stack: exactly the two linearization orders are
+// reachable.
+func TreiberPushScenario() Scenario {
+	s := Stack{Top: "top", Nxt: "nxt"}
+	n1, n2 := lang.Cell("nxt", 1), lang.Cell("nxt", 2)
+	return New("ds-treiber-push").
+		InitZero("top", n1, n2, "o1", "d1", "o2", "d2").
+		Thread(s.Push(1, "o1", "d1")).
+		Thread(s.Push(2, "o2", "d2")).
+		Observe("top", n1, n2).
+		MaxEvents(26).
+		Allow(
+			O("top", 1, string(n1), 2, string(n2), 0),
+			O("top", 2, string(n1), 0, string(n2), 1),
+		).
+		Forbid(
+			O("top", 1, string(n1), 0, string(n2), 0), // push 2 lost
+			O("top", 2, string(n1), 0, string(n2), 0), // push 1 lost
+			O("top", 0, string(n1), 0, string(n2), 0), // both lost
+		).
+		AllowSC(
+			O("top", 1, string(n1), 2, string(n2), 0),
+			O("top", 2, string(n1), 0, string(n2), 1),
+		).
+		Prop(s.NoLostPush([]event.Val{1, 2})).
+		Scenario()
+}
+
+// TreiberPushPopScenario: one client pushes node 1 while another
+// pops. The pop either finds the stack empty (out=0) or gets node 1;
+// a non-empty pop and a surviving node at once would be a double
+// ownership. The pop's nxt[obs] chase exercises the symbolic indexed
+// load end to end.
+func TreiberPushPopScenario() Scenario {
+	s := Stack{Top: "top", Nxt: "nxt"}
+	n1 := lang.Cell("nxt", 1)
+	return New("ds-treiber-push-pop").
+		InitZero("top", n1, "o1", "d1", "o2", "b2", "r2", "d2").
+		Thread(s.Push(1, "o1", "d1")).
+		Thread(s.Pop("o2", "b2", "r2", "d2")).
+		Observe("top", n1, "r2").
+		MaxEvents(26).
+		Allow(
+			O("top", 0, string(n1), 0, "r2", 1), // pop got the push
+			O("top", 1, string(n1), 0, "r2", 0), // pop saw empty
+		).
+		Forbid(
+			O("top", 1, string(n1), 0, "r2", 1), // popped yet still on stack
+			O("top", 0, string(n1), 0, "r2", 0), // vanished without a pop
+		).
+		AllowSC(
+			O("top", 0, string(n1), 0, "r2", 1),
+			O("top", 1, string(n1), 0, "r2", 0),
+		).
+		Prop(s.NoLostPush([]event.Val{1}, "r2")).
+		Scenario()
+}

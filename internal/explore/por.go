@@ -105,6 +105,8 @@ func loopFree(c lang.Com) bool {
 		return loopFree(c.C1) && loopFree(c.C2)
 	case lang.If:
 		return loopFree(c.Then) && loopFree(c.Else)
+	case lang.Cas:
+		return loopFree(c.Then) && loopFree(c.Else)
 	case lang.While:
 		return false
 	case lang.Label:

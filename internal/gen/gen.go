@@ -59,6 +59,11 @@ type Params struct {
 	// LoopIters is the iteration count of generated bounded loops,
 	// drawn from 1..LoopIters (default 2).
 	LoopIters int
+	// ArrLen is the cell count of the shared array a[0..ArrLen-1]
+	// (default 2). Every cell starts at zero and is observed; the
+	// shared index variable ix only ever receives literals below
+	// ArrLen, so symbolic loads a[ix] always hit an initialised cell.
+	ArrLen int
 
 	// Densities, in percent.
 	PSwap  int // RMW swap statements (default 15)
@@ -69,6 +74,8 @@ type Params struct {
 	PNA    int // non-atomic accesses (default 10)
 	PNeg   int // negative write values (default 5)
 	PExpr  int // compound write expressions like x := y + 1 (default 15)
+	PCas   int // CAS statements, branches and bounded retry loops (default 10)
+	PArr   int // array accesses: cell writes, index moves, a[ix] loads (default 10)
 }
 
 func defInt(v, d int) int {
@@ -92,6 +99,7 @@ func (p Params) withDefaults() Params {
 	p.Budget = defInt(p.Budget, 6)
 	p.Depth = defInt(p.Depth, 2)
 	p.LoopIters = defInt(p.LoopIters, 2)
+	p.ArrLen = defInt(p.ArrLen, 2)
 	p.PSwap = defInt(p.PSwap, 15)
 	p.PIf = defInt(p.PIf, 20)
 	p.PWhile = defInt(p.PWhile, 10)
@@ -100,6 +108,8 @@ func (p Params) withDefaults() Params {
 	p.PNA = defInt(p.PNA, 10)
 	p.PNeg = defInt(p.PNeg, 5)
 	p.PExpr = defInt(p.PExpr, 15)
+	p.PCas = defInt(p.PCas, 10)
+	p.PArr = defInt(p.PArr, 10)
 	return p
 }
 
@@ -107,10 +117,10 @@ func (p Params) withDefaults() Params {
 func (p Params) String() string {
 	p = p.withDefaults()
 	return fmt.Sprintf(
-		"-threads %d -vars %d -stmts %d -values %d -evbudget %d -depth %d -loopiters %d "+
-			"-pswap %d -pif %d -pwhile %d -prel %d -pacq %d -pna %d -pneg %d -pexpr %d",
-		p.Threads, p.Vars, p.Stmts, p.Values, p.Budget, p.Depth, p.LoopIters,
-		p.PSwap, p.PIf, p.PWhile, p.PRel, p.PAcq, p.PNA, p.PNeg, p.PExpr)
+		"-threads %d -vars %d -stmts %d -values %d -evbudget %d -depth %d -loopiters %d -arrlen %d "+
+			"-pswap %d -pif %d -pwhile %d -prel %d -pacq %d -pna %d -pneg %d -pexpr %d -pcas %d -parr %d",
+		p.Threads, p.Vars, p.Stmts, p.Values, p.Budget, p.Depth, p.LoopIters, p.ArrLen,
+		p.PSwap, p.PIf, p.PWhile, p.PRel, p.PAcq, p.PNA, p.PNeg, p.PExpr, p.PCas, p.PArr)
 }
 
 // Program is one generated artifact: the file, the seed that produced
@@ -137,6 +147,11 @@ type gens struct {
 	regN    int
 	ctrN    int
 	observe []event.Var
+	// arr and idx are the shared array and its index variable; writes
+	// to idx are always literals in [0, ArrLen), so a[ix] stays inside
+	// the initialised cells.
+	arr event.Var
+	idx event.Var
 }
 
 func (g *gens) pct(p int) bool { return g.rng.Intn(100) < p }
@@ -156,6 +171,15 @@ func Generate(seed int64, params Params) Program {
 		g.shared = append(g.shared, x)
 		g.init[x] = 0
 		g.observe = append(g.observe, x)
+	}
+	if p.PArr > 0 {
+		g.arr, g.idx = "a", "ix"
+		g.init[g.idx] = 0
+		for i := 0; i < p.ArrLen; i++ {
+			cell := lang.Cell(g.arr, event.Val(i))
+			g.init[cell] = 0
+			g.observe = append(g.observe, cell)
+		}
 	}
 
 	nThreads := 2 + g.rng.Intn(p.Threads-1)
@@ -200,8 +224,123 @@ func (g *gens) stmt(d int, budget *int) lang.Com {
 	case *budget >= 1 && g.pct(g.p.PSwap):
 		*budget--
 		return lang.SwapC(g.sharedVar(), g.val())
+	case *budget >= 1 && g.pct(g.p.PCas):
+		return g.cas(d, budget)
+	case g.arr != "" && *budget >= 1 && g.pct(g.p.PArr):
+		return g.arrayStmt(budget)
 	default:
 		return g.access(budget)
+	}
+}
+
+// cas emits a compare-and-swap construct: a bounded CAS-retry
+// fetch-add when the budget allows one, an if (x.cas(o,n)) branch,
+// or a bare x.cas(o,n); statement. A CAS with literal operands is
+// one memory event (the update on success, the failing acquiring
+// read otherwise); register operands add one read each.
+func (g *gens) cas(d int, budget *int) lang.Com {
+	x := g.sharedVar()
+	switch {
+	case d < g.p.Depth && *budget >= 9 && g.pct(35):
+		return g.casRetry(x, budget)
+	case d < g.p.Depth && *budget >= 3 && g.pct(50):
+		*budget--
+		then := g.block(1, d+1, budget)
+		els := lang.SkipC()
+		if g.pct(40) {
+			els = g.block(1, d+1, budget)
+		}
+		return lang.CasC(x, lang.V(g.casExp()), lang.V(g.val()), then, els)
+	default:
+		*budget--
+		return lang.CasStmtC(x, lang.V(g.casExp()), lang.V(g.val()))
+	}
+}
+
+// casRetry emits the idiomatic bounded CAS-retry fetch-add:
+//
+//	while (c < iters) {
+//	  r := x;
+//	  if (x.cas(r, r + 1)) { c := iters; } else { c := c + 1; }
+//	}
+//
+// The private counter bounds the retries, so the loop terminates
+// under every model. Worst-case events per iteration: the guard read
+// (1), r := x (2), the CAS with its two register reads (3), and the
+// losing branch's counter bump (2) — 8 — plus the final guard read.
+func (g *gens) casRetry(x event.Var, budget *int) lang.Com {
+	iters := 1 + g.rng.Intn(g.p.LoopIters)
+	for iters > 1 && *budget < 8*iters+1 {
+		iters--
+	}
+	if *budget < 8*iters+1 {
+		return g.access(budget)
+	}
+	*budget -= 8*iters + 1
+	c := event.Var(fmt.Sprintf("c%d_%d", g.thread, g.ctrN))
+	g.ctrN++
+	g.init[c] = 0
+	r := g.reg()
+	body := lang.SeqC(
+		lang.AssignC(r, g.load(x)),
+		lang.CasC(x, lang.X(r), lang.Add(lang.X(r), lang.V(1)),
+			lang.AssignC(c, lang.V(event.Val(iters))),
+			lang.AssignC(c, lang.Add(lang.X(c), lang.V(1)))),
+	)
+	guard := lang.Bin{Op: lang.OpLt, L: lang.X(c), R: lang.V(event.Val(iters))}
+	return lang.WhileC(guard, body)
+}
+
+// casExp draws a CAS expected value from 0..Values — zero included,
+// so expectations matching the initial store are generated.
+func (g *gens) casExp() event.Val {
+	return event.Val(g.rng.Intn(g.p.Values + 1))
+}
+
+// arrayStmt emits an array access: a symbolic load r := a[ix] (three
+// events: the index read, the cell read, the register write), a
+// literal-index cell write, or a move of the shared index variable.
+func (g *gens) arrayStmt(budget *int) lang.Com {
+	switch {
+	case *budget >= 3 && g.pct(40):
+		*budget -= 3
+		return lang.AssignC(g.reg(), g.idxLoad())
+	case g.pct(50):
+		*budget--
+		return g.writeAt(g.arr, lang.V(g.idxVal()), lang.V(g.val()))
+	default:
+		*budget--
+		return g.write(g.idx, lang.V(g.idxVal()))
+	}
+}
+
+// idxVal draws a literal index inside the array.
+func (g *gens) idxVal() event.Val {
+	return event.Val(g.rng.Intn(g.p.ArrLen))
+}
+
+// idxLoad builds a[ix] with the usual annotation mix.
+func (g *gens) idxLoad() lang.Expr {
+	i := lang.X(g.idx)
+	switch {
+	case g.pct(g.p.PAcq):
+		return lang.XAtA(g.arr, i)
+	case g.pct(g.p.PNA):
+		return lang.XAtNA(g.arr, i)
+	default:
+		return lang.XAt(g.arr, i)
+	}
+}
+
+// writeAt mirrors write for indexed assignments.
+func (g *gens) writeAt(a event.Var, idx, e lang.Expr) lang.Com {
+	switch {
+	case g.pct(g.p.PRel):
+		return lang.AssignAtRelC(a, idx, e)
+	case g.pct(g.p.PNA):
+		return lang.AssignAtNAC(a, idx, e)
+	default:
+		return lang.AssignAtC(a, idx, e)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/explore"
+	"repro/internal/lang"
 	"repro/internal/model"
 )
 
@@ -49,7 +50,18 @@ func TestGenerateRoundTripsAndRuns(t *testing.T) {
 			collectComVars(c, used)
 		}
 		for x := range used {
-			if _, ok := tc.Init[x]; !ok {
+			if _, ok := tc.Init[x]; ok {
+				continue
+			}
+			// An array base stands for its cells: initialised when
+			// every declared cell of the base is.
+			cells := 0
+			for v := range tc.Init {
+				if b, isCell := lang.CellOf(v); isCell && b == x {
+					cells++
+				}
+			}
+			if cells == 0 {
 				t.Fatalf("seed %d: variable %s used but not initialised", seed, x)
 			}
 		}
@@ -121,3 +133,76 @@ func TestGenerateCountersPrivate(t *testing.T) {
 }
 
 func itoa(i int) string { return string(rune('0' + i)) }
+
+// The new construct kinds actually come out of the generator: over a
+// modest seed window with their densities raised, some program
+// contains a CAS, some a bounded CAS-retry loop, some a symbolic
+// indexed load, and some a literal cell write — and every one still
+// round-trips and runs.
+func TestGenerateEmitsCasAndArrays(t *testing.T) {
+	found := map[string]bool{}
+	for seed := int64(1); seed <= 80; seed++ {
+		p := Generate(seed, Params{PCas: 50, PArr: 50, PWhile: 30, Stmts: 5})
+		if fail := roundTrip(p.File); fail != nil {
+			t.Fatalf("seed %d: %s\n%s", seed, fail, p.File.Format())
+		}
+		src := p.File.Format()
+		if strings.Contains(src, ".cas(") {
+			found["cas"] = true
+		}
+		if strings.Contains(src, "if (") && strings.Contains(src, ".cas(") &&
+			strings.Contains(src, "while (") {
+			found["cas-retry"] = true
+		}
+		if strings.Contains(src, "a[ix]") {
+			found["idxload"] = true
+		}
+		if strings.Contains(src, "a[0] :=") || strings.Contains(src, "a[1] :=") {
+			found["cell-write"] = true
+		}
+	}
+	for _, want := range []string{"cas", "cas-retry", "idxload", "cell-write"} {
+		if !found[want] {
+			t.Errorf("no generated program contains a %s", want)
+		}
+	}
+}
+
+// Static bounds stay sound with the CAS/array constructs forced high
+// — the analogue of TestGenerateBoundIsSound on the new statement
+// kinds.
+func TestGenerateBoundIsSoundWithCas(t *testing.T) {
+	seeds := int64(15)
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		p := Generate(seed, Params{PCas: 60, PArr: 60, Budget: 12})
+		tc, err := p.File.Test()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.NewConfig(tc.Prog, tc.Init)
+		nInit := cfg.Progress()
+		var mu sync.Mutex
+		maxP := 0
+		res := explore.Run(cfg, explore.Options{
+			MaxEvents: p.Bound + 8, MaxConfigs: 1 << 17,
+			Property: func(c model.Config) bool {
+				mu.Lock()
+				if v := c.Progress() - nInit; v > maxP {
+					maxP = v
+				}
+				mu.Unlock()
+				return true
+			},
+		})
+		if res.Truncated && res.Explored < 1<<17 {
+			t.Fatalf("seed %d: truncated below the generous bound", seed)
+		}
+		if maxP > p.Bound {
+			t.Fatalf("seed %d: static bound %d < actual %d\n%s",
+				seed, p.Bound, maxP, p.File.Format())
+		}
+	}
+}

@@ -105,12 +105,15 @@ func withThread(f *parser.File, id int, c lang.Com) *parser.File {
 
 func shallow(f *parser.File) *parser.File {
 	return &parser.File{
-		Name:    f.Name,
-		Init:    f.Init,
-		Threads: map[int]lang.Com{},
-		Observe: f.Observe,
-		Allow:   f.Allow,
-		Forbid:  f.Forbid,
+		Name:      f.Name,
+		Init:      f.Init,
+		Threads:   map[int]lang.Com{},
+		Observe:   f.Observe,
+		Allow:     f.Allow,
+		Forbid:    f.Forbid,
+		AllowSC:   f.AllowSC,
+		ForbidSC:  f.ForbidSC,
+		MaxEvents: f.MaxEvents,
 	}
 }
 
@@ -137,10 +140,18 @@ func comVariants(c lang.Com) []lang.Com {
 	case lang.Assign:
 		out = append(out, lang.Skip{})
 		if x.Rel || x.NA {
-			out = append(out, lang.Assign{X: x.X, E: x.E})
+			out = append(out, assignWith(x.X, x.Idx, x.E, false, false))
 		}
 		for _, e := range exprVariants(x.E) {
-			out = append(out, lang.Assign{X: x.X, E: e, Rel: x.Rel, NA: x.NA})
+			out = append(out, assignWith(x.X, x.Idx, e, x.Rel, x.NA))
+		}
+		if x.Idx != nil {
+			// Collapse the index: first to its simplifications, which
+			// bottom out in literals and hence (through the
+			// constructors) in plain cell assignments.
+			for _, i := range exprVariants(x.Idx) {
+				out = append(out, assignWith(x.X, i, x.E, x.Rel, x.NA))
+			}
 		}
 
 	case lang.Swap:
@@ -148,6 +159,30 @@ func comVariants(c lang.Com) []lang.Com {
 			lang.Skip{},
 			// Weaken the RMW to a plain write of the same value.
 			lang.Assign{X: x.X, E: lang.V(x.N)})
+
+	case lang.Cas:
+		out = append(out, lang.Skip{}, x.Then, x.Else)
+		// Weaken the CAS to the unconditional write of its new value
+		// followed by the success branch — keeps the write and the
+		// control flow while dropping the arbitration.
+		out = append(out, lang.SeqC(assignWith(x.X, x.Idx, x.New, false, false), x.Then))
+		for _, e := range exprVariants(x.Old) {
+			out = append(out, casWith(x, x.Idx, e, x.New, x.Then, x.Else))
+		}
+		for _, e := range exprVariants(x.New) {
+			out = append(out, casWith(x, x.Idx, x.Old, e, x.Then, x.Else))
+		}
+		if x.Idx != nil {
+			for _, i := range exprVariants(x.Idx) {
+				out = append(out, casWith(x, i, x.Old, x.New, x.Then, x.Else))
+			}
+		}
+		for _, v := range comVariants(x.Then) {
+			out = append(out, casWith(x, x.Idx, x.Old, x.New, v, x.Else))
+		}
+		for _, v := range comVariants(x.Else) {
+			out = append(out, casWith(x, x.Idx, x.Old, x.New, x.Then, v))
+		}
 
 	case lang.If:
 		out = append(out, lang.Skip{}, x.Then, x.Else)
@@ -179,6 +214,34 @@ func comVariants(c lang.Com) []lang.Com {
 	return out
 }
 
+// assignWith rebuilds an assignment through the canonicalising
+// constructors, so a literal index collapses into a plain cell
+// assignment rather than a non-canonical Assign{Idx: Lit}.
+func assignWith(x event.Var, idx, e lang.Expr, rel, na bool) lang.Com {
+	switch {
+	case idx == nil && rel:
+		return lang.AssignRelC(x, e)
+	case idx == nil && na:
+		return lang.AssignNAC(x, e)
+	case idx == nil:
+		return lang.AssignC(x, e)
+	case rel:
+		return lang.AssignAtRelC(x, idx, e)
+	case na:
+		return lang.AssignAtNAC(x, idx, e)
+	default:
+		return lang.AssignAtC(x, idx, e)
+	}
+}
+
+// casWith rebuilds a CAS through the canonicalising constructors.
+func casWith(x lang.Cas, idx, old, nw lang.Expr, then, els lang.Com) lang.Com {
+	if idx == nil {
+		return lang.CasC(x.X, old, nw, then, els)
+	}
+	return lang.CasAtC(x.X, idx, old, nw, then, els)
+}
+
 // exprVariants enumerates single-step simplifications of an
 // expression: the whole expression to a literal, annotation drops on
 // loads, operand hoisting, then recursion into operands.
@@ -191,6 +254,16 @@ func exprVariants(e lang.Expr) []lang.Expr {
 		out = append(out, lang.V(0), lang.V(1))
 		if x.Acq || x.NA {
 			out = append(out, lang.X(x.X))
+		}
+	case lang.IdxLoad:
+		out = append(out, lang.V(0), lang.V(1), x.I)
+		if x.Acq || x.NA {
+			out = append(out, lang.XAt(x.A, x.I))
+		}
+		// Index simplifications bottom out in literals, which the XAt
+		// constructors canonicalise into plain cell loads.
+		for _, i := range exprVariants(x.I) {
+			out = append(out, idxLoadWith(x, i))
 		}
 	case lang.Un:
 		out = append(out, lang.V(0), x.E)
@@ -207,6 +280,19 @@ func exprVariants(e lang.Expr) []lang.Expr {
 		}
 	}
 	return out
+}
+
+// idxLoadWith rebuilds an indexed load through the canonicalising
+// constructors.
+func idxLoadWith(x lang.IdxLoad, i lang.Expr) lang.Expr {
+	switch {
+	case x.Acq:
+		return lang.XAtA(x.A, i)
+	case x.NA:
+		return lang.XAtNA(x.A, i)
+	default:
+		return lang.XAt(x.A, i)
+	}
 }
 
 // normalize prunes skips, drops skip-only threads (keeping at least
@@ -231,15 +317,25 @@ func normalize(f *parser.File) *parser.File {
 		out.Threads[i+1] = c
 	}
 
+	// A symbolically indexed access marks the array base as used; its
+	// cells cannot be trimmed individually, since the index is only
+	// known at run time.
+	keep := func(x event.Var) bool {
+		if used[x] {
+			return true
+		}
+		base, ok := lang.CellOf(x)
+		return ok && used[base]
+	}
 	out.Init = map[event.Var]event.Val{}
 	for x, v := range f.Init {
-		if used[x] {
+		if keep(x) {
 			out.Init[x] = v
 		}
 	}
 	out.Observe = nil
 	for _, x := range f.Observe {
-		if used[x] {
+		if keep(x) {
 			out.Observe = append(out.Observe, x)
 		}
 	}
@@ -262,6 +358,9 @@ func pruneSkips(c lang.Com) lang.Com {
 		return lang.If{B: x.B, Then: pruneSkips(x.Then), Else: pruneSkips(x.Else)}
 	case lang.While:
 		return lang.WhileC(x.Guard, pruneSkips(x.Body))
+	case lang.Cas:
+		x.Then, x.Else = pruneSkips(x.Then), pruneSkips(x.Else)
+		return x
 	case lang.Label:
 		return lang.Label{Name: x.Name, C: pruneSkips(x.C)}
 	default:
@@ -269,31 +368,57 @@ func pruneSkips(c lang.Com) lang.Com {
 	}
 }
 
-// collectComVars accumulates every variable the command mentions.
+// collectComVars accumulates every variable the command mentions. A
+// symbolically indexed access contributes its array *base* — normalize
+// then keeps every initialised cell of that base alive.
 func collectComVars(c lang.Com, out map[event.Var]bool) {
 	switch x := c.(type) {
 	case lang.Assign:
 		out[x.X] = true
-		for v := range lang.FreeVars(x.E) {
-			out[v] = true
+		collectExprVars(x.E, out)
+		if x.Idx != nil {
+			collectExprVars(x.Idx, out)
 		}
 	case lang.Swap:
 		out[x.X] = true
+	case lang.Cas:
+		out[x.X] = true
+		collectExprVars(x.Old, out)
+		collectExprVars(x.New, out)
+		if x.Idx != nil {
+			collectExprVars(x.Idx, out)
+		}
+		collectComVars(x.Then, out)
+		collectComVars(x.Else, out)
 	case lang.Seq:
 		collectComVars(x.C1, out)
 		collectComVars(x.C2, out)
 	case lang.If:
-		for v := range lang.FreeVars(x.B) {
-			out[v] = true
-		}
+		collectExprVars(x.B, out)
 		collectComVars(x.Then, out)
 		collectComVars(x.Else, out)
 	case lang.While:
-		for v := range lang.FreeVars(x.Guard) {
-			out[v] = true
-		}
+		collectExprVars(x.Guard, out)
 		collectComVars(x.Body, out)
 	case lang.Label:
 		collectComVars(x.C, out)
+	}
+}
+
+// collectExprVars is FreeVars plus array bases: an IdxLoad reads some
+// cell of its array, so the base is recorded alongside the index's
+// own variables.
+func collectExprVars(e lang.Expr, out map[event.Var]bool) {
+	switch x := e.(type) {
+	case lang.Load:
+		out[x.X] = true
+	case lang.IdxLoad:
+		out[x.A] = true
+		collectExprVars(x.I, out)
+	case lang.Un:
+		collectExprVars(x.E, out)
+	case lang.Bin:
+		collectExprVars(x.L, out)
+		collectExprVars(x.R, out)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/lang"
 	"repro/internal/parser"
 )
 
@@ -81,6 +82,56 @@ func TestShrinkWeakBehaviourPredicate(t *testing.T) {
 	m2 := Shrink(prog.File, weak)
 	if m1.Format() != m2.Format() {
 		t.Fatalf("semantic shrink not deterministic:\n%s\nvs\n%s", m1.Format(), m2.Format())
+	}
+}
+
+// Shrinking a CAS/array program against a syntactic predicate: the
+// minimum keeps a CAS and a symbolic indexed load (what the predicate
+// demands) while everything else — spare threads, the retry scaffold,
+// unrelated accesses — is gone, the result stays canonical (it
+// round-trips through the grammar), and array cells referenced only
+// through the symbolic index survive init trimming.
+func TestShrinkCasArrayPredicate(t *testing.T) {
+	keep := func(f *parser.File) bool {
+		s := f.Format()
+		return strings.Contains(s, ".cas(") && strings.Contains(s, "a[ix]")
+	}
+	var prog Program
+	found := false
+	for seed := int64(1); seed <= 60; seed++ {
+		prog = Generate(seed, Params{PCas: 60, PArr: 60, Stmts: 5})
+		if keep(prog.File) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed produced both a CAS and a symbolic indexed load")
+	}
+	m := Shrink(prog.File, keep)
+	if !keep(m) {
+		t.Fatal("shrunk program lost the required constructs")
+	}
+	if fail := roundTrip(m); fail != nil {
+		t.Fatalf("shrunk program not canonical: %s\n%s", fail, m.Format())
+	}
+	// The indexed load's cells must stay initialised.
+	tc, err := m.Test()
+	if err != nil {
+		t.Fatalf("shrunk program not runnable: %v\n%s", err, m.Format())
+	}
+	cells := 0
+	for v := range tc.Init {
+		if base, ok := lang.CellOf(v); ok && base == "a" {
+			cells++
+		}
+	}
+	if cells == 0 {
+		t.Fatalf("array cells trimmed out from under a[ix]:\n%s", m.Format())
+	}
+	assertMinimal(t, m, keep)
+	if m2 := Shrink(prog.File, keep); m2.Format() != m.Format() {
+		t.Fatalf("cas/array shrink not deterministic:\n%s\nvs\n%s", m.Format(), m2.Format())
 	}
 }
 

@@ -1,0 +1,163 @@
+package lang
+
+// Bounded arrays and compare-and-swap, the language growth the
+// concurrent-data-structure tier (internal/ds) runs on.
+//
+// Arrays are not a new storage concept: a cell a[3] is an ordinary
+// shared variable whose name is the rendering "a[3]", produced by
+// Cell. The memory models never change — they see one location per
+// cell. What is new is *symbolic* indexing: the IdxLoad expression
+// a[I] and the indexed Assign/Cas forms first resolve the index
+// expression I through ordinary read steps and only then touch the
+// concrete cell, so a program can traverse nodes it discovered at run
+// time (the next-pointer chase of a Michael-Scott dequeue). A scalar
+// identifier can never contain '[', so cell names collide with no
+// scalar variable.
+//
+// Cas is the if-form compare-and-swap over the existing RMW
+// machinery: "if (x.cas(Old, New)) {Then} else {Else}". Once Old and
+// New are resolved to values it takes a single StepCas transition
+// whose two faces mirror C11's strong CAS under release-acquire:
+//
+//   - success: the step reads a write with value Old and becomes an
+//     updRA event (exactly a swap's update: acquire the read,
+//     release the write, mo-immediately after the read-from write);
+//   - failure: the step is an acquiring read of a write with value
+//     ≠ Old, and no write is performed.
+//
+// The CAS is strong: reading a matching value always succeeds, so a
+// failure can never be justified by a write of the expected value.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Cell returns the shared variable naming cell i of array a.
+func Cell(a event.Var, i event.Val) event.Var {
+	return event.Var(fmt.Sprintf("%s[%d]", a, i))
+}
+
+// CellOf inverts Cell: it reports the array base of a cell variable,
+// with ok=false when x does not name a cell.
+func CellOf(x event.Var) (base event.Var, ok bool) {
+	s := string(x)
+	open := strings.IndexByte(s, '[')
+	if open <= 0 || s[len(s)-1] != ']' {
+		return "", false
+	}
+	if _, err := strconv.Atoi(s[open+1 : len(s)-1]); err != nil {
+		return "", false
+	}
+	return event.Var(s[:open]), true
+}
+
+// IdxLoad is a symbolically indexed load a[I] (optionally a[I]^A or
+// a[I]^NA). The index expression resolves first, through ordinary
+// read steps; the load then behaves exactly like a Load of the
+// concrete cell Cell(A, [[I]]). Constructors normalise literal
+// indexes into plain cell Loads, so an IdxLoad in a parsed program
+// always carries a genuinely symbolic index.
+type IdxLoad struct {
+	A   event.Var
+	I   Expr
+	Acq bool
+	NA  bool
+}
+
+func (IdxLoad) isExpr() {}
+
+func (l IdxLoad) String() string {
+	s := string(l.A) + "[" + l.I.String() + "]"
+	switch {
+	case l.Acq:
+		return s + "^A"
+	case l.NA:
+		return s + "^NA"
+	}
+	return s
+}
+
+// XAt returns a relaxed load of a[i], normalising literal indexes to
+// a plain cell load.
+func XAt(a event.Var, i Expr) Expr { return idxLoad(a, i, false, false) }
+
+// XAtA returns an acquiring load of a[i].
+func XAtA(a event.Var, i Expr) Expr { return idxLoad(a, i, true, false) }
+
+// XAtNA returns a non-atomic load of a[i].
+func XAtNA(a event.Var, i Expr) Expr { return idxLoad(a, i, false, true) }
+
+func idxLoad(a event.Var, i Expr, acq, na bool) Expr {
+	if l, ok := i.(Lit); ok {
+		return Load{X: Cell(a, l.V), Acq: acq, NA: na}
+	}
+	return IdxLoad{A: a, I: i, Acq: acq, NA: na}
+}
+
+// Cas is the compare-and-swap command
+//
+//	if (x.cas(Old, New)) { Then } else { Else }
+//
+// over a scalar location X, or over the cell X[Idx] when Idx is
+// non-nil. Old and New resolve through read steps (substituting each
+// read value into both, like an Assign's right-hand side); the
+// comparison itself is then one atomic StepCas transition. The
+// statement form "x.cas(o, n);" is a Cas with skip branches.
+type Cas struct {
+	X        event.Var
+	Idx      Expr // nil for a scalar location
+	Old, New Expr
+	Then     Com
+	Else     Com
+}
+
+func (Cas) isCom() {}
+
+func (c Cas) String() string {
+	loc := string(c.X)
+	if c.Idx != nil {
+		loc += "[" + c.Idx.String() + "]"
+	}
+	return fmt.Sprintf("if %s.cas(%s,%s) then {%s} else {%s}",
+		loc, c.Old, c.New, c.Then, c.Else)
+}
+
+// CasC returns if (x.cas(old, new)) {then} else {els}.
+func CasC(x event.Var, old, new Expr, then, els Com) Com {
+	return Cas{X: x, Old: old, New: new, Then: then, Else: els}
+}
+
+// CasStmtC returns the statement form x.cas(old, new); — a CAS whose
+// outcome is ignored.
+func CasStmtC(x event.Var, old, new Expr) Com {
+	return Cas{X: x, Old: old, New: new, Then: Skip{}, Else: Skip{}}
+}
+
+// CasAtC returns if (a[i].cas(old, new)) {then} else {els},
+// normalising literal indexes to the concrete cell.
+func CasAtC(a event.Var, i Expr, old, new Expr, then, els Com) Com {
+	if l, ok := i.(Lit); ok {
+		return Cas{X: Cell(a, l.V), Old: old, New: new, Then: then, Else: els}
+	}
+	return Cas{X: a, Idx: i, Old: old, New: new, Then: then, Else: els}
+}
+
+// AssignAtC returns a[i] := e, normalising literal indexes.
+func AssignAtC(a event.Var, i Expr, e Expr) Com { return assignAt(a, i, e, false, false) }
+
+// AssignAtRelC returns a[i] :=^R e.
+func AssignAtRelC(a event.Var, i Expr, e Expr) Com { return assignAt(a, i, e, true, false) }
+
+// AssignAtNAC returns a[i] :=^NA e.
+func AssignAtNAC(a event.Var, i Expr, e Expr) Com { return assignAt(a, i, e, false, true) }
+
+func assignAt(a event.Var, i Expr, e Expr, rel, na bool) Com {
+	if l, ok := i.(Lit); ok {
+		return Assign{X: Cell(a, l.V), E: e, Rel: rel, NA: na}
+	}
+	return Assign{X: a, Idx: i, E: e, Rel: rel, NA: na}
+}

@@ -70,6 +70,23 @@ func DecodeExprSig(data []byte) (Expr, []byte, error) {
 			return nil, nil, err
 		}
 		return Load{X: event.Var(x), Acq: flags&1 != 0, NA: flags&2 != 0}, rest, nil
+	case sigIdxLoad:
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("lang: truncated indexed-load flags")
+		}
+		flags := rest[0]
+		if flags > 3 {
+			return nil, nil, fmt.Errorf("lang: invalid indexed-load flags %#x", flags)
+		}
+		a, rest, err := decodeString(rest[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		i, rest, err := DecodeExprSig(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return IdxLoad{A: event.Var(a), I: i, Acq: flags&1 != 0, NA: flags&2 != 0}, rest, nil
 	case sigUn:
 		if len(rest) == 0 {
 			return nil, nil, fmt.Errorf("lang: truncated unary operator")
@@ -120,18 +137,26 @@ func DecodeComSig(data []byte) (Com, []byte, error) {
 			return nil, nil, fmt.Errorf("lang: truncated assign flags")
 		}
 		flags := rest[0]
-		if flags > 3 {
+		if flags&^sigAssignFlags != 0 {
 			return nil, nil, fmt.Errorf("lang: invalid assign flags %#x", flags)
 		}
 		x, rest, err := decodeString(rest[1:])
 		if err != nil {
 			return nil, nil, err
 		}
+		var idx Expr
+		if flags&sigAssignIdx != 0 {
+			idx, rest, err = DecodeExprSig(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
 		e, rest, err := DecodeExprSig(rest)
 		if err != nil {
 			return nil, nil, err
 		}
-		return Assign{X: event.Var(x), E: e, Rel: flags&1 != 0, NA: flags&2 != 0}, rest, nil
+		return Assign{X: event.Var(x), Idx: idx, E: e,
+			Rel: flags&sigAssignRel != 0, NA: flags&sigAssignNA != 0}, rest, nil
 	case sigSwap:
 		x, rest, err := decodeString(rest)
 		if err != nil {
@@ -142,6 +167,42 @@ func DecodeComSig(data []byte) (Com, []byte, error) {
 			return nil, nil, err
 		}
 		return Swap{X: event.Var(x), N: event.Val(n)}, rest, nil
+	case sigCas:
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("lang: truncated cas flags")
+		}
+		flags := rest[0]
+		if flags > 1 {
+			return nil, nil, fmt.Errorf("lang: invalid cas flags %#x", flags)
+		}
+		x, rest, err := decodeString(rest[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		var idx Expr
+		if flags&1 != 0 {
+			idx, rest, err = DecodeExprSig(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		old, rest, err := DecodeExprSig(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		nw, rest, err := DecodeExprSig(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		then, rest, err := DecodeComSig(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		els, rest, err := DecodeComSig(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Cas{X: event.Var(x), Idx: idx, Old: old, New: nw, Then: then, Else: els}, rest, nil
 	case sigSeq:
 		c1, rest, err := DecodeComSig(rest)
 		if err != nil {

@@ -29,6 +29,26 @@ func codecPrograms() []Prog {
 				SeqC(AssignRelC("y", V(2)), SkipC()),
 				LabelC("else", SkipC())),
 		},
+		// The array/CAS constructs: bare and branching CAS, a CAS on a
+		// symbolically indexed cell, symbolic loads in every annotation
+		// mix, and indexed assignments (a literal index canonicalises to
+		// a plain cell assignment through the constructors — both forms
+		// appear).
+		{CasStmtC("x", V(0), V(1))},
+		{CasC("top", X("obs"), Add(X("obs"), V(1)),
+			AssignC("done", V(1)), AssignC("r", XA("top")))},
+		{CasAtC("slot", X("i"), V(0), V(7), SkipC(), CasStmtC("slot", V(1), V(7)))},
+		{
+			AssignC("r", XAt("buf", X("i"))),
+			AssignC("s", XAtA("buf", Add(X("i"), V(1)))),
+			AssignC("t", XAtNA("buf", X("j"))),
+		},
+		{
+			AssignAtC("buf", X("i"), V(5)),
+			AssignAtRelC("buf", X("i"), X("r")),
+			AssignAtNAC("buf", X("j"), V(0)),
+			AssignAtC("buf", V(3), V(9)), // canonicalises to buf[3] := 9
+		},
 	}
 }
 
@@ -75,20 +95,57 @@ func TestProgSigRoundTripWhileMidIteration(t *testing.T) {
 }
 
 func TestDecodeProgSigRejectsCorruption(t *testing.T) {
-	enc := AppendProgSig(nil, codecPrograms()[10])
-	// Truncation at every prefix length must error, never panic.
-	for n := 0; n < len(enc); n++ {
-		if _, _, err := DecodeProgSig(enc[:n]); err == nil {
-			// A strict prefix can only decode cleanly if the dropped
-			// suffix was a whole trailing unit — impossible here since
-			// the thread count pins the number of commands.
-			t.Fatalf("truncation to %d bytes decoded without error", n)
+	// Both the kitchen-sink program and the CAS-on-indexed-cell one:
+	// the latter drives the strict decoders of the new tags.
+	for _, p := range []Prog{codecPrograms()[10], codecPrograms()[13]} {
+		enc := AppendProgSig(nil, p)
+		// Truncation at every prefix length must error, never panic.
+		for n := 0; n < len(enc); n++ {
+			if _, _, err := DecodeProgSig(enc[:n]); err == nil {
+				// A strict prefix can only decode cleanly if the dropped
+				// suffix was a whole trailing unit — impossible here since
+				// the thread count pins the number of commands.
+				t.Fatalf("truncation to %d bytes decoded without error", n)
+			}
+		}
+		// Flipping a kind tag to garbage must error.
+		bad := append([]byte(nil), enc...)
+		bad[1] = 0xff
+		if _, _, err := DecodeProgSig(bad); err == nil {
+			t.Fatal("corrupted tag decoded without error")
 		}
 	}
-	// Flipping a kind tag to garbage must error.
-	bad := append([]byte(nil), enc...)
-	bad[1] = 0xff
-	if _, _, err := DecodeProgSig(bad); err == nil {
-		t.Fatal("corrupted tag decoded without error")
+}
+
+// TestSigDistinguishesArrayCells pins the cache-key property the
+// array naming scheme has to provide: distinct cells, distinct index
+// expressions, and a symbolic versus concretised access all encode to
+// distinct signatures — no pair of them may collide, or the
+// exploration caches would conflate their configurations.
+func TestSigDistinguishesArrayCells(t *testing.T) {
+	progs := map[string]Prog{
+		"read-a1":        {AssignC("r", X(Cell("a", 1)))},
+		"read-a11":       {AssignC("r", X(Cell("a", 11)))},
+		"read-a111":      {AssignC("r", X(Cell("a", 111)))},
+		"read-sym-i":     {AssignC("r", XAt("a", X("i")))},
+		"read-sym-j":     {AssignC("r", XAt("a", X("j")))},
+		"read-sym-acq":   {AssignC("r", XAtA("a", X("i")))},
+		"write-a1":       {AssignAtC("a", V(1), V(1))},
+		"write-a11":      {AssignAtC("a", V(11), V(1))},
+		"write-sym":      {AssignAtC("a", X("i"), V(1))},
+		"cas-a1":         {CasStmtC(Cell("a", 1), V(0), V(1))},
+		"cas-a11":        {CasStmtC(Cell("a", 11), V(0), V(1))},
+		"cas-sym":        {CasAtC("a", X("i"), V(0), V(1), SkipC(), SkipC())},
+		"cas-branches":   {CasC(Cell("a", 1), V(0), V(1), AssignC("d", V(1)), SkipC())},
+		"plain-var-a":    {AssignC("r", X("a"))},
+		"bracket-in-mid": {AssignC("r", X(Cell("a[1]", 2)))}, // pathological nested name
+	}
+	seen := map[string]string{}
+	for name, p := range progs {
+		sig := string(AppendProgSig(nil, p))
+		if prev, dup := seen[sig]; dup {
+			t.Errorf("programs %s and %s share a signature", prev, name)
+		}
+		seen[sig] = name
 	}
 }

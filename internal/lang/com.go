@@ -23,9 +23,14 @@ type Com interface {
 type Skip struct{}
 
 // Assign is x := E (relaxed), x :=^R E (releasing) when Rel is set,
-// or x :=^NA E (non-atomic) when NA is set.
+// or x :=^NA E (non-atomic) when NA is set. A non-nil Idx makes it
+// the symbolically indexed store X[Idx] := E: the index resolves
+// through read steps first, then the write targets the concrete cell
+// Cell(X, [[Idx]]) (array.go). Constructors normalise literal
+// indexes, so a parsed Assign with Idx ≠ nil is genuinely symbolic.
 type Assign struct {
 	X   event.Var
+	Idx Expr // nil for a scalar (or literal-index cell) store
 	E   Expr
 	Rel bool
 	NA  bool
@@ -85,7 +90,11 @@ func (a Assign) String() string {
 	case a.NA:
 		op = ":=NA"
 	}
-	return fmt.Sprintf("%s %s %s", a.X, op, a.E)
+	loc := string(a.X)
+	if a.Idx != nil {
+		loc += "[" + a.Idx.String() + "]"
+	}
+	return fmt.Sprintf("%s %s %s", loc, op, a.E)
 }
 
 func (s Swap) String() string {
@@ -128,14 +137,33 @@ func AssignNAC(x event.Var, e Expr) Com { return Assign{X: x, E: e, NA: true} }
 // SwapC returns x.swap(n)^RA.
 func SwapC(x event.Var, n event.Val) Com { return Swap{X: x, N: n} }
 
-// SeqC sequences the given commands, dropping leading skips.
+// SeqC sequences the given commands. Nested sequences are flattened
+// into the right-nested canonical form, so SeqC(SeqC(a, b), c) and
+// SeqC(a, SeqC(b, c)) build the same term: sequencing is associative
+// operationally, and the canonical shape keeps the program signature
+// (and hence cache keys) independent of how a program was composed —
+// a parsed statement block and the equivalent builder composition
+// agree.
 func SeqC(cs ...Com) Com {
-	if len(cs) == 0 {
+	var flat []Com
+	var push func(c Com)
+	push = func(c Com) {
+		if s, ok := c.(Seq); ok {
+			push(s.C1)
+			push(s.C2)
+			return
+		}
+		flat = append(flat, c)
+	}
+	for _, c := range cs {
+		push(c)
+	}
+	if len(flat) == 0 {
 		return Skip{}
 	}
-	out := cs[len(cs)-1]
-	for i := len(cs) - 2; i >= 0; i-- {
-		out = Seq{C1: cs[i], C2: out}
+	out := flat[len(flat)-1]
+	for i := len(flat) - 2; i >= 0; i-- {
+		out = Seq{C1: flat[i], C2: out}
 	}
 	return out
 }

@@ -169,6 +169,11 @@ func collectVars(e Expr, out map[event.Var]bool) {
 	case Lit:
 	case Load:
 		out[x.X] = true
+	case IdxLoad:
+		// The cell read is not known until the index resolves; only
+		// the index's own variables are free here. Static footprints
+		// (footprint.go) account for the whole array separately.
+		collectVars(x.I, out)
 	case Un:
 		collectVars(x.E, out)
 	case Bin:
@@ -185,6 +190,9 @@ func Closed(e Expr) bool {
 	case Lit:
 		return true
 	case Load:
+		return false
+	case IdxLoad:
+		// Even with a closed index the cell still has to be read.
 		return false
 	case Un:
 		return Closed(x.E)
@@ -225,6 +233,24 @@ func Subst(e Expr, x event.Var, n event.Val) Expr {
 			return litExpr(n)
 		}
 		return e
+	case IdxLoad:
+		// Substitute inside the index first (x may occur there); once
+		// the index closes the node denotes one concrete cell and
+		// normalises to a plain Load of it — keeping residual programs
+		// canonical: no IdxLoad ever carries a closed index after a
+		// step. If the cell is x itself, the read replaces the load.
+		inner := Subst(ex.I, x, n)
+		if Closed(inner) {
+			cell := Cell(ex.A, Eval(inner))
+			if cell == x {
+				return litExpr(n)
+			}
+			return Load{X: cell, Acq: ex.Acq, NA: ex.NA}
+		}
+		if inner == ex.I {
+			return e
+		}
+		return IdxLoad{A: ex.A, I: inner, Acq: ex.Acq, NA: ex.NA}
 	case Un:
 		inner := Subst(ex.E, x, n)
 		if inner == ex.E {
@@ -253,6 +279,8 @@ func Eval(e Expr) event.Val {
 		return x.V
 	case Load:
 		panic("lang: Eval of open expression (free variable " + string(x.X) + ")")
+	case IdxLoad:
+		panic("lang: Eval of open expression (unresolved cell of " + string(x.A) + ")")
 	case Un:
 		v := Eval(x.E)
 		switch x.Op {
@@ -310,6 +338,13 @@ func EvalTargetLoad(e Expr) (Load, bool) {
 		return Load{}, false
 	case Load:
 		return ex, true
+	case IdxLoad:
+		// The index resolves first; once it is closed the read targets
+		// the concrete cell with the load's own annotations.
+		if !Closed(ex.I) {
+			return EvalTargetLoad(ex.I)
+		}
+		return Load{X: Cell(ex.A, Eval(ex.I)), Acq: ex.Acq, NA: ex.NA}, true
 	case Un:
 		return EvalTargetLoad(ex.E)
 	case Bin:

@@ -49,23 +49,46 @@ func (s *VarSet) add(x event.Var) {
 
 // Footprint is the static may-access footprint of a command: the
 // variables it may read and the variables it may write (updates —
-// x.swap — count as both) anywhere in its remaining execution. It is
-// an over-approximation: branches not taken and loop bodies never
-// entered still contribute.
+// x.swap and x.cas — count as both) anywhere in its remaining
+// execution. It is an over-approximation: branches not taken and loop
+// bodies never entered still contribute. Symbolically indexed
+// accesses (a[I] with I not yet a value) may touch any cell of the
+// array, so they contribute the array *base* to the wildcard sets
+// ReadArrays/WriteArrays instead of a concrete variable; a
+// literal-index access is an ordinary cell variable and lands in
+// Reads/Writes.
 type Footprint struct {
 	Reads  VarSet
 	Writes VarSet
+	// ReadArrays and WriteArrays hold array bases whose cells may be
+	// read/written through a symbolic index.
+	ReadArrays  VarSet
+	WriteArrays VarSet
 }
 
 // ConflictsWith reports whether an access to x — a write access when
 // wr is set, a plain read otherwise — may conflict with this
 // footprint: two accesses to the same variable conflict when at least
-// one of them is a write.
+// one of them is a write. An access to a cell additionally conflicts
+// with the wildcard footprint of its array base.
 func (f Footprint) ConflictsWith(x event.Var, wr bool) bool {
 	if f.Writes.Has(x) {
 		return true
 	}
-	return wr && f.Reads.Has(x)
+	if wr && f.Reads.Has(x) {
+		return true
+	}
+	if len(f.ReadArrays) == 0 && len(f.WriteArrays) == 0 {
+		return false
+	}
+	base, ok := CellOf(x)
+	if !ok {
+		return false
+	}
+	if f.WriteArrays.Has(base) {
+		return true
+	}
+	return wr && f.ReadArrays.Has(base)
 }
 
 // MayAccess returns the static footprint of c.
@@ -79,46 +102,68 @@ func comFootprint(c Com, f *Footprint) {
 	switch x := c.(type) {
 	case Skip:
 	case Assign:
-		f.Writes.add(x.X)
-		exprLoads(x.E, &f.Reads)
+		if x.Idx != nil {
+			f.WriteArrays.add(x.X)
+			exprFootprint(x.Idx, f)
+		} else {
+			f.Writes.add(x.X)
+		}
+		exprFootprint(x.E, f)
 	case Swap:
 		f.Reads.add(x.X)
 		f.Writes.add(x.X)
+	case Cas:
+		if x.Idx != nil {
+			f.ReadArrays.add(x.X)
+			f.WriteArrays.add(x.X)
+			exprFootprint(x.Idx, f)
+		} else {
+			f.Reads.add(x.X)
+			f.Writes.add(x.X)
+		}
+		exprFootprint(x.Old, f)
+		exprFootprint(x.New, f)
+		comFootprint(x.Then, f)
+		comFootprint(x.Else, f)
 	case Seq:
 		comFootprint(x.C1, f)
 		comFootprint(x.C2, f)
 	case If:
-		exprLoads(x.B, &f.Reads)
+		exprFootprint(x.B, f)
 		comFootprint(x.Then, f)
 		comFootprint(x.Else, f)
 	case While:
-		exprLoads(x.Guard, &f.Reads)
-		exprLoads(x.Cur, &f.Reads)
+		exprFootprint(x.Guard, f)
+		exprFootprint(x.Cur, f)
 		comFootprint(x.Body, f)
 	case Label:
 		comFootprint(x.C, f)
 	}
 }
 
-// exprLoads accumulates the variables loaded by e.
-func exprLoads(e Expr, out *VarSet) {
+// exprFootprint accumulates the variables (and array wildcards)
+// loaded by e.
+func exprFootprint(e Expr, f *Footprint) {
 	switch x := e.(type) {
 	case Lit:
 	case Load:
-		out.add(x.X)
+		f.Reads.add(x.X)
+	case IdxLoad:
+		f.ReadArrays.add(x.A)
+		exprFootprint(x.I, f)
 	case Un:
-		exprLoads(x.E, out)
+		exprFootprint(x.E, f)
 	case Bin:
-		exprLoads(x.L, out)
-		exprLoads(x.R, out)
+		exprFootprint(x.L, f)
+		exprFootprint(x.R, f)
 	}
 }
 
 // Target returns the unique successor command of a non-read step. For
-// read steps the successor depends on the value read (call Apply);
-// ok is false there.
+// read and CAS steps the successor depends on the value read (call
+// Apply); ok is false there.
 func (s Step) Target() (Com, bool) {
-	if s.Kind == StepRead {
+	if s.Kind == StepRead || s.Kind == StepCas {
 		return nil, false
 	}
 	return s.next, true
@@ -166,6 +211,11 @@ func VisibleStep(c Com, s Step) bool {
 	}
 	if t, ok := s.Target(); ok {
 		return AtLabel(t) != ""
+	}
+	if s.Kind == StepCas {
+		// A CAS branches on the value read: either face may arrive at
+		// a labelled command, and both must count.
+		return AtLabel(s.Apply(s.Exp)) != "" || AtLabel(s.Apply(s.Exp+1)) != ""
 	}
 	return false
 }

@@ -26,6 +26,20 @@ const (
 	sigLoad
 	sigUn
 	sigBin
+	// Appended after the original tag set (PR 8): decoding order is
+	// part of the checkpoint format, so new nodes extend, never renumber.
+	sigCas
+	sigIdxLoad
+)
+
+// Assign signature flags. Rel/NA mirror the command's annotations;
+// the index bit marks a symbolically indexed store, whose index
+// expression is encoded between the variable and the right-hand side.
+const (
+	sigAssignRel   byte = 1
+	sigAssignNA    byte = 2
+	sigAssignIdx   byte = 4
+	sigAssignFlags byte = sigAssignRel | sigAssignNA | sigAssignIdx
 )
 
 func appendString(buf []byte, s string) []byte {
@@ -58,6 +72,17 @@ func AppendExprSig(buf []byte, e Expr) []byte {
 		}
 		buf = append(buf, sigLoad, flags)
 		return appendString(buf, string(x.X))
+	case IdxLoad:
+		var flags byte
+		if x.Acq {
+			flags |= 1
+		}
+		if x.NA {
+			flags |= 2
+		}
+		buf = append(buf, sigIdxLoad, flags)
+		buf = appendString(buf, string(x.A))
+		return AppendExprSig(buf, x.I)
 	case Un:
 		buf = append(buf, sigUn, byte(x.Op))
 		return AppendExprSig(buf, x.E)
@@ -78,18 +103,38 @@ func AppendComSig(buf []byte, c Com) []byte {
 	case Assign:
 		var flags byte
 		if x.Rel {
-			flags |= 1
+			flags |= sigAssignRel
 		}
 		if x.NA {
-			flags |= 2
+			flags |= sigAssignNA
+		}
+		if x.Idx != nil {
+			flags |= sigAssignIdx
 		}
 		buf = append(buf, sigAssign, flags)
 		buf = appendString(buf, string(x.X))
+		if x.Idx != nil {
+			buf = AppendExprSig(buf, x.Idx)
+		}
 		return AppendExprSig(buf, x.E)
 	case Swap:
 		buf = append(buf, sigSwap)
 		buf = appendString(buf, string(x.X))
 		return binary.AppendVarint(buf, int64(x.N))
+	case Cas:
+		var flags byte
+		if x.Idx != nil {
+			flags |= 1
+		}
+		buf = append(buf, sigCas, flags)
+		buf = appendString(buf, string(x.X))
+		if x.Idx != nil {
+			buf = AppendExprSig(buf, x.Idx)
+		}
+		buf = AppendExprSig(buf, x.Old)
+		buf = AppendExprSig(buf, x.New)
+		buf = AppendComSig(buf, x.Then)
+		return AppendComSig(buf, x.Else)
 	case Seq:
 		buf = append(buf, sigSeq)
 		buf = AppendComSig(buf, x.C1)

@@ -50,12 +50,18 @@ func TestSigIdentity(t *testing.T) {
 	}
 
 	mutations := map[string]func(*Test){
-		"program":   func(tc *Test) { tc.Prog[0] = lang.AssignRelC("x", lang.V(1)) },
-		"init":      func(tc *Test) { tc.Init["x"] = 1 },
-		"observe":   func(tc *Test) { tc.Observe = []event.Var{"a", "x"} },
-		"allowed":   func(tc *Test) { tc.Allowed = tc.Allowed[:1] },
-		"forbidden": func(tc *Test) { tc.Forbidden = nil },
-		"maxevents": func(tc *Test) { tc.MaxEvents = 11 },
+		"program":      func(tc *Test) { tc.Prog[0] = lang.AssignRelC("x", lang.V(1)) },
+		"cas":          func(tc *Test) { tc.Prog[0] = lang.CasStmtC("x", lang.V(0), lang.V(1)) },
+		"idxload":      func(tc *Test) { tc.Prog[1] = lang.AssignC("a", lang.XAt("x", lang.X("i"))) },
+		"init":         func(tc *Test) { tc.Init["x"] = 1 },
+		"init-cell":    func(tc *Test) { tc.Init[lang.Cell("x", 0)] = 0 },
+		"observe":      func(tc *Test) { tc.Observe = []event.Var{"a", "x"} },
+		"observe-cell": func(tc *Test) { tc.Observe = []event.Var{lang.Cell("a", 1)} },
+		"allowed":      func(tc *Test) { tc.Allowed = tc.Allowed[:1] },
+		"forbidden":    func(tc *Test) { tc.Forbidden = nil },
+		"sc-allowed":   func(tc *Test) { tc.SCAllowed = []Outcome{{"a": 1}} },
+		"sc-forbidden": func(tc *Test) { tc.SCForbidden = []Outcome{{"a": 0}} },
+		"maxevents":    func(tc *Test) { tc.MaxEvents = 11 },
 	}
 	for name, mutate := range mutations {
 		tc := base()

@@ -12,10 +12,15 @@
 //	forbid r=0
 //
 // Grammar (precedence low to high): ||, &&, {==,!=,<}, {+,-}, unary
-// {!,-}, primary (integer, variable, variable^A, parenthesised).
-// Statements: skip; x := e; x :=R e; x :=NA e; x.swap(n); if (e) {..}
-// else {..}; while (e) {..}; label name {..}. Loads may be annotated
-// x^A (acquire) or x^NA (non-atomic).
+// {!,-}, primary (integer, variable, variable^A, a[e], a[e]^A,
+// parenthesised). Statements: skip; x := e; x :=R e; x :=NA e;
+// a[e] := e (and :=R/:=NA); x.swap(n); x.cas(e, e); a[e].cas(e, e);
+// if (e) {..} else {..}; if (x.cas(e, e)) {..} else {..};
+// while (e) {..}; label name {..}. Loads may be annotated x^A
+// (acquire) or x^NA (non-atomic). Top-level clauses: init, maxevents,
+// thread, observe, allow, forbid, allow_sc, forbid_sc; init, observe
+// and outcome positions accept concrete cells (a[3]) alongside scalar
+// names.
 package parser
 
 import (
@@ -43,7 +48,7 @@ type token struct {
 // operators and punctuation, longest first for maximal munch.
 var puncts = []string{
 	":=NA", ":=R", ":=", "==", "!=", "&&", "||", "^NA", "^A",
-	"{", "}", "(", ")", ";", "<", "+", "-", "!", "=", ".",
+	"{", "}", "(", ")", "[", "]", ";", ",", "<", "+", "-", "!", "=", ".",
 }
 
 type lexer struct {

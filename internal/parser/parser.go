@@ -18,6 +18,15 @@ type File struct {
 	Observe []event.Var
 	Allow   []litmus.Outcome
 	Forbid  []litmus.Outcome
+	// AllowSC and ForbidSC carry the SC-specific expectations
+	// (allow_sc/forbid_sc clauses); see litmus.Test.SCAllowed.
+	AllowSC  []litmus.Outcome
+	ForbidSC []litmus.Outcome
+	// MaxEvents pins the exploration bound (maxevents clause, 0 when
+	// absent). Outcome sets of unbounded programs — the CAS-retry
+	// loops of the data-structure tier — are bound-relative, so files
+	// pinning exact outcome sets record the bound they hold under.
+	MaxEvents int
 }
 
 // Prog assembles the per-thread commands into a lang.Prog; thread
@@ -47,12 +56,15 @@ func (f *File) Test() (*litmus.Test, error) {
 		return nil, err
 	}
 	return &litmus.Test{
-		Name:      f.Name,
-		Prog:      p,
-		Init:      f.Init,
-		Observe:   f.Observe,
-		Allowed:   f.Allow,
-		Forbidden: f.Forbid,
+		Name:        f.Name,
+		Prog:        p,
+		Init:        f.Init,
+		Observe:     f.Observe,
+		Allowed:     f.Allow,
+		Forbidden:   f.Forbid,
+		SCAllowed:   f.AllowSC,
+		SCForbidden: f.ForbidSC,
+		MaxEvents:   f.MaxEvents,
 	}, nil
 }
 
@@ -85,21 +97,37 @@ func Parse(name, src string) (*File, error) {
 			if err := p.parseThread(f); err != nil {
 				return nil, err
 			}
+		case p.atIdent("maxevents"):
+			p.pos++
+			v, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			f.MaxEvents = int(v)
 		case p.atIdent("observe"):
 			p.pos++
 			for p.at(tokIdent, "") && !isKeyword(p.cur().text) {
-				f.Observe = append(f.Observe, event.Var(p.take().text))
+				x, err := p.parseVarRef()
+				if err != nil {
+					return nil, err
+				}
+				f.Observe = append(f.Observe, x)
 			}
-		case p.atIdent("allow"), p.atIdent("forbid"):
+		case p.atIdent("allow"), p.atIdent("forbid"), p.atIdent("allow_sc"), p.atIdent("forbid_sc"):
 			kind := p.take().text
 			o, err := p.parseOutcome()
 			if err != nil {
 				return nil, err
 			}
-			if kind == "allow" {
+			switch kind {
+			case "allow":
 				f.Allow = append(f.Allow, o)
-			} else {
+			case "forbid":
 				f.Forbid = append(f.Forbid, o)
+			case "allow_sc":
+				f.AllowSC = append(f.AllowSC, o)
+			default:
+				f.ForbidSC = append(f.ForbidSC, o)
 			}
 		default:
 			t := p.cur()
@@ -111,7 +139,8 @@ func Parse(name, src string) (*File, error) {
 
 func isKeyword(s string) bool {
 	switch s {
-	case "init", "thread", "observe", "allow", "forbid":
+	case "init", "thread", "observe", "allow", "forbid",
+		"allow_sc", "forbid_sc", "maxevents":
 		return true
 	}
 	return false
@@ -148,12 +177,37 @@ func (p *parser) expect(k tokenKind, text string) (token, error) {
 	return p.take(), nil
 }
 
+// parseVarRef parses a variable reference in init/observe/outcome
+// position: a scalar name, or a concrete cell a[3] (the canonical
+// name lang.Cell builds).
+func (p *parser) parseVarRef() (event.Var, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	if !p.at(tokPunct, "[") {
+		return event.Var(t.text), nil
+	}
+	p.take()
+	i, err := p.parseInt()
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return "", err
+	}
+	return lang.Cell(event.Var(t.text), i), nil
+}
+
 func (p *parser) parseInit(f *File) error {
 	for p.at(tokIdent, "") {
 		if isKeyword(p.cur().text) {
 			return nil
 		}
-		name := p.take().text
+		x, err := p.parseVarRef()
+		if err != nil {
+			return err
+		}
 		if _, err := p.expect(tokPunct, "="); err != nil {
 			return err
 		}
@@ -161,7 +215,7 @@ func (p *parser) parseInit(f *File) error {
 		if err != nil {
 			return err
 		}
-		f.Init[event.Var(name)] = v
+		f.Init[x] = v
 	}
 	return nil
 }
@@ -192,7 +246,10 @@ func (p *parser) parseOutcome() (litmus.Outcome, error) {
 		if isKeyword(p.cur().text) {
 			return o, nil
 		}
-		name := p.take().text
+		x, err := p.parseVarRef()
+		if err != nil {
+			return nil, err
+		}
 		if _, err := p.expect(tokPunct, "="); err != nil {
 			return nil, err
 		}
@@ -200,7 +257,7 @@ func (p *parser) parseOutcome() (litmus.Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		o[event.Var(name)] = v
+		o[x] = v
 	}
 	return o, nil
 }
@@ -257,9 +314,16 @@ func (p *parser) parseStmt() (lang.Com, error) {
 		if _, err := p.expect(tokPunct, "("); err != nil {
 			return nil, err
 		}
-		b, err := p.parseExpr()
+		h, isCas, err := p.tryCasHead()
 		if err != nil {
 			return nil, err
+		}
+		var b lang.Expr
+		if !isCas {
+			b, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
 		}
 		if _, err := p.expect(tokPunct, ")"); err != nil {
 			return nil, err
@@ -275,6 +339,12 @@ func (p *parser) parseStmt() (lang.Com, error) {
 			if err != nil {
 				return nil, err
 			}
+		}
+		if isCas {
+			if h.idx != nil {
+				return lang.CasAtC(h.x, h.idx, h.old, h.new, then, els), nil
+			}
+			return lang.CasC(h.x, h.old, h.new, then, els), nil
 		}
 		return lang.IfC(b, then, els), nil
 
@@ -310,26 +380,64 @@ func (p *parser) parseStmt() (lang.Com, error) {
 
 	case t.kind == tokIdent:
 		name := p.take().text
-		switch {
-		case p.at(tokPunct, "."): // x.swap(n);
+		var idx lang.Expr
+		if p.at(tokPunct, "[") {
 			p.take()
-			if _, err := p.expect(tokIdent, "swap"); err != nil {
-				return nil, err
-			}
-			if _, err := p.expect(tokPunct, "("); err != nil {
-				return nil, err
-			}
-			n, err := p.parseInt()
+			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}
-			if _, err := p.expect(tokPunct, ")"); err != nil {
+			if _, err := p.expect(tokPunct, "]"); err != nil {
 				return nil, err
 			}
-			if _, err := p.expect(tokPunct, ";"); err != nil {
+			idx = e
+		}
+		switch {
+		case p.at(tokPunct, "."): // x.swap(n); x.cas(o, n); a[i].cas(o, n);
+			p.take()
+			op, err := p.expect(tokIdent, "")
+			if err != nil {
 				return nil, err
 			}
-			return lang.SwapC(event.Var(name), n), nil
+			switch op.text {
+			case "swap":
+				if _, err := p.expect(tokPunct, "("); err != nil {
+					return nil, err
+				}
+				n, err := p.parseInt()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				if idx != nil {
+					// Swap carries no symbolic index; a concrete cell is
+					// just a variable, so a[3].swap(n) is fine.
+					l, ok := idx.(lang.Lit)
+					if !ok {
+						return nil, fmt.Errorf("%d:%d: swap index must be a literal", op.line, op.col)
+					}
+					return lang.SwapC(lang.Cell(event.Var(name), l.V), n), nil
+				}
+				return lang.SwapC(event.Var(name), n), nil
+			case "cas":
+				old, nw, err := p.parseCasArgs()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				if idx != nil {
+					return lang.CasAtC(event.Var(name), idx, old, nw, lang.SkipC(), lang.SkipC()), nil
+				}
+				return lang.CasStmtC(event.Var(name), old, nw), nil
+			}
+			return nil, fmt.Errorf("%d:%d: expected swap or cas, got %q", op.line, op.col, op.text)
 
 		case p.at(tokPunct, ":=") || p.at(tokPunct, ":=R") || p.at(tokPunct, ":=NA"):
 			op := p.take().text
@@ -340,6 +448,16 @@ func (p *parser) parseStmt() (lang.Com, error) {
 			if _, err := p.expect(tokPunct, ";"); err != nil {
 				return nil, err
 			}
+			if idx != nil {
+				switch op {
+				case ":=R":
+					return lang.AssignAtRelC(event.Var(name), idx, e), nil
+				case ":=NA":
+					return lang.AssignAtNAC(event.Var(name), idx, e), nil
+				default:
+					return lang.AssignAtC(event.Var(name), idx, e), nil
+				}
+			}
 			switch op {
 			case ":=R":
 				return lang.AssignRelC(event.Var(name), e), nil
@@ -349,9 +467,80 @@ func (p *parser) parseStmt() (lang.Com, error) {
 				return lang.AssignC(event.Var(name), e), nil
 			}
 		}
-		return nil, fmt.Errorf("%d:%d: expected :=, :=R, :=NA or .swap after %q", t.line, t.col, name)
+		return nil, fmt.Errorf("%d:%d: expected :=, :=R, :=NA, .swap or .cas after %q", t.line, t.col, name)
 	}
 	return nil, fmt.Errorf("%d:%d: unexpected %q in statement position", t.line, t.col, t.text)
+}
+
+// casHead is the target and arguments of a cas application.
+type casHead struct {
+	x        event.Var
+	idx      lang.Expr // nil for a scalar location
+	old, new lang.Expr
+}
+
+// tryCasHead speculatively parses "x.cas(e, e)" or "a[e].cas(e, e)"
+// at the current position. Any mismatch before the ".cas" marker
+// backtracks and reports ok=false (the caller reparses as an ordinary
+// expression); errors after the marker are committed and propagate.
+func (p *parser) tryCasHead() (casHead, bool, error) {
+	save := p.pos
+	fail := func() (casHead, bool, error) {
+		p.pos = save
+		return casHead{}, false, nil
+	}
+	if !p.at(tokIdent, "") || isKeyword(p.cur().text) {
+		return fail()
+	}
+	name := p.take().text
+	var idx lang.Expr
+	if p.at(tokPunct, "[") {
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return fail()
+		}
+		if !p.at(tokPunct, "]") {
+			return fail()
+		}
+		p.take()
+		idx = e
+	}
+	if !p.at(tokPunct, ".") {
+		return fail()
+	}
+	p.take()
+	if !p.atIdent("cas") {
+		return fail()
+	}
+	p.take()
+	old, nw, err := p.parseCasArgs()
+	if err != nil {
+		return casHead{}, false, err
+	}
+	return casHead{x: event.Var(name), idx: idx, old: old, new: nw}, true, nil
+}
+
+// parseCasArgs parses "(old, new)".
+func (p *parser) parseCasArgs() (old, nw lang.Expr, err error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, nil, err
+	}
+	old, err = p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(tokPunct, ","); err != nil {
+		return nil, nil, err
+	}
+	nw, err = p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, nil, err
+	}
+	return old, nw, nil
 }
 
 // Expression parsing, precedence climbing.
@@ -473,6 +662,27 @@ func (p *parser) parsePrimary() (lang.Expr, error) {
 		return lang.V(event.Val(n)), nil
 	case t.kind == tokIdent:
 		p.take()
+		if p.at(tokPunct, "[") {
+			p.take()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			// The constructors normalise literal indexes to plain cell
+			// loads, so "a[0]" and the cell variable a[0] coincide.
+			if p.at(tokPunct, "^A") {
+				p.take()
+				return lang.XAtA(event.Var(t.text), i), nil
+			}
+			if p.at(tokPunct, "^NA") {
+				p.take()
+				return lang.XAtNA(event.Var(t.text), i), nil
+			}
+			return lang.XAt(event.Var(t.text), i), nil
+		}
 		if p.at(tokPunct, "^A") {
 			p.take()
 			return lang.XA(event.Var(t.text)), nil

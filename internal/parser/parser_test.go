@@ -163,6 +163,132 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseArrayCasGrammar: table-driven coverage of the array/CAS
+// grammar extension. Every accepted source must reach a printing
+// fixed point immediately and reparse to the same program signature —
+// the sig-stability contract the exploration caches and testdata/ds
+// rest on.
+func TestParseArrayCasGrammar(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		want string // substring of thread 1's rendering
+	}{
+		"cell init and observe": {
+			"init a[0]=0 a[1]=3\nthread 1 { r := a[1]; }\nobserve a[0] r\n",
+			"r := a[1]",
+		},
+		"literal index write normalises": {
+			"init a[2]=0\nthread 1 { a[2] := 5; }\n",
+			"a[2] := 5",
+		},
+		"symbolic index load": {
+			"init a[0]=0 i=0 r=0\nthread 1 { r := a[i]; }\n",
+			"r := a[i]",
+		},
+		"acquire indexed load": {
+			"init a[0]=0 i=0 r=0\nthread 1 { r := a[i]^A; }\n",
+			"a[i]^A",
+		},
+		"indexed release write": {
+			"init a[0]=0 i=0\nthread 1 { a[i] :=R 7; }\n",
+			"a[i] :=R 7",
+		},
+		"cas statement": {
+			"init x=0\nthread 1 { x.cas(0, 1); }\n",
+			"x.cas(0,1)",
+		},
+		"cas branch": {
+			"init x=0 d=0\nthread 1 { if (x.cas(0, 1)) { d := 1; } else { d := 2; } }\n",
+			"x.cas(0,1)",
+		},
+		"cas on cell": {
+			"init a[1]=0\nthread 1 { a[1].cas(0, 9); }\n",
+			"a[1].cas(0,9)",
+		},
+		"cas with register operands": {
+			"init x=0 r=0\nthread 1 { if (x.cas(r, r + 1)) { skip; } else { skip; } }\n",
+			"x.cas(r,(r+1))",
+		},
+		"maxevents and sc clauses": {
+			"init x=0\nmaxevents 12\nthread 1 { x := 1; }\nobserve x\nallow x=1\nallow_sc x=1\nforbid_sc x=0\n",
+			"x := 1",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			f, err := Parse("t", tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Threads[1].String(); !strings.Contains(got, tc.want) {
+				t.Fatalf("thread 1 = %q, want substring %q", got, tc.want)
+			}
+			txt := f.Format()
+			f2, err := Parse("t", txt)
+			if err != nil {
+				t.Fatalf("printed form does not reparse: %v\n%s", err, txt)
+			}
+			if txt2 := f2.Format(); txt2 != txt {
+				t.Fatalf("printing not a fixed point:\n%s\nvs\n%s", txt, txt2)
+			}
+			p1, err1 := f.Prog()
+			p2, err2 := f2.Prog()
+			if err1 != nil || err2 != nil {
+				t.Fatalf("prog errors: %v / %v", err1, err2)
+			}
+			s1 := lang.AppendProgSig(nil, p1)
+			s2 := lang.AppendProgSig(nil, p2)
+			if string(s1) != string(s2) {
+				t.Fatal("program signature drifted across parse→print→reparse")
+			}
+		})
+	}
+}
+
+// TestParseArrayCasMeta: the new top-level clauses land in the File
+// and the built Test.
+func TestParseArrayCasMeta(t *testing.T) {
+	src := "init x=0\nmaxevents 12\nthread 1 { x := 1; }\nobserve x\nallow x=1\nallow_sc x=1\nforbid_sc x=0\n"
+	f, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MaxEvents != 12 {
+		t.Fatalf("maxevents = %d", f.MaxEvents)
+	}
+	if len(f.AllowSC) != 1 || f.AllowSC[0]["x"] != 1 {
+		t.Fatalf("allow_sc = %v", f.AllowSC)
+	}
+	if len(f.ForbidSC) != 1 || f.ForbidSC[0]["x"] != 0 {
+		t.Fatalf("forbid_sc = %v", f.ForbidSC)
+	}
+	tc, err := f.Test()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.MaxEvents != 12 || len(tc.SCAllowed) != 1 || len(tc.SCForbidden) != 1 {
+		t.Fatalf("test meta lost: %+v", tc)
+	}
+}
+
+func TestParseArrayCasErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated index":  `thread 1 { r := a[1; }`,
+		"missing cas comma":   `thread 1 { x.cas(0 1); }`,
+		"missing cas paren":   `thread 1 { x.cas(0, 1; }`,
+		"cas missing args":    `thread 1 { x.cas(); }`,
+		"symbolic swap index": `thread 1 { a[i].swap(1); }`,
+		"bad maxevents":       "maxevents x\nthread 1 { skip; }",
+		"bad allow_sc":        "thread 1 { skip; }\nallow_sc x",
+		"index in observe":    "thread 1 { skip; }\nobserve a[\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+}
+
 func TestProgThreadNumbering(t *testing.T) {
 	f, err := Parse("t", `thread 2 { skip; }`)
 	if err != nil {

@@ -28,6 +28,9 @@ func (f *File) Format() string {
 		}
 		b.WriteString("\n")
 	}
+	if f.MaxEvents > 0 {
+		fmt.Fprintf(&b, "maxevents %d\n", f.MaxEvents)
+	}
 	ids := make([]int, 0, len(f.Threads))
 	for id := range f.Threads {
 		ids = append(ids, id)
@@ -50,6 +53,12 @@ func (f *File) Format() string {
 	}
 	for _, o := range f.Forbid {
 		formatOutcome(&b, "forbid", o)
+	}
+	for _, o := range f.AllowSC {
+		formatOutcome(&b, "allow_sc", o)
+	}
+	for _, o := range f.ForbidSC {
+		formatOutcome(&b, "forbid_sc", o)
 	}
 	return b.String()
 }
@@ -93,9 +102,31 @@ func formatStmt(b *strings.Builder, c lang.Com, indent string) {
 		case c.NA:
 			op = ":=NA"
 		}
-		fmt.Fprintf(b, "%s%s %s %s;\n", indent, c.X, op, formatExpr(c.E))
+		loc := string(c.X)
+		if c.Idx != nil {
+			loc += "[" + formatExpr(c.Idx) + "]"
+		}
+		fmt.Fprintf(b, "%s%s %s %s;\n", indent, loc, op, formatExpr(c.E))
 	case lang.Swap:
 		fmt.Fprintf(b, "%s%s.swap(%d);\n", indent, c.X, c.N)
+	case lang.Cas:
+		loc := string(c.X)
+		if c.Idx != nil {
+			loc += "[" + formatExpr(c.Idx) + "]"
+		}
+		_, thenSkip := c.Then.(lang.Skip)
+		_, elseSkip := c.Else.(lang.Skip)
+		if thenSkip && elseSkip {
+			fmt.Fprintf(b, "%s%s.cas(%s, %s);\n", indent, loc, formatExpr(c.Old), formatExpr(c.New))
+			return
+		}
+		fmt.Fprintf(b, "%sif (%s.cas(%s, %s)) {\n", indent, loc, formatExpr(c.Old), formatExpr(c.New))
+		formatStmts(b, c.Then, indent+"  ")
+		if !elseSkip {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			formatStmts(b, c.Else, indent+"  ")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
 	case lang.If:
 		fmt.Fprintf(b, "%sif (%s) {\n", indent, formatExpr(c.B))
 		formatStmts(b, c.Then, indent+"  ")
@@ -132,6 +163,15 @@ func formatExpr(e lang.Expr) string {
 			return string(e.X) + "^NA"
 		}
 		return string(e.X)
+	case lang.IdxLoad:
+		s := string(e.A) + "[" + formatExpr(e.I) + "]"
+		switch {
+		case e.Acq:
+			return s + "^A"
+		case e.NA:
+			return s + "^NA"
+		}
+		return s
 	case lang.Un:
 		op := "!"
 		if e.Op == lang.OpNeg {

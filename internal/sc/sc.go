@@ -203,6 +203,19 @@ func (c Config) ExpandStep(out []model.Config, ps lang.ProgStep) []model.Config 
 			P: c.P.WithThread(t, s.Apply(v)),
 			S: c.S.write(s.Loc, s.WVal),
 		})
+	case lang.StepCas:
+		// SC reads are deterministic, so a CAS has exactly one face
+		// here: the store either holds the expected value (atomic
+		// read-write) or it does not (plain read).
+		v, ok := c.S.Read(s.Loc)
+		if !ok {
+			return out
+		}
+		ns := c.S
+		if v == s.Exp {
+			ns = c.S.write(s.Loc, s.WVal)
+		}
+		out = append(out, Config{P: c.P.WithThread(t, s.Apply(v)), S: ns})
 	}
 	return out
 }
