@@ -192,8 +192,8 @@ func benchPeterson(b *testing.B, bound, workers int, por bool) {
 			MaxEvents: bound,
 			Workers:   workers,
 			POR:       por,
-			Property: func(c model.Config) bool {
-				return len(proof.CheckPetersonInvariants(c.(core.Config))) == 0
+			TypedProperty: func(c core.Config) bool {
+				return len(proof.CheckPetersonInvariants(c)) == 0
 			},
 		})
 		if res.Violation != nil {
@@ -413,22 +413,41 @@ func BenchmarkE16_ScalingOperational(b *testing.B) {
 	}
 }
 
-// BenchmarkE16_ScalingWide pushes the operational scaling client to
-// five and six writers — carriers the axiomatic baseline cannot touch
-// (6! modification orders per pre-execution) and wide enough that
-// per-successor closure maintenance dominates. Run with -benchtime=1x:
-// writers=6 explores several million configurations.
+// BenchmarkE16_ScalingWide pushes the scaling client to five and six
+// writers — carriers the axiomatic baseline cannot touch (6!
+// modification orders per pre-execution) and wide enough that
+// per-successor closure maintenance dominates. It runs through the
+// sharded engine rather than the naive enumerator, serial and with
+// eight workers, so it doubles as the scaling row: the searches are
+// deterministic and states/op is pinned (bench-snapshot.sh records
+// it), making ns-per-state and the serial/8-worker ratio comparable
+// across commits. Run with -benchtime=1x: writers=6 explores several
+// hundred thousand configurations per search.
 func BenchmarkE16_ScalingWide(b *testing.B) {
 	for n := 5; n <= 6; n++ {
-		b.Run(fmt.Sprintf("writers=%d", n), func(b *testing.B) {
-			p, vars := scalingProg(n)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if len(axiomatic.OperationalExecutions(p, vars)) == 0 {
-					b.Fatal("no executions")
-				}
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("writers=%d/serial", n)
+			if workers != 1 {
+				name = fmt.Sprintf("writers=%d/workers=%d", n, workers)
 			}
-		})
+			b.Run(name, func(b *testing.B) {
+				p, vars := scalingProg(n)
+				bound := 2*n + 5 // every thread runs to completion
+				b.ReportAllocs()
+				var explored int
+				for i := 0; i < b.N; i++ {
+					res := explore.Run(core.NewConfig(p, vars), explore.Options{
+						MaxEvents: bound,
+						Workers:   workers,
+					})
+					if res.Explored == 0 || res.Truncated {
+						b.Fatal("search did not run to its fixpoint")
+					}
+					explored = res.Explored
+				}
+				b.ReportMetric(float64(explored), "states/op")
+			})
+		}
 	}
 }
 

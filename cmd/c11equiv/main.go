@@ -23,7 +23,6 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"os"
 	"time"
 
 	"repro/internal/axiomatic"
@@ -49,9 +48,15 @@ func main() {
 	)
 	var budget cli.Budget
 	budget.Register(flag.CommandLine)
+	var prof cli.Profile
+	prof.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11equiv [flags]\n\nChecks Definition 4.2 against Definition C.3 over enumerated candidate\nexecutions (Theorem C.5), or with -diff runs the RA-vs-SC differential\nover the litmus catalog.")
 	cli.Parse()
+	if err := prof.Start(); err != nil {
+		cli.Fatal("c11equiv", err)
+	}
+	defer prof.Stop()
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11equiv", err)
 	}
@@ -143,11 +148,11 @@ func main() {
 
 	if mismatches+rmismatch > 0 {
 		fmt.Println("Theorem C.5 FALSIFIED at these bounds")
-		os.Exit(cli.ExitViolation)
+		cli.Exit(cli.ExitViolation)
 	}
 	if cut {
 		fmt.Println("Theorem C.5 holds on every candidate checked (sweep cut by -timeout or signal)")
-		os.Exit(cli.ExitBounded)
+		cli.Exit(cli.ExitBounded)
 	}
 	fmt.Println("Theorem C.5 holds on every candidate checked")
 }
@@ -195,9 +200,9 @@ func runModelDiff(maxEv int, budget cli.Budget) {
 	fmt.Printf("%d tests, %d with RA/SC outcome differences, %d inconclusive, %d failure(s)\n",
 		len(litmus.Suite()), differing, bounded, failures)
 	if failures > 0 {
-		os.Exit(cli.ExitViolation)
+		cli.Exit(cli.ExitViolation)
 	}
 	if bounded > 0 {
-		os.Exit(cli.ExitBounded)
+		cli.Exit(cli.ExitBounded)
 	}
 }

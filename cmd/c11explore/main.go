@@ -64,9 +64,15 @@ func main() {
 	)
 	var budget cli.Budget
 	budget.Register(flag.CommandLine)
+	var prof cli.Profile
+	prof.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11explore [flags]\n\nExplores the bounded state space of a program under a pluggable memory model.")
 	cli.Parse()
+	if err := prof.Start(); err != nil {
+		cli.Fatal("c11explore", err)
+	}
+	defer prof.Stop()
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11explore", err)
 	}
@@ -135,7 +141,7 @@ func main() {
 		audit := explore.CheckPOR(cfg, opts)
 		fmt.Printf("model=%s %s\n", m.Name(), audit)
 		if audit.Divergences() > 0 {
-			os.Exit(cli.ExitViolation)
+			cli.Exit(cli.ExitViolation)
 		}
 		return
 	}
@@ -164,7 +170,7 @@ func main() {
 	if *checkInc {
 		fmt.Printf("closure mismatches: %d\n", res.ClosureMismatches)
 		if res.ClosureMismatches > 0 {
-			os.Exit(cli.ExitViolation)
+			cli.Exit(cli.ExitViolation)
 		}
 	}
 
@@ -187,7 +193,7 @@ func main() {
 		}
 	}
 	if code := cli.ExitCode(res); code != cli.ExitProved {
-		os.Exit(code)
+		cli.Exit(code)
 	}
 }
 
@@ -234,7 +240,7 @@ func runDiff(f *parser.File, prog lang.Prog, opts explore.Options) {
 		for _, k := range d.OnlyB {
 			fmt.Printf("    %s\n", k)
 		}
-		os.Exit(cli.ExitViolation)
+		cli.Exit(cli.ExitViolation)
 	}
 }
 
@@ -251,7 +257,7 @@ func reportRaces(cfg core.Config, opts explore.Options) {
 		fmt.Printf("    %s\n", r)
 	}
 	fmt.Print(trace.Describe())
-	os.Exit(cli.ExitViolation)
+	cli.Exit(cli.ExitViolation)
 }
 
 // runExample rebuilds Example 3.2 through the event semantics and

@@ -68,9 +68,15 @@ func main() {
 		maxConfigs = flag.Int("maxconfigs", 0, "per-search configuration cap (default 32768)")
 		workers    = flag.Int("workers", 0, "parallel width of the serial-vs-parallel oracle (default 8)")
 	)
+	var prof cli.Profile
+	prof.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11fuzz [flags]\n\nDifferentially fuzzes the memory-model backends with randomly generated\nlitmus programs, shrinking any failure into a corpus reproducer.")
 	cli.Parse()
+	if err := prof.Start(); err != nil {
+		cli.Fatal("c11fuzz", err)
+	}
+	defer prof.Stop()
 
 	params := gen.Params{
 		Threads: *threads, Vars: *vars, Stmts: *stmts, Values: *values,
@@ -84,9 +90,9 @@ func main() {
 	opts := gen.CheckOpts{MaxEvents: *maxEv, MaxConfigs: *maxConfigs, Workers: *workers, Context: ctx}
 
 	if *replay != "" {
-		os.Exit(replayDir(*replay, opts, *v))
+		cli.Exit(replayDir(*replay, opts, *v))
 	}
-	os.Exit(fuzz(*seed, *n, params, opts, *corpus, *keep, *budget, *v))
+	cli.Exit(fuzz(*seed, *n, params, opts, *corpus, *keep, *budget, *v))
 }
 
 // fuzz generates and judges n programs, shrinking and writing any

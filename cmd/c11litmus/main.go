@@ -51,9 +51,15 @@ func main() {
 	)
 	var budget cli.Budget
 	budget.Register(flag.CommandLine)
+	var prof cli.Profile
+	prof.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11litmus [flags]\n\nRuns weak-memory litmus tests under a pluggable memory model.\nThe .lit file grammar accepted by -f is documented in docs/litmus-format.md\n(one worked example per file under testdata/).")
 	cli.Parse()
+	if err := prof.Start(); err != nil {
+		cli.Fatal("c11litmus", err)
+	}
+	defer prof.Stop()
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11litmus", err)
 	}
@@ -186,13 +192,13 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Printf("%d failure(s)\n", failures)
-		os.Exit(cli.ExitViolation)
+		cli.Exit(cli.ExitViolation)
 	}
 	if bounded > 0 {
 		// No expectation failed, but some search was cut by a bound or
 		// budget: the pass is relative to what was explored.
 		fmt.Printf("%d truncated search(es): verdicts are relative to the bound/budget\n", bounded)
-		os.Exit(cli.ExitBounded)
+		cli.Exit(cli.ExitBounded)
 	}
 }
 

@@ -46,9 +46,15 @@ func main() {
 		spill   = flag.String("spill", "", "directory for drain checkpoints and panic artifacts (empty = off)")
 		drain   = flag.Duration("drain", 10*time.Second, "grace for in-flight searches at shutdown")
 	)
+	var prof cli.Profile
+	prof.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11serve [flags]\n\nServes bounded weak-memory verification over HTTP/JSON.")
 	cli.Parse()
+	if err := prof.Start(); err != nil {
+		cli.Fatal("c11serve", err)
+	}
+	defer prof.Stop()
 
 	if *spill != "" {
 		if err := os.MkdirAll(*spill, 0o755); err != nil {

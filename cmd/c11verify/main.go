@@ -24,7 +24,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
@@ -55,9 +54,15 @@ func main() {
 	)
 	var budget cli.Budget
 	budget.Register(flag.CommandLine)
+	var prof cli.Profile
+	prof.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11verify [flags]\n\nMachine-checks the paper's Peterson verification (invariants (4)-(10), Theorem 5.8).")
 	cli.Parse()
+	if err := prof.Start(); err != nil {
+		cli.Fatal("c11verify", err)
+	}
+	defer prof.Stop()
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11verify", err)
 	}
@@ -114,7 +119,7 @@ func main() {
 		audit := explore.CheckPOR(m.New(prog, vars), opts)
 		fmt.Printf("model=%s %s\n", m.Name(), audit)
 		if audit.Divergences() > 0 {
-			os.Exit(cli.ExitViolation)
+			cli.Exit(cli.ExitViolation)
 		}
 		return
 	}
@@ -129,7 +134,7 @@ func main() {
 	if *checkInc {
 		fmt.Printf("closure mismatches: %d\n", res.ClosureMismatches)
 		if res.ClosureMismatches > 0 {
-			os.Exit(cli.ExitViolation)
+			cli.Exit(cli.ExitViolation)
 		}
 	}
 
@@ -138,7 +143,7 @@ func main() {
 			// The budget (or a panic) cut the sweep: no violation was
 			// seen, but the bound was not exhausted — inconclusive.
 			fmt.Println("Theorem 5.8 (mutual exclusion): INCONCLUSIVE — the search was cut before the bound was exhausted")
-			os.Exit(cli.ExitBounded)
+			cli.Exit(cli.ExitBounded)
 		}
 		if rar {
 			if *por {
@@ -175,8 +180,8 @@ func main() {
 			fmt.Println("final state:")
 			fmt.Print(last.S)
 		}
-		os.Exit(cli.ExitViolation)
+		cli.Exit(cli.ExitViolation)
 	}
 	fmt.Println("mutual exclusion still holds at this bound (only auxiliary invariants broke)")
-	os.Exit(cli.ExitViolation)
+	cli.Exit(cli.ExitViolation)
 }

@@ -201,6 +201,36 @@ func (s *Set) OrChanged(t Set) bool {
 	return changed
 }
 
+// OrAnd sets s to s | (a & b) in one word-parallel pass — the fused
+// kernel of masked row accumulation (e.g. "writes reachable from an
+// event": union a relation row restricted to the write set without
+// materialising the intersection). Capacities may differ; words absent
+// from a or b read as zero, and words of a or b beyond s's capacity
+// are irrelevant.
+func (s *Set) OrAnd(a, b Set) {
+	m := len(s.words)
+	if len(a.words) < m {
+		m = len(a.words)
+	}
+	if len(b.words) < m {
+		m = len(b.words)
+	}
+	for i := 0; i < m; i++ {
+		s.words[i] |= a.words[i] & b.words[i]
+	}
+}
+
+// Max returns the largest member of s, or -1 when s is empty — a
+// reverse word scan, so O(words) rather than a full Next iteration.
+func (s Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + 63 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
 func (s Set) checkAtMost(t Set) {
 	if t.n > s.n {
 		panic(fmt.Sprintf("bits: operand capacity %d exceeds receiver capacity %d", t.n, s.n))

@@ -335,6 +335,40 @@ func BenchmarkOr(b *testing.B) {
 	}
 }
 
+func BenchmarkOrAnd(b *testing.B) {
+	x := New(1024)
+	mask := Of(1024, 1, 500, 1000)
+	row := Of(1024, 1, 3, 501, 1000, 1023)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.OrAnd(row, mask)
+	}
+}
+
+// BenchmarkOrAndSplit is the unfused equivalent of OrAnd (clone, And,
+// Or) — the before side of the fused-kernel comparison.
+func BenchmarkOrAndSplit(b *testing.B) {
+	x := New(1024)
+	mask := Of(1024, 1, 500, 1000)
+	row := Of(1024, 1, 3, 501, 1000, 1023)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tmp := row.Clone()
+		tmp.And(mask)
+		x.Or(tmp)
+	}
+}
+
+func BenchmarkMax(b *testing.B) {
+	s := Of(1024, 3, 77, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Max() != 500 {
+			b.Fatal("wrong max")
+		}
+	}
+}
+
 func BenchmarkNextIterate(b *testing.B) {
 	s := New(1024)
 	for i := 0; i < 1024; i += 7 {

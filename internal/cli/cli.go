@@ -188,10 +188,11 @@ func Parse() {
 	}
 }
 
-// Fatal reports an internal error and exits with ExitInternal.
+// Fatal reports an internal error and exits with ExitInternal,
+// flushing any active profiles on the way out.
 func Fatal(tool string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
-	os.Exit(ExitInternal)
+	Exit(ExitInternal)
 }
 
 // Fatalf is Fatal with formatting.

@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile is the shared profiling flag pair of every frontend:
+// -cpuprofile and -memprofile write pprof profiles of the run for
+// offline analysis with `go tool pprof`. The engine's performance
+// work (PERF.md) is driven by exactly these profiles; exposing them
+// on the binaries lets the same measurements be taken on any workload
+// a frontend can express, not just the committed benchmarks.
+type Profile struct {
+	// CPUPath receives a CPU profile of the whole run (from Start to
+	// Stop or process exit).
+	CPUPath string
+	// MemPath receives a heap profile taken after a final GC when the
+	// run ends.
+	MemPath string
+	cpu     *os.File
+}
+
+// activeProfile is the profile Exit flushes: frontends exit through
+// Exit/Fatal on every path, and a CPU profile that is never stopped
+// would be empty on disk.
+var activeProfile *Profile
+
+// Register installs the profiling flags on fs.
+func (p *Profile) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUPath, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this path")
+	fs.StringVar(&p.MemPath, "memprofile", "",
+		"write a pprof heap profile (after a final GC) to this path when the run ends")
+}
+
+// Start begins CPU profiling when -cpuprofile was given and records p
+// as the process's active profile so Exit and Fatal flush it on every
+// exit path. Call once after flag parsing; pair with a deferred Stop
+// for the normal return path.
+func (p *Profile) Start() error {
+	if p.CPUPath != "" {
+		f, err := os.Create(p.CPUPath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpu = f
+	}
+	activeProfile = p
+	return nil
+}
+
+// Stop ends the CPU profile and writes the heap profile, if they were
+// requested. Idempotent: a deferred Stop after an Exit-flushed one
+// does nothing.
+func (p *Profile) Stop() {
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		p.cpu.Close()
+		p.cpu = nil
+	}
+	if p.MemPath != "" {
+		path := p.MemPath
+		p.MemPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		} else {
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	if activeProfile == p {
+		activeProfile = nil
+	}
+}
+
+// Exit flushes any active profiles and exits with code. Frontends use
+// it instead of os.Exit so -cpuprofile/-memprofile survive early
+// exits (violations, budget cuts, internal errors).
+func Exit(code int) {
+	if activeProfile != nil {
+		activeProfile.Stop()
+	}
+	os.Exit(code)
+}

@@ -103,29 +103,34 @@ func (s *State) maybeDetachLocked() {
 }
 
 // deriveHBLocked computes hb' = hb ∪ reach⁻¹(g) × {g} from the
-// parent's memoised hb. The direct predecessors D of g are its
-// sb-predecessors — the parent's events of the stepping thread and the
-// initialising writes — plus w when the new rf edge synchronises
-// (sw = rf ∩ (WrR × RdA)). g itself is hb-maximal: every new sb/sw
-// edge ends at g, so no pair between old events changes.
+// parent's memoised (transposed) hb. The direct predecessors of g are
+// its sb-predecessors — the parent's events of the stepping thread
+// and the initialising writes — plus w when the new rf edge
+// synchronises (sw = rf ∩ (WrR × RdA)). g itself is hb-maximal: every
+// new sb/sw edge ends at g, so no pair between old events changes —
+// and in predecessor orientation the whole extension is one owned
+// row, assembled by word-parallel unions. Initialising writes have no
+// hb-predecessors, and the stepping thread's earlier events fold into
+// its sb-last event's row (hb is monotone along sb), so three row
+// unions suffice where the row-major form walked and copy-on-write
+// copied every predecessor row.
 func (s *State) deriveHBLocked(p *State) {
 	phb := p.hbRef()
 	n := len(s.events)
 	g, w := s.inc.g, s.inc.w
 
 	hb := phb.ShareGrowAlloc(n, &s.alloc)
-	direct := s.alloc.NewSet(n)
-	direct.Or(p.threadEvs(event.InitThread))
-	direct.Or(p.threadEvs(s.inc.t))
+	hb.UnionRow(g, p.threadEvs(event.InitThread))
+	tEvs := p.threadEvs(s.inc.t)
+	if last := tEvs.Max(); last >= 0 {
+		hb.UnionRow(g, tEvs)
+		hb.UnionRow(g, phb.Row(last))
+	}
 	if s.inc.rfEdge && s.events[w].Releasing() && s.events[g].Acquiring() {
-		direct.Set(w)
+		hb.Add(g, w)
+		hb.UnionRow(g, phb.Row(w))
 	}
-	for i := 0; i < g; i++ {
-		if direct.Test(i) || phb.Row(i).Intersects(direct) {
-			hb.Add(i, g)
-		}
-	}
-	s.memo.hb = hb
+	s.memo.hbP = hb
 	s.memo.hbOK = true
 	s.maybeDetachLocked()
 }
@@ -138,17 +143,18 @@ func (s *State) deriveHBLocked(p *State) {
 // with every rf reader of a write in mo⁺w (new fr edges). A path
 // between old events through g would factor through v ⊑_mo w <_mo k,
 // which eco already contained, so old pairs are untouched.
+// In predecessor orientation the incoming side (g's eco-predecessors:
+// w, mo⁺w and its readers, and their own predecessors) is one owned
+// row; the outgoing side (g precedes the old mo-successors of w and
+// their eco-successors) touches old rows, but only when w is not
+// mo-maximal — the common case (reading or splicing after the latest
+// write to the variable) leaves every old row shared.
 func (s *State) deriveECOLocked(p *State) {
 	peco := p.ecoRef()
 	n := len(s.events)
 	g, w := s.inc.g, s.inc.w
 
 	eco := peco.ShareGrowAlloc(n, &s.alloc)
-	moSucc := p.mo.Row(w)
-	eco.UnionRow(g, moSucc)
-	for k := moSucc.Next(0); k >= 0; k = moSucc.Next(k + 1) {
-		eco.UnionRow(g, peco.Row(k))
-	}
 	direct := s.alloc.NewSet(n)
 	if s.inc.rfEdge {
 		direct.Set(w)
@@ -164,49 +170,77 @@ func (s *State) deriveECOLocked(p *State) {
 			}
 		}
 	}
-	for i := 0; i < g; i++ {
-		if direct.Test(i) || peco.Row(i).Intersects(direct) {
-			eco.Add(i, g)
+	eco.UnionRow(g, direct)
+	for d := direct.Next(0); d >= 0; d = direct.Next(d + 1) {
+		eco.UnionRow(g, peco.Row(d))
+	}
+	moSucc := p.mo.Row(w)
+	if !moSucc.Empty() {
+		for j := 0; j < g; j++ {
+			if moSucc.Test(j) || peco.Row(j).Intersects(moSucc) {
+				eco.Add(j, g)
+			}
 		}
 	}
-	s.memo.eco = eco
+	s.memo.ecoP = eco
 	s.memo.ecoOK = true
 	s.maybeDetachLocked()
 }
 
-// deriveCombLocked extends the parent's memoised comb = eco? ; hb?.
-// Old pairs are compositions of old pairs and stay unchanged. Row g:
-// {g} ∪ eco'[g] ∪ hb'[eco'[g]] (hb'[g] is empty — g is hb-maximal).
-// Column g: i reaches g when eco'(i,g), hb'(i,g), or eco'(i,m) for
-// some hb-predecessor m of g. The child's own (incrementally derived)
-// hb and eco rows serve both passes: they differ from the parent's
-// only in column g, which never occurs as a middle element.
+// deriveCombLocked extends the parent's memoised (transposed)
+// comb = eco? ; hb?. Old pairs are compositions of old pairs and stay
+// unchanged. The new predecessor row is assembled by unions alone:
+//
+//	combP'[g] = {g} ∪ ecoP'[g] ∪ hbP'[g] ∪ combP[lastT] ∪ (combP[w] if sw)
+//
+// The definitional fold ⋃ ecoP[m] over every hb-predecessor m of g
+// collapses because comb is monotone along hb (comb(i,m) ∧ hb(m,g) ⟹
+// comb(i,g)): each m is the stepping thread's sb-last event lastT,
+// the synchronising write w, an initialising write, or an
+// hb-predecessor of one of those, so its contribution is inside
+// combP[lastT] ∪ combP[w] — initialising writes have no eco- or
+// hb-predecessors, and their singleton rows sit inside hbP'[g]. The
+// reverse inclusion is hb-monotonicity again. The audit
+// (AuditIncremental) checks this derivation against the definitional
+// composition on every explored state under -checkincremental.
+//
+// Old rows change only when g has eco-successors (w not mo-maximal):
+// those rows — K and its hb-successors — gain the bit g.
 func (s *State) deriveCombLocked(p *State) {
 	pcomb := p.combRef()
 	n := len(s.events)
-	g := s.inc.g
+	g, w := s.inc.g, s.inc.w
 	hb := s.hbLocked()
 	eco := s.ecoLocked()
 
 	comb := pcomb.ShareGrowAlloc(n, &s.alloc)
 	comb.Add(g, g)
-	ecoOut := eco.Row(g)
-	comb.UnionRow(g, ecoOut)
-	for m := ecoOut.Next(0); m >= 0; m = ecoOut.Next(m + 1) {
-		comb.UnionRow(g, hb.Row(m))
+	comb.UnionRow(g, eco.Row(g))
+	comb.UnionRow(g, hb.Row(g))
+	tEvs := p.threadEvs(s.inc.t)
+	if last := tEvs.Max(); last >= 0 {
+		comb.UnionRow(g, pcomb.Row(last))
 	}
-	hbPreds := s.alloc.NewSet(n)
-	for i := 0; i < g; i++ {
-		if hb.Row(i).Test(g) {
-			hbPreds.Set(i)
+	if s.inc.rfEdge && s.events[w].Releasing() && s.events[g].Acquiring() {
+		comb.UnionRow(g, pcomb.Row(w))
+	}
+
+	if !p.mo.Row(w).Empty() {
+		// g's eco-successors K are exactly the old rows that gained g
+		// in deriveECOLocked; g reaches them and their hb-successors.
+		k := s.alloc.NewSet(n)
+		for j := 0; j < g; j++ {
+			if eco.Row(j).Test(g) {
+				k.Set(j)
+			}
+		}
+		for j := 0; j < g; j++ {
+			if k.Test(j) || hb.Row(j).Intersects(k) {
+				comb.Add(j, g)
+			}
 		}
 	}
-	for i := 0; i < g; i++ {
-		if eco.Row(i).Test(g) || hbPreds.Test(i) || eco.Row(i).Intersects(hbPreds) {
-			comb.Add(i, g)
-		}
-	}
-	s.memo.comb = comb
+	s.memo.combP = comb
 	s.memo.combOK = true
 	s.maybeDetachLocked()
 }
@@ -216,7 +250,8 @@ func (s *State) deriveCombLocked(p *State) {
 func (s *State) deriveCWLocked(p *State) {
 	pcw := p.cwRef()
 	n := len(s.events)
-	cov := pcw.Grow(n)
+	cov := s.alloc.NewSet(n)
+	cov.Or(*pcw)
 	if s.events[s.inc.g].IsUpdate() {
 		cov.Set(s.inc.w)
 	}
@@ -264,6 +299,8 @@ func (s *State) AuditIncremental() []string {
 	// sb is reconstructible from the event list: a program event j is
 	// preceded exactly by the earlier events of its own thread and of
 	// thread 0; initialising writes are sb-unordered among themselves.
+	// Reconstructed directly in the maintained predecessor orientation
+	// (row j = sb-predecessors of j).
 	n := len(s.events)
 	sSB := relation.New(n)
 	for j := 0; j < n; j++ {
@@ -272,12 +309,12 @@ func (s *State) AuditIncremental() []string {
 		}
 		for i := 0; i < j; i++ {
 			if s.events[i].TID == s.events[j].TID || s.events[i].TID == event.InitThread {
-				sSB.Add(i, j)
+				sSB.Add(j, i)
 			}
 		}
 	}
-	if !s.sb.Equal(sSB) {
-		report("sb: maintained %s != reconstructed %s", s.sb, sSB)
+	if !s.sbP.Equal(sSB) {
+		report("sb: maintained %s != reconstructed %s", s.sbP, sSB)
 	}
 
 	// Per-thread EW/OW against the scratch kernel.

@@ -38,26 +38,52 @@ func (c Config) Program() lang.Prog { return c.P }
 // (the engine subtracts the initial configuration's count).
 func (c Config) Progress() int { return c.S.NumEvents() }
 
-// Expand appends every enabled interpreted transition's target. The
-// per-thread steps are taken via StepOf directly (no ProgSteps slice)
-// and the successor configurations are constructed straight into out
-// — the engine calls this once per explored state, so the transient
-// []ProgStep and []Succ boxes the convenience API builds were a
-// measurable slice of the exploration allocation profile (see the
-// interface-seam note in PERF.md).
-func (c Config) Expand(out []model.Config) []model.Config {
+// AppendSuccessors appends every enabled interpreted transition's
+// target as a concrete Config. The per-thread steps are taken via
+// StepOf directly (no ProgSteps slice) and the successor
+// configurations are constructed straight into out — this is the
+// monomorphised explorer's expansion entry point, called once per
+// explored state, with zero interface boxing on the path.
+func (c Config) AppendSuccessors(out []Config) []Config {
 	for i, com := range c.P {
 		if s, ok := lang.StepOf(com); ok {
-			out = c.appendConfigSuccessors(out, lang.ProgStep{T: event.Thread(i + 1), S: s})
+			out = c.AppendStepSuccessors(out, lang.ProgStep{T: event.Thread(i + 1), S: s})
 		}
 	}
 	return out
 }
 
-// ExpandStep appends the targets of one program step — one successor
+// Expand is the boxed form of AppendSuccessors for the model.Config
+// seam (traces, unknown-backend fallback); the engine's hot path uses
+// the typed form.
+func (c Config) Expand(out []model.Config) []model.Config {
+	succ := c.AppendSuccessors(nil)
+	for _, s := range succ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ExpandStep is the boxed form of AppendStepSuccessors — one successor
 // per observable write the RA semantics lets the step see.
 func (c Config) ExpandStep(out []model.Config, ps lang.ProgStep) []model.Config {
-	return c.appendConfigSuccessors(out, ps)
+	succ := c.AppendStepSuccessors(nil, ps)
+	for _, s := range succ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Discard hands back a successor the explorer proved it will never
+// use again — a fingerprint duplicate or a bound-suppressed successor
+// — so its state can be recycled. c is the configuration succ was
+// expanded from; successors of silent steps share its state and own
+// nothing recyclable.
+func (c Config) Discard(succ Config) {
+	if succ.S == c.S {
+		return
+	}
+	succ.S.recycle()
 }
 
 // StepsAcyclic: every memory step appends an event, so non-silent

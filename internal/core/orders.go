@@ -39,11 +39,12 @@ func (s *State) SW() relation.Rel {
 	})
 }
 
-// HB returns happens-before hb = (sb ∪ sw)⁺.
+// HB returns happens-before hb = (sb ∪ sw)⁺ (in successor
+// orientation; the maintained closure is transposed).
 func (s *State) HB() relation.Rel {
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
-	return s.hbLocked().Clone()
+	return s.hbLocked().Converse()
 }
 
 // HBHas reports (a, b) ∈ hb without cloning the closure — the
@@ -52,25 +53,29 @@ func (s *State) HB() relation.Rel {
 func (s *State) HBHas(a, b event.Tag) bool {
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
-	return s.hbLocked().Has(int(a), int(b))
+	return s.hbLocked().Has(int(b), int(a))
 }
 
+// hbLocked returns the memoised happens-before closure in predecessor
+// orientation: row g holds {i | (i, g) ∈ hb}.
 func (s *State) hbLocked() *relation.Rel {
 	if !s.memo.hbOK {
 		if p := s.inc.parent; p != nil {
 			s.deriveHBLocked(p)
 		} else {
-			s.memo.hb = s.scratchHB()
+			s.memo.hbP = s.scratchHB()
 			s.memo.hbOK = true
 		}
 	}
-	return &s.memo.hb
+	return &s.memo.hbP
 }
 
-// scratchHB computes hb from first principles, without touching the
-// memo or the incremental provenance.
+// scratchHB computes the transposed hb from first principles, without
+// touching the memo or the incremental provenance. Transposition
+// commutes with union and transitive closure, so the predecessor
+// closure is the closure of the predecessor edges.
 func (s *State) scratchHB() relation.Rel {
-	return relation.UnionOf(s.sb, s.SW()).TransitiveClosure()
+	return relation.UnionOf(s.sbP, s.SW().Converse()).TransitiveClosure()
 }
 
 // FR returns the from-read relation fr = (rf⁻¹ ; mo) \ Id. The
@@ -81,50 +86,55 @@ func (s *State) FR() relation.Rel {
 	return relation.Compose(s.rf.Converse(), s.mo).WithoutIdentity()
 }
 
-// ECO returns the extended coherence order eco = (fr ∪ mo ∪ rf)⁺ [19].
+// ECO returns the extended coherence order eco = (fr ∪ mo ∪ rf)⁺ [19]
+// (in successor orientation; the maintained closure is transposed).
 func (s *State) ECO() relation.Rel {
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
-	return s.ecoLocked().Clone()
+	return s.ecoLocked().Converse()
 }
 
+// ecoLocked returns the memoised eco closure in predecessor
+// orientation: row g holds {i | (i, g) ∈ eco}.
 func (s *State) ecoLocked() *relation.Rel {
 	if !s.memo.ecoOK {
 		if p := s.inc.parent; p != nil {
 			s.deriveECOLocked(p)
 		} else {
-			s.memo.eco = s.scratchECO()
+			s.memo.ecoP = s.scratchECO()
 			s.memo.ecoOK = true
 		}
 	}
-	return &s.memo.eco
+	return &s.memo.ecoP
 }
 
-// scratchECO computes eco from first principles.
+// scratchECO computes the transposed eco from first principles.
 func (s *State) scratchECO() relation.Rel {
-	return relation.UnionOf(s.FR(), s.mo, s.rf).TransitiveClosure()
+	return relation.UnionOf(s.FR(), s.mo, s.rf).Converse().TransitiveClosure()
 }
 
 // combLocked returns the thread-independent kernel of the encountered-
-// write computation, eco? ; hb? = Id ∪ eco ∪ hb ∪ eco;hb. EW_σ(t) is
-// this relation's image restricted to writes and intersected with
-// thread t's events, so memoising comb once per state makes every
-// per-thread observability query a cheap row scan.
+// write computation, comb = eco? ; hb?, in predecessor orientation:
+// row e holds {w | (w, e) ∈ comb}. EW_σ(t) is then one fused
+// word-parallel operation — writes ∩ comb-predecessors of t's last
+// event (see ewInto) — so memoising comb once per state makes every
+// per-thread observability query a handful of word operations.
 func (s *State) combLocked() *relation.Rel {
 	if !s.memo.combOK {
 		if p := s.inc.parent; p != nil {
 			s.deriveCombLocked(p)
 		} else {
-			s.memo.comb = scratchComb(*s.ecoLocked(), *s.hbLocked())
+			s.memo.combP = scratchComb(*s.ecoLocked(), *s.hbLocked())
 			s.memo.combOK = true
 		}
 	}
-	return &s.memo.comb
+	return &s.memo.combP
 }
 
-// scratchComb computes eco? ; hb? from the given closures.
-func scratchComb(eco, hb relation.Rel) relation.Rel {
-	return relation.UnionOf(eco, hb, relation.Compose(eco, hb)).ReflexiveClosure()
+// scratchComb computes the transposed eco? ; hb? from the given
+// transposed closures: (eco? ; hb?)⁻¹ = hb?⁻¹ ; eco?⁻¹.
+func scratchComb(ecoP, hbP relation.Rel) relation.Rel {
+	return relation.UnionOf(ecoP, hbP, relation.Compose(hbP, ecoP)).ReflexiveClosure()
 }
 
 // EncounteredWrites returns EW_σ(t): the writes w ∈ Wr ∩ D such that
@@ -137,9 +147,9 @@ func (s *State) EncounteredWrites(t event.Thread) bits.Set {
 }
 
 // ewLocked returns the memoised EW_σ(t); memo.mu must be held and the
-// result must not be mutated. The scan runs over the maintained write
-// set and per-thread event index — not over D — and comb itself is
-// inherited incrementally, so this is O(|Wr|) word-sized intersections.
+// result must not be mutated. With comb held transposed the set is
+// one fused word-parallel operation over the maintained write set and
+// the comb-predecessor row of t's last event — no per-write scan.
 func (s *State) ewLocked(t event.Thread) bits.Set {
 	for i := range s.memo.ew {
 		if s.memo.ew[i].tid == t {
@@ -147,29 +157,47 @@ func (s *State) ewLocked(t event.Thread) bits.Set {
 		}
 	}
 	out := s.ewInto(s.alloc.NewSet(len(s.events)), s.combLocked(), t)
+	if s.memo.ew == nil {
+		s.memo.ew = s.memo.ewBuf[:0]
+	}
 	s.memo.ew = append(s.memo.ew, threadSet{tid: t, set: out})
 	return out
 }
 
 // scratchEW computes EW_σ(t) from the given eco?;hb? kernel into fresh
-// heap storage (safe without the memo lock — used by the audit).
+// heap storage (safe without the memo lock — used by the audit). It is
+// deliberately definitional — a union over every event of t rather
+// than the sb-monotonicity shortcut ewInto takes — so the audit checks
+// that shortcut instead of repeating it.
 func (s *State) scratchEW(comb *relation.Rel, t event.Thread) bits.Set {
-	return s.ewInto(bits.New(len(s.events)), comb, t)
+	out := bits.New(len(s.events))
+	tEvs := s.threadEvs(t)
+	for e := tEvs.Next(0); e >= 0; e = tEvs.Next(e + 1) {
+		out.OrAnd(comb.Row(e), s.writes)
+	}
+	return out
 }
 
-// ewInto fills out (an empty set of carrier capacity) with EW_σ(t).
+// ewInto fills out (an empty set of carrier capacity) with EW_σ(t):
+// writes ∩ comb-predecessors of t's sb-last event. comb is monotone
+// along sb — (w, e) ∈ eco?;hb? and (e, e') ∈ sb extend to (w, e')
+// through hb — so the last event's predecessor row subsumes the rows
+// of t's earlier events, and the per-thread set is one fused OrAnd.
+// The initialising writes are sb-unordered among themselves, so for
+// the init thread every row contributes.
 func (s *State) ewInto(out bits.Set, comb *relation.Rel, t event.Thread) bits.Set {
-	tEvents := s.threadEvs(t)
-	if tEvents.Empty() {
+	tEvs := s.threadEvs(t)
+	if t == event.InitThread {
+		for e := tEvs.Next(0); e >= 0; e = tEvs.Next(e + 1) {
+			out.OrAnd(comb.Row(e), s.writes)
+		}
 		return out
 	}
-	wr := s.writes
-	for i := wr.Next(0); i >= 0; i = wr.Next(i + 1) {
-		// w encountered iff comb row of w intersects t's events.
-		if comb.Row(i).Intersects(tEvents) {
-			out.Set(i)
-		}
+	last := tEvs.Max()
+	if last < 0 {
+		return out
 	}
+	out.OrAnd(comb.Row(last), s.writes)
 	return out
 }
 
@@ -190,6 +218,9 @@ func (s *State) observableLocked(t event.Thread) bits.Set {
 		}
 	}
 	out := s.owInto(s.alloc.NewSet(len(s.events)), s.ewLocked(t))
+	if s.memo.ow == nil {
+		s.memo.ow = s.memo.owBuf[:0]
+	}
 	s.memo.ow = append(s.memo.ow, threadSet{tid: t, set: out})
 	return out
 }
@@ -330,13 +361,16 @@ func (s *State) InHBCone(t event.Thread, g event.Tag) bool {
 	if e.IsInit() || e.TID == t {
 		return true
 	}
-	tEvents := s.threadEvs(t)
-	if tEvents.Empty() {
+	last := s.threadEvs(t).Max()
+	if last < 0 {
 		return false
 	}
+	// hb is monotone along sb, so "g happens-before some event of t"
+	// collapses to one membership test against the last event's
+	// predecessor row.
 	s.memo.mu.Lock()
 	defer s.memo.mu.Unlock()
-	return s.hbLocked().Row(int(g)).Intersects(tEvents)
+	return s.hbLocked().Row(last).Test(int(g))
 }
 
 // HBCone returns σ.hbc(t) = I_σ ∪ {e | ∃e'. tid(e') = t ∧ (e, e') ∈
@@ -349,16 +383,15 @@ func (s *State) HBCone(t event.Thread) bits.Set {
 	out.Or(s.threadEvs(event.InitThread)) // I_σ (thread 0 only writes)
 	tEvents := s.threadEvs(t)
 	out.Or(tEvents) // (e,e) ∈ hb? with tid(e)=t
-	if tEvents.Empty() {
+	last := tEvents.Max()
+	if last < 0 {
 		return out
 	}
+	// By sb-monotonicity of hb, the cone is the last event's
+	// predecessor row — one word-parallel union instead of an
+	// intersection test per event.
 	s.memo.mu.Lock()
-	hb := s.hbLocked()
-	for i := 0; i < n; i++ {
-		if hb.Row(i).Intersects(tEvents) {
-			out.Set(i)
-		}
-	}
+	out.Or(s.hbLocked().Row(last))
 	s.memo.mu.Unlock()
 	return out
 }

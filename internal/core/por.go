@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/lang"
-	"repro/internal/model"
 )
 
 // This file exposes the independence structure of the interpreted
@@ -89,13 +88,15 @@ func (c Config) StepSuccessors(ps lang.ProgStep) []Succ {
 // slice allocation per step per state.
 var tagBufPool = sync.Pool{New: func() any { b := make([]event.Tag, 0, 16); return &b }}
 
-// appendConfigSuccessors is appendStepSuccessors for the engine-facing
-// model seam: it constructs the successor configurations directly into
-// the model.Config slice, skipping the Succ metadata (observed write,
+// AppendStepSuccessors is appendStepSuccessors for the engine-facing
+// hot path: it constructs the successor configurations directly into a
+// concrete-typed slice, skipping the Succ metadata (observed write,
 // event, thread) the engine never reads and drawing the observed-write
-// candidates into a pooled buffer. One interface box per successor is
-// the only allocation besides the states themselves.
-func (c Config) appendConfigSuccessors(out []model.Config, ps lang.ProgStep) []model.Config {
+// candidates into a pooled buffer. The monomorphised explorer calls
+// this (and AppendSuccessors) instead of the boxed model.Config
+// expansion, so the states themselves are the only allocations — no
+// interface box per successor.
+func (c Config) AppendStepSuccessors(out []Config, ps lang.ProgStep) []Config {
 	t, s := ps.T, ps.S
 	if s.Kind == lang.StepSilent {
 		return append(out, Config{P: c.P.WithThread(t, s.Apply(0)), S: c.S})

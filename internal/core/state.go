@@ -39,9 +39,18 @@ import (
 // edges alone — see incremental.go.
 type State struct {
 	events []event.Event // D; index is the event's Tag
-	sb     relation.Rel  // sequenced-before
-	rf     relation.Rel  // reads-from (Wr × Rd)
-	mo     relation.Rel  // modification order (Wr × Wr)
+	// sbP is sequenced-before stored transposed: row g holds the
+	// sb-*predecessors* of g. Every sb edge ends at the newest event
+	// (earlier events of the stepping thread and the initialising
+	// writes precede it), so in predecessor form a step writes exactly
+	// one freshly-carved row — the row-major form copied one COW row
+	// per predecessor. The derived closures hb/eco/comb are memoised
+	// in the same orientation (see orders.go); rf and mo stay
+	// row-major, as the step rules and observability kernels consume
+	// their successor rows.
+	sbP relation.Rel
+	rf  relation.Rel // reads-from (Wr × Rd)
+	mo  relation.Rel // modification order (Wr × Wr)
 
 	// Eagerly-maintained indexes, extended by addEvent/insertMO and
 	// immutable once the building step returns. They replace the
@@ -73,16 +82,20 @@ type State struct {
 	fpAcc fingerprint.Acc
 
 	memo struct {
-		mu      sync.Mutex
-		hb, eco relation.Rel
-		comb    relation.Rel // (eco? ; hb?) — thread-independent EW kernel
-		covered bits.Set     // CW
+		mu         sync.Mutex
+		hbP, ecoP  relation.Rel // transposed closures: row g = predecessors of g
+		combP      relation.Rel // (eco? ; hb?)⁻¹ — thread-independent EW kernel
+		covered    bits.Set     // CW
 		hbOK    bool
 		ecoOK   bool
 		combOK  bool
 		cwOK    bool
 		ew      []threadSet // EW_σ(t), appended on first query per thread
 		ow      []threadSet // OW_σ(t), likewise
+		// ewBuf/owBuf are the inline backing of ew/ow for the common
+		// thread counts — the lists spill to the heap past four
+		// threads. Pooled shells reuse the arrays across successors.
+		ewBuf, owBuf [4]threadSet
 	}
 }
 
@@ -145,7 +158,7 @@ func Init(vars map[event.Var]event.Val) *State {
 	n := len(names)
 	s := &State{
 		events: make([]event.Event, 0, n),
-		sb:     relation.New(n),
+		sbP:    relation.New(n),
 		rf:     relation.New(n),
 		mo:     relation.New(n),
 		writes: bits.New(n),
@@ -166,6 +179,16 @@ func Init(vars map[event.Var]event.Val) *State {
 	return s
 }
 
+// recycle returns a dead state's reusable allocations to the arena
+// (see arena.go). The caller guarantees nothing references s anymore:
+// the explorer only discards successors that deduplicated against its
+// seen set or were suppressed by the progress bound — never expanded,
+// never audited, never stored — so no other state aliases rows carved
+// from s's allocator.
+func (s *State) recycle() {
+	releaseState(s)
+}
+
 // NumEvents returns |D|.
 func (s *State) NumEvents() int { return len(s.events) }
 
@@ -179,8 +202,9 @@ func (s *State) Events() []event.Event {
 	return out
 }
 
-// SB returns a copy of the sequenced-before relation.
-func (s *State) SB() relation.Rel { return s.sb.Clone() }
+// SB returns a copy of the sequenced-before relation (in successor
+// orientation; the maintained form is transposed).
+func (s *State) SB() relation.Rel { return s.sbP.Converse() }
 
 // RF returns a copy of the reads-from relation.
 func (s *State) RF() relation.Rel { return s.rf.Clone() }
@@ -191,7 +215,7 @@ func (s *State) MO() relation.Rel { return s.mo.Clone() }
 // sbHas etc. give cheap read access without cloning.
 
 // SBHas reports (a, b) ∈ sb.
-func (s *State) SBHas(a, b event.Tag) bool { return s.sb.Has(int(a), int(b)) }
+func (s *State) SBHas(a, b event.Tag) bool { return s.sbP.Has(int(b), int(a)) }
 
 // RFHas reports (a, b) ∈ rf.
 func (s *State) RFHas(a, b event.Tag) bool { return s.rf.Has(int(a), int(b)) }
@@ -263,16 +287,15 @@ func (s *State) ThreadEvents(t event.Thread) []event.Tag {
 // inc provenance set by the caller.
 func (s *State) cloneGrow() *State {
 	n := len(s.events) + 1
-	out := &State{
-		events:   make([]event.Event, len(s.events), n),
-		threads:  s.threads,
-		writes:   s.writes,
-		writesBy: s.writesBy,
-		lastW:    s.lastW,
-		fpAcc:    s.fpAcc,
-	}
+	out := newState(n)
+	out.events = out.events[:len(s.events)]
+	out.threads = s.threads
+	out.writes = s.writes
+	out.writesBy = s.writesBy
+	out.lastW = s.lastW
+	out.fpAcc = s.fpAcc
 	out.alloc.Init(n)
-	out.sb = s.sb.ShareGrowAlloc(n, &out.alloc)
+	out.sbP = s.sbP.ShareGrowAlloc(n, &out.alloc)
 	out.rf = s.rf.ShareGrowAlloc(n, &out.alloc)
 	out.mo = s.mo.ShareGrowAlloc(n, &out.alloc)
 	copy(out.events, s.events)
@@ -289,13 +312,16 @@ func (s *State) noteEvent(t event.Thread, i, n int) {
 	s.threads = out
 	for k := range s.threads {
 		if s.threads[k].tid == t {
-			evs := s.threads[k].evs.Grow(n)
+			// Successors alias the index outright, so the replacement
+			// set is carved shared (slab-backed), not inline.
+			evs := s.alloc.NewSharedSet(n)
+			evs.Or(s.threads[k].evs)
 			evs.Set(i)
 			s.threads[k].evs = evs
 			return
 		}
 	}
-	evs := bits.New(n)
+	evs := s.alloc.NewSharedSet(n)
 	evs.Set(i)
 	s.threads = append(s.threads, threadEvents{tid: t, evs: evs})
 }
@@ -305,7 +331,12 @@ func (s *State) noteEvent(t event.Thread, i, n int) {
 // first write to x is trivially mo-maximal; insertMO keeps lastW
 // current for subsequent writes.
 func (s *State) noteWrite(x event.Var, g event.Tag) {
-	w := s.writes.Grow(int(g) + 1)
+	c := int(g) + 1
+	if l := s.writes.Len(); l > c {
+		c = l
+	}
+	w := s.alloc.NewSharedSet(c)
+	w.Or(s.writes)
 	w.Set(int(g))
 	s.writes = w
 	for i := range s.writesBy {
@@ -333,16 +364,15 @@ func (s *State) addEvent(a event.Action, t event.Thread) event.Tag {
 	gi := int(g)
 	n := gi + 1
 	s.events = append(s.events, event.Event{Tag: g, Act: a, TID: t})
-	addPreds := func(set bits.Set) {
-		for i := set.Next(0); i >= 0; i = set.Next(i + 1) {
-			s.sb.Add(i, gi)
-		}
-	}
-	addPreds(s.threadEvs(event.InitThread))
+	// In predecessor orientation the new sb edges are one word-parallel
+	// row fill: g's row gains the initialising writes and the stepping
+	// thread's events. (Row-major sb paid one copy-on-write row copy
+	// per predecessor here.)
+	s.sbP.UnionRow(gi, s.threadEvs(event.InitThread))
 	pos := 0
 	if t != event.InitThread {
 		tEvs := s.threadEvs(t)
-		addPreds(tEvs)
+		s.sbP.UnionRow(gi, tEvs)
 		pos = tEvs.Count()
 	}
 	s.noteEvent(t, gi, n)
@@ -465,6 +495,6 @@ func (s *State) String() string {
 	for _, e := range s.events {
 		fmt.Fprintf(&b, "  %s\n", e)
 	}
-	fmt.Fprintf(&b, "sb: %s\nrf: %s\nmo: %s\n", s.sb, s.rf, s.mo)
+	fmt.Fprintf(&b, "sb: %s\nrf: %s\nmo: %s\n", s.sbP.Converse(), s.rf, s.mo)
 	return b.String()
 }

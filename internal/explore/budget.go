@@ -160,7 +160,7 @@ type PanicRecord struct {
 // requested slot, the live signal is set unless a checkpoint
 // suspension holds it (the suspension path adopts requested before
 // resuming), and the pool is drained.
-func (r *run) stopWith(c StopCause) {
+func (r *run[C]) stopWith(c StopCause) {
 	r.requested.CompareAndSwap(0, int32(c))
 	r.stop.CompareAndSwap(0, int32(c))
 	r.pool.stop()
@@ -169,7 +169,7 @@ func (r *run) stopWith(c StopCause) {
 // suspendForCheckpoint suspends the pool for a periodic checkpoint.
 // A no-op when any stop signal (real or checkpoint) is already live:
 // real causes write a final checkpoint anyway.
-func (r *run) suspendForCheckpoint() {
+func (r *run[C]) suspendForCheckpoint() {
 	if r.stop.CompareAndSwap(0, int32(stopCheckpoint)) {
 		r.pool.stop()
 	}
@@ -196,7 +196,7 @@ func (o Options) memPoll() time.Duration {
 
 // needMonitor reports whether any budget requires the watcher
 // goroutine; without one the engine spawns nothing extra.
-func (r *run) needMonitor() bool {
+func (r *run[C]) needMonitor() bool {
 	return !r.deadline.IsZero() || r.opts.Context != nil ||
 		r.opts.MaxMemBytes > 0 || (r.opts.CheckpointPath != "" && r.opts.CheckpointEvery > 0)
 }
@@ -204,7 +204,7 @@ func (r *run) needMonitor() bool {
 // monitor watches the budgets and converts the first exhaustion into a
 // stop signal. It runs for the whole execute loop — across checkpoint
 // suspensions — and exits when done closes.
-func (r *run) monitor(done <-chan struct{}) {
+func (r *run[C]) monitor(done <-chan struct{}) {
 	var deadlineC <-chan time.Time
 	if !r.deadline.IsZero() {
 		t := time.NewTimer(time.Until(r.deadline))

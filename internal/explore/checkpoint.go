@@ -81,7 +81,7 @@ type checkpointFile struct {
 // writeCheckpoint persists the current search state to
 // opts.CheckpointPath. Only called while the pool is stopped or
 // suspended (no workers running), so the shards and queue are stable.
-func (r *run) writeCheckpoint() error {
+func (r *run[C]) writeCheckpoint() error {
 	if r.opts.CheckpointPath == "" {
 		return nil
 	}
@@ -233,7 +233,23 @@ func Resume(path string, m model.Model, opts Options) (Result, error) {
 	}
 	opts.MaxEvents = ck.MaxEvents
 	opts.POR = ck.POR
-	r := newRun(opts)
+	// Monomorphise like Run: the backend's name picks the concrete
+	// instantiation (the restored frontier configurations are verified
+	// to unbox to it), anything else runs boxed.
+	switch m.Name() {
+	case "rar":
+		return resumeAs(path, ck, m, opts, coreOps(opts))
+	case "sc":
+		return resumeAs(path, ck, m, opts, scOps(opts))
+	default:
+		return resumeAs(path, ck, m, opts, boxedOps(opts))
+	}
+}
+
+// resumeAs restores the checkpointed seen-set and frontier into one
+// engine instantiation and continues the search.
+func resumeAs[C model.Base](path string, ck *checkpointFile, m model.Model, opts Options, bk ops[C]) (Result, error) {
+	r := newRun[C](opts, bk)
 	r.nInit = ck.NInit
 	nTerm := 0
 	for _, ce := range ck.Entries {
@@ -270,9 +286,14 @@ func Resume(path string, m model.Model, opts Options) (Result, error) {
 		}
 	}
 	for _, fi := range ck.Frontier {
-		c, err := m.Restore(fi.Snapshot)
+		mc, err := m.Restore(fi.Snapshot)
 		if err != nil {
 			return Result{}, fmt.Errorf("explore: checkpoint %s frontier: %w", path, err)
+		}
+		c, ok := r.ops.unbox(mc)
+		if !ok {
+			return Result{}, fmt.Errorf("explore: checkpoint %s frontier: %s restored a %T, not the backend's configuration type",
+				path, m.Name(), mc)
 		}
 		if got := c.Fingerprint(); got != fi.FP {
 			return Result{}, fmt.Errorf("explore: checkpoint %s frontier snapshot drifted: restored %v, recorded %v",
@@ -281,7 +302,7 @@ func Resume(path string, m model.Model, opts Options) (Result, error) {
 		if e := r.shardOf(fi.FP).byFP[fi.FP]; e == nil {
 			return Result{}, fmt.Errorf("explore: checkpoint %s frontier config %v has no seen-set entry", path, fi.FP)
 		}
-		r.pool.push(item{cfg: c, fp: fi.FP})
+		r.pool.push(item[C]{cfg: c, fp: fi.FP})
 	}
 	if len(ck.Violation) > 0 {
 		c, err := m.Restore(ck.Violation)

@@ -1,0 +1,694 @@
+package explore
+
+// The generic engine. Everything on the per-successor hot path — the
+// work pool, the seen-set admission, expansion, the POR loop — is
+// generic over the configuration type C, and Run instantiates it at
+// each backend's concrete type (core.Config, sc.Config; see
+// dispatch.go). Successors then flow through []C slices of struct
+// values and item[C] queue entries with zero interface boxing; the
+// boxed model.Config seam is only crossed at the edges (violation
+// reporting, checkpoint restore, trace output), which are cold.
+//
+// The operations whose signatures mention the configuration type
+// itself (expansion, property, boxing) cannot live on model.Base, so
+// each instantiation carries them as an ops[C] value; the methods that
+// don't mention it are called directly through the model.Base
+// constraint.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/lang"
+	"repro/internal/model"
+)
+
+// ops carries one backend's typed operations: the expansion methods,
+// the (optional) monomorphised property, the conversions across the
+// boxed seam, and the (optional) discard hook that recycles successor
+// state the engine proves dead (fingerprint duplicates, bound-
+// suppressed successors).
+type ops[C model.Base] struct {
+	// expand appends every enabled transition's target to out.
+	expand func(c C, out []C) []C
+	// expandStep appends the targets of one enabled program step.
+	expandStep func(c C, out []C, ps lang.ProgStep) []C
+	// property is the per-state safety check; nil when none.
+	property func(C) bool
+	// box crosses into the boxed seam (violations, checkpoints).
+	box func(C) model.Config
+	// unbox crosses back (checkpoint resume); reports failure when the
+	// boxed configuration is not a C.
+	unbox func(model.Config) (C, bool)
+	// discard, when non-nil, is told about successors the engine will
+	// never use again: a successor that deduplicated against the seen
+	// set without being re-queued, was suppressed by the progress
+	// bound, or was rejected by the MaxConfigs cap. The backend may
+	// recycle its allocations; parent is the configuration it was
+	// expanded from (successors of silent steps share state with it).
+	discard func(parent, succ C)
+}
+
+// entry is one seen-set record: the best depth and smallest sleep mask
+// the configuration has been reached with, and the values it was last
+// expanded at (expandedAt -1 if never). Non-expandable configurations
+// (terminated or at the progress bound) only track depth.
+type entry struct {
+	depth         int32
+	expandedAt    int32
+	sleep         threadMask
+	expandedSleep threadMask
+	expandable    bool
+	term          bool
+}
+
+// relax folds a re-discovery at depth d with sleep mask sleep into
+// the entry and reports whether the entry must be re-expanded: its
+// depth or sleep mask improved below what it was last expanded with.
+func (e *entry) relax(d int32, sleep threadMask) (requeue bool) {
+	if d < e.depth {
+		e.depth = d
+		requeue = e.expandable && e.expandedAt >= 0 && e.expandedAt > d
+	}
+	if ns := e.sleep & sleep; ns != e.sleep {
+		e.sleep = ns
+		requeue = requeue || (e.expandable && e.expandedAt >= 0 && e.expandedSleep&^ns != 0)
+	}
+	return requeue
+}
+
+// expanded reports whether the entry has already been expanded at its
+// current best depth and with a sleep mask no larger than the current
+// one (so a queued item for it is stale).
+func (e *entry) expanded() bool {
+	return e.expandedAt >= 0 && e.expandedAt <= e.depth && e.expandedSleep&^e.sleep == 0
+}
+
+const numShards = 64
+
+type shard struct {
+	mu   sync.Mutex
+	byFP map[fingerprint.FP]*entry
+	// Collision-check mode state (nil otherwise).
+	byKey map[string]*entry
+	fpOf  map[fingerprint.FP]string
+}
+
+// lookup returns the seen-set entry for the given identity (nil if
+// absent). The caller must hold the shard lock.
+func (sh *shard) lookup(fp fingerprint.FP, key string, checkCollisions bool) *entry {
+	if checkCollisions {
+		return sh.byKey[key]
+	}
+	return sh.byFP[fp]
+}
+
+type item[C model.Base] struct {
+	cfg C
+	fp  fingerprint.FP
+	key string // only set under CheckCollisions
+}
+
+// pool is the shared work pool: a FIFO of discovered configurations
+// plus the in-flight counter that detects quiescence.
+type pool[C model.Base] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []item[C]
+	head    int
+	pending int // queued + currently-processing items
+	stopped bool
+}
+
+func (p *pool[C]) push(it item[C]) {
+	p.mu.Lock()
+	p.pending++
+	p.queue = append(p.queue, it)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// pop blocks until an item is available, the pool quiesces, or the
+// search is stopped. ok=false means the worker should exit.
+func (p *pool[C]) pop() (item[C], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.head == len(p.queue) && p.pending > 0 && !p.stopped {
+		p.cond.Wait()
+	}
+	if p.stopped || p.head == len(p.queue) {
+		return item[C]{}, false
+	}
+	it := p.queue[p.head]
+	p.queue[p.head] = item[C]{} // release the config for GC
+	p.head++
+	// Keep the backing array proportional to the live frontier.
+	if p.head > 1024 && p.head > len(p.queue)/2 {
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
+	return it, true
+}
+
+func (p *pool[C]) done() {
+	p.mu.Lock()
+	p.pending--
+	quiesced := p.pending == 0
+	p.mu.Unlock()
+	if quiesced {
+		p.cond.Broadcast()
+	}
+}
+
+func (p *pool[C]) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// resume clears the stop flag after a checkpoint suspension; the
+// re-started workers drain the queue the suspension left behind
+// (pending == queued items again, since every in-flight item was
+// either completed or unclaimed and re-queued before the workers
+// exited).
+func (p *pool[C]) resume() {
+	p.mu.Lock()
+	p.stopped = false
+	p.mu.Unlock()
+}
+
+type run[C model.Base] struct {
+	opts     Options
+	ops      ops[C]
+	nInit    int
+	maxEv    int
+	maxCfg   int
+	deadline time.Time
+
+	shards [numShards]shard
+	pool   pool[C]
+
+	explored   atomic.Int64
+	terminated atomic.Int64
+	truncated  atomic.Bool
+	collisions atomic.Int64
+	mismatches atomic.Int64
+	violation  atomic.Pointer[model.Config]
+
+	// requested is the sticky first real stop cause; stop is the live
+	// signal workers poll (may transiently hold stopCheckpoint). See
+	// budget.go.
+	requested atomic.Int32
+	stop      atomic.Int32
+
+	panicMu    sync.Mutex
+	panics     []PanicRecord
+	panicItems []item[C]
+
+	ckErr error
+}
+
+// newRun builds the engine state for opts without admitting anything.
+func newRun[C model.Base](opts Options, bk ops[C]) *run[C] {
+	r := &run[C]{
+		opts:   opts,
+		ops:    bk,
+		maxEv:  opts.maxEvents(),
+		maxCfg: opts.maxConfigs(),
+	}
+	r.deadline = opts.effectiveDeadline(time.Now())
+	r.pool.cond = sync.NewCond(&r.pool.mu)
+	for i := range r.shards {
+		if opts.CheckCollisions {
+			r.shards[i].byKey = make(map[string]*entry)
+			r.shards[i].fpOf = make(map[fingerprint.FP]string)
+		} else {
+			r.shards[i].byFP = make(map[fingerprint.FP]*entry)
+		}
+	}
+	return r
+}
+
+// runAs explores the state space of c through one backend's typed
+// operations. Run (dispatch.go) picks the instantiation.
+func runAs[C model.Base](c C, opts Options, bk ops[C]) Result {
+	if opts.CheckCollisions && opts.CheckpointPath != "" {
+		// The exact-key seen-set is not serialised; fail loudly rather
+		// than write a checkpoint that cannot restore the debug mode.
+		return Result{CheckpointErr: fmt.Errorf("explore: CheckCollisions is incompatible with checkpointing")}
+	}
+	r := newRun[C](opts, bk)
+	r.nInit = c.Progress()
+	r.admit(c, 0, 0)
+	r.execute()
+	return r.finalize()
+}
+
+func (r *run[C]) shardOf(fp fingerprint.FP) *shard {
+	return &r.shards[fp.Lo%numShards]
+}
+
+// admit deduplicates and registers cfg at depth d with sleep mask
+// sleep, updating counters and queueing it when expandable.
+// Re-discoveries at a shorter depth or with a smaller sleep mask relax
+// the recorded values and re-queue already-expanded entries so the
+// improvements propagate. cont=false means the caller must stop
+// expanding: the admission was rejected by the MaxConfigs budget or
+// cfg violated the property — either way the search is stopping and
+// the parent must stay on the frontier. retained=false means the
+// engine holds no reference to cfg (it deduplicated without being
+// re-queued, or was rejected) and the caller may recycle it.
+func (r *run[C]) admit(cfg C, d int32, sleep threadMask) (cont, retained bool) {
+	// Everything that calls into model code runs outside the shard
+	// lock: model methods may be expensive, and under fault injection
+	// they may panic — a panic below never wedges a shard mutex.
+	fp := cfg.Fingerprint()
+	var key string
+	if r.opts.CheckCollisions {
+		key = cfg.Key()
+	}
+	term := cfg.Terminated()
+	atBound := cfg.Progress()-r.nInit >= r.maxEv
+	sh := r.shardOf(fp)
+
+	sh.mu.Lock()
+	e := sh.lookup(fp, key, r.opts.CheckCollisions)
+	if e != nil {
+		// Known configuration: relax depth and sleep mask.
+		requeue := e.relax(d, sleep)
+		sh.mu.Unlock()
+		if requeue {
+			r.pool.push(item[C]{cfg: cfg, fp: fp, key: key})
+		}
+		return true, requeue
+	}
+	// Fresh configuration: honour the MaxConfigs admission cap.
+	n := r.explored.Add(1)
+	if int(n) > r.maxCfg {
+		r.explored.Add(-1)
+		r.truncated.Store(true)
+		sh.mu.Unlock()
+		// The rejected configuration is not recorded anywhere, so the
+		// parent's expansion is incomplete: the caller re-queues it,
+		// keeping the frontier sound for checkpoint/resume under a
+		// larger budget.
+		r.stopWith(StopMaxConfigs)
+		return false, false
+	}
+	// Configurations at the progress bound stay expandable: their
+	// memory successors are suppressed (expand filters them), but
+	// silent steps add no events and must keep draining — otherwise
+	// whether a terminated configuration at exactly the bound is found
+	// would depend on which interleaving the search (full or reduced)
+	// happens to take to it, since only some orders leave silent steps
+	// for last. Draining makes the bounded terminated set a function
+	// of the bound alone, which the POR and worker audits rely on.
+	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term, term: term}
+	if r.opts.CheckCollisions {
+		sh.byKey[key] = e
+		// Audit once per distinct canonical key.
+		if prev, ok := sh.fpOf[fp]; ok {
+			if prev != key {
+				r.collisions.Add(1)
+			}
+		} else {
+			sh.fpOf[fp] = key
+		}
+	} else {
+		sh.byFP[fp] = e
+	}
+	sh.mu.Unlock()
+
+	if term {
+		r.terminated.Add(1)
+	} else if atBound {
+		r.truncated.Store(true)
+	}
+	// The hooks run outside every lock, like the property: the audit
+	// only touches the admitted configuration's own state, and the
+	// collector is documented as concurrently callable.
+	if r.opts.collect != nil {
+		r.opts.collect(fp, term)
+	}
+	if r.opts.CheckIncremental {
+		if bad := cfg.AuditIncremental(); len(bad) > 0 {
+			r.mismatches.Add(int64(len(bad)))
+		}
+	}
+	// The property runs outside every lock; it may be expensive and is
+	// documented as concurrently callable.
+	if r.ops.property != nil && !r.ops.property(cfg) {
+		mc := r.ops.box(cfg)
+		r.violation.CompareAndSwap(nil, &mc)
+		r.stopWith(StopViolation)
+		// The violating configuration is admitted (it is in the seen
+		// set), but the parent's remaining successors are not: the
+		// parent returns to the frontier with the rest of its work.
+		return false, true
+	}
+	if e.expandable {
+		r.pool.push(item[C]{cfg: cfg, fp: fp, key: key})
+	}
+	return true, true
+}
+
+// claim marks it as being expanded and returns the depth and sleep
+// mask to expand at, or ok=false when the entry has already been
+// expanded at its current best depth and sleep mask (a stale
+// re-queue).
+func (r *run[C]) claim(it item[C]) (int32, threadMask, bool) {
+	sh := r.shardOf(it.fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.lookup(it.fp, it.key, r.opts.CheckCollisions)
+	if e == nil || e.expanded() {
+		return 0, 0, false
+	}
+	e.expandedAt = e.depth
+	e.expandedSleep = e.sleep
+	return e.depth, e.sleep, true
+}
+
+// unclaim reverts a claim whose expansion did not complete (stop
+// signal or budget rejection mid-expansion): the entry becomes
+// unexpanded again so a re-queued item — or a resumed run — picks it
+// back up. Monotonicity is preserved: un-expanding never invalidates
+// relaxations already propagated through admitted successors.
+func (r *run[C]) unclaim(it item[C]) {
+	sh := r.shardOf(it.fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.lookup(it.fp, it.key, r.opts.CheckCollisions); e != nil {
+		e.expandedAt = -1
+		e.expandedSleep = 0
+	}
+}
+
+// recordPanic captures an isolated worker panic as a repro artifact.
+// The entry stays claimed, so the live run does not retry what is
+// likely a deterministic panic; the checkpoint writer re-opens it (and
+// queues its snapshot) so an operator resume retries it after a fix.
+func (r *run[C]) recordPanic(it item[C], d int32, v any) {
+	rec := PanicRecord{
+		FP:      it.fp,
+		Depth:   int(d),
+		Program: it.cfg.Program().String(),
+		Err:     fmt.Sprint(v),
+		Stack:   string(debug.Stack()),
+	}
+	// Snapshotting calls model code on a configuration whose expansion
+	// just panicked; guard it so one bad state cannot take down the
+	// degraded-mode guarantee.
+	func() {
+		defer func() { recover() }() //nolint:errcheck // best-effort artifact
+		rec.Snapshot = it.cfg.AppendSnapshot(nil)
+	}()
+	r.panicMu.Lock()
+	r.panics = append(r.panics, rec)
+	r.panicItems = append(r.panicItems, it)
+	r.panicMu.Unlock()
+}
+
+// discard hands a successor the engine will never use again back to
+// the backend for recycling.
+func (r *run[C]) discard(parent, succ C) {
+	if r.ops.discard != nil {
+		r.ops.discard(parent, succ)
+	}
+}
+
+// expand generates the successors of cfg at depth d under sleep mask
+// sl, applying the POR plan when enabled. At the progress bound only
+// silent successors (same Progress) are admitted — the bound
+// suppresses memory steps but silent chains drain to termination, in
+// the full and the reduced search alike (the reduction is bypassed
+// there: the handful of silent-only frontier states is not worth
+// planning over). scratch is the worker's reusable successor buffer;
+// the (possibly regrown) buffer is returned for the next expansion,
+// along with whether every successor was admitted (false when a stop
+// signal or budget rejection aborted the expansion).
+func (r *run[C]) expand(cfg C, d int32, sl threadMask, scratch []C) ([]C, bool) {
+	complete := true
+	var zero C
+	emit := func(s C, cs threadMask) bool {
+		if r.stop.Load() != 0 {
+			complete = false
+			return false
+		}
+		cont, retained := r.admit(s, d+1, cs)
+		if !retained {
+			r.discard(cfg, s)
+		}
+		if !cont {
+			complete = false
+			return false
+		}
+		return true
+	}
+	if atBound := cfg.Progress()-r.nInit >= r.maxEv; atBound {
+		base := cfg.Progress()
+		scratch = r.ops.expand(cfg, scratch[:0])
+		for i, s := range scratch {
+			scratch[i] = zero
+			if s.Progress() > base {
+				// Memory step: suppressed by the bound, never seen by
+				// anything else — recyclable.
+				r.discard(cfg, s)
+				continue
+			}
+			if !emit(s, 0) {
+				break
+			}
+		}
+		return scratch[:0], complete
+	}
+	if r.opts.POR && r.forEachReducedSucc(cfg, sl, emit) {
+		return scratch, complete
+	}
+	scratch = r.ops.expand(cfg, scratch[:0])
+	for i, s := range scratch {
+		scratch[i] = zero // release for GC once admitted
+		if !emit(s, 0) {
+			break
+		}
+	}
+	return scratch[:0], complete
+}
+
+// process claims and expands one item, isolating panics from model
+// code: a panic is captured as a repro artifact (the entry stays
+// claimed) and the worker moves on — the rest of the search finishes
+// in degraded mode. An expansion aborted by a stop signal or budget
+// rejection is unclaimed and re-queued so the frontier stays sound.
+func (r *run[C]) process(it item[C], scratch *[]C) {
+	d, sl, live := r.claim(it)
+	if !live {
+		return
+	}
+	completed := false
+	defer func() {
+		if v := recover(); v != nil {
+			r.recordPanic(it, d, v)
+			return
+		}
+		if !completed {
+			r.unclaim(it)
+			r.pool.push(it)
+		}
+	}()
+	if r.opts.Hooks != nil {
+		r.opts.Hooks.BeforeExpand(it.fp, int(d))
+	}
+	*scratch, completed = r.expand(it.cfg, d, sl, *scratch)
+}
+
+func (r *run[C]) worker() {
+	var scratch []C
+	for {
+		it, ok := r.pool.pop()
+		if !ok {
+			return
+		}
+		if r.stop.Load() != 0 {
+			// A stop signal raced past the pool flag (e.g. it fired in
+			// the narrow window of a checkpoint resume): hand the item
+			// back untouched, re-stop and exit.
+			r.pool.push(it)
+			r.pool.done()
+			r.pool.stop()
+			return
+		}
+		r.process(it, &scratch)
+		r.pool.done()
+	}
+}
+
+// runWorkers runs one pool-draining leg: the workers exit when the
+// pool quiesces or a stop signal drains it.
+func (r *run[C]) runWorkers() {
+	if w := r.opts.workers(); w <= 1 {
+		// Serial is the same engine with the one worker run inline:
+		// the FIFO pool makes the search breadth-first and the
+		// truncated prefix deterministic.
+		r.worker()
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < r.opts.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker()
+		}()
+	}
+	wg.Wait()
+}
+
+// execute drives worker legs until quiescence or a real stop,
+// suspending and resuming around periodic checkpoints. The budget
+// monitor (if any budget is set) runs across all legs.
+func (r *run[C]) execute() {
+	var monDone chan struct{}
+	if r.needMonitor() {
+		monDone = make(chan struct{})
+		go r.monitor(monDone)
+	}
+	for {
+		r.runWorkers()
+		if StopCause(r.stop.Load()) != stopCheckpoint {
+			break
+		}
+		// Periodic checkpoint: the pool is suspended and every entry
+		// is either fully expanded or back on the queue, so the
+		// snapshot is a consistent cut of the search.
+		if err := r.writeCheckpoint(); err != nil && r.ckErr == nil {
+			r.ckErr = err
+		}
+		// A real cause may have fired during the suspension: adopt it
+		// instead of resuming. stopWith cannot overwrite the live
+		// stopCheckpoint signal, so requested is the one place a raced
+		// cause can be.
+		if req := r.requested.Load(); req != 0 {
+			r.stop.Store(req)
+			break
+		}
+		r.stop.Store(0)
+		if req := r.requested.Load(); req != 0 {
+			// stopWith raced into the cleared window; re-adopt.
+			r.stop.Store(req)
+			break
+		}
+		r.pool.resume()
+	}
+	if monDone != nil {
+		close(monDone)
+	}
+	if r.opts.CheckpointPath != "" && r.wantFinalCheckpoint() {
+		if err := r.writeCheckpoint(); err != nil && r.ckErr == nil {
+			r.ckErr = err
+		}
+	}
+}
+
+// wantFinalCheckpoint decides whether the end-of-run checkpoint is
+// written: always, unless CheckpointOnCut restricts it to runs that
+// ended with resumable unexpanded work (a budget/cancellation stop or
+// isolated panics). Quiescent and violated runs are then skipped —
+// their verdict is final and a resume would be a no-op.
+func (r *run[C]) wantFinalCheckpoint() bool {
+	if !r.opts.CheckpointOnCut {
+		return true
+	}
+	switch StopCause(r.requested.Load()) {
+	case StopMaxConfigs, StopDeadline, StopCancelled, StopMemory:
+		return true
+	}
+	return len(r.panics) > 0
+}
+
+// finalize computes the Result after all workers have exited.
+func (r *run[C]) finalize() Result {
+	var res Result
+	res.Explored = int(r.explored.Load())
+	res.Terminated = int(r.terminated.Load())
+	res.Truncated = r.truncated.Load()
+	if v := r.violation.Load(); v != nil {
+		res.Violation = *v
+	}
+	res.Stop = StopCause(r.requested.Load())
+	res.Panics = r.panics
+	res.CheckpointErr = r.ckErr
+	res.FingerprintCollisions = int(r.collisions.Load())
+	res.ClosureMismatches = int(r.mismatches.Load())
+	res.ShardDepths = make([]int, numShards)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		scan := func(e *entry) {
+			if int(e.depth) > res.ShardDepths[i] {
+				res.ShardDepths[i] = int(e.depth)
+			}
+		}
+		if r.opts.CheckCollisions {
+			for _, e := range sh.byKey {
+				scan(e)
+			}
+		} else {
+			for _, e := range sh.byFP {
+				scan(e)
+			}
+		}
+		if res.ShardDepths[i] > res.Depth {
+			res.Depth = res.ShardDepths[i]
+		}
+	}
+	res.Frontier = len(r.frontierItems())
+	switch {
+	case res.Violation != nil:
+		res.Verdict = VerdictViolated
+	case res.Stop != StopNone || len(res.Panics) > 0:
+		res.Verdict = VerdictBounded
+	default:
+		res.Verdict = VerdictProved
+	}
+	return res
+}
+
+// frontierItems returns the configurations admitted but not fully
+// expanded, deduplicated by fingerprint: the queue remainder (minus
+// stale re-queues) plus panicked configurations. Only called after
+// the workers have exited — it reads the pool and shards unlocked.
+func (r *run[C]) frontierItems() []item[C] {
+	seen := make(map[fingerprint.FP]bool)
+	var out []item[C]
+	add := func(it item[C]) {
+		if seen[it.fp] {
+			return
+		}
+		sh := r.shardOf(it.fp)
+		e := sh.lookup(it.fp, it.key, r.opts.CheckCollisions)
+		if e == nil || !e.expandable {
+			return
+		}
+		seen[it.fp] = true
+		out = append(out, it)
+	}
+	for _, it := range r.pool.queue[r.pool.head:] {
+		sh := r.shardOf(it.fp)
+		if e := sh.lookup(it.fp, it.key, r.opts.CheckCollisions); e != nil && e.expanded() {
+			continue // stale re-queue
+		}
+		add(it)
+	}
+	// Panicked configurations stay claimed in the live run (no retry),
+	// but they are unexpanded work: a resume retries them.
+	for _, it := range r.panicItems {
+		add(it)
+	}
+	return out
+}

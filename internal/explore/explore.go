@@ -54,9 +54,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"runtime/debug"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/fingerprint"
@@ -99,6 +97,16 @@ type Options struct {
 	// With Workers > 1 the property is called concurrently from
 	// multiple workers and must be safe for concurrent use.
 	Property func(model.Config) bool
+	// TypedProperty is the monomorphised form of Property: a
+	// func(C) bool where C is the concrete configuration type of the
+	// backend being explored (core.Config or sc.Config). When set it
+	// replaces Property on the hot path, sparing the engine one
+	// interface boxing per explored configuration. Setting it with a
+	// function type that does not match the backend is a programming
+	// error and panics — a silently ignored property would turn
+	// violations into spurious PROVED verdicts. The same concurrency
+	// contract as Property applies.
+	TypedProperty any
 
 	// Context, when non-nil, cancels the search: when it is done the
 	// engine stops with StopCancelled and returns a sound partial
@@ -253,621 +261,6 @@ type Result struct {
 	// recomputation across all admitted configurations; only
 	// populated under CheckIncremental.
 	ClosureMismatches int
-}
-
-// newRun builds the engine state for opts without admitting anything.
-func newRun(opts Options) *run {
-	r := &run{
-		opts:   opts,
-		maxEv:  opts.maxEvents(),
-		maxCfg: opts.maxConfigs(),
-	}
-	r.deadline = opts.effectiveDeadline(time.Now())
-	r.pool.cond = sync.NewCond(&r.pool.mu)
-	for i := range r.shards {
-		if opts.CheckCollisions {
-			r.shards[i].byKey = make(map[string]*entry)
-			r.shards[i].fpOf = make(map[fingerprint.FP]string)
-		} else {
-			r.shards[i].byFP = make(map[fingerprint.FP]*entry)
-		}
-	}
-	return r
-}
-
-// Run explores the state space of c under the given options.
-func Run(c model.Config, opts Options) Result {
-	if opts.CheckCollisions && opts.CheckpointPath != "" {
-		// The exact-key seen-set is not serialised; fail loudly rather
-		// than write a checkpoint that cannot restore the debug mode.
-		return Result{CheckpointErr: fmt.Errorf("explore: CheckCollisions is incompatible with checkpointing")}
-	}
-	r := newRun(opts)
-	r.nInit = c.Progress()
-	r.admit(c, 0, 0)
-	r.execute()
-	return r.finalize()
-}
-
-// entry is one seen-set record: the best depth and smallest sleep mask
-// the configuration has been reached with, and the values it was last
-// expanded at (expandedAt -1 if never). Non-expandable configurations
-// (terminated or at the progress bound) only track depth.
-type entry struct {
-	depth         int32
-	expandedAt    int32
-	sleep         threadMask
-	expandedSleep threadMask
-	expandable    bool
-	term          bool
-}
-
-// relax folds a re-discovery at depth d with sleep mask sleep into
-// the entry and reports whether the entry must be re-expanded: its
-// depth or sleep mask improved below what it was last expanded with.
-func (e *entry) relax(d int32, sleep threadMask) (requeue bool) {
-	if d < e.depth {
-		e.depth = d
-		requeue = e.expandable && e.expandedAt >= 0 && e.expandedAt > d
-	}
-	if ns := e.sleep & sleep; ns != e.sleep {
-		e.sleep = ns
-		requeue = requeue || (e.expandable && e.expandedAt >= 0 && e.expandedSleep&^ns != 0)
-	}
-	return requeue
-}
-
-// expanded reports whether the entry has already been expanded at its
-// current best depth and with a sleep mask no larger than the current
-// one (so a queued item for it is stale).
-func (e *entry) expanded() bool {
-	return e.expandedAt >= 0 && e.expandedAt <= e.depth && e.expandedSleep&^e.sleep == 0
-}
-
-const numShards = 64
-
-type shard struct {
-	mu   sync.Mutex
-	byFP map[fingerprint.FP]*entry
-	// Collision-check mode state (nil otherwise).
-	byKey map[string]*entry
-	fpOf  map[fingerprint.FP]string
-}
-
-type item struct {
-	cfg model.Config
-	fp  fingerprint.FP
-	key string // only set under CheckCollisions
-}
-
-// pool is the shared work pool: a FIFO of discovered configurations
-// plus the in-flight counter that detects quiescence.
-type pool struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []item
-	head    int
-	pending int // queued + currently-processing items
-	stopped bool
-}
-
-func (p *pool) push(it item) {
-	p.mu.Lock()
-	p.pending++
-	p.queue = append(p.queue, it)
-	p.mu.Unlock()
-	p.cond.Signal()
-}
-
-// pop blocks until an item is available, the pool quiesces, or the
-// search is stopped. ok=false means the worker should exit.
-func (p *pool) pop() (item, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for p.head == len(p.queue) && p.pending > 0 && !p.stopped {
-		p.cond.Wait()
-	}
-	if p.stopped || p.head == len(p.queue) {
-		return item{}, false
-	}
-	it := p.queue[p.head]
-	p.queue[p.head] = item{} // release the config for GC
-	p.head++
-	// Keep the backing array proportional to the live frontier.
-	if p.head > 1024 && p.head > len(p.queue)/2 {
-		n := copy(p.queue, p.queue[p.head:])
-		p.queue = p.queue[:n]
-		p.head = 0
-	}
-	return it, true
-}
-
-func (p *pool) done() {
-	p.mu.Lock()
-	p.pending--
-	quiesced := p.pending == 0
-	p.mu.Unlock()
-	if quiesced {
-		p.cond.Broadcast()
-	}
-}
-
-func (p *pool) stop() {
-	p.mu.Lock()
-	p.stopped = true
-	p.mu.Unlock()
-	p.cond.Broadcast()
-}
-
-// resume clears the stop flag after a checkpoint suspension; the
-// re-started workers drain the queue the suspension left behind
-// (pending == queued items again, since every in-flight item was
-// either completed or unclaimed and re-queued before the workers
-// exited).
-func (p *pool) resume() {
-	p.mu.Lock()
-	p.stopped = false
-	p.mu.Unlock()
-}
-
-type run struct {
-	opts     Options
-	nInit    int
-	maxEv    int
-	maxCfg   int
-	deadline time.Time
-
-	shards [numShards]shard
-	pool   pool
-
-	explored   atomic.Int64
-	terminated atomic.Int64
-	truncated  atomic.Bool
-	collisions atomic.Int64
-	mismatches atomic.Int64
-	violation  atomic.Pointer[model.Config]
-
-	// requested is the sticky first real stop cause; stop is the live
-	// signal workers poll (may transiently hold stopCheckpoint). See
-	// budget.go.
-	requested atomic.Int32
-	stop      atomic.Int32
-
-	panicMu    sync.Mutex
-	panics     []PanicRecord
-	panicItems []item
-
-	ckErr error
-}
-
-func (r *run) shardOf(fp fingerprint.FP) *shard {
-	return &r.shards[fp.Lo%numShards]
-}
-
-// lookup returns the seen-set entry for it (nil if absent). The
-// caller must hold the item's shard lock.
-func (sh *shard) lookup(it item, checkCollisions bool) *entry {
-	if checkCollisions {
-		return sh.byKey[it.key]
-	}
-	return sh.byFP[it.fp]
-}
-
-// admit deduplicates and registers cfg at depth d with sleep mask
-// sleep, updating counters and queueing it when expandable.
-// Re-discoveries at a shorter depth or with a smaller sleep mask relax
-// the recorded values and re-queue already-expanded entries so the
-// improvements propagate. It reports whether the caller may continue
-// expanding: false when the admission was rejected by the MaxConfigs
-// budget or cfg violated the property — either way the search is
-// stopping and the parent must stay on the frontier.
-func (r *run) admit(cfg model.Config, d int32, sleep threadMask) bool {
-	// Everything that calls into model code runs outside the shard
-	// lock: model methods may be expensive, and under fault injection
-	// they may panic — a panic below never wedges a shard mutex.
-	fp := cfg.Fingerprint()
-	var key string
-	if r.opts.CheckCollisions {
-		key = cfg.Key()
-	}
-	term := cfg.Terminated()
-	atBound := cfg.Progress()-r.nInit >= r.maxEv
-	sh := r.shardOf(fp)
-
-	sh.mu.Lock()
-	e := sh.lookup(item{fp: fp, key: key}, r.opts.CheckCollisions)
-	if e != nil {
-		// Known configuration: relax depth and sleep mask.
-		requeue := e.relax(d, sleep)
-		sh.mu.Unlock()
-		if requeue {
-			r.pool.push(item{cfg: cfg, fp: fp, key: key})
-		}
-		return true
-	}
-	// Fresh configuration: honour the MaxConfigs admission cap.
-	n := r.explored.Add(1)
-	if int(n) > r.maxCfg {
-		r.explored.Add(-1)
-		r.truncated.Store(true)
-		sh.mu.Unlock()
-		// The rejected configuration is not recorded anywhere, so the
-		// parent's expansion is incomplete: the caller re-queues it,
-		// keeping the frontier sound for checkpoint/resume under a
-		// larger budget.
-		r.stopWith(StopMaxConfigs)
-		return false
-	}
-	// Configurations at the progress bound stay expandable: their
-	// memory successors are suppressed (expand filters them), but
-	// silent steps add no events and must keep draining — otherwise
-	// whether a terminated configuration at exactly the bound is found
-	// would depend on which interleaving the search (full or reduced)
-	// happens to take to it, since only some orders leave silent steps
-	// for last. Draining makes the bounded terminated set a function
-	// of the bound alone, which the POR and worker audits rely on.
-	e = &entry{depth: d, expandedAt: -1, sleep: sleep, expandable: !term, term: term}
-	if r.opts.CheckCollisions {
-		sh.byKey[key] = e
-		// Audit once per distinct canonical key.
-		if prev, ok := sh.fpOf[fp]; ok {
-			if prev != key {
-				r.collisions.Add(1)
-			}
-		} else {
-			sh.fpOf[fp] = key
-		}
-	} else {
-		sh.byFP[fp] = e
-	}
-	sh.mu.Unlock()
-
-	if term {
-		r.terminated.Add(1)
-	} else if atBound {
-		r.truncated.Store(true)
-	}
-	// The hooks run outside every lock, like the property: the audit
-	// only touches the admitted configuration's own state, and the
-	// collector is documented as concurrently callable.
-	if r.opts.collect != nil {
-		r.opts.collect(fp, term)
-	}
-	if r.opts.CheckIncremental {
-		if bad := cfg.AuditIncremental(); len(bad) > 0 {
-			r.mismatches.Add(int64(len(bad)))
-		}
-	}
-	// The property runs outside every lock; it may be expensive and is
-	// documented as concurrently callable.
-	if r.opts.Property != nil && !r.opts.Property(cfg) {
-		c := cfg
-		r.violation.CompareAndSwap(nil, &c)
-		r.stopWith(StopViolation)
-		// The violating configuration is admitted (it is in the seen
-		// set), but the parent's remaining successors are not: the
-		// parent returns to the frontier with the rest of its work.
-		return false
-	}
-	if e.expandable {
-		r.pool.push(item{cfg: cfg, fp: fp, key: key})
-	}
-	return true
-}
-
-// claim marks it as being expanded and returns the depth and sleep
-// mask to expand at, or ok=false when the entry has already been
-// expanded at its current best depth and sleep mask (a stale
-// re-queue).
-func (r *run) claim(it item) (int32, threadMask, bool) {
-	sh := r.shardOf(it.fp)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	e := sh.lookup(it, r.opts.CheckCollisions)
-	if e == nil || e.expanded() {
-		return 0, 0, false
-	}
-	e.expandedAt = e.depth
-	e.expandedSleep = e.sleep
-	return e.depth, e.sleep, true
-}
-
-// unclaim reverts a claim whose expansion did not complete (stop
-// signal or budget rejection mid-expansion): the entry becomes
-// unexpanded again so a re-queued item — or a resumed run — picks it
-// back up. Monotonicity is preserved: un-expanding never invalidates
-// relaxations already propagated through admitted successors.
-func (r *run) unclaim(it item) {
-	sh := r.shardOf(it.fp)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if e := sh.lookup(it, r.opts.CheckCollisions); e != nil {
-		e.expandedAt = -1
-		e.expandedSleep = 0
-	}
-}
-
-// recordPanic captures an isolated worker panic as a repro artifact.
-// The entry stays claimed, so the live run does not retry what is
-// likely a deterministic panic; the checkpoint writer re-opens it (and
-// queues its snapshot) so an operator resume retries it after a fix.
-func (r *run) recordPanic(it item, d int32, v any) {
-	rec := PanicRecord{
-		FP:      it.fp,
-		Depth:   int(d),
-		Program: it.cfg.Program().String(),
-		Err:     fmt.Sprint(v),
-		Stack:   string(debug.Stack()),
-	}
-	// Snapshotting calls model code on a configuration whose expansion
-	// just panicked; guard it so one bad state cannot take down the
-	// degraded-mode guarantee.
-	func() {
-		defer func() { recover() }() //nolint:errcheck // best-effort artifact
-		rec.Snapshot = it.cfg.AppendSnapshot(nil)
-	}()
-	r.panicMu.Lock()
-	r.panics = append(r.panics, rec)
-	r.panicItems = append(r.panicItems, it)
-	r.panicMu.Unlock()
-}
-
-// expand generates the successors of cfg at depth d under sleep mask
-// sl, applying the POR plan when enabled. At the progress bound only
-// silent successors (same Progress) are admitted — the bound
-// suppresses memory steps but silent chains drain to termination, in
-// the full and the reduced search alike (the reduction is bypassed
-// there: the handful of silent-only frontier states is not worth
-// planning over). scratch is the worker's reusable successor buffer;
-// the (possibly regrown) buffer is returned for the next expansion,
-// along with whether every successor was admitted (false when a stop
-// signal or budget rejection aborted the expansion).
-func (r *run) expand(cfg model.Config, d int32, sl threadMask, scratch []model.Config) ([]model.Config, bool) {
-	complete := true
-	emit := func(s model.Config, cs threadMask) bool {
-		if r.stop.Load() != 0 || !r.admit(s, d+1, cs) {
-			complete = false
-			return false
-		}
-		return true
-	}
-	if atBound := cfg.Progress()-r.nInit >= r.maxEv; atBound {
-		base := cfg.Progress()
-		scratch = cfg.Expand(scratch[:0])
-		for i, s := range scratch {
-			scratch[i] = nil
-			if s.Progress() > base {
-				continue // memory step: suppressed by the bound
-			}
-			if !emit(s, 0) {
-				break
-			}
-		}
-		return scratch[:0], complete
-	}
-	if r.opts.POR && forEachReducedSucc(cfg, sl, emit) {
-		return scratch, complete
-	}
-	scratch = cfg.Expand(scratch[:0])
-	for i, s := range scratch {
-		scratch[i] = nil // release for GC once admitted
-		if !emit(s, 0) {
-			break
-		}
-	}
-	return scratch[:0], complete
-}
-
-// process claims and expands one item, isolating panics from model
-// code: a panic is captured as a repro artifact (the entry stays
-// claimed) and the worker moves on — the rest of the search finishes
-// in degraded mode. An expansion aborted by a stop signal or budget
-// rejection is unclaimed and re-queued so the frontier stays sound.
-func (r *run) process(it item, scratch *[]model.Config) {
-	d, sl, live := r.claim(it)
-	if !live {
-		return
-	}
-	completed := false
-	defer func() {
-		if v := recover(); v != nil {
-			r.recordPanic(it, d, v)
-			return
-		}
-		if !completed {
-			r.unclaim(it)
-			r.pool.push(it)
-		}
-	}()
-	if r.opts.Hooks != nil {
-		r.opts.Hooks.BeforeExpand(it.fp, int(d))
-	}
-	*scratch, completed = r.expand(it.cfg, d, sl, *scratch)
-}
-
-func (r *run) worker() {
-	var scratch []model.Config
-	for {
-		it, ok := r.pool.pop()
-		if !ok {
-			return
-		}
-		if r.stop.Load() != 0 {
-			// A stop signal raced past the pool flag (e.g. it fired in
-			// the narrow window of a checkpoint resume): hand the item
-			// back untouched, re-stop and exit.
-			r.pool.push(it)
-			r.pool.done()
-			r.pool.stop()
-			return
-		}
-		r.process(it, &scratch)
-		r.pool.done()
-	}
-}
-
-// runWorkers runs one pool-draining leg: the workers exit when the
-// pool quiesces or a stop signal drains it.
-func (r *run) runWorkers() {
-	if w := r.opts.workers(); w <= 1 {
-		// Serial is the same engine with the one worker run inline:
-		// the FIFO pool makes the search breadth-first and the
-		// truncated prefix deterministic.
-		r.worker()
-		return
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < r.opts.workers(); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r.worker()
-		}()
-	}
-	wg.Wait()
-}
-
-// execute drives worker legs until quiescence or a real stop,
-// suspending and resuming around periodic checkpoints. The budget
-// monitor (if any budget is set) runs across all legs.
-func (r *run) execute() {
-	var monDone chan struct{}
-	if r.needMonitor() {
-		monDone = make(chan struct{})
-		go r.monitor(monDone)
-	}
-	for {
-		r.runWorkers()
-		if StopCause(r.stop.Load()) != stopCheckpoint {
-			break
-		}
-		// Periodic checkpoint: the pool is suspended and every entry
-		// is either fully expanded or back on the queue, so the
-		// snapshot is a consistent cut of the search.
-		if err := r.writeCheckpoint(); err != nil && r.ckErr == nil {
-			r.ckErr = err
-		}
-		// A real cause may have fired during the suspension: adopt it
-		// instead of resuming. stopWith cannot overwrite the live
-		// stopCheckpoint signal, so requested is the one place a raced
-		// cause can be.
-		if req := r.requested.Load(); req != 0 {
-			r.stop.Store(req)
-			break
-		}
-		r.stop.Store(0)
-		if req := r.requested.Load(); req != 0 {
-			// stopWith raced into the cleared window; re-adopt.
-			r.stop.Store(req)
-			break
-		}
-		r.pool.resume()
-	}
-	if monDone != nil {
-		close(monDone)
-	}
-	if r.opts.CheckpointPath != "" && r.wantFinalCheckpoint() {
-		if err := r.writeCheckpoint(); err != nil && r.ckErr == nil {
-			r.ckErr = err
-		}
-	}
-}
-
-// wantFinalCheckpoint decides whether the end-of-run checkpoint is
-// written: always, unless CheckpointOnCut restricts it to runs that
-// ended with resumable unexpanded work (a budget/cancellation stop or
-// isolated panics). Quiescent and violated runs are then skipped —
-// their verdict is final and a resume would be a no-op.
-func (r *run) wantFinalCheckpoint() bool {
-	if !r.opts.CheckpointOnCut {
-		return true
-	}
-	switch StopCause(r.requested.Load()) {
-	case StopMaxConfigs, StopDeadline, StopCancelled, StopMemory:
-		return true
-	}
-	return len(r.panics) > 0
-}
-
-// finalize computes the Result after all workers have exited.
-func (r *run) finalize() Result {
-	var res Result
-	res.Explored = int(r.explored.Load())
-	res.Terminated = int(r.terminated.Load())
-	res.Truncated = r.truncated.Load()
-	if v := r.violation.Load(); v != nil {
-		res.Violation = *v
-	}
-	res.Stop = StopCause(r.requested.Load())
-	res.Panics = r.panics
-	res.CheckpointErr = r.ckErr
-	res.FingerprintCollisions = int(r.collisions.Load())
-	res.ClosureMismatches = int(r.mismatches.Load())
-	res.ShardDepths = make([]int, numShards)
-	for i := range r.shards {
-		sh := &r.shards[i]
-		scan := func(e *entry) {
-			if int(e.depth) > res.ShardDepths[i] {
-				res.ShardDepths[i] = int(e.depth)
-			}
-		}
-		if r.opts.CheckCollisions {
-			for _, e := range sh.byKey {
-				scan(e)
-			}
-		} else {
-			for _, e := range sh.byFP {
-				scan(e)
-			}
-		}
-		if res.ShardDepths[i] > res.Depth {
-			res.Depth = res.ShardDepths[i]
-		}
-	}
-	res.Frontier = len(r.frontierItems())
-	switch {
-	case res.Violation != nil:
-		res.Verdict = VerdictViolated
-	case res.Stop != StopNone || len(res.Panics) > 0:
-		res.Verdict = VerdictBounded
-	default:
-		res.Verdict = VerdictProved
-	}
-	return res
-}
-
-// frontierItems returns the configurations admitted but not fully
-// expanded, deduplicated by fingerprint: the queue remainder (minus
-// stale re-queues) plus panicked configurations. Only called after
-// the workers have exited — it reads the pool and shards unlocked.
-func (r *run) frontierItems() []item {
-	seen := make(map[fingerprint.FP]bool)
-	var out []item
-	add := func(it item) {
-		if seen[it.fp] {
-			return
-		}
-		sh := r.shardOf(it.fp)
-		e := sh.lookup(it, r.opts.CheckCollisions)
-		if e == nil || !e.expandable {
-			return
-		}
-		seen[it.fp] = true
-		out = append(out, it)
-	}
-	for _, it := range r.pool.queue[r.pool.head:] {
-		sh := r.shardOf(it.fp)
-		if e := sh.lookup(it, r.opts.CheckCollisions); e != nil && e.expanded() {
-			continue // stale re-queue
-		}
-		add(it)
-	}
-	// Panicked configurations stay claimed in the live run (no retry),
-	// but they are unexpanded work: a resume retries them.
-	for _, it := range r.panicItems {
-		add(it)
-	}
-	return out
 }
 
 // Trace is a witness path through the state space.

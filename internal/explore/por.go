@@ -119,7 +119,9 @@ func loopFree(c lang.Com) bool {
 // visibility, and a persistent set. The plan is a function of the
 // configuration alone (never of the path or sleep mask reaching it),
 // which keeps the engine's fixpoint identical across worker counts.
-func planPOR(c model.Config) porPlan {
+// Generic so concrete instantiations call the model methods without
+// boxing the configuration.
+func planPOR[C model.Base](c C) porPlan {
 	p := c.Program()
 	pl := porPlan{steps: lang.ProgSteps(p), ok: true}
 	if len(p) > maxPORThreads {
@@ -162,8 +164,15 @@ func planPOR(c model.Config) porPlan {
 	// once per live thread, lazily — this stage only runs when no
 	// silent singleton exists.
 	acyclic := c.StepsAcyclic()
-	fps := make([]lang.Footprint, len(p))
-	fpsOK := make([]bool, len(p))
+	// Footprint caches live on the stack for the typical thread counts;
+	// the closure below does not escape, so neither do the arrays.
+	var fpsArr [8]lang.Footprint
+	var fpsOKArr [8]bool
+	fps, fpsOK := fpsArr[:], fpsOKArr[:]
+	if len(p) > len(fpsArr) {
+		fps = make([]lang.Footprint, len(p))
+		fpsOK = make([]bool, len(p))
+	}
 	footprint := func(i int) lang.Footprint {
 		if !fpsOK[i] {
 			fps[i] = lang.MayAccess(p[i])
@@ -207,19 +216,19 @@ func planPOR(c model.Config) porPlan {
 // false when the plan cannot be applied (program too wide for masks);
 // callers fall back to full expansion. This is the one reduction loop
 // of the one engine, for every backend.
-func forEachReducedSucc(cfg model.Config, sl threadMask, emit func(model.Config, threadMask) bool) (ok bool) {
+func (r *run[C]) forEachReducedSucc(cfg C, sl threadMask, emit func(C, threadMask) bool) (ok bool) {
 	pl := planPOR(cfg)
 	if !pl.ok {
 		return false
 	}
-	var succ []model.Config
+	var succ []C
 	for j, ps := range pl.steps {
 		b := maskBit(ps.T)
 		if pl.persist&b == 0 || sl&b != 0 {
 			continue
 		}
 		cs := childSleep(cfg, pl, sl, j)
-		succ = cfg.ExpandStep(succ[:0], ps)
+		succ = r.ops.expandStep(cfg, succ[:0], ps)
 		for _, s := range succ {
 			if !emit(s, cs) {
 				return true
@@ -236,7 +245,7 @@ func forEachReducedSucc(cfg model.Config, sl threadMask, emit func(model.Config,
 // are never slept and wake everything when taken. Monotone in the
 // parent mask, which makes the dedup-by-intersection fixpoint
 // well-defined.
-func childSleep(cfg model.Config, pl porPlan, sleep threadMask, j int) threadMask {
+func childSleep[C model.Base](cfg C, pl porPlan, sleep threadMask, j int) threadMask {
 	uj := pl.steps[j]
 	if pl.visible&maskBit(uj.T) != 0 {
 		return 0

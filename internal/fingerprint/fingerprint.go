@@ -53,9 +53,15 @@ func (h *Hasher) Word(w uint64) {
 	h.hi = hi ^ hi>>29
 }
 
-// absorb packs a length-prefixed byte sequence eight bytes per word.
-// The length prefix keeps the encoding prefix-free.
-func absorb[T ~string | ~[]byte](h *Hasher, s T) {
+// String and Bytes pack a length-prefixed byte sequence eight bytes
+// per word. The length prefix keeps the encoding prefix-free. The two
+// bodies are duplicated rather than shared through a generic helper:
+// a call through a shape dictionary leaks its pointer parameters, so
+// the generic form made every caller's Hasher escape to the heap —
+// one allocation per fingerprint on the explorer's admit path.
+
+// String absorbs a length-prefixed string.
+func (h *Hasher) String(s string) {
 	h.Word(uint64(len(s)))
 	var w uint64
 	var nb uint
@@ -72,11 +78,23 @@ func absorb[T ~string | ~[]byte](h *Hasher, s T) {
 	}
 }
 
-// String absorbs a length-prefixed string.
-func (h *Hasher) String(s string) { absorb(h, s) }
-
 // Bytes absorbs a length-prefixed byte slice.
-func (h *Hasher) Bytes(b []byte) { absorb(h, b) }
+func (h *Hasher) Bytes(b []byte) {
+	h.Word(uint64(len(b)))
+	var w uint64
+	var nb uint
+	for i := 0; i < len(b); i++ {
+		w |= uint64(b[i]) << (8 * nb)
+		nb++
+		if nb == 8 {
+			h.Word(w)
+			w, nb = 0, 0
+		}
+	}
+	if nb > 0 {
+		h.Word(w)
+	}
+}
 
 // fmix64 is the murmur3 finalizer: a full-avalanche bijection.
 func fmix64(x uint64) uint64 {

@@ -24,12 +24,17 @@ import (
 	"repro/internal/lang"
 )
 
-// Config is one configuration (P, σ) of some memory model: a residual
-// program paired with a model-specific memory state. Configurations
-// are immutable values; expansion returns fresh ones. All methods must
-// be safe for concurrent use (the engine calls them from multiple
-// workers on shared configurations).
-type Config interface {
+// Base is the model-independent part of a configuration's contract:
+// every method a generic engine needs that does not mention the
+// configuration type itself. Concrete backend configurations
+// (core.Config, sc.Config) satisfy Base directly, which lets
+// internal/explore instantiate its engine at the concrete type — the
+// successors then flow through []C slices of struct values with zero
+// interface boxing — while the same configurations still satisfy the
+// boxed Config seam below for frontends, traces and checkpoints.
+// All methods must be safe for concurrent use (the engine calls them
+// from multiple workers on shared configurations).
+type Base interface {
 	// Program returns the residual program. The explorer's
 	// partial-order reduction plans over the program alone (enabled
 	// steps, label visibility, static footprints), so the plan is
@@ -55,18 +60,6 @@ type Config interface {
 	// Key is the exact canonical string behind Fingerprint — the slow
 	// path the engine's collision-checking debug mode audits against.
 	Key() string
-
-	// Expand appends every enabled transition's target configuration
-	// to out and returns the extended slice.
-	Expand(out []Config) []Config
-
-	// ExpandStep appends the targets of one enabled program step —
-	// each memory-model choice for that step (one per observable
-	// write under RAR; exactly one under SC). The union of ExpandStep
-	// over lang.ProgSteps(Program()) is Expand; the partial-order
-	// reduction calls this per persistent thread so pruned threads
-	// never pay successor construction.
-	ExpandStep(out []Config, ps lang.ProgStep) []Config
 
 	// StepsAcyclic reports whether non-silent transitions can never
 	// revisit a configuration. The RAR backend returns true (every
@@ -96,11 +89,6 @@ type Config interface {
 	// engine's CheckIncremental debug mode.
 	AuditIncremental() []string
 
-	// DeltaLabel renders the observable difference from prev — the
-	// label of the transition prev → c — for trace output ("τ" for a
-	// silent step).
-	DeltaLabel(prev Config) string
-
 	// Summarise renders the final values of the observed variables as
 	// a canonical outcome key ("a=1;b=0;"). The format is shared by
 	// every backend so outcome sets are comparable across models —
@@ -115,6 +103,36 @@ type Config interface {
 	// layer verifies at load time. Trace-only decoration (e.g. the
 	// label of the producing transition) need not survive.
 	AppendSnapshot(buf []byte) []byte
+}
+
+// Config is one configuration (P, σ) of some memory model: a residual
+// program paired with a model-specific memory state. Configurations
+// are immutable values; expansion returns fresh ones. Config is the
+// boxed frontend seam — Base plus the expansion and trace methods
+// whose signatures mention Config itself. The engine's hot path never
+// expands through this interface: internal/explore monomorphises per
+// backend and calls the backends' concrete-typed successor methods,
+// keeping Config for dispatch, traces, checkpoints and unknown
+// backends. All methods must be safe for concurrent use.
+type Config interface {
+	Base
+
+	// Expand appends every enabled transition's target configuration
+	// to out and returns the extended slice.
+	Expand(out []Config) []Config
+
+	// ExpandStep appends the targets of one enabled program step —
+	// each memory-model choice for that step (one per observable
+	// write under RAR; exactly one under SC). The union of ExpandStep
+	// over lang.ProgSteps(Program()) is Expand; the partial-order
+	// reduction calls this per persistent thread so pruned threads
+	// never pay successor construction.
+	ExpandStep(out []Config, ps lang.ProgStep) []Config
+
+	// DeltaLabel renders the observable difference from prev — the
+	// label of the transition prev → c — for trace output ("τ" for a
+	// silent step).
+	DeltaLabel(prev Config) string
 }
 
 // Model is a named memory-model backend: a configuration factory.

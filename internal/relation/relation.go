@@ -50,6 +50,17 @@ type Allocator struct {
 	// otherwise dead. NewSet storage, by contract, never escapes the
 	// owner, so it may share the owner's allocation.
 	inline [8]uint64
+
+	// Slab recycling (Release): slabs/hdrSlabs record every chunk
+	// handed out in the allocator's current life; spareW/spareH hold
+	// zeroed slabs retained from a previous life, consumed before any
+	// fresh allocation. This lets a pooled owner (a discarded
+	// successor state) recarve the same backing memory instead of
+	// allocating new slabs for every successor.
+	slabs    [][]uint64
+	spareW   [][]uint64
+	hdrSlabs [][]bits.Set
+	spareH   [][]bits.Set
 }
 
 // NewAllocator returns an allocator for rows over an n-element
@@ -81,11 +92,45 @@ func (a *Allocator) Init(n int) {
 	}
 }
 
+// Release retains the allocator's slabs for reuse after a future Init
+// and drops every reference they hold. The caller guarantees no row or
+// set carved in this life is referenced anymore — in this repository,
+// that the owning state was discarded before it was ever expanded,
+// audited or stored, so no descendant aliases its rows.
+func (a *Allocator) Release() {
+	for _, s := range a.slabs {
+		clear(s)
+		a.spareW = append(a.spareW, s)
+	}
+	a.slabs = a.slabs[:0]
+	for _, h := range a.hdrSlabs {
+		clear(h) // drop aliased ancestor rows promptly
+		a.spareH = append(a.spareH, h)
+	}
+	a.hdrSlabs = a.hdrSlabs[:0]
+	a.inline = [8]uint64{} // NewSet carves must come out zeroed
+	a.chunk = nil
+	a.hdrs = nil
+	a.free = nil
+}
+
 // rowHeaders carves a slice of k zero row headers, batching the
 // backing allocation across the several relations of one state.
 func (a *Allocator) rowHeaders(k int) []bits.Set {
 	if len(a.hdrs) < k {
-		a.hdrs = make([]bits.Set, 3*k)
+		a.hdrs = nil
+		for len(a.spareH) > 0 {
+			h := a.spareH[len(a.spareH)-1]
+			a.spareH = a.spareH[:len(a.spareH)-1]
+			if len(h) >= k {
+				a.hdrs = h
+				break
+			}
+		}
+		if a.hdrs == nil {
+			a.hdrs = make([]bits.Set, 3*k)
+		}
+		a.hdrSlabs = append(a.hdrSlabs, a.hdrs)
 	}
 	out := a.hdrs[:k:k]
 	a.hdrs = a.hdrs[k:]
@@ -113,16 +158,39 @@ func (a *Allocator) NewSet(n int) bits.Set {
 // carves empty rows without ever allocating.
 func (a *Allocator) newRow(nbits int) bits.Set {
 	if len(a.chunk) < a.stride {
-		if a.chunkRows < 16 {
-			a.chunkRows = 16
-		} else {
-			a.chunkRows *= 2
+		a.chunk = nil
+		// Prefer a slab retained by Release: already zeroed.
+		for len(a.spareW) > 0 {
+			s := a.spareW[len(a.spareW)-1]
+			a.spareW = a.spareW[:len(a.spareW)-1]
+			if len(s) >= a.stride {
+				a.chunk = s
+				break
+			}
 		}
-		a.chunk = make([]uint64, a.chunkRows*a.stride)
+		if a.chunk == nil {
+			if a.chunkRows < 16 {
+				a.chunkRows = 16
+			} else {
+				a.chunkRows *= 2
+			}
+			a.chunk = make([]uint64, a.chunkRows*a.stride)
+		}
+		a.slabs = append(a.slabs, a.chunk)
 	}
 	words := a.chunk[:a.stride:a.stride]
 	a.chunk = a.chunk[a.stride:]
 	return bits.FromWords(words, nbits)
+}
+
+// NewSharedSet carves one zeroed bit set of capacity n that may be
+// aliased by descendants of the owner — per-state indexes inherited
+// outright by successor states, like relation rows. Unlike NewSet it
+// is never inline-backed: storage comes from the same separate heap
+// slabs that back owned relation rows, so an alias held by a
+// descendant pins only the slab, not the embedding structure.
+func (a *Allocator) NewSharedSet(n int) bits.Set {
+	return a.newRow(n)
 }
 
 // ShareGrow returns a relation over a carrier of n >= r.n elements

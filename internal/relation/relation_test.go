@@ -461,6 +461,43 @@ func BenchmarkAcyclic(b *testing.B) {
 	}
 }
 
+// BenchmarkUnionRow measures the word-parallel row extension the
+// predecessor-oriented closures are built from (one owned-row union
+// per derived edge group).
+func BenchmarkUnionRow(b *testing.B) {
+	n := 64
+	src := bits.New(n)
+	for i := 0; i < n; i += 3 {
+		src.Set(i)
+	}
+	a := NewAllocator(n)
+	r := New(n).ShareGrowAlloc(n, a)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.UnionRow(i%n, src)
+	}
+}
+
+// BenchmarkShareGrowRecycle measures the successor hot path with slab
+// recycling: inherit a parent copy-on-write, own one row, then release
+// the allocator so the next iteration recarves the retained slabs —
+// the allocation profile of a dedup-discarded successor.
+func BenchmarkShareGrowRecycle(b *testing.B) {
+	n := 32
+	parent := FromPairs(n, [][2]int{{0, 1}, {1, 2}, {5, 9}})
+	var a Allocator
+	a.Init(n + 1)
+	src := bits.New(n)
+	src.Set(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		child := parent.ShareGrowAlloc(n+1, &a)
+		child.UnionRow(n, src)
+		a.Release()
+		a.Init(n + 1)
+	}
+}
+
 func TestShareGrowCopyOnWrite(t *testing.T) {
 	parent := FromPairs(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
 	snapshot := parent.Clone()
@@ -578,5 +615,113 @@ func TestUnionRow(t *testing.T) {
 	}
 	if parent.Has(0, 2) {
 		t.Fatal("UnionRow leaked into parent")
+	}
+}
+
+// TestAllocatorRecycling drives the slab-recycling contract of
+// Allocator.Release: after a Release + Init cycle the allocator
+// recarves its retained slabs, and the rows and sets it hands out must
+// come back zeroed and owned — never aliasing rows of a previous life
+// or of the parent the new life inherits from. Each case dirties the
+// first life differently before recycling.
+func TestAllocatorRecycling(t *testing.T) {
+	parent := FromPairs(3, [][2]int{{0, 1}, {1, 2}})
+	cases := []struct {
+		name  string
+		dirty func(a *Allocator) // first life: carve and scribble
+	}{
+		{"rows", func(a *Allocator) {
+			r := parent.ShareGrowAlloc(4, a)
+			r.Add(3, 0)          // owned row
+			r.Add(0, 2)          // copy-on-write of an inherited row
+			r.UnionRow(1, bits.Of(4, 3))
+		}},
+		{"sets", func(a *Allocator) {
+			s := a.NewSet(4)
+			s.Set(3)
+			sh := a.NewSharedSet(4)
+			sh.Set(0)
+			sh.Set(3)
+		}},
+		{"rows-and-sets", func(a *Allocator) {
+			r := parent.ShareGrowAlloc(4, a)
+			r.Add(3, 3)
+			s := a.NewSharedSet(4)
+			s.Set(2)
+		}},
+		{"many-rows", func(a *Allocator) {
+			// Force several chunk refills so multiple slabs recycle.
+			r := New(40).ShareGrowAlloc(40, a)
+			for i := 0; i < 40; i++ {
+				r.Add(i, (i + 1) % 40)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a Allocator
+			a.Init(4)
+			tc.dirty(&a)
+			a.Release()
+			a.Init(4)
+
+			// Second life: everything carved must be zeroed and owned.
+			child := parent.ShareGrowAlloc(4, &a)
+			if !child.Row(3).Empty() {
+				t.Fatalf("fresh owned row not empty: %s", child.Row(3))
+			}
+			for i := 0; i < 3; i++ {
+				if !child.Row(i).Equal(parent.Row(i)) {
+					t.Fatalf("inherited row %d diverged: %s vs %s", i, child.Row(i), parent.Row(i))
+				}
+			}
+			s := a.NewSet(4)
+			if !s.Empty() {
+				t.Fatalf("recycled NewSet not zeroed: %s", s)
+			}
+			sh := a.NewSharedSet(4)
+			if !sh.Empty() {
+				t.Fatalf("recycled NewSharedSet not zeroed: %s", sh)
+			}
+			// Ownership: mutating the child must never leak upward.
+			snapshot := parent.Clone()
+			child.Add(0, 2)
+			child.Add(3, 1)
+			child.UnionRow(2, bits.Of(4, 0, 3))
+			if !parent.Equal(snapshot) {
+				t.Fatalf("child mutation leaked into parent: %s vs %s", parent, snapshot)
+			}
+		})
+	}
+}
+
+// TestAllocatorRecycleKeepsDescendantsIntact pins the safety argument
+// of the arena path: recycling an allocator only clears storage carved
+// in its own life — rows a child copied on write into its OWN
+// allocator survive the parent's (hypothetical) recycling untouched,
+// because copy-on-write always copies into the mutating relation's
+// allocator, never the ancestor's.
+func TestAllocatorRecycleKeepsDescendantsIntact(t *testing.T) {
+	var pa, ca Allocator
+	pa.Init(3)
+	ca.Init(4)
+	parent := FromPairs(3, [][2]int{{0, 1}}).ShareGrowAlloc(3, &pa)
+	child := parent.ShareGrowAlloc(4, &ca)
+	child.Add(0, 2) // copies row 0 into ca's storage
+	snapshot := child.Clone()
+
+	// Recycle the child's allocator's *spares* path too: releasing an
+	// unrelated allocator must not disturb the live child.
+	var other Allocator
+	other.Init(4)
+	tmp := other.NewSharedSet(4)
+	tmp.Set(1)
+	other.Release()
+
+	if !child.Equal(snapshot) {
+		t.Fatalf("child diverged after unrelated release: %s vs %s", child, snapshot)
+	}
+	if parent.Has(0, 2) {
+		t.Fatal("copy-on-write leaked into parent")
 	}
 }

@@ -166,19 +166,44 @@ func (c Config) Fingerprint() fingerprint.FP {
 // Terminated reports whether every thread has terminated.
 func (c Config) Terminated() bool { return c.P.Terminated() }
 
-// Expand appends every enabled SC transition's target: reads are
-// deterministic (the global store), writes update it, and an update
-// atomically reads and writes.
-func (c Config) Expand(out []model.Config) []model.Config {
-	for _, ps := range lang.ProgSteps(c.P) {
-		out = c.ExpandStep(out, ps)
+// AppendSuccessors appends every enabled SC transition's target as a
+// concrete Config: reads are deterministic (the global store), writes
+// update it, and an update atomically reads and writes. This is the
+// monomorphised explorer's expansion entry point — no interface box
+// per successor.
+func (c Config) AppendSuccessors(out []Config) []Config {
+	for i, com := range c.P {
+		if s, ok := lang.StepOf(com); ok {
+			out = c.AppendStepSuccessors(out, lang.ProgStep{T: event.Thread(i + 1), S: s})
+		}
 	}
 	return out
 }
 
-// ExpandStep appends the targets of one program step — at most one
-// under SC (zero when a read's variable is uninitialised: stuck).
+// Expand is the boxed form of AppendSuccessors for the model.Config
+// seam (traces, unknown-backend fallback); the engine's hot path uses
+// the typed form.
+func (c Config) Expand(out []model.Config) []model.Config {
+	succ := c.AppendSuccessors(nil)
+	for _, s := range succ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ExpandStep is the boxed form of AppendStepSuccessors.
 func (c Config) ExpandStep(out []model.Config, ps lang.ProgStep) []model.Config {
+	succ := c.AppendStepSuccessors(nil, ps)
+	for _, s := range succ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// AppendStepSuccessors appends the targets of one program step — at
+// most one under SC (zero when a read's variable is uninitialised:
+// stuck).
+func (c Config) AppendStepSuccessors(out []Config, ps lang.ProgStep) []Config {
 	t, s := ps.T, ps.S
 	switch s.Kind {
 	case lang.StepSilent:
@@ -220,16 +245,9 @@ func (c Config) ExpandStep(out []model.Config, ps lang.ProgStep) []model.Config 
 	return out
 }
 
-// Successors returns the enabled SC transitions (the typed
-// counterpart of Expand, kept for direct users of the package).
-func (c Config) Successors() []Config {
-	ms := c.Expand(nil)
-	out := make([]Config, len(ms))
-	for i, m := range ms {
-		out[i] = m.(Config)
-	}
-	return out
-}
+// Successors returns the enabled SC transitions (kept for direct
+// users of the package).
+func (c Config) Successors() []Config { return c.AppendSuccessors(nil) }
 
 // StepsAcyclic: an SC configuration is just (program, store), so a
 // spin loop re-reading an unchanged store revisits configurations —

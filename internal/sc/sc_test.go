@@ -4,21 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/event"
-	"repro/internal/explore"
 	"repro/internal/lang"
-	"repro/internal/litmus"
-	"repro/internal/model"
-
-	coremodel "repro/internal/core"
 )
-
-// outcomes explores a config under the unified engine and returns the
-// terminated outcome set over the observed variables.
-func outcomes(c model.Config, observe []event.Var) map[string]bool {
-	return explore.Outcomes(c, explore.Options{MaxEvents: 20}, func(cfg model.Config) string {
-		return cfg.Summarise(observe)
-	})
-}
 
 func TestStoreBasics(t *testing.T) {
 	s := Init(map[event.Var]event.Val{"x": 3})
@@ -94,102 +81,5 @@ func TestSuccessorsDeterministicReads(t *testing.T) {
 	}
 	if v, _ := succ2[0].S.Read("r"); v != 7 {
 		t.Fatalf("r = %d, want 7", v)
-	}
-}
-
-func TestUpdateAtomicUnderSC(t *testing.T) {
-	p := lang.Prog{lang.SwapC("t", 1), lang.SwapC("t", 2)}
-	out := outcomes(NewConfig(p, map[event.Var]event.Val{"t": 0}), []event.Var{"t"})
-	if len(out) != 2 || !out["t=1;"] || !out["t=2;"] {
-		t.Fatalf("outcomes = %v", out)
-	}
-}
-
-// SC forbids the store-buffering weak outcome that RA allows — the
-// defining difference between the two plugged-in models.
-func TestSBDiffersBetweenSCAndRA(t *testing.T) {
-	p := lang.Prog{
-		lang.SeqC(lang.AssignRelC("x", lang.V(1)), lang.AssignC("a", lang.XA("y"))),
-		lang.SeqC(lang.AssignRelC("y", lang.V(1)), lang.AssignC("b", lang.XA("x"))),
-	}
-	vars := map[event.Var]event.Val{"x": 0, "y": 0, "a": 0, "b": 0}
-	observe := []event.Var{"a", "b"}
-
-	scOut := outcomes(NewConfig(p, vars), observe)
-	if scOut["a=0;b=0;"] {
-		t.Fatal("SC allowed the SB weak outcome")
-	}
-	if !scOut["a=1;b=1;"] {
-		t.Fatalf("SC outcomes degenerate: %v", scOut)
-	}
-
-	raOut := outcomes(coremodel.NewConfig(p, vars), observe)
-	if !raOut["a=0;b=0;"] {
-		t.Fatal("RA forbade the SB weak outcome")
-	}
-	// SC outcomes are a subset of RA outcomes.
-	for k := range scOut {
-		if !raOut[k] {
-			t.Fatalf("SC outcome %q not reachable under RA", k)
-		}
-	}
-}
-
-// Every litmus test's SC outcome set is contained in its RA outcome
-// set (SC refines RA), and the explicitly forbidden RA outcomes are
-// absent under SC too — via the litmus diff machinery, so this also
-// exercises the differential mode end to end.
-func TestSCRefinesRAOnSuite(t *testing.T) {
-	for _, tc := range litmus.Suite() {
-		tc := tc
-		t.Run(tc.Name, func(t *testing.T) {
-			t.Parallel()
-			d := tc.Diff(coremodel.Model, Model, explore.Options{MaxEvents: 20})
-			if len(d.OnlyB) != 0 {
-				t.Fatalf("SC-only outcomes break refinement: %v", d.OnlyB)
-			}
-			for _, o := range tc.Forbidden {
-				if d.OutcomesB[o.Key(tc.Observe)] {
-					t.Fatal("forbidden outcome reachable under SC")
-				}
-			}
-		})
-	}
-}
-
-// Peterson under SC: trivially mutually exclusive, via the same
-// engine and property the RA verification uses (sanity check that the
-// property is about the algorithm, not an artifact of the model).
-func TestPetersonSafeUnderSC(t *testing.T) {
-	p, vars := litmus.Peterson()
-	for _, workers := range []int{1, 8} {
-		res := explore.Run(NewConfig(p, vars), explore.Options{
-			Workers:  workers,
-			Property: litmus.MutualExclusion,
-		})
-		if res.Violation != nil {
-			t.Fatalf("workers=%d: mutual exclusion violated under SC", workers)
-		}
-		if res.Truncated {
-			t.Fatalf("workers=%d: SC state space must be finite, search truncated", workers)
-		}
-		if res.Explored == 0 || res.Terminated == 0 {
-			t.Fatalf("workers=%d: degenerate exploration %+v", workers, res)
-		}
-	}
-}
-
-func BenchmarkSCOutcomes(b *testing.B) {
-	p := lang.Prog{
-		lang.SeqC(lang.AssignC("x", lang.V(1)), lang.AssignC("a", lang.X("y"))),
-		lang.SeqC(lang.AssignC("y", lang.V(1)), lang.AssignC("b", lang.X("x"))),
-	}
-	vars := map[event.Var]event.Val{"x": 0, "y": 0, "a": 0, "b": 0}
-	observe := []event.Var{"a", "b"}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if len(outcomes(NewConfig(p, vars), observe)) == 0 {
-			b.Fatal("no outcomes")
-		}
 	}
 }

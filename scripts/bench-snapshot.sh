@@ -11,6 +11,9 @@
 #   BENCH_LABEL=baseline bash scripts/bench-snapshot.sh
 #
 # Extra arguments are passed through to `go test` (e.g. -benchtime 3x).
+# BENCH_TIME overrides the iteration count (default 10x: single-digit
+# iteration counts made per-op metrics of the fast DS benchmarks too
+# noisy to diff across commits — see the iterations field of each row).
 # The output JSON carries one record per benchmark with every metric Go
 # reported (ns/op, B/op, allocs/op, states/op, ...) plus run metadata.
 # The script fails loudly — pipefail, an empty-output check, and a JSON
@@ -40,7 +43,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 # shellcheck disable=SC2086  # $args is intentionally word-split
-go test -run='^$' -bench="$pattern" -benchtime="${BENCH_TIME:-1x}" $args . | tee "$raw"
+go test -run='^$' -bench="$pattern" -benchtime="${BENCH_TIME:-10x}" $args . | tee "$raw"
 
 # A bench run that produced no benchmark lines (bad -bench pattern,
 # build drift, go test quirk) must not write an empty snapshot.
