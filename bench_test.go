@@ -28,6 +28,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/proof"
 	"repro/internal/sc"
+	"repro/internal/telemetry"
 )
 
 // --- E1/E2: the command language (Figures 1 and 2) ---
@@ -220,6 +221,51 @@ func BenchmarkE13_PetersonVerify(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("bound=%d/parallel/por", bound), func(b *testing.B) {
 			benchPeterson(b, bound, 0, true)
+		})
+	}
+}
+
+// BenchmarkE13_MetricsPeterson runs the bound-10 serial Peterson
+// sweep with a metrics registry attached and reports the search-shape
+// ratios alongside ns/op: POR-pruned steps and fingerprint-dedup hits
+// per operation. bench-snapshot.sh records every reported metric, so
+// BENCH_*.json snapshots carry the search shape next to the timing —
+// a perf regression that changes *what* was explored (rather than how
+// fast) shows up in these columns. The name deliberately does not
+// match the CI perf-gate pattern (E13_PetersonVerify): the gate
+// compares the telemetry-disabled hot path only.
+func BenchmarkE13_MetricsPeterson(b *testing.B) {
+	p, vars := litmus.Peterson()
+	for _, por := range []bool{false, true} {
+		name := "bound=10/serial"
+		if por {
+			name += "/por"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var explored int
+			var pruned, dedup uint64
+			for i := 0; i < b.N; i++ {
+				reg := telemetry.NewEngineRegistry()
+				res := explore.Run(core.NewConfig(p, vars), explore.Options{
+					MaxEvents: 10,
+					Workers:   1,
+					POR:       por,
+					Metrics:   reg,
+					TypedProperty: func(c core.Config) bool {
+						return len(proof.CheckPetersonInvariants(c)) == 0
+					},
+				})
+				if res.Violation != nil {
+					b.Fatal("invariant violated")
+				}
+				explored = res.Explored
+				pruned = reg.Total(telemetry.EnginePORPruned)
+				dedup = reg.Total(telemetry.EngineDedupHits)
+			}
+			b.ReportMetric(float64(explored), "states/op")
+			b.ReportMetric(float64(pruned), "por-pruned/op")
+			b.ReportMetric(float64(dedup), "dedup-hits/op")
 		})
 	}
 }

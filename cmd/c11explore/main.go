@@ -66,6 +66,8 @@ func main() {
 	budget.Register(flag.CommandLine)
 	var prof cli.Profile
 	prof.Register(flag.CommandLine)
+	var tel cli.Telemetry
+	tel.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11explore [flags]\n\nExplores the bounded state space of a program under a pluggable memory model.")
 	cli.Parse()
@@ -76,6 +78,10 @@ func main() {
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11explore", err)
 	}
+	if err := tel.Start(); err != nil {
+		cli.Fatal("c11explore", err)
+	}
+	defer tel.Stop()
 	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
 	budget.Context = ctx
@@ -104,6 +110,7 @@ func main() {
 		CheckCollisions:  *checkFP,
 		CheckIncremental: *checkInc,
 	}
+	tel.Apply(&opts)
 
 	var (
 		f    *parser.File

@@ -70,6 +70,8 @@ func main() {
 	)
 	var prof cli.Profile
 	prof.Register(flag.CommandLine)
+	var tel cli.Telemetry
+	tel.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11fuzz [flags]\n\nDifferentially fuzzes the memory-model backends with randomly generated\nlitmus programs, shrinking any failure into a corpus reproducer.")
 	cli.Parse()
@@ -77,6 +79,10 @@ func main() {
 		cli.Fatal("c11fuzz", err)
 	}
 	defer prof.Stop()
+	if err := tel.Start(); err != nil {
+		cli.Fatal("c11fuzz", err)
+	}
+	defer tel.Stop()
 
 	params := gen.Params{
 		Threads: *threads, Vars: *vars, Stmts: *stmts, Values: *values,
@@ -87,7 +93,10 @@ func main() {
 	}
 	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
-	opts := gen.CheckOpts{MaxEvents: *maxEv, MaxConfigs: *maxConfigs, Workers: *workers, Context: ctx}
+	opts := gen.CheckOpts{MaxEvents: *maxEv, MaxConfigs: *maxConfigs, Workers: *workers, Context: ctx,
+		// One registry and tracer across the campaign: the progress
+		// line and -metrics summary accumulate over all oracle runs.
+		Metrics: tel.Registry(), Tracer: tel.Tracer()}
 
 	if *replay != "" {
 		cli.Exit(replayDir(*replay, opts, *v))

@@ -53,6 +53,8 @@ func main() {
 	budget.Register(flag.CommandLine)
 	var prof cli.Profile
 	prof.Register(flag.CommandLine)
+	var tel cli.Telemetry
+	tel.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11litmus [flags]\n\nRuns weak-memory litmus tests under a pluggable memory model.\nThe .lit file grammar accepted by -f is documented in docs/litmus-format.md\n(one worked example per file under testdata/).")
 	cli.Parse()
@@ -63,6 +65,10 @@ func main() {
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11litmus", err)
 	}
+	if err := tel.Start(); err != nil {
+		cli.Fatal("c11litmus", err)
+	}
+	defer tel.Stop()
 	if budget.Resume != "" || budget.Checkpoint != "" {
 		cli.Fatalf("c11litmus", "checkpointing applies to a single search; use c11explore -f for one program")
 	}
@@ -128,6 +134,9 @@ func main() {
 				eopts.MaxEvents = tc.MaxEvents
 			}
 			budget.Apply(&eopts)
+			// One registry across the whole suite: the progress line
+			// and -metrics summary accumulate over all tests.
+			tel.Apply(&eopts)
 			rep := tc.RunModel(m, eopts)
 			if rep.Truncated && !isDS {
 				// DS scenarios with retry/spin loops truncate at their

@@ -13,6 +13,7 @@
 //	c11serve -spill /var/spool/c11serve       # enable drain checkpoints
 //	curl -s localhost:8411/v1/verify --data-binary @prog.lit
 //	curl -s localhost:8411/statz
+//	curl -s localhost:8411/metrics                 # Prometheus exposition
 //
 // On SIGINT/SIGTERM the server stops admitting, drains in-flight
 // searches under -drain, checkpoints whatever had to be cut (when

@@ -1,0 +1,58 @@
+// Command c11trace converts the JSONL search traces written by the
+// frontends' -trace flag into Chrome's trace_event JSON format, ready
+// to load in chrome://tracing or https://ui.perfetto.dev. The JSONL
+// schema (one Record per line: begin/end spans, instants, counter
+// samples) is documented in docs/observability.md.
+//
+// Usage:
+//
+//	c11trace -in search.jsonl -out search.json
+//	c11explore -trace /dev/stdout ... | c11trace > search.json
+//
+// Exit status: 0 on success, 3 on a malformed trace or I/O error.
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "JSONL trace to read (default stdin)")
+		out = flag.String("out", "", "Chrome trace_event JSON to write (default stdout)")
+	)
+	flag.Usage = cli.Usage(flag.CommandLine,
+		"Usage: c11trace [-in trace.jsonl] [-out trace.json]\n\nConverts a -trace JSONL search trace into Chrome trace_event JSON\n(load in chrome://tracing or ui.perfetto.dev).")
+	cli.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			cli.Fatal("c11trace", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			cli.Fatal("c11trace", err)
+		}
+		w = f
+		defer func() {
+			if err := f.Close(); err != nil {
+				cli.Fatal("c11trace", err)
+			}
+		}()
+	}
+	if err := telemetry.ConvertChrome(r, w); err != nil {
+		cli.Fatal("c11trace", err)
+	}
+}

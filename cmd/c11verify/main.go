@@ -56,6 +56,8 @@ func main() {
 	budget.Register(flag.CommandLine)
 	var prof cli.Profile
 	prof.Register(flag.CommandLine)
+	var tel cli.Telemetry
+	tel.Register(flag.CommandLine)
 	flag.Usage = cli.Usage(flag.CommandLine,
 		"Usage: c11verify [flags]\n\nMachine-checks the paper's Peterson verification (invariants (4)-(10), Theorem 5.8).")
 	cli.Parse()
@@ -66,6 +68,10 @@ func main() {
 	if err := budget.Validate(); err != nil {
 		cli.Fatal("c11verify", err)
 	}
+	if err := tel.Start(); err != nil {
+		cli.Fatal("c11verify", err)
+	}
+	defer tel.Stop()
 	ctx, stopSignals := cli.SignalContext(context.Background())
 	defer stopSignals()
 	budget.Context = ctx
@@ -114,6 +120,7 @@ func main() {
 		CheckIncremental: *checkInc,
 		Property:         property,
 	}
+	tel.Apply(&opts)
 	if *checkPOR {
 		budget.Apply(&opts)
 		audit := explore.CheckPOR(m.New(prog, vars), opts)

@@ -85,10 +85,16 @@ func (p *Profile) Stop() {
 	}
 }
 
-// Exit flushes any active profiles and exits with code. Frontends use
-// it instead of os.Exit so -cpuprofile/-memprofile survive early
-// exits (violations, budget cuts, internal errors).
+// Exit flushes any active telemetry and profiles and exits with code.
+// Frontends use it instead of os.Exit so -cpuprofile/-memprofile,
+// -trace and -progress survive early exits (violations, budget cuts,
+// signal-driven cuts, internal errors). Telemetry flushes first: its
+// final progress line and trace tail describe the run the profile
+// covers.
 func Exit(code int) {
+	if activeTelemetry != nil {
+		activeTelemetry.Stop()
+	}
 	if activeProfile != nil {
 		activeProfile.Stop()
 	}

@@ -1,0 +1,100 @@
+package cli_test
+
+// Child-process harness for telemetry flushing: the -trace and
+// -progress state must survive every exit path, including a
+// signal-driven exit 2 — Exit flushes the active telemetry before the
+// process dies, so an interrupted run still leaves a complete,
+// convertible trace file and a final progress line.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/telemetry"
+)
+
+// convertTrace parses the JSONL trace at path through the Chrome
+// converter, failing the test if it is truncated or malformed.
+func convertTrace(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	var out strings.Builder
+	if err := telemetry.ConvertChrome(f, &out); err != nil {
+		t.Fatalf("trace at %s does not convert: %v", path, err)
+	}
+	return out.String()
+}
+
+func TestExploreSIGINTFlushesTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and interrupts child processes")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "c11explore")
+	lit := filepath.Join(dir, "slow.lit")
+	if err := os.WriteFile(lit, []byte(slowLit), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "search.jsonl")
+
+	// A 100ms progress interval guarantees at least one periodic line
+	// lands in the ~700ms before the signal; the final line is emitted
+	// by the Exit-path flush itself.
+	code, out := interrupt(t,
+		exec.Command(bin, "-f", lit, "-max", "22", "-workers", "2",
+			"-progress=100ms", "-trace", trace, "-metrics"),
+		700*time.Millisecond, os.Interrupt)
+	if code != cli.ExitBounded {
+		t.Fatalf("exit code %d after SIGINT, want %d\n%s", code, cli.ExitBounded, out)
+	}
+	if !strings.Contains(out, "progress:") {
+		t.Fatalf("no periodic progress line before the signal:\n%s", out)
+	}
+	if !strings.Contains(out, "progress(final):") {
+		t.Fatalf("no final progress line on the signal exit path:\n%s", out)
+	}
+	if !strings.Contains(out, "metrics:") || !strings.Contains(out, "expansions=") {
+		t.Fatalf("no -metrics summary on the signal exit path:\n%s", out)
+	}
+
+	// The trace was flushed and closed, not truncated mid-record: it
+	// converts cleanly and carries the search span plus the stop event
+	// recorded when the signal cut the run.
+	chrome := convertTrace(t, trace)
+	for _, want := range []string{`"search"`, `"stop"`, `"cancelled"`} {
+		if !strings.Contains(chrome, want) {
+			t.Fatalf("converted trace is missing %s:\n%.2000s", want, chrome)
+		}
+	}
+}
+
+func TestVerifyNormalExitFlushesTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds child processes")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "c11verify")
+	trace := filepath.Join(dir, "verify.jsonl")
+
+	cmd := exec.Command(bin, "-max", "10", "-workers", "2", "-trace", trace, "-metrics")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("c11verify: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "metrics:") {
+		t.Fatalf("no -metrics summary on the normal exit path:\n%s", out)
+	}
+	chrome := convertTrace(t, trace)
+	if !strings.Contains(chrome, `"search"`) {
+		t.Fatalf("converted trace has no search span:\n%.2000s", chrome)
+	}
+}

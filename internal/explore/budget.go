@@ -161,7 +161,9 @@ type PanicRecord struct {
 // suspension holds it (the suspension path adopts requested before
 // resuming), and the pool is drained.
 func (r *run[C]) stopWith(c StopCause) {
-	r.requested.CompareAndSwap(0, int32(c))
+	if r.requested.CompareAndSwap(0, int32(c)) && r.tracer != nil {
+		r.tracer.Instant("stop", -1, map[string]any{"cause": c.String()})
+	}
 	r.stop.CompareAndSwap(0, int32(c))
 	r.pool.stop()
 }

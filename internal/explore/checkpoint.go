@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // checkpointVersion is bumped on any incompatible format change;
@@ -129,7 +130,15 @@ func (r *run[C]) writeCheckpoint() error {
 	if r.opts.CheckpointExtra != nil {
 		ck.Extra = r.opts.CheckpointExtra()
 	}
-	return writeCheckpointFile(r.opts.CheckpointPath, &ck)
+	if err := writeCheckpointFile(r.opts.CheckpointPath, &ck); err != nil {
+		return err
+	}
+	r.tel.Add(telemetry.EngineCheckpointWrites, 1)
+	if r.tracer != nil {
+		r.tracer.Instant("checkpoint", -1, map[string]any{
+			"entries": len(ck.Entries), "frontier": len(ck.Frontier)})
+	}
+	return nil
 }
 
 // ckWriteFault, when non-nil, runs after the gob stream is written to
@@ -315,8 +324,18 @@ func resumeAs[C model.Base](path string, ck *checkpointFile, m model.Model, opts
 		// The verdict is final; nothing further runs.
 		return r.finalize(), nil
 	}
+	if r.tracer != nil {
+		r.tracer.Emit(telemetry.Record{Type: "begin", Name: "search", Worker: -1,
+			Args: map[string]any{"resume": path, "workers": opts.workers(), "max_events": r.maxEv, "por": opts.POR}})
+	}
 	r.execute()
-	return r.finalize(), nil
+	res := r.finalize()
+	if r.tracer != nil {
+		r.tracer.End("search", -1, map[string]any{
+			"verdict": res.Verdict.String(), "stop": res.Stop.String(),
+			"explored": res.Explored, "frontier": res.Frontier})
+	}
+	return res, nil
 }
 
 // CheckpointInterval is a convenience guard for CLI flag plumbing: it

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/lang"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // ops carries one backend's typed operations: the expansion methods,
@@ -122,13 +123,19 @@ type pool[C model.Base] struct {
 	head    int
 	pending int // queued + currently-processing items
 	stopped bool
+	// tel, when non-nil, mirrors pending into the frontier gauge.
+	tel *telemetry.Registry
 }
 
 func (p *pool[C]) push(it item[C]) {
 	p.mu.Lock()
 	p.pending++
+	pending := p.pending
 	p.queue = append(p.queue, it)
 	p.mu.Unlock()
+	if p.tel != nil {
+		p.tel.SetGauge(telemetry.EngineGaugeFrontier, int64(pending))
+	}
 	p.cond.Signal()
 }
 
@@ -158,9 +165,12 @@ func (p *pool[C]) pop() (item[C], bool) {
 func (p *pool[C]) done() {
 	p.mu.Lock()
 	p.pending--
-	quiesced := p.pending == 0
+	pending := p.pending
 	p.mu.Unlock()
-	if quiesced {
+	if p.tel != nil {
+		p.tel.SetGauge(telemetry.EngineGaugeFrontier, int64(pending))
+	}
+	if pending == 0 {
 		p.cond.Broadcast()
 	}
 }
@@ -211,6 +221,13 @@ type run[C model.Base] struct {
 	panics     []PanicRecord
 	panicItems []item[C]
 
+	// tel and tracer are the observability sinks (both may be nil; the
+	// telemetry package's methods are nil-safe, so the hot path calls
+	// them unconditionally and the disabled configuration costs only
+	// nil checks).
+	tel    *telemetry.Registry
+	tracer *telemetry.Tracer
+
 	ckErr error
 }
 
@@ -221,9 +238,12 @@ func newRun[C model.Base](opts Options, bk ops[C]) *run[C] {
 		ops:    bk,
 		maxEv:  opts.maxEvents(),
 		maxCfg: opts.maxConfigs(),
+		tel:    opts.Metrics,
+		tracer: opts.Tracer,
 	}
 	r.deadline = opts.effectiveDeadline(time.Now())
 	r.pool.cond = sync.NewCond(&r.pool.mu)
+	r.pool.tel = opts.Metrics
 	for i := range r.shards {
 		if opts.CheckCollisions {
 			r.shards[i].byKey = make(map[string]*entry)
@@ -245,9 +265,19 @@ func runAs[C model.Base](c C, opts Options, bk ops[C]) Result {
 	}
 	r := newRun[C](opts, bk)
 	r.nInit = c.Progress()
-	r.admit(c, 0, 0)
+	if r.tracer != nil {
+		r.tracer.Emit(telemetry.Record{Type: "begin", Name: "search", Worker: -1,
+			Args: map[string]any{"workers": opts.workers(), "max_events": r.maxEv, "por": opts.POR}})
+	}
+	r.admit(r.tel.Cell(0), c, 0, 0)
 	r.execute()
-	return r.finalize()
+	res := r.finalize()
+	if r.tracer != nil {
+		r.tracer.End("search", -1, map[string]any{
+			"verdict": res.Verdict.String(), "stop": res.Stop.String(),
+			"explored": res.Explored, "frontier": res.Frontier})
+	}
+	return res
 }
 
 func (r *run[C]) shardOf(fp fingerprint.FP) *shard {
@@ -263,8 +293,10 @@ func (r *run[C]) shardOf(fp fingerprint.FP) *shard {
 // cfg violated the property — either way the search is stopping and
 // the parent must stay on the frontier. retained=false means the
 // engine holds no reference to cfg (it deduplicated without being
-// re-queued, or was rejected) and the caller may recycle it.
-func (r *run[C]) admit(cfg C, d int32, sleep threadMask) (cont, retained bool) {
+// re-queued, or was rejected) and the caller may recycle it. cell is
+// the calling worker's telemetry cell (nil when metrics are
+// disabled).
+func (r *run[C]) admit(cell *telemetry.Cell, cfg C, d int32, sleep threadMask) (cont, retained bool) {
 	// Everything that calls into model code runs outside the shard
 	// lock: model methods may be expensive, and under fault injection
 	// they may panic — a panic below never wedges a shard mutex.
@@ -283,7 +315,9 @@ func (r *run[C]) admit(cfg C, d int32, sleep threadMask) (cont, retained bool) {
 		// Known configuration: relax depth and sleep mask.
 		requeue := e.relax(d, sleep)
 		sh.mu.Unlock()
+		cell.Add(telemetry.EngineDedupHits, 1)
 		if requeue {
+			cell.Add(telemetry.EngineRequeues, 1)
 			r.pool.push(item[C]{cfg: cfg, fp: fp, key: key})
 		}
 		return true, requeue
@@ -325,8 +359,11 @@ func (r *run[C]) admit(cfg C, d int32, sleep threadMask) (cont, retained bool) {
 	}
 	sh.mu.Unlock()
 
+	cell.Add(telemetry.EngineAdmitted, 1)
+	r.tel.MaxGauge(telemetry.EngineGaugeDepth, int64(d))
 	if term {
 		r.terminated.Add(1)
+		cell.Add(telemetry.EngineTerminated, 1)
 	} else if atBound {
 		r.truncated.Store(true)
 	}
@@ -413,12 +450,17 @@ func (r *run[C]) recordPanic(it item[C], d int32, v any) {
 	r.panics = append(r.panics, rec)
 	r.panicItems = append(r.panicItems, it)
 	r.panicMu.Unlock()
+	r.tel.Add(telemetry.EnginePanics, 1)
+	if r.tracer != nil {
+		r.tracer.Instant("panic", -1, map[string]any{"depth": int(d), "err": rec.Err})
+	}
 }
 
 // discard hands a successor the engine will never use again back to
 // the backend for recycling.
-func (r *run[C]) discard(parent, succ C) {
+func (r *run[C]) discard(cell *telemetry.Cell, parent, succ C) {
 	if r.ops.discard != nil {
+		cell.Add(telemetry.EngineDiscards, 1)
 		r.ops.discard(parent, succ)
 	}
 }
@@ -433,17 +475,18 @@ func (r *run[C]) discard(parent, succ C) {
 // the (possibly regrown) buffer is returned for the next expansion,
 // along with whether every successor was admitted (false when a stop
 // signal or budget rejection aborted the expansion).
-func (r *run[C]) expand(cfg C, d int32, sl threadMask, scratch []C) ([]C, bool) {
+func (r *run[C]) expand(cell *telemetry.Cell, cfg C, d int32, sl threadMask, scratch []C) ([]C, bool) {
 	complete := true
 	var zero C
+	cell.Add(telemetry.EngineExpansions, 1)
 	emit := func(s C, cs threadMask) bool {
 		if r.stop.Load() != 0 {
 			complete = false
 			return false
 		}
-		cont, retained := r.admit(s, d+1, cs)
+		cont, retained := r.admit(cell, s, d+1, cs)
 		if !retained {
-			r.discard(cfg, s)
+			r.discard(cell, cfg, s)
 		}
 		if !cont {
 			complete = false
@@ -454,12 +497,14 @@ func (r *run[C]) expand(cfg C, d int32, sl threadMask, scratch []C) ([]C, bool) 
 	if atBound := cfg.Progress()-r.nInit >= r.maxEv; atBound {
 		base := cfg.Progress()
 		scratch = r.ops.expand(cfg, scratch[:0])
+		cell.Add(telemetry.EngineSuccessors, uint64(len(scratch)))
 		for i, s := range scratch {
 			scratch[i] = zero
 			if s.Progress() > base {
 				// Memory step: suppressed by the bound, never seen by
 				// anything else — recyclable.
-				r.discard(cfg, s)
+				cell.Add(telemetry.EngineBoundSuppressed, 1)
+				r.discard(cell, cfg, s)
 				continue
 			}
 			if !emit(s, 0) {
@@ -468,10 +513,11 @@ func (r *run[C]) expand(cfg C, d int32, sl threadMask, scratch []C) ([]C, bool) 
 		}
 		return scratch[:0], complete
 	}
-	if r.opts.POR && r.forEachReducedSucc(cfg, sl, emit) {
+	if r.opts.POR && r.forEachReducedSucc(cfg, sl, cell, emit) {
 		return scratch, complete
 	}
 	scratch = r.ops.expand(cfg, scratch[:0])
+	cell.Add(telemetry.EngineSuccessors, uint64(len(scratch)))
 	for i, s := range scratch {
 		scratch[i] = zero // release for GC once admitted
 		if !emit(s, 0) {
@@ -486,9 +532,10 @@ func (r *run[C]) expand(cfg C, d int32, sl threadMask, scratch []C) ([]C, bool) 
 // claimed) and the worker moves on — the rest of the search finishes
 // in degraded mode. An expansion aborted by a stop signal or budget
 // rejection is unclaimed and re-queued so the frontier stays sound.
-func (r *run[C]) process(it item[C], scratch *[]C) {
+func (r *run[C]) process(cell *telemetry.Cell, it item[C], scratch *[]C) {
 	d, sl, live := r.claim(it)
 	if !live {
+		cell.Add(telemetry.EngineStaleClaims, 1)
 		return
 	}
 	completed := false
@@ -505,15 +552,23 @@ func (r *run[C]) process(it item[C], scratch *[]C) {
 	if r.opts.Hooks != nil {
 		r.opts.Hooks.BeforeExpand(it.fp, int(d))
 	}
-	*scratch, completed = r.expand(it.cfg, d, sl, *scratch)
+	*scratch, completed = r.expand(cell, it.cfg, d, sl, *scratch)
 }
 
-func (r *run[C]) worker() {
+// traceBatchEvery is how many processed items a worker batches
+// between expansion-batch trace samples — coarse enough that tracing
+// a large search stays cheap.
+const traceBatchEvery = 1024
+
+func (r *run[C]) worker(id int) {
+	cell := r.tel.Cell(id)
+	r.tracer.Begin("worker", id)
 	var scratch []C
+	var processed uint64
 	for {
 		it, ok := r.pool.pop()
 		if !ok {
-			return
+			break
 		}
 		if r.stop.Load() != 0 {
 			// A stop signal raced past the pool flag (e.g. it fired in
@@ -522,10 +577,20 @@ func (r *run[C]) worker() {
 			r.pool.push(it)
 			r.pool.done()
 			r.pool.stop()
-			return
+			break
 		}
-		r.process(it, &scratch)
+		cell.Add(telemetry.EnginePoolClaims, 1)
+		r.process(cell, it, &scratch)
 		r.pool.done()
+		if processed++; r.tracer != nil && processed%traceBatchEvery == 0 {
+			r.tracer.Count("expansion_batch", id, map[string]any{
+				"expansions": cell.Get(telemetry.EngineExpansions),
+				"explored":   r.explored.Load(),
+			})
+		}
+	}
+	if r.tracer != nil {
+		r.tracer.End("worker", id, map[string]any{"claims": cell.Get(telemetry.EnginePoolClaims)})
 	}
 }
 
@@ -536,16 +601,16 @@ func (r *run[C]) runWorkers() {
 		// Serial is the same engine with the one worker run inline:
 		// the FIFO pool makes the search breadth-first and the
 		// truncated prefix deterministic.
-		r.worker()
+		r.worker(0)
 		return
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < r.opts.workers(); i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			r.worker()
-		}()
+			r.worker(id)
+		}(i)
 	}
 	wg.Wait()
 }

@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Options bounds and configures an exploration.
@@ -131,6 +132,24 @@ type Options struct {
 	// (see Hooks); internal/faultinject implements it to inject worker
 	// panics, latency and allocation pressure.
 	Hooks Hooks
+	// Metrics, when non-nil, receives engine counters through
+	// per-worker telemetry cells — expansions, successors, admissions,
+	// fingerprint dedup hits, POR-pruned steps, arena recycles,
+	// checkpoint writes — plus live frontier and max-depth gauges.
+	// Build it with telemetry.NewEngineRegistry; snapshot it during or
+	// after the search (the registry is safe for concurrent use and
+	// may be shared across searches, accumulating totals). When nil,
+	// all metric accounting is disabled and the hot path takes only
+	// nil-check branches: zero added allocations, enforced by the
+	// perfgate CI job.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives structured JSONL trace records:
+	// search and worker lifecycle spans, periodic expansion-batch
+	// counter samples, and stop/checkpoint/panic instants. The stream
+	// converts to Chrome trace_event format via cmd/c11trace. Tracing
+	// is deliberately coarse (never per-successor), so it stays cheap
+	// on large searches. Nil disables it.
+	Tracer *telemetry.Tracer
 	// CheckpointPath, when non-empty, makes the engine write a
 	// checkpoint of the sharded seen-set and frontier to this path
 	// when the search ends (for whatever cause), atomically via a

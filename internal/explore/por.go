@@ -66,6 +66,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/lang"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // threadMask is a bitmask over program threads (thread t at bit t-1).
@@ -215,26 +216,33 @@ func planPOR[C model.Base](c C) porPlan {
 // sleep mask. emit returns false to stop the expansion early. ok is
 // false when the plan cannot be applied (program too wide for masks);
 // callers fall back to full expansion. This is the one reduction loop
-// of the one engine, for every backend.
-func (r *run[C]) forEachReducedSucc(cfg C, sl threadMask, emit func(C, threadMask) bool) (ok bool) {
+// of the one engine, for every backend. cell (nil when metrics are
+// disabled) counts the enabled steps the reduction skipped and the
+// successors generated.
+func (r *run[C]) forEachReducedSucc(cfg C, sl threadMask, cell *telemetry.Cell, emit func(C, threadMask) bool) (ok bool) {
 	pl := planPOR(cfg)
 	if !pl.ok {
 		return false
 	}
+	var pruned uint64
 	var succ []C
 	for j, ps := range pl.steps {
 		b := maskBit(ps.T)
 		if pl.persist&b == 0 || sl&b != 0 {
+			pruned++
 			continue
 		}
 		cs := childSleep(cfg, pl, sl, j)
 		succ = r.ops.expandStep(cfg, succ[:0], ps)
+		cell.Add(telemetry.EngineSuccessors, uint64(len(succ)))
 		for _, s := range succ {
 			if !emit(s, cs) {
+				cell.Add(telemetry.EnginePORPruned, pruned)
 				return true
 			}
 		}
 	}
+	cell.Add(telemetry.EnginePORPruned, pruned)
 	return true
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/model/backends"
 	"repro/internal/parser"
+	"repro/internal/telemetry"
 )
 
 // Kind classifies an oracle failure.
@@ -78,6 +79,13 @@ type CheckOpts struct {
 	// frontend threads its signal context here so an interrupted fuzz
 	// run stops at the engine's next admission check.
 	Context context.Context
+	// Metrics, when non-nil, receives the engine counters of every
+	// oracle search; one registry accumulates across the whole fuzzing
+	// run, so its progress line measures the campaign, not a program.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives the search spans of every oracle
+	// exploration.
+	Tracer *telemetry.Tracer
 }
 
 func (o CheckOpts) withDefaults() CheckOpts {
@@ -123,7 +131,11 @@ func Check(f *parser.File, opts CheckOpts) (rep Report) {
 	}
 	rar, _ := backends.Get("rar")
 	sc, _ := backends.Get("sc")
-	eopts := explore.Options{MaxEvents: opts.MaxEvents, MaxConfigs: opts.MaxConfigs, Deadline: opts.Deadline, Context: opts.Context}
+	eopts := explore.Options{
+		MaxEvents: opts.MaxEvents, MaxConfigs: opts.MaxConfigs,
+		Deadline: opts.Deadline, Context: opts.Context,
+		Metrics: opts.Metrics, Tracer: opts.Tracer,
+	}
 
 	for _, m := range []model.Model{rar, sc} {
 		cfg := m.New(test.Prog, test.Init)

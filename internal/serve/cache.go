@@ -54,23 +54,28 @@ func (c *lruCache) get(key string) (*Response, bool) {
 	return el.Value.(*lruEntry).resp, true
 }
 
-func (c *lruCache) put(key string, resp *Response) {
+// put stores resp under key and returns how many entries capacity
+// displaced (0 or 1 in practice; the loop is defensive). The caller
+// owns counting evictions — the cache stays metrics-free.
+func (c *lruCache) put(key string, resp *Response) (evicted int) {
 	if c == nil || c.cap <= 0 {
-		return
+		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		el.Value.(*lruEntry).resp = resp
-		return
+		return 0
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.items, last.Value.(*lruEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *lruCache) len() int {
@@ -89,6 +94,10 @@ func (c *lruCache) len() int {
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
+	// onJoin, when non-nil, is called each time a caller joins an
+	// already-in-flight identical query (the singleflight_dedup
+	// metric), whether or not it stays for the answer.
+	onJoin func()
 }
 
 type flight struct {
@@ -108,6 +117,9 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Response, 
 	}
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
+		if g.onJoin != nil {
+			g.onJoin()
+		}
 		select {
 		case <-f.done:
 			return f.resp, f.status, true, false

@@ -198,23 +198,23 @@ func cacheable(res explore.Result) bool {
 // singleflight, admission, search. It returns the response and the
 // HTTP status to send.
 func (s *Server) execute(ctx context.Context, req *Request) (*Response, int) {
-	s.stats.requests.Add(1)
+	s.metrics.Add(ctrRequests, 1)
 	if req.Resume != "" {
 		return s.executeResume(ctx, req)
 	}
 	q, err := s.prepare(req)
 	if err != nil {
-		s.stats.badRequests.Add(1)
+		s.metrics.Add(ctrBadRequests, 1)
 		return &Response{Name: req.Name, Error: err.Error()}, http.StatusBadRequest
 	}
 	if resp, ok := s.cache.get(q.key); ok {
-		s.stats.cacheHits.Add(1)
+		s.metrics.Add(ctrCacheHits, 1)
 		hit := *resp
 		hit.Cached = true
 		hit.Name = req.Name
 		return &hit, http.StatusOK
 	}
-	s.stats.cacheMisses.Add(1)
+	s.metrics.Add(ctrCacheMisses, 1)
 	resp, status, shared, abandoned := s.flights.do(ctx, q.key, func() (*Response, int) {
 		return s.runQuery(ctx, q)
 	})
@@ -222,7 +222,7 @@ func (s *Server) execute(ctx context.Context, req *Request) (*Response, int) {
 		return &Response{Name: req.Name, Error: "request cancelled"}, statusClientClosedRequest
 	}
 	if shared {
-		s.stats.sharedHits.Add(1)
+		s.metrics.Add(ctrCacheShared, 1)
 		cp := *resp
 		cp.Name = req.Name
 		return &cp, status
@@ -278,6 +278,9 @@ func (s *Server) runQuery(ctx context.Context, q *query) (resp *Response, status
 		Context:     searchCtx,
 		MaxMemBytes: uint64(s.cfg.MaxMemMB) << 20,
 		Hooks:       s.cfg.Hooks,
+		// One cumulative engine registry across all requests: /metrics
+		// exposes the total engine work the service has done.
+		Metrics: s.engine,
 		Property: func(c model.Config) bool {
 			if !c.Terminated() {
 				return true
@@ -293,17 +296,25 @@ func (s *Server) runQuery(ctx context.Context, q *query) (resp *Response, status
 
 	cfg := q.model.New(q.test.Prog, q.test.Init)
 	res := explore.Run(cfg, opts)
-	s.stats.completed.Add(1)
+	s.metrics.Add(ctrCompleted, 1)
 
 	resp = s.buildResponse(q, id, res, outcomes, start)
 	if cacheable(res) {
-		s.cache.put(q.key, resp)
+		s.cachePut(q.key, resp)
 	}
 	return resp, http.StatusOK
 }
 
+// cachePut stores a reproducible response and counts any LRU
+// displacement the insert caused.
+func (s *Server) cachePut(key string, resp *Response) {
+	if evicted := s.cache.put(key, resp); evicted > 0 {
+		s.metrics.Add(ctrCacheEvictions, uint64(evicted))
+	}
+}
+
 func (s *Server) shedResponse(name string, err error) (*Response, int) {
-	s.stats.shed.Add(1)
+	s.metrics.Add(ctrShed, 1)
 	msg := "overloaded: worker pool and queue are full"
 	if err == errDraining {
 		msg = "draining: server is shutting down"
@@ -317,7 +328,7 @@ func (s *Server) shedResponse(name string, err error) (*Response, int) {
 // replayable .lit artifact, answered with 500. The server keeps
 // serving.
 func (s *Server) panicResponse(name, program, id string, v any) (*Response, int) {
-	s.stats.panics.Add(1)
+	s.metrics.Add(ctrPanics, 1)
 	resp := &Response{Name: name, Error: fmt.Sprintf("internal error: %v", v)}
 	if s.cfg.SpillDir != "" && program != "" {
 		art := fmt.Sprintf("// c11serve panic artifact %s\n// error: %v\n// replay: c11explore -f this-file\n%s", id, v, program)
@@ -380,7 +391,7 @@ func (s *Server) executeResume(ctx context.Context, req *Request) (resp *Respons
 		return &Response{Name: req.Name, Error: "resume unsupported: no spill directory configured"}, http.StatusBadRequest
 	}
 	if !artifactID.MatchString(req.Resume) {
-		s.stats.badRequests.Add(1)
+		s.metrics.Add(ctrBadRequests, 1)
 		return &Response{Name: req.Name, Error: "malformed artifact id"}, http.StatusBadRequest
 	}
 	path := filepath.Join(s.cfg.SpillDir, req.Resume+".ckpt")
@@ -454,6 +465,7 @@ func (s *Server) runResume(ctx context.Context, q *query, id, path string, prior
 		Context:     searchCtx,
 		MaxMemBytes: uint64(s.cfg.MaxMemMB) << 20,
 		Hooks:       s.cfg.Hooks,
+		Metrics:     s.engine,
 		Property: func(c model.Config) bool {
 			if !c.Terminated() {
 				return true
@@ -473,13 +485,13 @@ func (s *Server) runResume(ctx context.Context, q *query, id, path string, prior
 	if err != nil {
 		return &Response{Name: q.req.Name, Error: "resume: " + err.Error()}, http.StatusBadRequest
 	}
-	s.stats.resumes.Add(1)
-	s.stats.completed.Add(1)
+	s.metrics.Add(ctrResumes, 1)
+	s.metrics.Add(ctrCompleted, 1)
 
 	resp = s.buildResponse(q, id, res, outcomes, start)
 	resp.Resumed = true
 	if cacheable(res) {
-		s.cache.put(q.key, resp)
+		s.cachePut(q.key, resp)
 	}
 	return resp, http.StatusOK
 }
@@ -536,7 +548,7 @@ func (s *Server) buildResponse(q *query, id string, res explore.Result, outcomes
 	if s.cfg.SpillDir != "" && res.Stop != explore.StopNone && res.CheckpointErr == nil {
 		if _, err := os.Stat(filepath.Join(s.cfg.SpillDir, id+".ckpt")); err == nil {
 			resp.Artifact = id
-			s.stats.checkpoints.Add(1)
+			s.metrics.Add(ctrCheckpoints, 1)
 		}
 	}
 	return resp

@@ -1,0 +1,88 @@
+package serve
+
+// Service metrics: the counters behind /statz and the Prometheus
+// exposition behind /metrics. The service counters live in one
+// telemetry.Registry (the same striped store the engine uses), so
+// /statz is a thin JSON view over the registry snapshot and /metrics
+// is the text exposition of the very same numbers — the two surfaces
+// cannot drift. A second, engine-schema registry aggregates the
+// explore counters of every search the server runs, giving the
+// service a cumulative view of engine work (expansions, POR pruning,
+// dedup hits) across all requests.
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Service counter indices into the serve-schema registry. Order must
+// match serveSchema's name list.
+const (
+	ctrRequests telemetry.Counter = iota
+	ctrCompleted
+	ctrShed
+	ctrBadRequests
+	ctrPanics
+	ctrCheckpoints
+	ctrResumes
+	ctrCacheHits
+	ctrCacheMisses
+	ctrCacheShared
+	ctrCacheEvictions
+	ctrFlightDedup
+)
+
+// serveSchema names the service counters; the names are the /metrics
+// family names (prefixed, with _total appended) and the Statz fields.
+func serveSchema() telemetry.Schema {
+	return telemetry.Schema{Counters: []string{
+		"requests",           // verification queries received (incl. batch items)
+		"completed",          // searches run to a terminal response
+		"shed",               // rejected by admission control
+		"bad_requests",       // malformed queries
+		"panics",             // request-level panics caught
+		"checkpoints",        // drain/cut checkpoints written
+		"resumes",            // searches resumed from a checkpoint
+		"cache_hits",         // answered from the result cache
+		"cache_misses",       // result cache lookups that missed
+		"cache_shared",       // answered by joining an in-flight identical query
+		"cache_evictions",    // LRU entries displaced by capacity
+		"singleflight_dedup", // callers that joined an existing flight
+	}}
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition 0.0.4.
+// Three groups share the page: the c11serve_* service counters (the
+// /statz numbers), the c11serve_engine_* cumulative engine counters
+// of every search run so far, and a few scrape-time liveness gauges
+// (pool occupancy, drain state, uptime) that are computed per scrape
+// rather than stored.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	s.metrics.Snapshot().WritePrometheus(w, "c11serve")
+	s.engine.Snapshot().WritePrometheus(w, "c11serve_engine")
+
+	st := s.Stats()
+	telemetry.WritePrometheusGauge(w, "c11serve_running", float64(st.Running))
+	telemetry.WritePrometheusGauge(w, "c11serve_queued", float64(st.Queued))
+	telemetry.WritePrometheusGauge(w, "c11serve_workers", float64(st.Workers))
+	telemetry.WritePrometheusGauge(w, "c11serve_queue_capacity", float64(st.QueueDepth))
+	telemetry.WritePrometheusGauge(w, "c11serve_cache_entries", float64(st.CacheEntries))
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	telemetry.WritePrometheusGauge(w, "c11serve_draining", draining)
+	telemetry.WritePrometheusGauge(w, "c11serve_uptime_seconds",
+		time.Since(s.start).Seconds())
+}
+
+// Metrics exposes the service-counter registry (for embedding servers
+// that aggregate their own exposition).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// EngineMetrics exposes the cumulative engine-counter registry fed by
+// every search the server runs.
+func (s *Server) EngineMetrics() *telemetry.Registry { return s.engine }

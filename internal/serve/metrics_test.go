@@ -1,0 +1,178 @@
+package serve
+
+// Tests for the /metrics exposition and the registry-backed /statz:
+// the two surfaces are views over the same snapshot, so their numbers
+// must agree; the cache counts its evictions; singleflight joins are
+// observable.
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrapeMetrics fetches /metrics and parses the exposition into a
+// name → value map, checking the line format as it goes (counters and
+// gauges alike; no labels are emitted by this server).
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	hr, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", hr.StatusCode)
+	}
+	if ct := hr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	vals := map[string]float64{}
+	sc := bufio.NewScanner(hr.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("non-numeric sample %q: %v", line, err)
+		}
+		vals[name] = f
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestMetricsAgreeWithStatz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Generate traffic across several counter families: a miss + run,
+	// a hit, and a bad request.
+	postVerify(t, ts, Request{Name: "a", Program: mpSync})
+	postVerify(t, ts, Request{Name: "b", Program: mpSync})
+	http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader("{broken"))
+
+	vals := scrapeMetrics(t, ts.URL)
+	st := s.Stats()
+	for name, want := range map[string]int64{
+		"c11serve_requests_total":     st.Requests,
+		"c11serve_completed_total":    st.Completed,
+		"c11serve_cache_hits_total":   st.CacheHits,
+		"c11serve_cache_misses_total": st.CacheMisses,
+		"c11serve_bad_requests_total": st.BadRequests,
+		"c11serve_shed_total":         st.Shed,
+	} {
+		got, ok := vals[name]
+		if !ok {
+			t.Errorf("family %s missing from /metrics", name)
+			continue
+		}
+		if int64(got) != want {
+			t.Errorf("%s = %v, /statz says %d", name, got, want)
+		}
+	}
+	if st.Requests != 2 || st.CacheHits != 1 || st.CacheMisses != 1 || st.BadRequests != 1 {
+		t.Fatalf("unexpected traffic totals: %+v", st)
+	}
+
+	// The cumulative engine registry saw the one real search: at least
+	// one expansion and one admitted state, and the engine totals are
+	// exposed under their own prefix.
+	if vals["c11serve_engine_expansions_total"] < 1 {
+		t.Errorf("engine expansions = %v, want >= 1", vals["c11serve_engine_expansions_total"])
+	}
+	if vals["c11serve_engine_states_admitted_total"] < 1 {
+		t.Errorf("engine states_admitted = %v, want >= 1", vals["c11serve_engine_states_admitted_total"])
+	}
+
+	// Scrape-time gauges are present and sane on an idle server.
+	if vals["c11serve_running"] != 0 || vals["c11serve_queued"] != 0 {
+		t.Errorf("idle server reports running=%v queued=%v", vals["c11serve_running"], vals["c11serve_queued"])
+	}
+	if vals["c11serve_draining"] != 0 {
+		t.Errorf("draining gauge = %v on a live server", vals["c11serve_draining"])
+	}
+	if _, ok := vals["c11serve_uptime_seconds"]; !ok {
+		t.Error("uptime gauge missing")
+	}
+}
+
+func TestCacheEvictionCounted(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 1})
+
+	// Two distinct cacheable queries through a 1-entry cache: the
+	// second insert displaces the first.
+	postVerify(t, ts, Request{Program: mpSync})
+	postVerify(t, ts, Request{Program: mpRelaxed})
+	st := s.Stats()
+	if st.CacheEvictions != 1 {
+		t.Fatalf("cache_evictions = %d after overflowing a 1-entry cache, want 1", st.CacheEvictions)
+	}
+	if st.CacheEntries != 1 {
+		t.Fatalf("cache_entries = %d, want 1", st.CacheEntries)
+	}
+
+	// The displaced entry misses again — and its reinsert displaces in
+	// turn.
+	postVerify(t, ts, Request{Program: mpSync})
+	if st = s.Stats(); st.CacheEvictions != 2 {
+		t.Fatalf("cache_evictions = %d after a third distinct insert, want 2", st.CacheEvictions)
+	}
+
+	vals := scrapeMetrics(t, ts.URL)
+	if got := int64(vals["c11serve_cache_evictions_total"]); got != st.CacheEvictions {
+		t.Fatalf("/metrics evictions %d != /statz %d", got, st.CacheEvictions)
+	}
+}
+
+func TestSingleflightDedupCounted(t *testing.T) {
+	// Drive the flight group directly: the HTTP path's dedup timing is
+	// racy (the winner may finish before the joiner arrives), but the
+	// hook's contract is not.
+	s := New(Config{})
+	joined := make(chan struct{})
+	countJoin := s.flights.onJoin
+	s.flights.onJoin = func() { countJoin(); close(joined) }
+
+	var calls int
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.flights.do(t.Context(), "k", func() (*Response, int) {
+			calls++
+			close(started)
+			<-release // hold the flight open until the joiner arrives
+			return &Response{}, http.StatusOK
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-started
+		s.flights.do(t.Context(), "k", func() (*Response, int) {
+			calls++
+			return &Response{}, http.StatusOK
+		})
+	}()
+	<-joined
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("search ran %d times under singleflight, want 1", calls)
+	}
+	if got := s.Stats().FlightDedup; got != 1 {
+		t.Fatalf("singleflight_dedup = %d, want 1", got)
+	}
+}

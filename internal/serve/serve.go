@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/explore"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -126,32 +127,29 @@ type Server struct {
 	hardCancel context.CancelFunc
 
 	start time.Time
-	stats stats
-}
-
-// stats are the service counters behind /statz.
-type stats struct {
-	requests    atomic.Int64 // verification queries received (incl. batch items)
-	completed   atomic.Int64 // searches run to a terminal response
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	sharedHits  atomic.Int64 // answered by joining an in-flight identical query
-	shed        atomic.Int64 // rejected by admission control
-	panics      atomic.Int64 // request-level panics caught
-	checkpoints atomic.Int64 // drain/cut checkpoints written
-	resumes     atomic.Int64 // searches resumed from a checkpoint
-	badRequests atomic.Int64
+	// metrics holds the service counters (the /statz and /metrics
+	// numbers); engine accumulates the explore counters of every
+	// search the server runs. See metrics.go for the schema.
+	metrics *telemetry.Registry
+	engine  *telemetry.Registry
 }
 
 // New builds a Server from cfg (zero fields defaulted).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newLRUCache(cfg.CacheEntries),
-		sem:   make(chan struct{}, cfg.Workers),
-		start: time.Now(),
+		cfg:     cfg,
+		cache:   newLRUCache(cfg.CacheEntries),
+		sem:     make(chan struct{}, cfg.Workers),
+		start:   time.Now(),
+		metrics: telemetry.New(serveSchema()),
+		engine:  telemetry.NewEngineRegistry(),
 	}
+	// Singleflight joins are counted at the point of joining — the
+	// execute path separately counts the subset that produced a shared
+	// answer (cache_shared); a joiner that abandons mid-wait still
+	// deduplicated a search.
+	s.flights.onJoin = func() { s.metrics.Add(ctrFlightDedup, 1) }
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	return s
 }
@@ -164,6 +162,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -174,7 +173,7 @@ const maxBodyBytes = 1 << 20
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeRequest(r)
 	if err != nil {
-		s.stats.badRequests.Add(1)
+		s.metrics.Add(ctrBadRequests, 1)
 		writeJSON(w, http.StatusBadRequest, &Response{Error: err.Error()})
 		return
 	}
@@ -203,23 +202,23 @@ const maxBatch = 256
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		s.stats.badRequests.Add(1)
+		s.metrics.Add(ctrBadRequests, 1)
 		writeJSON(w, http.StatusBadRequest, &Response{Error: "read body: " + err.Error()})
 		return
 	}
 	var batch BatchRequest
 	if err := json.Unmarshal(body, &batch); err != nil {
-		s.stats.badRequests.Add(1)
+		s.metrics.Add(ctrBadRequests, 1)
 		writeJSON(w, http.StatusBadRequest, &Response{Error: "parse batch: " + err.Error()})
 		return
 	}
 	if len(batch.Requests) == 0 {
-		s.stats.badRequests.Add(1)
+		s.metrics.Add(ctrBadRequests, 1)
 		writeJSON(w, http.StatusBadRequest, &Response{Error: "empty batch"})
 		return
 	}
 	if len(batch.Requests) > maxBatch {
-		s.stats.badRequests.Add(1)
+		s.metrics.Add(ctrBadRequests, 1)
 		writeJSON(w, http.StatusBadRequest, &Response{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(batch.Requests), maxBatch)})
 		return
 	}
@@ -258,51 +257,58 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // Statz is the JSON shape of GET /statz.
 type Statz struct {
-	UptimeSec    int64   `json:"uptime_sec"`
-	Draining     bool    `json:"draining"`
-	Workers      int     `json:"workers"`
-	QueueDepth   int     `json:"queue_depth"`
-	Running      int     `json:"running"`
-	Queued       int     `json:"queued"`
-	Requests     int64   `json:"requests"`
-	Completed    int64   `json:"completed"`
-	Shed         int64   `json:"shed"`
-	BadRequests  int64   `json:"bad_requests"`
-	Panics       int64   `json:"panics"`
-	Checkpoints  int64   `json:"checkpoints"`
-	Resumes      int64   `json:"resumes"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheShared  int64   `json:"cache_shared"`
-	CacheEntries int     `json:"cache_entries"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	UptimeSec      int64   `json:"uptime_sec"`
+	Draining       bool    `json:"draining"`
+	Workers        int     `json:"workers"`
+	QueueDepth     int     `json:"queue_depth"`
+	Running        int     `json:"running"`
+	Queued         int     `json:"queued"`
+	Requests       int64   `json:"requests"`
+	Completed      int64   `json:"completed"`
+	Shed           int64   `json:"shed"`
+	BadRequests    int64   `json:"bad_requests"`
+	Panics         int64   `json:"panics"`
+	Checkpoints    int64   `json:"checkpoints"`
+	Resumes        int64   `json:"resumes"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheShared    int64   `json:"cache_shared"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	FlightDedup    int64   `json:"singleflight_dedup"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
 }
 
-// Stats snapshots the service counters (the /statz payload).
+// Stats snapshots the service counters (the /statz payload). It is a
+// thin view over the metrics registry — the same snapshot /metrics
+// exposes — plus the scrape-time pool occupancy.
 func (s *Server) Stats() Statz {
 	running := len(s.sem)
 	queued := s.admitted.count() - running
 	if queued < 0 {
 		queued = 0
 	}
+	snap := s.metrics.Snapshot()
 	st := Statz{
-		UptimeSec:    int64(time.Since(s.start).Seconds()),
-		Draining:     s.draining.Load(),
-		Workers:      s.cfg.Workers,
-		QueueDepth:   s.cfg.QueueDepth,
-		Running:      running,
-		Queued:       queued,
-		Requests:     s.stats.requests.Load(),
-		Completed:    s.stats.completed.Load(),
-		Shed:         s.stats.shed.Load(),
-		BadRequests:  s.stats.badRequests.Load(),
-		Panics:       s.stats.panics.Load(),
-		Checkpoints:  s.stats.checkpoints.Load(),
-		Resumes:      s.stats.resumes.Load(),
-		CacheHits:    s.stats.cacheHits.Load(),
-		CacheMisses:  s.stats.cacheMisses.Load(),
-		CacheShared:  s.stats.sharedHits.Load(),
-		CacheEntries: s.cache.len(),
+		UptimeSec:      int64(time.Since(s.start).Seconds()),
+		Draining:       s.draining.Load(),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     s.cfg.QueueDepth,
+		Running:        running,
+		Queued:         queued,
+		Requests:       int64(snap.Counter("requests")),
+		Completed:      int64(snap.Counter("completed")),
+		Shed:           int64(snap.Counter("shed")),
+		BadRequests:    int64(snap.Counter("bad_requests")),
+		Panics:         int64(snap.Counter("panics")),
+		Checkpoints:    int64(snap.Counter("checkpoints")),
+		Resumes:        int64(snap.Counter("resumes")),
+		CacheHits:      int64(snap.Counter("cache_hits")),
+		CacheMisses:    int64(snap.Counter("cache_misses")),
+		CacheShared:    int64(snap.Counter("cache_shared")),
+		CacheEvictions: int64(snap.Counter("cache_evictions")),
+		FlightDedup:    int64(snap.Counter("singleflight_dedup")),
+		CacheEntries:   s.cache.len(),
 	}
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)

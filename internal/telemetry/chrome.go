@@ -1,0 +1,79 @@
+package telemetry
+
+// Conversion of the JSONL trace stream to Chrome trace_event format
+// (the JSON object form: {"traceEvents": [...]}), loadable in
+// chrome://tracing and Perfetto. Spans map to B/E duration events,
+// instants to i, counter samples to C; the worker id becomes the tid
+// (engine-level records land on tid 0, where they nest correctly
+// around the worker spans).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ConvertChrome reads JSONL trace records from r and writes the
+// Chrome trace_event JSON object to w. Unknown record types are an
+// error (the schema is versioned by this converter); blank lines are
+// skipped. A partially written final line (a killed process) is
+// tolerated if it is the last line.
+func ConvertChrome(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []chromeEvent
+	lineno := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the final one — real error.
+			return pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("trace line %d: %v", lineno, err)
+			continue
+		}
+		ev := chromeEvent{Name: rec.Name, TS: rec.TS, PID: 1, TID: rec.Worker, Args: rec.Args}
+		if ev.TID < 0 {
+			ev.TID = 0
+		}
+		switch rec.Type {
+		case "begin":
+			ev.Phase = "B"
+		case "end":
+			ev.Phase = "E"
+		case "instant":
+			ev.Phase = "i"
+			ev.Scope = "t"
+		case "counter":
+			ev.Phase = "C"
+		default:
+			return fmt.Errorf("trace line %d: unknown record type %q", lineno, rec.Type)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+// The engine metric schema, shared by the exploration engine (which
+// feeds it), the CLIs (which sample it for progress lines and final
+// summaries) and the verification service (which exposes it at
+// /metrics). The Counter/Gauge constants below index EngineSchema in
+// declaration order — keep the two lists in lockstep.
+
+// Engine counters, in EngineSchema order.
+const (
+	// EngineExpansions counts configurations expanded (claims that
+	// reached the successor loop).
+	EngineExpansions Counter = iota
+	// EngineSuccessors counts successor configurations generated,
+	// including ones later deduplicated, suppressed or discarded.
+	EngineSuccessors
+	// EngineAdmitted counts distinct configurations admitted to the
+	// seen set (== Result.Explored for a fresh run).
+	EngineAdmitted
+	// EngineTerminated counts admitted configurations with every
+	// thread terminated (== Result.Terminated for a fresh run).
+	EngineTerminated
+	// EngineDedupHits counts successors that deduplicated against the
+	// fingerprint seen set.
+	EngineDedupHits
+	// EngineRequeues counts re-queues caused by depth or sleep-mask
+	// relaxation of an already-expanded entry.
+	EngineRequeues
+	// EnginePORPruned counts enabled program steps the partial-order
+	// reduction skipped (persistent-set exclusion or sleep set).
+	EnginePORPruned
+	// EngineBoundSuppressed counts successors suppressed by the
+	// progress bound (memory steps at the bound).
+	EngineBoundSuppressed
+	// EngineDiscards counts successors handed back to the backend's
+	// arena/free-list for recycling (dedup without re-queue, bound
+	// suppression, budget rejection).
+	EngineDiscards
+	// EnginePoolClaims counts items workers pulled from the shared
+	// work pool.
+	EnginePoolClaims
+	// EngineStaleClaims counts pool items that were already expanded
+	// at their best depth/sleep when claimed (stale re-queues).
+	EngineStaleClaims
+	// EngineCheckpointWrites counts checkpoints successfully written.
+	EngineCheckpointWrites
+	// EnginePanics counts worker panics isolated into PanicRecords.
+	EnginePanics
+
+	numEngineCounters // keep last
+)
+
+// Engine gauges, in EngineSchema order.
+const (
+	// EngineGaugeFrontier is the live work-pool pending count (queued
+	// plus in-flight items).
+	EngineGaugeFrontier Gauge = iota
+	// EngineGaugeDepth is the maximum depth admitted so far.
+	EngineGaugeDepth
+
+	numEngineGauges // keep last
+)
+
+var engineCounterNames = [numEngineCounters]string{
+	EngineExpansions:       "expansions",
+	EngineSuccessors:       "successors",
+	EngineAdmitted:         "states_admitted",
+	EngineTerminated:       "states_terminated",
+	EngineDedupHits:        "dedup_hits",
+	EngineRequeues:         "requeues",
+	EnginePORPruned:        "por_pruned_steps",
+	EngineBoundSuppressed:  "bound_suppressed",
+	EngineDiscards:         "arena_discards",
+	EnginePoolClaims:       "pool_claims",
+	EngineStaleClaims:      "stale_claims",
+	EngineCheckpointWrites: "checkpoint_writes",
+	EnginePanics:           "panics_isolated",
+}
+
+var engineGaugeNames = [numEngineGauges]string{
+	EngineGaugeFrontier: "frontier",
+	EngineGaugeDepth:    "max_depth",
+}
+
+// EngineSchema returns the engine metric schema.
+func EngineSchema() Schema {
+	return Schema{
+		Counters: engineCounterNames[:],
+		Gauges:   engineGaugeNames[:],
+	}
+}
+
+// NewEngineRegistry builds a registry with the engine schema — the
+// value to hand to explore.Options.Metrics.
+func NewEngineRegistry() *Registry {
+	return New(EngineSchema())
+}

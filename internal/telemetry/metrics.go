@@ -1,0 +1,236 @@
+package telemetry
+
+// The metrics registry. Counters are striped: each worker owns a
+// padded cell of plain atomic counters, so concurrent increments from
+// different workers never contend on a cache line, and a snapshot
+// sums the stripes. Everything is preallocated at construction — Add
+// and Cell never allocate, which is what lets the engine keep its
+// zero-allocs-per-state guarantee with metrics enabled.
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Counter indexes a counter within a Schema (the schema's Counters
+// slice order). Gauge likewise.
+type Counter int
+
+// Gauge indexes a gauge within a Schema.
+type Gauge int
+
+// Schema names a registry's counters and gauges. Names are
+// snake_case; they become Prometheus metric names (counters get a
+// _total suffix on exposition).
+type Schema struct {
+	Counters []string
+	Gauges   []string
+}
+
+// numStripes is the number of independent counter cells. Workers
+// above the stripe count share cells (atomics keep that correct, it
+// merely reintroduces some contention).
+const numStripes = 16
+
+// cacheLineWords pads each stripe to a cache-line multiple so two
+// stripes never share a line (64 bytes = 8 uint64 words).
+const cacheLineWords = 8
+
+// Cell is one stripe's counter view. Increments on distinct cells
+// are contention-free. The zero of *Cell (nil) discards all adds.
+type Cell struct {
+	counts []atomic.Uint64
+}
+
+// Add increments counter ctr by d. Nil-safe: a nil cell does nothing.
+func (c *Cell) Add(ctr Counter, d uint64) {
+	if c == nil {
+		return
+	}
+	c.counts[ctr].Add(d)
+}
+
+// Get reads this cell's (not the registry-wide) value of ctr.
+func (c *Cell) Get(ctr Counter) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[ctr].Load()
+}
+
+// Registry is a set of striped counters plus gauges, all
+// preallocated. Construct with New; the zero value and nil are both
+// inert (every method is nil-safe).
+type Registry struct {
+	schema Schema
+	stride int
+	counts []atomic.Uint64 // numStripes * stride, cache-line padded
+	gauges []atomic.Int64
+	cells  [numStripes]Cell
+}
+
+// New builds a registry for the given schema. The schema is copied;
+// all storage is allocated up front.
+func New(s Schema) *Registry {
+	r := &Registry{
+		schema: Schema{
+			Counters: append([]string(nil), s.Counters...),
+			Gauges:   append([]string(nil), s.Gauges...),
+		},
+	}
+	n := len(r.schema.Counters)
+	r.stride = (n + cacheLineWords - 1) / cacheLineWords * cacheLineWords
+	if r.stride == 0 {
+		r.stride = cacheLineWords
+	}
+	r.counts = make([]atomic.Uint64, numStripes*r.stride)
+	r.gauges = make([]atomic.Int64, len(r.schema.Gauges))
+	for i := range r.cells {
+		r.cells[i] = Cell{counts: r.counts[i*r.stride : i*r.stride+n]}
+	}
+	return r
+}
+
+// Schema returns the registry's schema (shared slices; do not mutate).
+func (r *Registry) Schema() Schema {
+	if r == nil {
+		return Schema{}
+	}
+	return r.schema
+}
+
+// Cell returns worker i's counter cell. Workers beyond the stripe
+// count share cells. Nil-safe: a nil registry yields a nil cell,
+// which discards adds.
+func (r *Registry) Cell(i int) *Cell {
+	if r == nil {
+		return nil
+	}
+	if i < 0 {
+		i = 0
+	}
+	return &r.cells[i%numStripes]
+}
+
+// Add increments ctr by d on stripe 0 — the convenience path for
+// cold call sites without a worker identity. Nil-safe.
+func (r *Registry) Add(ctr Counter, d uint64) {
+	if r == nil {
+		return
+	}
+	r.cells[0].counts[ctr].Add(d)
+}
+
+// Total sums ctr across all stripes. Nil-safe (returns 0).
+func (r *Registry) Total(ctr Counter) uint64 {
+	if r == nil {
+		return 0
+	}
+	var t uint64
+	for i := 0; i < numStripes; i++ {
+		t += r.counts[i*r.stride+int(ctr)].Load()
+	}
+	return t
+}
+
+// SetGauge stores v as gauge g's current value. Nil-safe.
+func (r *Registry) SetGauge(g Gauge, v int64) {
+	if r == nil {
+		return
+	}
+	r.gauges[g].Store(v)
+}
+
+// MaxGauge raises gauge g to v if v is larger (atomic maximum).
+// Nil-safe.
+func (r *Registry) MaxGauge(g Gauge, v int64) {
+	if r == nil {
+		return
+	}
+	for {
+		cur := r.gauges[g].Load()
+		if v <= cur || r.gauges[g].CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// GaugeValue reads gauge g. Nil-safe (returns 0).
+func (r *Registry) GaugeValue(g Gauge) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[g].Load()
+}
+
+// Snapshot is a point-in-time aggregation of a registry: counter
+// totals summed across stripes plus gauge values, in schema order.
+// Concurrent increments during the snapshot land in either the
+// snapshot or the next one — each counter read is atomic.
+type Snapshot struct {
+	CounterNames []string
+	CounterVals  []uint64
+	GaugeNames   []string
+	GaugeVals    []int64
+}
+
+// Snapshot aggregates the registry. Nil-safe (returns an empty
+// snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		CounterNames: r.schema.Counters,
+		CounterVals:  make([]uint64, len(r.schema.Counters)),
+		GaugeNames:   r.schema.Gauges,
+		GaugeVals:    make([]int64, len(r.schema.Gauges)),
+	}
+	for c := range s.CounterVals {
+		s.CounterVals[c] = r.Total(Counter(c))
+	}
+	for g := range s.GaugeVals {
+		s.GaugeVals[g] = r.gauges[g].Load()
+	}
+	return s
+}
+
+// Counter returns the snapshot's value for the named counter (0 if
+// absent).
+func (s Snapshot) Counter(name string) uint64 {
+	for i, n := range s.CounterNames {
+		if n == name {
+			return s.CounterVals[i]
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshot's value for the named gauge (0 if
+// absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for i, n := range s.GaugeNames {
+		if n == name {
+			return s.GaugeVals[i]
+		}
+	}
+	return 0
+}
+
+// Counters returns the snapshot's counters as a name→value map, in
+// no particular order (use CounterNames for schema order).
+func (s Snapshot) Counters() map[string]uint64 {
+	m := make(map[string]uint64, len(s.CounterNames))
+	for i, n := range s.CounterNames {
+		m[n] = s.CounterVals[i]
+	}
+	return m
+}
+
+// SortedCounterNames returns the counter names sorted
+// lexicographically — the exposition order used by WritePrometheus.
+func (s Snapshot) SortedCounterNames() []string {
+	out := append([]string(nil), s.CounterNames...)
+	sort.Strings(out)
+	return out
+}

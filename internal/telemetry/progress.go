@@ -1,0 +1,129 @@
+package telemetry
+
+// The live progress reporter: a goroutine that samples the search
+// every interval and prints one explored/frontier/depth/rate line to
+// a writer (the CLIs point it at stderr). Stop emits a final line, so
+// even a search shorter than the interval produces at least one.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sample is one progress observation, usually read off an engine
+// registry.
+type Sample struct {
+	Explored   int64
+	Terminated int64
+	Frontier   int64
+	Depth      int64
+}
+
+// Reporter periodically prints progress lines. Construct with
+// NewReporter, then Start; Stop prints the final line and waits for
+// the goroutine to exit. Nil-safe.
+type Reporter struct {
+	w        io.Writer
+	interval time.Duration
+	sample   func() Sample
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+	start   time.Time
+	last    Sample
+	lastAt  time.Time
+}
+
+// NewReporter builds a reporter that samples via sample every
+// interval and writes lines to w. A non-positive interval defaults
+// to one second.
+func NewReporter(w io.Writer, interval time.Duration, sample func() Sample) *Reporter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Reporter{w: w, interval: interval, sample: sample}
+}
+
+// Start launches the reporting goroutine. Nil-safe; idempotent.
+func (r *Reporter) Start() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return
+	}
+	r.started = true
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	r.start = time.Now()
+	r.lastAt = r.start
+	go r.loop()
+}
+
+func (r *Reporter) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.emit(false)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// emit prints one progress line; final marks the end-of-run line.
+func (r *Reporter) emit(final bool) {
+	now := time.Now()
+	s := r.sample()
+
+	r.mu.Lock()
+	dt := now.Sub(r.lastAt).Seconds()
+	var rate float64
+	if dt > 0 {
+		rate = float64(s.Explored-r.last.Explored) / dt
+	}
+	r.last = s
+	r.lastAt = now
+	elapsed := now.Sub(r.start)
+	r.mu.Unlock()
+
+	tag := "progress"
+	if final {
+		tag = "progress(final)"
+		// The per-tick rate of a final partial tick is noise; report
+		// the whole-run average instead.
+		if sec := elapsed.Seconds(); sec > 0 {
+			rate = float64(s.Explored) / sec
+		}
+	}
+	fmt.Fprintf(r.w, "%s: explored=%d frontier=%d depth=%d terminated=%d states/s=%.0f elapsed=%s\n",
+		tag, s.Explored, s.Frontier, s.Depth, s.Terminated, rate, elapsed.Round(time.Millisecond))
+}
+
+// Stop halts the goroutine and prints the final line (so at least one
+// line is always produced). Nil-safe; idempotent.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.started || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+	r.emit(true)
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) of registry
+// snapshots. Counters are exposed as <prefix>_<name>_total with
+// # TYPE counter, gauges as <prefix>_<name> with # TYPE gauge, each
+// family sorted by name so the output is deterministic and diffable.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PrometheusContentType is the Content-Type for text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format, prefixing every metric name with prefix + "_".
+func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
+	type kv struct {
+		name string
+		val  string
+	}
+	counters := make([]kv, 0, len(s.CounterNames))
+	for i, n := range s.CounterNames {
+		counters = append(counters, kv{prefix + "_" + n + "_total", fmt.Sprintf("%d", s.CounterVals[i])})
+	}
+	gauges := make([]kv, 0, len(s.GaugeNames))
+	for i, n := range s.GaugeNames {
+		gauges = append(gauges, kv{prefix + "_" + n, fmt.Sprintf("%d", s.GaugeVals[i])})
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", c.name, c.name, c.val); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.name, g.name, g.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheusGauge writes one ad-hoc gauge in exposition format —
+// for liveness values (uptime, queue occupancy) that are computed at
+// scrape time rather than stored in a registry.
+func WritePrometheusGauge(w io.Writer, name string, v float64) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
+	return err
+}

@@ -1,0 +1,13 @@
+// Package telemetry is the observability layer of the checker: a
+// lock-free striped metrics registry the engine and the verification
+// service feed (metrics.go), Prometheus-style text exposition of its
+// snapshots (prometheus.go), a structured JSONL search tracer with a
+// Chrome trace_event converter (trace.go, chrome.go), and a live
+// progress reporter for the CLIs (progress.go).
+//
+// Everything is nil-safe by design: a nil *Registry, *Cell, *Tracer or
+// *Reporter accepts every method call and does nothing, so the engine
+// threads telemetry through its hot path unconditionally and the
+// disabled configuration costs only nil checks — no allocations, no
+// atomics. The perfgate CI job holds that line.
+package telemetry

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedClockTracer returns a tracer whose clock advances 100µs per
+// reading, so emitted timestamps are deterministic.
+func fixedClockTracer(w *bytes.Buffer) *Tracer {
+	base := time.Unix(0, 0)
+	n := 0
+	tr := &Tracer{}
+	*tr = *NewTracer(w)
+	tr.now = func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * 100 * time.Microsecond)
+	}
+	tr.start = base
+	return tr
+}
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// emitFixture writes the representative trace used by both goldens:
+// a search span wrapping two worker spans, a checkpoint instant, a
+// counter sample and a stop instant.
+func emitFixture(tr *Tracer) {
+	tr.Begin("search", -1)
+	tr.Begin("worker", 0)
+	tr.Begin("worker", 1)
+	tr.Count("expansion_batch", 0, map[string]any{"expansions": 1024, "explored": 2048})
+	tr.Instant("checkpoint", -1, map[string]any{"entries": 512, "frontier": 7})
+	tr.Instant("stop", -1, map[string]any{"cause": "deadline"})
+	tr.End("worker", 1, nil)
+	tr.End("worker", 0, nil)
+	tr.End("search", -1, map[string]any{"explored": 2048, "verdict": "BOUNDED"})
+}
+
+func TestTraceGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := fixedClockTracer(&buf)
+	emitFixture(tr)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Schema check: every line decodes into a Record with the
+	// required fields.
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if rec.Type == "" || rec.Name == "" {
+			t.Fatalf("line %d: missing type/name: %s", i+1, line)
+		}
+	}
+	golden(t, "trace.jsonl", buf.Bytes())
+}
+
+func TestTraceGoldenChrome(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "trace.jsonl"))
+	if err != nil {
+		if *update {
+			// Regenerate the JSONL golden first, then convert it.
+			var buf bytes.Buffer
+			tr := fixedClockTracer(&buf)
+			emitFixture(tr)
+			if err := tr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			data = buf.Bytes()
+		} else {
+			t.Fatalf("missing golden (run with -update): %v", err)
+		}
+	}
+	var out bytes.Buffer
+	if err := ConvertChrome(bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+	// The conversion must be loadable Chrome trace format: a JSON
+	// object with a traceEvents array whose entries carry ph/ts/pid.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("conversion is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("traceEvents = %d entries, want 9", len(doc.TraceEvents))
+	}
+	begins, ends := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "i", "C":
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+		if _, ok := ev["ts"]; !ok {
+			t.Error("event without ts")
+		}
+	}
+	if begins != 3 || ends != 3 {
+		t.Errorf("span balance: %d begins, %d ends", begins, ends)
+	}
+	golden(t, "trace_chrome.json", out.Bytes())
+}
+
+func TestConvertChromeRejectsUnknownType(t *testing.T) {
+	in := strings.NewReader(`{"ts_us":1,"type":"bogus","name":"x","worker":0}` + "\n")
+	if err := ConvertChrome(in, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown record type should be rejected")
+	}
+}
+
+func TestConvertChromeToleratesTruncatedTail(t *testing.T) {
+	// A killed process may leave a half-written last line; conversion
+	// keeps everything before it.
+	in := strings.NewReader(`{"ts_us":1,"type":"begin","name":"search","worker":-1}` + "\n" + `{"ts_us":2,"ty`)
+	var out bytes.Buffer
+	if err := ConvertChrome(in, &out); err != nil {
+		t.Fatalf("truncated tail should be tolerated: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("traceEvents = %d, want 1", len(doc.TraceEvents))
+	}
+	// But a malformed line in the middle is a real error.
+	in2 := strings.NewReader(`{"ts_us":2,"ty` + "\n" + `{"ts_us":1,"type":"begin","name":"search","worker":-1}` + "\n")
+	if err := ConvertChrome(in2, &bytes.Buffer{}); err == nil {
+		t.Fatal("mid-stream corruption should be rejected")
+	}
+}
+
+func TestReporterEmitsLines(t *testing.T) {
+	var mu syncBuffer
+	var n int64
+	rep := NewReporter(&mu, 10*time.Millisecond, func() Sample {
+		n += 100
+		return Sample{Explored: n, Terminated: n / 2, Frontier: 3, Depth: 9}
+	})
+	rep.Start()
+	time.Sleep(35 * time.Millisecond)
+	rep.Stop()
+	rep.Stop() // idempotent
+	out := mu.String()
+	if !strings.Contains(out, "progress: explored=") {
+		t.Fatalf("no periodic progress line in %q", out)
+	}
+	if !strings.Contains(out, "progress(final): explored=") {
+		t.Fatalf("no final progress line in %q", out)
+	}
+	if !strings.Contains(out, "frontier=3") || !strings.Contains(out, "depth=9") {
+		t.Fatalf("sample fields missing in %q", out)
+	}
+}
+
+func TestReporterFinalLineWithoutTick(t *testing.T) {
+	// A run shorter than the interval still yields the final line.
+	var mu syncBuffer
+	rep := NewReporter(&mu, time.Hour, func() Sample { return Sample{Explored: 42} })
+	rep.Start()
+	rep.Stop()
+	if !strings.Contains(mu.String(), "progress(final): explored=42") {
+		t.Fatalf("missing final line: %q", mu.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe strings.Builder for reporter output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

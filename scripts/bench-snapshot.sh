@@ -16,6 +16,11 @@
 # noisy to diff across commits — see the iterations field of each row).
 # The output JSON carries one record per benchmark with every metric Go
 # reported (ns/op, B/op, allocs/op, states/op, ...) plus run metadata.
+# The E13_MetricsPeterson family additionally reports search-shape
+# ratios from the telemetry registry (por-pruned/op, dedup-hits/op) —
+# those land in the snapshot like any other metric, so a diff between
+# two BENCH_*.json files shows whether a timing shift came with a
+# change in what the search explored.
 # The script fails loudly — pipefail, an empty-output check, and a JSON
 # validation of the snapshot — instead of committing a truncated or
 # malformed file when the bench run breaks.
